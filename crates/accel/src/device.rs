@@ -1,0 +1,138 @@
+//! Device specifications for the roofline model.
+
+/// A compute device characterized for the roofline model.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Peak double-precision GFLOP/s.
+    pub peak_gflops: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Host-device transfer bandwidth in GB/s (0 = the device *is* the
+    /// host; no transfers).
+    pub pcie_gbps: f64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Fraction of peak flops sustained on well-vectorized kernels.
+    pub flops_efficiency: f64,
+    /// Fraction of peak bandwidth sustained on streaming kernels.
+    pub bw_efficiency: f64,
+    /// Throughput multiplier for non-vectorizable (branchy, scalar) work,
+    /// relative to the device's vector throughput. Wide-SIMD accelerators
+    /// fall hard here; that is why the statistics task speeds up less than
+    /// covariance in the paper.
+    pub scalar_penalty: f64,
+    /// Fraction of streaming bandwidth achieved by irregular (gather/sort)
+    /// access patterns. In-order accelerators lose far more of their
+    /// bandwidth to irregularity than out-of-order hosts, which is why the
+    /// paper's statistics and biclustering tasks gain so little from the
+    /// Phi.
+    pub irregular_bw_factor: f64,
+}
+
+impl DeviceSpec {
+    /// Intel Xeon Phi 5110P: 60 cores x 1.053 GHz x 16 DP flops/cycle ≈
+    /// 1011 GF/s peak; ~160 GB/s sustained GDDR5 bandwidth; PCIe 2.0 x16
+    /// ≈ 6 GB/s; 8 GB on-board.
+    pub fn xeon_phi_5110p() -> DeviceSpec {
+        DeviceSpec {
+            name: "Intel Xeon Phi 5110P".into(),
+            peak_gflops: 1011.0,
+            mem_bw_gbps: 160.0,
+            pcie_gbps: 6.0,
+            mem_capacity: 8 * (1 << 30),
+            flops_efficiency: 0.55,
+            bw_efficiency: 0.70,
+            // In-order cores, 1/8th vector width used by scalar code.
+            scalar_penalty: 0.08,
+            irregular_bw_factor: 0.25,
+        }
+    }
+
+    /// Paper host: two Xeon E5-2620 sockets (2 x 6 cores x 2.0 GHz x 8 DP
+    /// flops/cycle = 192 GF/s peak), 4-channel DDR3-1333 per socket ≈
+    /// 85 GB/s aggregate, 48 GB RAM.
+    pub fn xeon_e5_2620_dual() -> DeviceSpec {
+        DeviceSpec {
+            name: "2x Intel Xeon E5-2620".into(),
+            peak_gflops: 192.0,
+            mem_bw_gbps: 85.0,
+            pcie_gbps: 0.0,
+            mem_capacity: 48 * (1 << 30),
+            flops_efficiency: 0.50,
+            bw_efficiency: 0.60,
+            // Out-of-order cores handle scalar code at ~1/3 of vector
+            // throughput.
+            scalar_penalty: 0.35,
+            irregular_bw_factor: 0.60,
+        }
+    }
+
+    /// Effective GFLOP/s for a kernel with the given vectorizable fraction
+    /// (Amdahl over vector vs scalar throughput).
+    pub fn effective_gflops(&self, vectorizable: f64) -> f64 {
+        let v = vectorizable.clamp(0.0, 1.0);
+        let vec_rate = self.peak_gflops * self.flops_efficiency;
+        let scalar_rate = vec_rate * self.scalar_penalty;
+        1.0 / (v / vec_rate + (1.0 - v) / scalar_rate)
+    }
+
+    /// Effective bandwidth in GB/s for a kernel with the given vectorizable
+    /// fraction: fully regular kernels stream at `bw_efficiency`, irregular
+    /// ones degrade by `irregular_bw_factor`.
+    pub fn effective_bw_gbps(&self, vectorizable: f64) -> f64 {
+        let v = vectorizable.clamp(0.0, 1.0);
+        self.mem_bw_gbps * self.bw_efficiency * (v + (1.0 - v) * self.irregular_bw_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_beats_host_on_vector_work() {
+        let phi = DeviceSpec::xeon_phi_5110p();
+        let host = DeviceSpec::xeon_e5_2620_dual();
+        assert!(phi.effective_gflops(1.0) > 3.0 * host.effective_gflops(1.0));
+        assert!(phi.effective_bw_gbps(1.0) > 1.5 * host.effective_bw_gbps(1.0));
+        // Irregular access erodes the Phi's bandwidth advantage.
+        let regular_ratio = phi.effective_bw_gbps(1.0) / host.effective_bw_gbps(1.0);
+        let irregular_ratio = phi.effective_bw_gbps(0.0) / host.effective_bw_gbps(0.0);
+        assert!(irregular_ratio < regular_ratio);
+    }
+
+    #[test]
+    fn host_beats_phi_on_scalar_work() {
+        let phi = DeviceSpec::xeon_phi_5110p();
+        let host = DeviceSpec::xeon_e5_2620_dual();
+        // Fully scalar code runs better on big out-of-order cores.
+        assert!(host.effective_gflops(0.0) > phi.effective_gflops(0.0) * 0.5);
+        // And the Phi's advantage shrinks dramatically from vector to scalar.
+        let phi_ratio = phi.effective_gflops(1.0) / phi.effective_gflops(0.0);
+        let host_ratio = host.effective_gflops(1.0) / host.effective_gflops(0.0);
+        assert!(phi_ratio > 2.0 * host_ratio);
+    }
+
+    #[test]
+    fn effective_rates_monotone_in_vectorization() {
+        let phi = DeviceSpec::xeon_phi_5110p();
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let rate = phi.effective_gflops(i as f64 / 10.0);
+            assert!(rate > prev);
+            prev = rate;
+        }
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        let phi = DeviceSpec::xeon_phi_5110p();
+        let full = phi.peak_gflops * phi.flops_efficiency;
+        assert!((phi.effective_gflops(1.0) - full).abs() < 1e-9);
+        assert!(
+            (phi.effective_gflops(0.0) - full * phi.scalar_penalty).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Coprocessor offload model — the Intel Xeon Phi 5110P stand-in.
+//!
+//! We cannot run on a 2013 Xeon Phi, so Section 5 of the paper is reproduced
+//! with a roofline performance model (DESIGN.md §4, substitution 3): each
+//! analytics operator carries a `(flops, bytes, vectorizable-fraction)`
+//! profile, each device a `(peak flops, memory bandwidth, PCIe bandwidth,
+//! capacity)` specification, and the modeled kernel time is
+//!
+//! ```text
+//! t = max(flops / effective_flops, bytes / effective_bandwidth)
+//! ```
+//!
+//! plus PCIe transfer for the offloaded inputs. Offloaded runs still execute
+//! on the host for *correctness* (results must verify); only the *reported
+//! time* comes from the model, scaled from the measured host time so the
+//! model and measurement stay calibrated:
+//!
+//! `t_phi_reported = t_host_measured * (t_phi_model / t_host_model)` + transfer.
+//!
+//! This reproduces the paper's Table 1 pattern for the right physical
+//! reasons: compute-bound kernels (covariance, SVD) gain the flops ratio,
+//! branchy/serial kernels (statistics ranking) gain less, and biclustering
+//! is too small for any accelerator to matter.
+
+pub mod device;
+pub mod offload;
+pub mod profile;
+
+pub use device::DeviceSpec;
+pub use offload::{Coprocessor, OffloadEstimate};
+pub use profile::OpProfile;

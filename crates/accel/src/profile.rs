@@ -1,0 +1,156 @@
+//! Operator cost profiles for the roofline model.
+
+/// Work characterization of one analytics operator invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct OpProfile {
+    /// Total double-precision flops.
+    pub flops: f64,
+    /// Total bytes moved through device memory.
+    pub bytes: f64,
+    /// Fraction of the work that vectorizes on wide-SIMD hardware.
+    pub vectorizable: f64,
+    /// Bytes that must cross PCIe to run on a discrete device.
+    pub transfer_bytes: u64,
+}
+
+impl OpProfile {
+    /// Arithmetic intensity in flops per byte.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+
+    /// Covariance of an `m x n` matrix: a symmetric rank-`m` update
+    /// (`m·n²` flops counting the triangle) over a panel-blocked pass;
+    /// highly vectorizable.
+    pub fn covariance(m: usize, n: usize) -> OpProfile {
+        let (mf, nf) = (m as f64, n as f64);
+        OpProfile {
+            flops: mf * nf * nf,
+            // A streamed once per column panel (panel ≈ 256 wide) + output.
+            bytes: 8.0 * (mf * nf * (nf / 256.0).max(1.0) + nf * nf),
+            vectorizable: 0.95,
+            transfer_bytes: (m * n * 8) as u64,
+        }
+    }
+
+    /// Lanczos SVD on an `m x n` matrix, `k` eigenpairs: per iteration two
+    /// matvecs (4·m·n flops) streaming the matrix twice, plus
+    /// reorthogonalization; bandwidth-bound.
+    pub fn svd_lanczos(m: usize, n: usize, k: usize) -> OpProfile {
+        let iters = (2 * k + 20).min(n) as f64;
+        let (mf, nf) = (m as f64, n as f64);
+        let matvec_flops = 4.0 * mf * nf * iters;
+        let reorth_flops = 4.0 * nf * iters * iters;
+        OpProfile {
+            flops: matvec_flops + reorth_flops,
+            bytes: 8.0 * (2.0 * mf * nf * iters + nf * iters * iters),
+            vectorizable: 0.90,
+            transfer_bytes: (m * n * 8) as u64,
+        }
+    }
+
+    /// Statistics task (per-gene aggregation, global ranking, per-term
+    /// Wilcoxon): streaming aggregation plus a sort — mostly branchy,
+    /// poorly vectorized work.
+    pub fn statistics(m: usize, n: usize, terms: usize) -> OpProfile {
+        let (mf, nf, tf) = (m as f64, n as f64, terms as f64);
+        let aggregate = 2.0 * mf * nf;
+        let sort = nf * (nf.max(2.0)).log2() * 8.0;
+        let tests = tf * nf * 4.0;
+        OpProfile {
+            flops: aggregate + sort + tests,
+            bytes: 8.0 * (mf * nf + nf * tf + 6.0 * nf),
+            vectorizable: 0.40,
+            transfer_bytes: (m * n * 8) as u64,
+        }
+    }
+
+    /// Cheng–Church biclustering: residue updates stream the (filtered)
+    /// matrix a few dozen times; light compute, branchy control flow.
+    pub fn biclustering(m: usize, n: usize, sweeps: usize) -> OpProfile {
+        let (mf, nf, sf) = (m as f64, n as f64, sweeps as f64);
+        OpProfile {
+            flops: 6.0 * mf * nf * sf,
+            bytes: 8.0 * mf * nf * sf,
+            vectorizable: 0.25,
+            transfer_bytes: (m * n * 8) as u64,
+        }
+    }
+
+    /// QR linear regression on an `m x n` design matrix (2·m·n² flops).
+    /// Note: the paper could not offload regression (MKL automatic offload
+    /// of the relevant routine was unsupported); the engine layer enforces
+    /// that, not this profile.
+    pub fn regression(m: usize, n: usize) -> OpProfile {
+        let (mf, nf) = (m as f64, n as f64);
+        OpProfile {
+            flops: 2.0 * mf * nf * nf,
+            bytes: 8.0 * (mf * nf * (nf / 64.0).max(1.0)),
+            vectorizable: 0.90,
+            transfer_bytes: (m * n * 8) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_positive_and_finite() {
+        let profiles = [
+            OpProfile::covariance(1000, 500),
+            OpProfile::svd_lanczos(1000, 500, 50),
+            OpProfile::statistics(1000, 500, 40),
+            OpProfile::biclustering(1000, 500, 30),
+            OpProfile::regression(1000, 120),
+        ];
+        for p in &profiles {
+            assert!(p.flops > 0.0 && p.flops.is_finite());
+            assert!(p.bytes > 0.0 && p.bytes.is_finite());
+            assert!((0.0..=1.0).contains(&p.vectorizable));
+            assert!(p.transfer_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn covariance_is_compute_bound_svd_is_not() {
+        let cov = OpProfile::covariance(2000, 1500);
+        let svd = OpProfile::svd_lanczos(2000, 1500, 50);
+        assert!(
+            cov.intensity() > 4.0 * svd.intensity(),
+            "gram is far denser than matvec streams: {} vs {}",
+            cov.intensity(),
+            svd.intensity()
+        );
+    }
+
+    #[test]
+    fn statistics_least_vectorizable_of_heavy_ops() {
+        let stats = OpProfile::statistics(2000, 1500, 100);
+        let cov = OpProfile::covariance(2000, 1500);
+        assert!(stats.vectorizable < cov.vectorizable);
+    }
+
+    #[test]
+    fn flops_scale_with_size() {
+        let small = OpProfile::covariance(100, 100);
+        let large = OpProfile::covariance(200, 200);
+        assert!(large.flops > 7.0 * small.flops, "cubic scaling");
+    }
+
+    #[test]
+    fn intensity_handles_zero_bytes() {
+        let p = OpProfile {
+            flops: 10.0,
+            bytes: 0.0,
+            vectorizable: 1.0,
+            transfer_bytes: 0,
+        };
+        assert!(p.intensity().is_infinite());
+    }
+}

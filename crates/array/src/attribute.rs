@@ -1,0 +1,220 @@
+//! 1-D attribute arrays (metadata in array form).
+//!
+//! The paper's array form for patient metadata is
+//! `(age, gender, zipcode, disease_id, drug_response)[patient_id]` — a 1-D
+//! array indexed by the id dimension carrying several attributes. Filters
+//! over attributes return *coordinate lists*, which then subset the 2-D
+//! expression array directly (no hash join).
+
+use genbase_util::{Error, Result};
+
+/// A 1-D array of records addressed by their dimension coordinate, with
+/// named integer and float attributes stored column-wise.
+#[derive(Debug, Clone, Default)]
+pub struct AttrArray1D {
+    len: usize,
+    int_attrs: Vec<(String, Vec<i64>)>,
+    float_attrs: Vec<(String, Vec<f64>)>,
+}
+
+impl AttrArray1D {
+    /// Empty array of the given length.
+    pub fn new(len: usize) -> AttrArray1D {
+        AttrArray1D {
+            len,
+            int_attrs: Vec::new(),
+            float_attrs: Vec::new(),
+        }
+    }
+
+    /// Attach an integer attribute (must match the array length).
+    pub fn with_int_attr(mut self, name: &str, values: Vec<i64>) -> Result<Self> {
+        if values.len() != self.len {
+            return Err(Error::invalid(format!(
+                "attribute {name:?} length {} != array length {}",
+                values.len(),
+                self.len
+            )));
+        }
+        if self.has_attr(name) {
+            return Err(Error::invalid(format!("duplicate attribute {name:?}")));
+        }
+        self.int_attrs.push((name.to_string(), values));
+        Ok(self)
+    }
+
+    /// Attach a float attribute.
+    pub fn with_float_attr(mut self, name: &str, values: Vec<f64>) -> Result<Self> {
+        if values.len() != self.len {
+            return Err(Error::invalid(format!(
+                "attribute {name:?} length {} != array length {}",
+                values.len(),
+                self.len
+            )));
+        }
+        if self.has_attr(name) {
+            return Err(Error::invalid(format!("duplicate attribute {name:?}")));
+        }
+        self.float_attrs.push((name.to_string(), values));
+        Ok(self)
+    }
+
+    /// Array length (dimension extent).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the dimension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn has_attr(&self, name: &str) -> bool {
+        self.int_attrs.iter().any(|(n, _)| n == name)
+            || self.float_attrs.iter().any(|(n, _)| n == name)
+    }
+
+    /// Borrow an integer attribute by name.
+    pub fn int_attr(&self, name: &str) -> Result<&[i64]> {
+        self.int_attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+            .ok_or_else(|| Error::invalid(format!("no int attribute {name:?}")))
+    }
+
+    /// Borrow a float attribute by name.
+    pub fn float_attr(&self, name: &str) -> Result<&[f64]> {
+        self.float_attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+            .ok_or_else(|| Error::invalid(format!("no float attribute {name:?}")))
+    }
+
+    /// Coordinates whose attributes satisfy `pred`. The predicate receives
+    /// an accessor for the record at each coordinate.
+    pub fn filter_coords(&self, mut pred: impl FnMut(RecordView<'_>) -> bool) -> Vec<usize> {
+        (0..self.len)
+            .filter(|&i| {
+                pred(RecordView {
+                    array: self,
+                    index: i,
+                })
+            })
+            .collect()
+    }
+
+    /// Gather the coordinates into a new array (dimension subsetting).
+    pub fn select(&self, coords: &[usize]) -> Result<AttrArray1D> {
+        for &c in coords {
+            if c >= self.len {
+                return Err(Error::invalid(format!("coordinate {c} out of range")));
+            }
+        }
+        let mut out = AttrArray1D::new(coords.len());
+        for (name, vals) in &self.int_attrs {
+            out.int_attrs.push((
+                name.clone(),
+                coords.iter().map(|&c| vals[c]).collect(),
+            ));
+        }
+        for (name, vals) in &self.float_attrs {
+            out.float_attrs.push((
+                name.clone(),
+                coords.iter().map(|&c| vals[c]).collect(),
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Accessor for one record during [`AttrArray1D::filter_coords`].
+#[derive(Clone, Copy)]
+pub struct RecordView<'a> {
+    array: &'a AttrArray1D,
+    index: usize,
+}
+
+impl RecordView<'_> {
+    /// Coordinate of this record.
+    pub fn coord(&self) -> usize {
+        self.index
+    }
+
+    /// Integer attribute value (panics on unknown name — filters are
+    /// engine-internal code with schema knowledge).
+    pub fn int(&self, name: &str) -> i64 {
+        self.array.int_attr(name).expect("known int attribute")[self.index]
+    }
+
+    /// Float attribute value.
+    pub fn float(&self, name: &str) -> f64 {
+        self.array.float_attr(name).expect("known float attribute")[self.index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patients() -> AttrArray1D {
+        AttrArray1D::new(5)
+            .with_int_attr("age", vec![25, 67, 39, 41, 30])
+            .unwrap()
+            .with_int_attr("gender", vec![1, 0, 1, 1, 0])
+            .unwrap()
+            .with_float_attr("drug_response", vec![1.0, 2.0, 3.0, 4.0, 5.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn attributes_round_trip() {
+        let p = patients();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.int_attr("age").unwrap()[2], 39);
+        assert_eq!(p.float_attr("drug_response").unwrap()[4], 5.0);
+        assert!(p.int_attr("zip").is_err());
+        assert!(p.float_attr("age").is_err());
+    }
+
+    #[test]
+    fn duplicate_or_ragged_attrs_rejected() {
+        let base = AttrArray1D::new(3).with_int_attr("a", vec![1, 2, 3]).unwrap();
+        assert!(base.clone().with_int_attr("a", vec![1, 2, 3]).is_err());
+        assert!(base.clone().with_float_attr("a", vec![1.0, 2.0, 3.0]).is_err());
+        assert!(base.with_int_attr("b", vec![1]).is_err());
+    }
+
+    #[test]
+    fn query3_style_filter() {
+        let p = patients();
+        // male patients under 40
+        let coords = p.filter_coords(|r| r.int("gender") == 1 && r.int("age") < 40);
+        assert_eq!(coords, vec![0, 2]);
+    }
+
+    #[test]
+    fn select_gathers_attributes() {
+        let p = patients();
+        let sub = p.select(&[4, 0]).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.int_attr("age").unwrap(), &[30, 25]);
+        assert_eq!(sub.float_attr("drug_response").unwrap(), &[5.0, 1.0]);
+        assert!(p.select(&[9]).is_err());
+    }
+
+    #[test]
+    fn record_view_exposes_coord() {
+        let p = patients();
+        let coords = p.filter_coords(|r| r.coord() % 2 == 0);
+        assert_eq!(coords, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_array() {
+        let a = AttrArray1D::new(0);
+        assert!(a.is_empty());
+        assert!(a.filter_coords(|_| true).is_empty());
+    }
+}

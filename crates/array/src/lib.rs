@@ -1,0 +1,20 @@
+//! Chunked array storage engine — the SciDB stand-in.
+//!
+//! SciDB stores dense arrays as rectangular chunks and executes data
+//! management as *dimension* operations (slicing, subsetting along
+//! coordinates) instead of relational joins, which is why the paper finds it
+//! "very competitive ... since there is no need to recast tables to arrays
+//! and no data copying to an external system". This crate reproduces that
+//! architecture:
+//!
+//! - [`Array2D`]: a dense 2-D array split into fixed-size chunks (SciDB's
+//!   MB-scale chunking, scaled to the benchmark sizes);
+//! - [`AttrArray1D`]: 1-D metadata arrays (struct-of-arrays attributes
+//!   indexed by the dimension), whose filters yield coordinate lists;
+//! - subsetting a 2-D array by coordinate lists *is* the join in this model.
+
+pub mod attribute;
+pub mod chunked;
+
+pub use attribute::AttrArray1D;
+pub use chunked::{Array2D, ChunkRef};

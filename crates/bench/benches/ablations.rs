@@ -1,0 +1,163 @@
+//! Ablation benches for the design choices called out in DESIGN.md §8:
+//! blocked vs naive matmul, Lanczos vs dense Jacobi, row vs column filters,
+//! CSV export vs in-process handoff, and the array chunk-size sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genbase_linalg::{
+    jacobi_eigen, lanczos_topk, gram, matmul::{matmul_blocked, matmul_naive},
+    DenseSymOp, ExecOpts, Matrix,
+};
+use genbase_util::{Budget, Pcg64};
+
+fn random_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
+    let mut rng = Pcg64::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.normal())
+}
+
+fn ablation_matmul(c: &mut Criterion) {
+    let a = random_matrix(1, 192, 192);
+    let b = random_matrix(2, 192, 192);
+    let opts = ExecOpts::serial();
+    let mut group = c.benchmark_group("ablation/matmul");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("naive_ijk", |bch| {
+        bch.iter(|| matmul_naive(&a, &b, &opts).unwrap())
+    });
+    group.bench_function("blocked", |bch| {
+        bch.iter(|| matmul_blocked(&a, &b, &opts).unwrap())
+    });
+    group.finish();
+}
+
+fn ablation_eigensolver(c: &mut Criterion) {
+    let a = random_matrix(3, 200, 80);
+    let g = gram(&a, &ExecOpts::serial()).unwrap();
+    let mut group = c.benchmark_group("ablation/eigensolver_top10");
+    group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("lanczos", |bch| {
+        bch.iter(|| {
+            let op = DenseSymOp::new(&g).unwrap();
+            lanczos_topk(&op, 10, 0, 7, &ExecOpts::serial()).unwrap()
+        })
+    });
+    group.bench_function("jacobi_full", |bch| {
+        bch.iter(|| jacobi_eigen(&g).unwrap())
+    });
+    group.finish();
+}
+
+fn ablation_rsvd(c: &mut Criterion) {
+    // Paper section 6.3: approximate algorithms as the route to the XL
+    // dataset. Exact Lanczos vs the randomized range finder at equal k.
+    use genbase_linalg::{randomized_gram_eigen, GramOp, RsvdConfig};
+    let a = random_matrix(9, 400, 160);
+    let mut group = c.benchmark_group("ablation/svd_top10_400x160");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("lanczos_exact", |bch| {
+        bch.iter(|| {
+            let op = GramOp::new(&a);
+            genbase_linalg::lanczos_topk(&op, 10, 0, 7, &ExecOpts::serial()).unwrap()
+        })
+    });
+    group.bench_function("randomized_approx", |bch| {
+        bch.iter(|| {
+            randomized_gram_eigen(&a, &RsvdConfig::new(10), &ExecOpts::serial()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn ablation_filter(c: &mut Criterion) {
+    use genbase_relational::{ColumnTable, Pred, RowTable, Schema, DataType, Value};
+    let schema = Schema::new(&[
+        ("id", DataType::Int),
+        ("age", DataType::Int),
+        ("gender", DataType::Int),
+    ])
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..100_000)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(18 + (i * 7) % 70),
+                Value::Int(i % 2),
+            ]
+        })
+        .collect();
+    let row_table = RowTable::from_rows(schema.clone(), rows.clone()).unwrap();
+    let col_table = ColumnTable::from_rows(schema, rows).unwrap();
+    let pred = Pred::IntEq(2, 1).and(Pred::IntLt(1, 40));
+    let budget = Budget::unlimited();
+    let mut group = c.benchmark_group("ablation/filter_100k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("row_store_tuple_at_a_time", |bch| {
+        bch.iter(|| row_table.filter(&pred, &budget).unwrap().n_rows())
+    });
+    group.bench_function("column_store_vectorized", |bch| {
+        bch.iter(|| col_table.filter(&pred, &budget).unwrap().n_rows())
+    });
+    group.finish();
+}
+
+fn ablation_export(c: &mut Criterion) {
+    use genbase_util::csv;
+    let m = random_matrix(5, 200, 200);
+    let mut group = c.benchmark_group("ablation/bridge_200x200");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("csv_export_reimport", |bch| {
+        bch.iter(|| {
+            let text = csv::write_matrix(m.data(), m.rows(), m.cols());
+            csv::parse_matrix(&text).unwrap().0.len()
+        })
+    });
+    group.bench_function("in_process_handoff", |bch| {
+        bch.iter(|| m.clone().into_data().len())
+    });
+    group.finish();
+}
+
+fn ablation_chunks(c: &mut Criterion) {
+    use genbase_array::Array2D;
+    let m = random_matrix(6, 512, 512);
+    let budget = Budget::unlimited();
+    let rows: Vec<usize> = (0..512).step_by(3).collect();
+    let cols: Vec<usize> = (0..512).step_by(2).collect();
+    let mut group = c.benchmark_group("ablation/array_chunk_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for chunk in [32usize, 128, 512] {
+        let arr = Array2D::from_matrix_chunked(&m, chunk, chunk, &budget).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(chunk), |bch| {
+            bch.iter(|| {
+                arr.select(&rows, &cols, &budget)
+                    .unwrap()
+                    .to_matrix(&budget)
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_matmul,
+    ablation_eigensolver,
+    ablation_rsvd,
+    ablation_filter,
+    ablation_export,
+    ablation_chunks
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 1: overall single-node performance of every system on every
+//! query, at Criterion-friendly scale. The `paper_harness` binary runs the
+//! full-size version with the paper's size ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genbase::prelude::*;
+use genbase_bench::{default_dataset, run_query};
+
+fn fig1(c: &mut Criterion) {
+    let data = default_dataset();
+    let engines = engines::single_node_engines();
+    for query in Query::ALL {
+        let mut group = c.benchmark_group(format!("fig1/{}", query.name()));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for engine in &engines {
+            if !engine.supports(query) {
+                continue;
+            }
+            group.bench_function(BenchmarkId::from_parameter(engine.name()), |b| {
+                b.iter(|| run_query(engine.as_ref(), query, &data, 1))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

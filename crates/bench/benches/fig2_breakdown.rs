@@ -1,0 +1,34 @@
+//! Figure 2: the regression query's data-management and analytics phases,
+//! measured separately per system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genbase::prelude::*;
+use genbase_bench::default_dataset;
+
+fn fig2(c: &mut Criterion) {
+    let data = default_dataset();
+    let params = QueryParams::for_dataset(&data);
+    let ctx = ExecContext::single_node();
+    let engines = engines::single_node_engines();
+    let mut group = c.benchmark_group("fig2/regression_phases");
+    group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(2));
+    for engine in &engines {
+        group.bench_function(BenchmarkId::from_parameter(engine.name()), |b| {
+            b.iter(|| {
+                let report = engine
+                    .run(Query::Regression, &data, &params, &ctx)
+                    .expect("regression must complete at bench scale");
+                (
+                    report.phases.data_management.total_secs(),
+                    report.phases.analytics.total_secs(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

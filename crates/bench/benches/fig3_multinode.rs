@@ -1,0 +1,33 @@
+//! Figure 3: multi-node performance of the five cluster configurations as
+//! node count grows (1, 2, 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genbase::prelude::*;
+use genbase_bench::{default_dataset, run_query};
+
+fn fig3(c: &mut Criterion) {
+    let data = default_dataset();
+    let engines = engines::multi_node_engines();
+    // Regression is the one task every system finished in the paper.
+    for query in [Query::Regression, Query::Covariance] {
+        let mut group = c.benchmark_group(format!("fig3/{}", query.name()));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for engine in &engines {
+            if !engine.supports(query) {
+                continue;
+            }
+            for nodes in [1usize, 2, 4] {
+                group.bench_function(
+                    BenchmarkId::new(engine.name(), nodes),
+                    |b| b.iter(|| run_query(engine.as_ref(), query, &data, nodes)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 4: multi-node regression phase breakdown (data management vs
+//! analytics) per node count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genbase::prelude::*;
+use genbase_bench::default_dataset;
+
+fn fig4(c: &mut Criterion) {
+    let data = default_dataset();
+    let params = QueryParams::for_dataset(&data);
+    let engines = engines::multi_node_engines();
+    let mut group = c.benchmark_group("fig4/regression_phases");
+    group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(2));
+    for engine in &engines {
+        for nodes in [1usize, 2, 4] {
+            let ctx = ExecContext::multi_node(nodes);
+            group.bench_function(BenchmarkId::new(engine.name(), nodes), |b| {
+                b.iter(|| {
+                    let report = engine
+                        .run(Query::Regression, &data, &params, &ctx)
+                        .expect("regression must complete at bench scale");
+                    (
+                        report.phases.data_management.total_secs(),
+                        report.phases.analytics.total_secs(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

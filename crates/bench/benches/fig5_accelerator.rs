@@ -1,0 +1,29 @@
+//! Figure 5: SciDB vs SciDB + (modeled) Xeon Phi coprocessor on the four
+//! offloadable queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genbase::figures::PHI_QUERIES;
+use genbase::prelude::*;
+use genbase_bench::{default_dataset, run_query};
+
+fn fig5(c: &mut Criterion) {
+    let data = default_dataset();
+    let scidb = engines::SciDb::new();
+    let phi = engines::SciDbPhi::new();
+    for query in PHI_QUERIES {
+        let mut group = c.benchmark_group(format!("fig5/{}", query.name()));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.bench_function(BenchmarkId::from_parameter("SciDB"), |b| {
+            b.iter(|| run_query(&scidb, query, &data, 1))
+        });
+        group.bench_function(BenchmarkId::from_parameter("SciDB+Phi"), |b| {
+            b.iter(|| run_query(&phi, query, &data, 1))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 1: analytics-only comparison feeding the Phi speedup table —
+//! measures the SciDB analytics phase that the roofline model scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genbase::figures::PHI_QUERIES;
+use genbase::prelude::*;
+use genbase_bench::default_dataset;
+
+fn table1(c: &mut Criterion) {
+    let data = default_dataset();
+    let params = QueryParams::for_dataset(&data);
+    let scidb = engines::SciDb::new();
+    let mut group = c.benchmark_group("table1/analytics_phase");
+    group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(2));
+    for query in PHI_QUERIES {
+        for nodes in [1usize, 2, 4] {
+            let ctx = ExecContext::multi_node(nodes);
+            group.bench_function(BenchmarkId::new(query.name(), nodes), |b| {
+                b.iter(|| {
+                    let report = scidb
+                        .run(query, &data, &params, &ctx)
+                        .expect("scidb completes at bench scale");
+                    report.phases.analytics.total_secs()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

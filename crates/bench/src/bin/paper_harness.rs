@@ -1,0 +1,129 @@
+//! The full benchmark driver: regenerates every table and figure from the
+//! GenBase paper's evaluation section.
+//!
+//! ```text
+//! paper_harness [fig1|fig2|fig3|fig4|fig5|table1|weak|all]
+//!               [--scale F]      per-side scale vs paper sizes (default 0.048)
+//!               [--cutoff SECS]  per-run cutoff (default 60)
+//!               [--mn-size S]    multi-node dataset: small|medium|large (default medium)
+//! ```
+//!
+//! At the default scale the size ladder is Small 240x240, Medium 720x960,
+//! Large 1440x1920 (paper ÷ ~20.8 per side), and the cutoff plays the role
+//! of the paper's two-hour window. Pass `--scale 1.0` for paper-size runs
+//! (hours of compute and ~10 GB matrices).
+
+use genbase::figures;
+use genbase::harness::{Harness, HarnessConfig};
+use genbase_datagen::SizeClass;
+use std::time::Duration;
+
+struct Args {
+    what: String,
+    scale: f64,
+    cutoff_secs: u64,
+    mn_size: SizeClass,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        what: "all".to_string(),
+        scale: 0.048,
+        cutoff_secs: 60,
+        mn_size: SizeClass::Medium,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                args.scale = argv[i].parse().expect("--scale takes a float");
+            }
+            "--cutoff" => {
+                i += 1;
+                args.cutoff_secs = argv[i].parse().expect("--cutoff takes seconds");
+            }
+            "--mn-size" => {
+                i += 1;
+                args.mn_size = match argv[i].as_str() {
+                    "small" => SizeClass::Small,
+                    "medium" => SizeClass::Medium,
+                    "large" => SizeClass::Large,
+                    other => panic!("unknown size {other:?}"),
+                };
+            }
+            what => args.what = what.to_string(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let config = HarnessConfig {
+        scale: args.scale,
+        cutoff: Duration::from_secs(args.cutoff_secs),
+        r_mem_bytes: (48e9 * args.scale * args.scale) as u64,
+        ..Default::default()
+    };
+    eprintln!(
+        "generating datasets at scale {} (cutoff {}s, simulated R memory {})...",
+        args.scale,
+        args.cutoff_secs,
+        genbase_util::fmt_bytes(config.r_mem_bytes)
+    );
+    let harness = Harness::new(config).expect("dataset generation");
+
+    let run = |name: &str| args.what == "all" || args.what == name;
+    if run("fig1") {
+        println!("{}", figures::figure1(&harness).expect("figure 1").render());
+    }
+    if run("fig2") {
+        println!("{}", figures::figure2(&harness).expect("figure 2").render());
+    }
+    if run("fig3") {
+        println!(
+            "{}",
+            figures::figure3(&harness, args.mn_size)
+                .expect("figure 3")
+                .render()
+        );
+    }
+    if run("fig4") {
+        println!(
+            "{}",
+            figures::figure4(&harness, args.mn_size)
+                .expect("figure 4")
+                .render()
+        );
+    }
+    if run("fig5") {
+        println!("{}", figures::figure5(&harness).expect("figure 5").render());
+    }
+    if run("table1") {
+        println!(
+            "{}",
+            figures::table1(&harness, args.mn_size)
+                .expect("table 1")
+                .render()
+        );
+    }
+    if args.what == "weak" {
+        // Paper future work (§5.2): weak scaling — per-node data constant.
+        let genes = (5_000.0 * args.scale * 3.0).round() as usize;
+        let patients = (5_000.0 * args.scale * 2.0).round() as usize;
+        println!(
+            "{}",
+            figures::weak_scaling(
+                genes.max(48),
+                patients.max(40),
+                &[1, 2, 4],
+                genbase::Query::Regression,
+            )
+            .expect("weak scaling")
+            .render()
+        );
+    }
+}

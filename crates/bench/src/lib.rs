@@ -1,0 +1,41 @@
+//! Shared helpers for the GenBase benchmark harness and Criterion benches.
+
+use genbase::prelude::*;
+use genbase_datagen::{generate, Dataset, GeneratorConfig, SizeSpec};
+
+/// Bench-scale dataset: small enough for Criterion's repeated sampling,
+/// large enough that engine differences are visible.
+pub fn bench_dataset(genes: usize, patients: usize) -> Dataset {
+    let spec = SizeSpec::custom(genes, patients, (genes / 12).max(8));
+    generate(&GeneratorConfig::new(spec)).expect("generator cannot fail on valid spec")
+}
+
+/// Default Criterion dataset: 120 genes x 120 patients.
+pub fn default_dataset() -> Dataset {
+    bench_dataset(120, 120)
+}
+
+/// Run one engine/query pair to completion, panicking on error (benches
+/// should fail loudly). Returns total reported seconds.
+pub fn run_query(engine: &dyn Engine, query: Query, data: &Dataset, nodes: usize) -> f64 {
+    let params = QueryParams::for_dataset(data);
+    let ctx = ExecContext::multi_node(nodes);
+    let report = engine
+        .run(query, data, &params, &ctx)
+        .unwrap_or_else(|e| panic!("{} / {query:?}: {e}", engine.name()));
+    report.phases.total_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_work() {
+        let data = bench_dataset(60, 50);
+        assert_eq!(data.n_genes(), 60);
+        let engine = engines::SciDb::new();
+        let secs = run_query(&engine, Query::Regression, &data, 1);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,444 @@
+//! Cheng–Church δ-biclustering.
+//!
+//! Greedy algorithm from Cheng & Church (ISMB 2000), the classic microarray
+//! biclustering method:
+//!
+//! 1. **Multiple node deletion** — while `H > δ`, drop every row/column whose
+//!    mean residue exceeds `α · H` (fast coarse phase on large matrices).
+//! 2. **Single node deletion** — while `H > δ`, drop the single worst
+//!    row or column.
+//! 3. **Node addition** — add back any row/column (including *inverted*
+//!    rows) whose residue does not exceed the final `H`.
+//! 4. **Masking** — overwrite the found bicluster's cells with uniform noise
+//!    and repeat to extract further biclusters.
+
+use crate::msr::SubmatrixStats;
+use genbase_linalg::{ExecOpts, Matrix};
+use genbase_util::{Error, Pcg64, Result};
+
+/// One discovered bicluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bicluster {
+    /// Selected row indices (ascending).
+    pub rows: Vec<usize>,
+    /// Selected column indices (ascending).
+    pub cols: Vec<usize>,
+    /// Final mean squared residue.
+    pub msr: f64,
+    /// Rows included in inverted (mirror-image) orientation.
+    pub inverted_rows: Vec<usize>,
+}
+
+impl Bicluster {
+    /// Number of cells covered.
+    pub fn area(&self) -> usize {
+        self.rows.len() * self.cols.len()
+    }
+}
+
+/// Tuning parameters for [`find_biclusters`].
+#[derive(Debug, Clone)]
+pub struct ChengChurchConfig {
+    /// Residue ceiling δ: deletion stops once `H <= δ`.
+    pub delta: f64,
+    /// Multiple-deletion aggressiveness α (paper default 1.2).
+    pub alpha: f64,
+    /// How many biclusters to extract.
+    pub max_biclusters: usize,
+    /// Minimum rows a bicluster must keep (deletion never goes below).
+    pub min_rows: usize,
+    /// Minimum columns a bicluster must keep.
+    pub min_cols: usize,
+    /// Seed for mask noise and tie-free determinism.
+    pub seed: u64,
+    /// Enable the node-addition phase (step 3).
+    pub node_addition: bool,
+}
+
+impl Default for ChengChurchConfig {
+    fn default() -> Self {
+        ChengChurchConfig {
+            delta: 0.1,
+            alpha: 1.2,
+            max_biclusters: 5,
+            min_rows: 2,
+            min_cols: 2,
+            seed: 0xb1c1,
+            node_addition: true,
+        }
+    }
+}
+
+/// Run Cheng–Church on `data`, returning up to `config.max_biclusters`
+/// biclusters ordered by discovery (each run works on a masked copy, so the
+/// input is untouched).
+pub fn find_biclusters(
+    data: &Matrix,
+    config: &ChengChurchConfig,
+    opts: &ExecOpts,
+) -> Result<Vec<Bicluster>> {
+    let (m, n) = data.shape();
+    if m < config.min_rows || n < config.min_cols {
+        return Err(Error::invalid("matrix smaller than minimum bicluster"));
+    }
+    if config.delta < 0.0 || config.alpha < 1.0 {
+        return Err(Error::invalid("delta must be >= 0 and alpha >= 1"));
+    }
+    let mut work = data.clone();
+    let mut rng = Pcg64::new(config.seed);
+    // Mask noise spans the observed data range, as in the original paper.
+    let (lo, hi) = data_range(data);
+    let mut found = Vec::with_capacity(config.max_biclusters);
+    for _ in 0..config.max_biclusters {
+        opts.budget.check("biclustering")?;
+        let bc = single_bicluster(&work, data, config, opts)?;
+        if bc.rows.len() <= config.min_rows && bc.cols.len() <= config.min_cols && !found.is_empty()
+        {
+            // Degenerate leftover; stop early.
+            break;
+        }
+        // Mask the discovered cells so the next round finds something else.
+        for &r in &bc.rows {
+            for &c in &bc.cols {
+                work.set(r, c, rng.range_f64(lo, hi));
+            }
+        }
+        found.push(bc);
+    }
+    Ok(found)
+}
+
+/// One full deletion + addition pass on the (masked) working matrix.
+/// Addition re-checks candidates against the *original* data.
+fn single_bicluster(
+    work: &Matrix,
+    original: &Matrix,
+    config: &ChengChurchConfig,
+    opts: &ExecOpts,
+) -> Result<Bicluster> {
+    let (m, n) = work.shape();
+    let mut rows: Vec<usize> = (0..m).collect();
+    let mut cols: Vec<usize> = (0..n).collect();
+
+    // Phase 1: multiple node deletion (only worthwhile above ~100 nodes,
+    // matching the original paper's heuristic).
+    let mut stats = SubmatrixStats::compute(work, &rows, &cols);
+    loop {
+        opts.budget.check("biclustering: multiple deletion")?;
+        if stats.msr <= config.delta {
+            break;
+        }
+        let threshold = config.alpha * stats.msr;
+        let mut changed = false;
+        if rows.len() > config.min_rows.max(100) {
+            let keep: Vec<usize> = rows
+                .iter()
+                .zip(&stats.row_residues)
+                .filter_map(|(&r, &d)| (d <= threshold).then_some(r))
+                .collect();
+            if keep.len() >= config.min_rows && keep.len() < rows.len() {
+                rows = keep;
+                changed = true;
+                stats = SubmatrixStats::compute(work, &rows, &cols);
+            }
+        }
+        if cols.len() > config.min_cols.max(100) {
+            let threshold = config.alpha * stats.msr;
+            let keep: Vec<usize> = cols
+                .iter()
+                .zip(&stats.col_residues)
+                .filter_map(|(&c, &d)| (d <= threshold).then_some(c))
+                .collect();
+            if keep.len() >= config.min_cols && keep.len() < cols.len() {
+                cols = keep;
+                changed = true;
+                stats = SubmatrixStats::compute(work, &rows, &cols);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase 2: single node deletion.
+    while stats.msr > config.delta {
+        opts.budget.check("biclustering: single deletion")?;
+        let worst_row = stats
+            .row_residues
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN residue"))
+            .map(|(i, &d)| (i, d));
+        let worst_col = stats
+            .col_residues
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN residue"))
+            .map(|(i, &d)| (i, d));
+        let can_drop_row = rows.len() > config.min_rows;
+        let can_drop_col = cols.len() > config.min_cols;
+        match (worst_row, worst_col) {
+            (Some((ri, rd)), Some((ci, cd))) => {
+                if can_drop_row && (rd >= cd || !can_drop_col) {
+                    rows.remove(ri);
+                } else if can_drop_col {
+                    cols.remove(ci);
+                } else {
+                    break; // at minimum size on both axes
+                }
+            }
+            _ => break,
+        }
+        stats = SubmatrixStats::compute(work, &rows, &cols);
+    }
+
+    // Phase 3: node addition against the original (unmasked) data.
+    let mut inverted_rows = Vec::new();
+    if config.node_addition {
+        let mut grown = true;
+        while grown {
+            opts.budget.check("biclustering: addition")?;
+            grown = false;
+            let stats = SubmatrixStats::compute(original, &rows, &cols);
+            // Columns first (as in the original Algorithm 3).
+            let col_set: std::collections::HashSet<usize> = cols.iter().copied().collect();
+            for c in 0..n {
+                if !col_set.contains(&c)
+                    && stats.candidate_col_residue(original, c, &rows) <= stats.msr
+                {
+                    cols.push(c);
+                    grown = true;
+                }
+            }
+            if grown {
+                cols.sort_unstable();
+                continue;
+            }
+            let row_set: std::collections::HashSet<usize> = rows.iter().copied().collect();
+            for r in 0..m {
+                if row_set.contains(&r) {
+                    continue;
+                }
+                if stats.candidate_row_residue(original, r, &cols, false) <= stats.msr {
+                    rows.push(r);
+                    grown = true;
+                } else if stats.candidate_row_residue(original, r, &cols, true) <= stats.msr {
+                    rows.push(r);
+                    inverted_rows.push(r);
+                    grown = true;
+                }
+            }
+            if grown {
+                rows.sort_unstable();
+            }
+        }
+    }
+
+    rows.sort_unstable();
+    cols.sort_unstable();
+    inverted_rows.sort_unstable();
+    let final_stats = SubmatrixStats::compute(work, &rows, &cols);
+    Ok(Bicluster {
+        rows,
+        cols,
+        msr: final_stats.msr,
+        inverted_rows,
+    })
+}
+
+fn data_range(data: &Matrix) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in data.data() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() || lo == hi {
+        (0.0, 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msr::mean_squared_residue;
+
+    /// Matrix of noise with a planted constant block.
+    fn planted(
+        m: usize,
+        n: usize,
+        block_rows: &[usize],
+        block_cols: &[usize],
+        seed: u64,
+    ) -> Matrix {
+        let mut rng = Pcg64::new(seed);
+        let mut mat = Matrix::from_fn(m, n, |_, _| rng.normal() * 3.0);
+        for &r in block_rows {
+            for &c in block_cols {
+                mat.set(r, c, 8.0);
+            }
+        }
+        mat
+    }
+
+    #[test]
+    fn finds_planted_block() {
+        // The block must dominate the matrix for greedy deletion to find it
+        // reliably; small planted blocks can lose to low-residue noise
+        // pockets (a known Cheng-Church failure mode).
+        let block_rows: Vec<usize> = (0..20).filter(|r| r % 2 == 0).collect();
+        let block_cols: Vec<usize> = (0..16).filter(|c| c % 2 == 1).collect();
+        let data = planted(20, 16, &block_rows, &block_cols, 111);
+        let config = ChengChurchConfig {
+            delta: 0.05,
+            max_biclusters: 1,
+            ..Default::default()
+        };
+        let found = find_biclusters(&data, &config, &ExecOpts::serial()).unwrap();
+        assert_eq!(found.len(), 1);
+        let bc = &found[0];
+        assert!(bc.msr <= 0.05, "msr {}", bc.msr);
+        // The planted block must be contained in the result.
+        for r in &block_rows {
+            assert!(bc.rows.contains(r), "missing planted row {r}");
+        }
+        for c in &block_cols {
+            assert!(bc.cols.contains(c), "missing planted col {c}");
+        }
+    }
+
+    #[test]
+    fn respects_delta() {
+        let data = planted(30, 30, &[1, 2, 3, 4, 5], &[10, 11, 12, 13], 112);
+        for delta in [0.01, 0.1, 0.5] {
+            let config = ChengChurchConfig {
+                delta,
+                max_biclusters: 1,
+                ..Default::default()
+            };
+            let found = find_biclusters(&data, &config, &ExecOpts::serial()).unwrap();
+            assert!(
+                found[0].msr <= delta + 1e-9,
+                "delta {delta}: msr {}",
+                found[0].msr
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_biclusters_are_distinct() {
+        let mut data = planted(40, 40, &[0, 1, 2, 3, 4, 5, 6, 7], &[0, 1, 2, 3, 4, 5], 113);
+        // Second block with a different constant.
+        for r in 20..28 {
+            for c in 20..27 {
+                data.set(r, c, -6.0);
+            }
+        }
+        let config = ChengChurchConfig {
+            delta: 0.05,
+            max_biclusters: 2,
+            ..Default::default()
+        };
+        let found = find_biclusters(&data, &config, &ExecOpts::serial()).unwrap();
+        assert_eq!(found.len(), 2);
+        // The two biclusters should not cover the same block.
+        let overlap: usize = found[0]
+            .rows
+            .iter()
+            .filter(|r| found[1].rows.contains(r))
+            .count();
+        assert!(
+            overlap < found[0].rows.len().min(found[1].rows.len()),
+            "biclusters should differ"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = planted(25, 25, &[3, 6, 9, 12], &[2, 4, 8, 16], 114);
+        let config = ChengChurchConfig::default();
+        let a = find_biclusters(&data, &config, &ExecOpts::serial()).unwrap();
+        let b = find_biclusters(&data, &config, &ExecOpts::serial()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indices_sorted_and_in_bounds() {
+        let data = planted(15, 12, &[1, 3, 5], &[2, 4, 6], 115);
+        let found =
+            find_biclusters(&data, &ChengChurchConfig::default(), &ExecOpts::serial()).unwrap();
+        for bc in &found {
+            assert!(bc.rows.windows(2).all(|w| w[0] < w[1]));
+            assert!(bc.cols.windows(2).all(|w| w[0] < w[1]));
+            assert!(bc.rows.iter().all(|&r| r < 15));
+            assert!(bc.cols.iter().all(|&c| c < 12));
+            assert!(bc.area() >= 4);
+        }
+    }
+
+    #[test]
+    fn input_not_mutated() {
+        let data = planted(15, 15, &[1, 2, 3], &[4, 5, 6], 116);
+        let copy = data.clone();
+        let _ =
+            find_biclusters(&data, &ChengChurchConfig::default(), &ExecOpts::serial()).unwrap();
+        assert_eq!(data, copy);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let data = Matrix::zeros(10, 10);
+        let bad_delta = ChengChurchConfig {
+            delta: -1.0,
+            ..Default::default()
+        };
+        assert!(find_biclusters(&data, &bad_delta, &ExecOpts::serial()).is_err());
+        let bad_alpha = ChengChurchConfig {
+            alpha: 0.5,
+            ..Default::default()
+        };
+        assert!(find_biclusters(&data, &bad_alpha, &ExecOpts::serial()).is_err());
+        let tiny = Matrix::zeros(1, 1);
+        assert!(
+            find_biclusters(&tiny, &ChengChurchConfig::default(), &ExecOpts::serial()).is_err()
+        );
+    }
+
+    #[test]
+    fn shifted_pattern_found_not_just_constant() {
+        // Additive pattern block: a_ij = r_i + c_j has zero residue even
+        // though values differ cell to cell.
+        let mut rng = Pcg64::new(117);
+        let mut data = Matrix::from_fn(30, 30, |_, _| rng.normal() * 5.0);
+        let rows: Vec<usize> = vec![2, 8, 14, 20, 26];
+        let cols: Vec<usize> = vec![1, 7, 13, 19, 25];
+        for (ri, &r) in rows.iter().enumerate() {
+            for (ci, &c) in cols.iter().enumerate() {
+                data.set(r, c, ri as f64 * 2.0 + ci as f64);
+            }
+        }
+        assert!(mean_squared_residue(&data, &rows, &cols) < 1e-20);
+        let config = ChengChurchConfig {
+            delta: 0.02,
+            max_biclusters: 1,
+            node_addition: false,
+            ..Default::default()
+        };
+        let found = find_biclusters(&data, &config, &ExecOpts::serial()).unwrap();
+        assert!(found[0].msr <= 0.02);
+    }
+
+    #[test]
+    fn budget_timeout_propagates() {
+        use genbase_util::Budget;
+        use std::time::Duration;
+        let data = planted(50, 50, &[1, 2, 3], &[1, 2, 3], 118);
+        let budget = Budget::with_timeout(Duration::from_nanos(1));
+        std::thread::sleep(Duration::from_millis(2));
+        let opts = ExecOpts::serial().with_budget(budget);
+        let err = find_biclusters(&data, &ChengChurchConfig::default(), &opts).unwrap_err();
+        assert!(err.is_infinite_result());
+    }
+}

@@ -1,0 +1,14 @@
+//! Biclustering for the GenBase benchmark (Query 3).
+//!
+//! The paper's Query 3 "allows the simultaneous clustering of rows and
+//! columns of a matrix into sub-matrices with similar patterns". We implement
+//! the canonical Cheng–Church δ-bicluster algorithm (Cheng & Church, ISMB
+//! 2000): greedy node deletion driven by the mean squared residue (MSR),
+//! node addition (including inverted rows), and random masking to extract
+//! multiple biclusters.
+
+pub mod cheng_church;
+pub mod msr;
+
+pub use cheng_church::{find_biclusters, Bicluster, ChengChurchConfig};
+pub use msr::{mean_squared_residue, SubmatrixStats};

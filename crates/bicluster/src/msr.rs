@@ -1,0 +1,237 @@
+//! Mean squared residue (MSR) computations over a row/column submatrix.
+//!
+//! The residue of cell (i, j) in submatrix (I, J) is
+//! `r_ij = a_ij − a_iJ − a_Ij + a_IJ` where `a_iJ` is the row mean over J,
+//! `a_Ij` the column mean over I, and `a_IJ` the overall mean. The MSR
+//! `H(I, J)` is the mean of `r_ij²`; a perfect (shifted) pattern has H = 0.
+
+use genbase_linalg::Matrix;
+
+/// Means and residues of a submatrix selection, recomputed after each
+/// deletion/addition round of Cheng–Church.
+#[derive(Debug, Clone)]
+pub struct SubmatrixStats {
+    /// Row means over the selected columns, indexed by selected-row position.
+    pub row_means: Vec<f64>,
+    /// Column means over the selected rows, indexed by selected-col position.
+    pub col_means: Vec<f64>,
+    /// Overall mean of the selection.
+    pub overall_mean: f64,
+    /// Mean squared residue of the selection.
+    pub msr: f64,
+    /// Per-row mean squared residue d(i).
+    pub row_residues: Vec<f64>,
+    /// Per-column mean squared residue d(j).
+    pub col_residues: Vec<f64>,
+}
+
+impl SubmatrixStats {
+    /// Compute all statistics for the selection `(rows, cols)` of `data`.
+    pub fn compute(data: &Matrix, rows: &[usize], cols: &[usize]) -> SubmatrixStats {
+        let nr = rows.len();
+        let nc = cols.len();
+        assert!(nr > 0 && nc > 0, "empty selection");
+        let mut row_means = vec![0.0; nr];
+        let mut col_means = vec![0.0; nc];
+        let mut overall = 0.0;
+        for (ri, &r) in rows.iter().enumerate() {
+            let row = data.row(r);
+            for (ci, &c) in cols.iter().enumerate() {
+                let v = row[c];
+                row_means[ri] += v;
+                col_means[ci] += v;
+                overall += v;
+            }
+        }
+        for m in &mut row_means {
+            *m /= nc as f64;
+        }
+        for m in &mut col_means {
+            *m /= nr as f64;
+        }
+        overall /= (nr * nc) as f64;
+
+        let mut row_residues = vec![0.0; nr];
+        let mut col_residues = vec![0.0; nc];
+        let mut msr = 0.0;
+        for (ri, &r) in rows.iter().enumerate() {
+            let row = data.row(r);
+            for (ci, &c) in cols.iter().enumerate() {
+                let resid = row[c] - row_means[ri] - col_means[ci] + overall;
+                let sq = resid * resid;
+                row_residues[ri] += sq;
+                col_residues[ci] += sq;
+                msr += sq;
+            }
+        }
+        for d in &mut row_residues {
+            *d /= nc as f64;
+        }
+        for d in &mut col_residues {
+            *d /= nr as f64;
+        }
+        msr /= (nr * nc) as f64;
+
+        SubmatrixStats {
+            row_means,
+            col_means,
+            overall_mean: overall,
+            msr,
+            row_residues,
+            col_residues,
+        }
+    }
+
+    /// Mean squared residue a *candidate* row `r` (not currently selected)
+    /// would contribute, measured against the current selection's means.
+    /// When `inverted` is true the row is evaluated as its mirror image
+    /// (Cheng–Church node addition step for co-regulated but anti-correlated
+    /// rows).
+    pub fn candidate_row_residue(
+        &self,
+        data: &Matrix,
+        row: usize,
+        cols: &[usize],
+        inverted: bool,
+    ) -> f64 {
+        let nc = cols.len();
+        let vals = data.row(row);
+        let row_mean: f64 = cols.iter().map(|&c| vals[c]).sum::<f64>() / nc as f64;
+        let mut acc = 0.0;
+        for (ci, &c) in cols.iter().enumerate() {
+            let resid = if inverted {
+                // Mirror image: -a_ij + a_iJ - a_Ij + a_IJ.
+                -vals[c] + row_mean - self.col_means[ci] + self.overall_mean
+            } else {
+                vals[c] - row_mean - self.col_means[ci] + self.overall_mean
+            };
+            acc += resid * resid;
+        }
+        acc / nc as f64
+    }
+
+    /// Mean squared residue a candidate column would contribute.
+    pub fn candidate_col_residue(&self, data: &Matrix, col: usize, rows: &[usize]) -> f64 {
+        let nr = rows.len();
+        let col_mean: f64 = rows.iter().map(|&r| data.get(r, col)).sum::<f64>() / nr as f64;
+        let mut acc = 0.0;
+        for (ri, &r) in rows.iter().enumerate() {
+            let resid = data.get(r, col) - self.row_means[ri] - col_mean + self.overall_mean;
+            acc += resid * resid;
+        }
+        acc / nr as f64
+    }
+}
+
+/// Convenience wrapper returning just `H(I, J)`.
+pub fn mean_squared_residue(data: &Matrix, rows: &[usize], cols: &[usize]) -> f64 {
+    SubmatrixStats::compute(data, rows, cols).msr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genbase_util::Pcg64;
+
+    #[test]
+    fn constant_block_has_zero_msr() {
+        let m = Matrix::from_fn(6, 6, |_, _| 3.5);
+        let rows: Vec<usize> = (0..6).collect();
+        let cols: Vec<usize> = (0..6).collect();
+        assert!(mean_squared_residue(&m, &rows, &cols) < 1e-24);
+    }
+
+    #[test]
+    fn additive_pattern_has_zero_msr() {
+        // a_ij = r_i + c_j is a perfect shifted pattern.
+        let m = Matrix::from_fn(5, 7, |r, c| r as f64 * 2.0 + c as f64 * 0.5);
+        let rows: Vec<usize> = (0..5).collect();
+        let cols: Vec<usize> = (0..7).collect();
+        assert!(mean_squared_residue(&m, &rows, &cols) < 1e-20);
+    }
+
+    #[test]
+    fn noise_has_positive_msr() {
+        let mut rng = Pcg64::new(101);
+        let m = Matrix::from_fn(10, 10, |_, _| rng.normal());
+        let rows: Vec<usize> = (0..10).collect();
+        let cols: Vec<usize> = (0..10).collect();
+        let h = mean_squared_residue(&m, &rows, &cols);
+        assert!(h > 0.3, "random noise MSR should be near 1, got {h}");
+    }
+
+    #[test]
+    fn residues_average_to_msr() {
+        let mut rng = Pcg64::new(102);
+        let m = Matrix::from_fn(8, 9, |_, _| rng.normal());
+        let rows: Vec<usize> = (0..8).collect();
+        let cols: Vec<usize> = (0..9).collect();
+        let st = SubmatrixStats::compute(&m, &rows, &cols);
+        let row_avg: f64 = st.row_residues.iter().sum::<f64>() / 8.0;
+        let col_avg: f64 = st.col_residues.iter().sum::<f64>() / 9.0;
+        assert!((row_avg - st.msr).abs() < 1e-12);
+        assert!((col_avg - st.msr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn submatrix_selection_respected() {
+        let mut m = Matrix::from_fn(6, 6, |r, c| (r * 6 + c) as f64);
+        // Make a constant 3x3 block at rows 1,3,5 x cols 0,2,4.
+        for &r in &[1usize, 3, 5] {
+            for &c in &[0usize, 2, 4] {
+                m.set(r, c, 9.0);
+            }
+        }
+        let h = mean_squared_residue(&m, &[1, 3, 5], &[0, 2, 4]);
+        assert!(h < 1e-20);
+    }
+
+    #[test]
+    fn candidate_row_residue_matches_inclusion() {
+        let mut rng = Pcg64::new(103);
+        let m = Matrix::from_fn(10, 6, |_, _| rng.normal());
+        let rows = [0usize, 1, 2, 3];
+        let cols: Vec<usize> = (0..6).collect();
+        let st = SubmatrixStats::compute(&m, &rows, &cols);
+        // A row identical to the block's additive pattern scores ~the
+        // column-mean deviations only; sanity: candidate residue of an
+        // existing selected row equals its computed row residue when means
+        // barely move — here just check it is finite and non-negative.
+        for r in 4..10 {
+            let d = st.candidate_row_residue(&m, r, &cols, false);
+            assert!(d >= 0.0 && d.is_finite());
+            let dinv = st.candidate_row_residue(&m, r, &cols, true);
+            assert!(dinv >= 0.0 && dinv.is_finite());
+        }
+    }
+
+    #[test]
+    fn inverted_row_scores_low_for_mirror_pattern() {
+        // Block rows follow pattern p_j; candidate row is -p_j (+ const).
+        let pattern = [1.0, 5.0, 2.0, 8.0];
+        let mut m = Matrix::zeros(4, 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                m.set(r, c, pattern[c] + r as f64);
+            }
+        }
+        for c in 0..4 {
+            m.set(3, c, -pattern[c]);
+        }
+        let rows = [0usize, 1, 2];
+        let cols: Vec<usize> = (0..4).collect();
+        let st = SubmatrixStats::compute(&m, &rows, &cols);
+        let direct = st.candidate_row_residue(&m, 3, &cols, false);
+        let inverted = st.candidate_row_residue(&m, 3, &cols, true);
+        assert!(inverted < 1e-20, "mirror row should fit when inverted");
+        assert!(direct > 1.0, "mirror row should not fit directly");
+    }
+
+    #[test]
+    fn candidate_col_residue_zero_for_pattern_col() {
+        let m = Matrix::from_fn(5, 5, |r, c| r as f64 + c as f64);
+        let rows: Vec<usize> = (0..5).collect();
+        let st = SubmatrixStats::compute(&m, &rows, &[0, 1, 2]);
+        assert!(st.candidate_col_residue(&m, 4, &rows) < 1e-20);
+    }
+}

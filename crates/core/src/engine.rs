@@ -1,0 +1,174 @@
+//! The engine abstraction and execution context.
+
+use crate::query::{Query, QueryParams};
+use crate::report::QueryReport;
+use genbase_cluster::NetModel;
+use genbase_datagen::Dataset;
+use genbase_util::{Budget, Result};
+
+/// Execution context shared by all engines for one run.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// Total hardware threads available on the (simulated) machine.
+    pub threads: usize,
+    /// Number of cluster nodes (1 = single-node run).
+    pub nodes: usize,
+    /// Wall-clock cutoff (the paper's two-hour window, scaled).
+    pub cutoff: Option<std::time::Duration>,
+    /// Simulated memory available to *in-memory* runtimes (vanilla R and
+    /// the R side of export bridges). `None` = unlimited. Disk-backed
+    /// engines ignore it. Scaled from the paper's 48 GB machines.
+    pub r_mem_bytes: Option<u64>,
+    /// Inter-node network model.
+    pub net: NetModel,
+}
+
+/// R's per-object allocation limit: 2^31 - 1 cells.
+pub const R_CELL_LIMIT: u64 = (1 << 31) - 1;
+
+impl ExecContext {
+    /// Single-node context using all cores, unlimited budget.
+    pub fn single_node() -> ExecContext {
+        ExecContext {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            nodes: 1,
+            cutoff: None,
+            r_mem_bytes: None,
+            net: NetModel::gigabit(),
+        }
+    }
+
+    /// Multi-node context over `nodes` simulated machines.
+    pub fn multi_node(nodes: usize) -> ExecContext {
+        ExecContext {
+            nodes: nodes.max(1),
+            ..Self::single_node()
+        }
+    }
+
+    /// Replace the cutoff.
+    pub fn with_cutoff(mut self, cutoff: std::time::Duration) -> ExecContext {
+        self.cutoff = Some(cutoff);
+        self
+    }
+
+    /// Budget for disk-backed engine work: cutoff only.
+    pub fn db_budget(&self) -> Budget {
+        Budget::new(self.cutoff, u64::MAX, u64::MAX)
+    }
+
+    /// Budget for in-memory R-style runtimes: cutoff, the scaled machine
+    /// memory, and R's 2^31-1 cells-per-object limit.
+    pub fn r_budget(&self) -> Budget {
+        Budget::new(
+            self.cutoff,
+            self.r_mem_bytes.unwrap_or(u64::MAX),
+            R_CELL_LIMIT,
+        )
+    }
+
+    /// Threads available to each node (nodes share the physical machine in
+    /// this reproduction, so per-node compute shrinks as nodes grow — see
+    /// DESIGN.md substitution 2).
+    pub fn threads_per_node(&self) -> usize {
+        (self.threads / self.nodes).max(1)
+    }
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        Self::single_node()
+    }
+}
+
+/// A benchmark system configuration.
+pub trait Engine: Sync {
+    /// Display name (matches the paper's chart legends).
+    fn name(&self) -> &'static str;
+
+    /// Whether the engine has the functionality for `query` (the paper
+    /// omits bars for missing functionality, e.g. biclustering on Hadoop).
+    fn supports(&self, query: Query) -> bool {
+        let _ = query;
+        true
+    }
+
+    /// Maximum cluster size the engine can use (1 = single-node only).
+    fn max_nodes(&self) -> usize {
+        1
+    }
+
+    /// Execute one query end to end, returning the output and the
+    /// data-management/analytics phase split. Ingest (loading the dataset
+    /// into the engine's native storage) is *not* timed, matching the
+    /// paper's methodology of timing queries against loaded data.
+    fn run(
+        &self,
+        query: Query,
+        data: &Dataset,
+        params: &QueryParams,
+        ctx: &ExecContext,
+    ) -> Result<QueryReport>;
+}
+
+/// Stopwatch helper measuring one phase's wall seconds.
+pub(crate) struct PhaseClock {
+    start: std::time::Instant,
+}
+
+impl PhaseClock {
+    pub(crate) fn start() -> PhaseClock {
+        PhaseClock {
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Elapsed seconds since start (does not reset).
+    pub(crate) fn secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_defaults() {
+        let ctx = ExecContext::default();
+        assert_eq!(ctx.nodes, 1);
+        assert!(ctx.threads >= 1);
+        assert_eq!(ctx.threads_per_node(), ctx.threads);
+        assert!(ctx.db_budget().check("x").is_ok());
+    }
+
+    #[test]
+    fn r_budget_enforces_machine_memory() {
+        let mut ctx = ExecContext::single_node();
+        ctx.r_mem_bytes = Some(1000);
+        let b = ctx.r_budget();
+        assert!(b.alloc(2000, 10).is_err());
+        assert!(b.alloc(500, 10).is_ok());
+        // Cell limit applies even with memory to spare.
+        assert!(ctx.r_budget().alloc(8, 1 << 31).is_err());
+    }
+
+    #[test]
+    fn threads_split_across_nodes() {
+        let mut ctx = ExecContext::multi_node(4);
+        ctx.threads = 12;
+        assert_eq!(ctx.threads_per_node(), 3);
+        ctx.threads = 2;
+        assert_eq!(ctx.threads_per_node(), 1);
+    }
+
+    #[test]
+    fn phase_clock_monotone() {
+        let c = PhaseClock::start();
+        let a = c.secs();
+        let b = c.secs();
+        assert!(b >= a);
+    }
+}

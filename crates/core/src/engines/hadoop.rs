@@ -1,0 +1,369 @@
+//! Hadoop: Hive-style data management + Mahout-style analytics, all as
+//! MapReduce jobs over the `genbase-mapreduce` runtime.
+//!
+//! The paper: "Hadoop is good at neither data management nor analytics.
+//! Data management is slow because Hive has only rudimentary query
+//! optimization and analytics are slow because matrix operations are not
+//! done through a high performance linear algebra package." Both properties
+//! hold here by construction. Hadoop runs only the queries Mahout-era
+//! tooling could express: regression, covariance and statistics (no
+//! biclustering, no SVD).
+
+use crate::analytics;
+use crate::engine::{Engine, ExecContext, PhaseClock};
+use crate::query::{Query, QueryOutput, QueryParams};
+use crate::report::{PhaseTimes, QueryReport};
+use genbase_datagen::Dataset;
+use genbase_linalg::{cholesky::Cholesky, Matrix};
+use genbase_mapreduce::hive::{Cell, HiveTable};
+use genbase_mapreduce::job::JobConfig;
+use genbase_mapreduce::mahout;
+use genbase_util::{Error, Result};
+use std::collections::HashSet;
+
+/// Simulated per-job launch latency (JVM spin-up + scheduling), charged to
+/// the sim clock. The paper-era figure was 10–30 s; scaled by the same
+/// ~1/100 factor as the default dataset scale-down.
+pub const JOB_LAUNCH_SECS: f64 = 0.2;
+
+/// The Hadoop configuration.
+#[derive(Debug, Default)]
+pub struct Hadoop;
+
+impl Hadoop {
+    /// New engine.
+    pub fn new() -> Hadoop {
+        Hadoop
+    }
+
+    fn job_config(&self, ctx: &ExecContext) -> JobConfig {
+        let mut cfg = JobConfig::local(ctx.threads.max(1));
+        cfg.job_launch_secs = JOB_LAUNCH_SECS;
+        cfg.budget = ctx.db_budget();
+        if ctx.nodes > 1 {
+            // A (nodes-1)/nodes fraction of every shuffled partition crosses
+            // the network; model it by scaling the link bandwidth.
+            let frac = (ctx.nodes - 1) as f64 / ctx.nodes as f64;
+            cfg.shuffle_net = Some((
+                ctx.net.latency_s,
+                ctx.net.bandwidth_bps / frac.max(1e-9),
+            ));
+        }
+        cfg
+    }
+}
+
+fn triples_table(data: &Dataset) -> HiveTable {
+    let mut rows = Vec::with_capacity(data.n_patients() * data.n_genes());
+    for p in 0..data.n_patients() {
+        let row = data.expression.row(p);
+        for (g, &v) in row.iter().enumerate() {
+            rows.push(vec![Cell::I(g as i64), Cell::I(p as i64), Cell::F(v)]);
+        }
+    }
+    HiveTable::new(rows)
+}
+
+fn genes_table(data: &Dataset) -> HiveTable {
+    HiveTable::new(
+        data.genes
+            .iter()
+            .map(|g| vec![Cell::I(g.id as i64), Cell::I(g.function)])
+            .collect(),
+    )
+}
+
+/// Group joined `(gene, patient, value, ...)` rows into per-patient dense
+/// vectors in `gene_ids` order — the Hive idiom feeding Mahout's
+/// `(row, vector)` records.
+fn rows_by_patient(
+    joined: &HiveTable,
+    gene_ids: &[i64],
+    cfg: &JobConfig,
+) -> Result<mahout::RowMatrix> {
+    let gene_index: std::collections::HashMap<i64, usize> =
+        gene_ids.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+    let n = gene_ids.len();
+    let input: Vec<(i64, Vec<Cell>)> = joined
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i as i64, r.clone()))
+        .collect();
+    let gene_index_ref = &gene_index;
+    let mut out = genbase_mapreduce::job::run_job::<
+        i64,
+        Vec<Cell>,
+        i64,
+        (i64, f64),
+        i64,
+        Vec<f64>,
+    >(
+        &input,
+        &|_, row, e| {
+            if let (Cell::I(g), Cell::I(p), Cell::F(v)) = (row[0], row[1], row[2]) {
+                if gene_index_ref.contains_key(&g) {
+                    e.emit(&p, &(g, v));
+                }
+            }
+        },
+        None,
+        &|&p, gene_vals, emit| {
+            let mut vec = vec![0.0; n];
+            for (g, v) in gene_vals.iter() {
+                if let Some(&gi) = gene_index_ref.get(g) {
+                    vec[gi] = *v;
+                }
+            }
+            emit(p, vec)
+        },
+        cfg,
+    )?;
+    out.sort_by_key(|&(p, _)| p);
+    Ok(out)
+}
+
+impl Engine for Hadoop {
+    fn name(&self) -> &'static str {
+        "Hadoop"
+    }
+
+    fn supports(&self, query: Query) -> bool {
+        matches!(
+            query,
+            Query::Regression | Query::Covariance | Query::Statistics
+        )
+    }
+
+    fn max_nodes(&self) -> usize {
+        64
+    }
+
+    fn run(
+        &self,
+        query: Query,
+        data: &Dataset,
+        params: &QueryParams,
+        ctx: &ExecContext,
+    ) -> Result<QueryReport> {
+        if !self.supports(query) {
+            return Err(Error::unsupported(self.name(), query.name()));
+        }
+        let cfg = self.job_config(ctx);
+        let triples = triples_table(data); // untimed HDFS residency
+        let mut phases = PhaseTimes::default();
+        let sim = cfg.sim.clone();
+
+        let output = match query {
+            Query::Regression => {
+                let clock = PhaseClock::start();
+                let genes = genes_table(data);
+                let thr = params.function_threshold;
+                let filtered =
+                    genes.filter(move |r| matches!(r[1], Cell::I(f) if f < thr), &cfg)?;
+                let mut gene_ids: Vec<i64> = filtered
+                    .rows
+                    .iter()
+                    .filter_map(|r| r[0].as_int().ok())
+                    .collect();
+                gene_ids.sort_unstable();
+                if gene_ids.is_empty() {
+                    return Err(Error::invalid("gene filter selected nothing"));
+                }
+                let joined = triples.join(0, &filtered, 0, &cfg)?;
+                let mut rows = rows_by_patient(&joined, &gene_ids, &cfg)?;
+                // Attach the target (driver-side small join with patients).
+                for (p, vec) in rows.iter_mut() {
+                    vec.push(data.patients[*p as usize].drug_response);
+                }
+                phases.data_management.wall_secs += clock.secs();
+                phases.data_management.sim_secs += sim.total_secs();
+                sim.reset();
+
+                let clock = PhaseClock::start();
+                let (xtx, xty) = mahout::xtx_xty(&rows, &cfg)?;
+                // The driver solves the small normal-equation system.
+                let d = xty.len();
+                let xtx_mat = Matrix::from_fn(d, d, |i, j| xtx[i][j]);
+                let beta = Cholesky::factor(&xtx_mat)?.solve(&xty)?;
+                // Driver-side R².
+                let m = rows.len() as f64;
+                let (mut ss_res, mut sum_y, mut sum_y2) = (0.0, 0.0, 0.0);
+                for (_, vec) in &rows {
+                    let (features, target) = vec.split_at(vec.len() - 1);
+                    let y = target[0];
+                    let pred = beta[0] + genbase_linalg::matrix::dot(features, &beta[1..]);
+                    ss_res += (y - pred) * (y - pred);
+                    sum_y += y;
+                    sum_y2 += y * y;
+                }
+                let ss_tot = sum_y2 - sum_y * sum_y / m;
+                let r_squared = if ss_tot <= 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+                phases.analytics.wall_secs += clock.secs();
+                phases.analytics.sim_secs += sim.total_secs();
+                QueryOutput::Regression {
+                    intercept: beta[0],
+                    coefficients: gene_ids
+                        .iter()
+                        .copied()
+                        .zip(beta[1..].iter().copied())
+                        .collect(),
+                    r_squared,
+                }
+            }
+            Query::Covariance => {
+                let clock = PhaseClock::start();
+                let sel: Vec<i64> = data
+                    .patients
+                    .iter()
+                    .filter(|p| p.disease_id == params.disease_id)
+                    .map(|p| p.id as i64)
+                    .collect();
+                if sel.len() < 2 {
+                    return Err(Error::invalid("disease filter selected < 2 patients"));
+                }
+                let sel_set: HashSet<i64> = sel.iter().copied().collect();
+                let filtered = triples.filter(
+                    move |r| matches!(r[1], Cell::I(p) if sel_set.contains(&p)),
+                    &cfg,
+                )?;
+                let gene_ids: Vec<i64> = (0..data.n_genes() as i64).collect();
+                let rows = rows_by_patient(&filtered, &gene_ids, &cfg)?;
+                phases.data_management.wall_secs += clock.secs();
+                phases.data_management.sim_secs += sim.total_secs();
+                sim.reset();
+
+                let clock = PhaseClock::start();
+                let cov_rows = mahout::covariance_rows(&rows, &cfg)?;
+                let n = gene_ids.len();
+                let mut cov = Matrix::zeros(n, n);
+                for (j, row) in &cov_rows {
+                    cov.row_mut(*j as usize).copy_from_slice(row);
+                }
+                let (threshold, idx_pairs) =
+                    analytics::pairs_from_cov(&cov, params.top_pair_fraction);
+                phases.analytics.wall_secs += clock.secs();
+                phases.analytics.sim_secs += sim.total_secs();
+
+                let clock = PhaseClock::start();
+                let functions = data
+                    .genes
+                    .iter()
+                    .map(|g| (g.id as i64, g.function))
+                    .collect();
+                let pairs = super::sql_common::attach_gene_metadata(
+                    &idx_pairs,
+                    &gene_ids,
+                    &functions,
+                )?;
+                phases.data_management.wall_secs += clock.secs();
+                QueryOutput::Covariance { threshold, pairs }
+            }
+            Query::Statistics => {
+                let clock = PhaseClock::start();
+                let count = params.sample_count(data.n_patients());
+                let sampled: HashSet<i64> =
+                    analytics::sample_patients(data.n_patients(), count, params.seed)
+                        .into_iter()
+                        .map(|p| p as i64)
+                        .collect();
+                let filtered = triples.filter(
+                    move |r| matches!(r[1], Cell::I(p) if sampled.contains(&p)),
+                    &cfg,
+                )?;
+                let groups = filtered.group_sum(0, 2, &cfg)?;
+                let mut scores = vec![0.0; data.n_genes()];
+                for (g, s, c) in groups {
+                    if (g as usize) < scores.len() && c > 0 {
+                        scores[g as usize] = s / c as f64;
+                    }
+                }
+                phases.data_management.wall_secs += clock.secs();
+                phases.data_management.sim_secs += sim.total_secs();
+                sim.reset();
+
+                let clock = PhaseClock::start();
+                let opts = genbase_linalg::ExecOpts::with_threads(1)
+                    .with_budget(ctx.db_budget());
+                let out =
+                    analytics::enrichment_output(&scores, &data.ontology.members, &opts)?;
+                phases.analytics.wall_secs += clock.secs();
+                phases.analytics.sim_secs += sim.total_secs();
+                out
+            }
+            Query::Biclustering | Query::Svd => unreachable!("filtered by supports()"),
+        };
+        Ok(QueryReport { output, phases })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genbase_datagen::{generate, GeneratorConfig, SizeSpec};
+
+    fn tiny() -> Dataset {
+        generate(&GeneratorConfig::new(SizeSpec::tiny())).unwrap()
+    }
+
+    #[test]
+    fn unsupported_queries_rejected() {
+        let h = Hadoop::new();
+        assert!(!h.supports(Query::Biclustering));
+        assert!(!h.supports(Query::Svd));
+        let data = tiny();
+        let params = QueryParams::for_dataset(&data);
+        let ctx = ExecContext::single_node();
+        assert!(h.run(Query::Svd, &data, &params, &ctx).is_err());
+    }
+
+    #[test]
+    fn hadoop_matches_scidb_on_supported_queries() {
+        let data = tiny();
+        let params = QueryParams::for_dataset(&data);
+        let ctx = ExecContext::single_node();
+        let hadoop = Hadoop::new();
+        let scidb = super::super::scidb::SciDb::new();
+        for q in [Query::Regression, Query::Covariance, Query::Statistics] {
+            let a = hadoop.run(q, &data, &params, &ctx).unwrap().output;
+            let b = scidb.run(q, &data, &params, &ctx).unwrap().output;
+            assert!(
+                a.consistency_error(&b, 1e-5).is_none(),
+                "{q:?}: {:?}",
+                a.consistency_error(&b, 1e-5)
+            );
+        }
+    }
+
+    #[test]
+    fn job_launch_latency_lands_in_sim_time() {
+        let data = tiny();
+        let params = QueryParams::for_dataset(&data);
+        let ctx = ExecContext::single_node();
+        let report = Hadoop::new()
+            .run(Query::Statistics, &data, &params, &ctx)
+            .unwrap();
+        let sim_total =
+            report.phases.data_management.sim_secs + report.phases.analytics.sim_secs;
+        assert!(
+            sim_total >= JOB_LAUNCH_SECS,
+            "at least one job launch charged: {sim_total}"
+        );
+    }
+
+    #[test]
+    fn multi_node_charges_shuffle_network() {
+        let data = tiny();
+        let params = QueryParams::for_dataset(&data);
+        let single = ExecContext::single_node();
+        let multi = ExecContext::multi_node(4);
+        let h = Hadoop::new();
+        let a = h.run(Query::Covariance, &data, &params, &single).unwrap();
+        let b = h.run(Query::Covariance, &data, &params, &multi).unwrap();
+        let sim_a = a.phases.data_management.sim_secs + a.phases.analytics.sim_secs;
+        let sim_b = b.phases.data_management.sim_secs + b.phases.analytics.sim_secs;
+        assert!(sim_b > sim_a, "shuffle traffic must cost more on 4 nodes");
+        // Same answer regardless of node count.
+        assert!(a.output.consistency_error(&b.output, 1e-9).is_none());
+    }
+}

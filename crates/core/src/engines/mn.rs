@@ -1,0 +1,506 @@
+//! Generic multi-node query execution.
+//!
+//! The paper's multi-node configurations all follow the same macro-plan —
+//! partition the microarray by patient rows, run data management locally on
+//! each node, then run distributed analytics with rooted collectives — and
+//! differ in the *local* mechanics: pbdR works on raw R matrices, SciDB on
+//! chunked arrays, the column-store variants on columnar tables (with
+//! Column store + pbdR additionally paying a per-node CSV export into the
+//! analytics runtime).
+//!
+//! Every kernel is numerically identical to its single-node counterpart, so
+//! integration tests can assert multi-node == single-node outputs while the
+//! costs diverge.
+
+use crate::analytics;
+use crate::engine::{ExecContext, PhaseClock};
+use crate::query::{Query, QueryOutput, QueryParams};
+use crate::report::{PhaseTimes, QueryReport};
+use genbase_array::Array2D;
+use genbase_cluster::{
+    dist::{dist_column_sums_selected, row_bands},
+    dist_covariance, dist_least_squares, gather_matrix, Cluster, DistGramOp, NodeCtx,
+};
+use genbase_datagen::Dataset;
+use genbase_linalg::{lanczos_topk, ExecOpts, Matrix};
+use genbase_relational::{ColumnData, ColumnTable, DataType, Schema};
+use genbase_util::{csv, Budget, Error, Result};
+
+/// Which multi-node configuration is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MnFlavor {
+    /// SciDB: chunk-partitioned array engine.
+    SciDb,
+    /// Column store + UDFs: columnar DM, in-process distributed analytics.
+    ColumnUdf,
+    /// Column store + pbdR: columnar DM + CSV export into pbdR.
+    ColumnPbdr,
+    /// pbdR alone: pre-partitioned R matrices.
+    Pbdr,
+}
+
+/// Per-node storage in the flavor's native format.
+enum LocalStore {
+    Pbdr { mat: Matrix },
+    SciDb { arr: Array2D },
+    Column { triples: ColumnTable },
+}
+
+impl LocalStore {
+    fn build(
+        flavor: MnFlavor,
+        data: &Dataset,
+        band: std::ops::Range<usize>,
+        budget: &Budget,
+    ) -> Result<LocalStore> {
+        let rows: Vec<usize> = band.clone().collect();
+        match flavor {
+            MnFlavor::Pbdr => Ok(LocalStore::Pbdr {
+                mat: data.expression.select_rows(&rows),
+            }),
+            MnFlavor::SciDb => {
+                let band_mat = data.expression.select_rows(&rows);
+                Ok(LocalStore::SciDb {
+                    arr: Array2D::from_matrix(&band_mat, budget)?,
+                })
+            }
+            MnFlavor::ColumnUdf | MnFlavor::ColumnPbdr => {
+                let n_genes = data.n_genes();
+                let mut gene_col = Vec::with_capacity(rows.len() * n_genes);
+                let mut patient_col = Vec::with_capacity(rows.len() * n_genes);
+                let mut value_col = Vec::with_capacity(rows.len() * n_genes);
+                for &p in &rows {
+                    let row = data.expression.row(p);
+                    for (g, &v) in row.iter().enumerate() {
+                        gene_col.push(g as i64);
+                        patient_col.push(p as i64);
+                        value_col.push(v);
+                    }
+                }
+                let schema = Schema::new(&[
+                    ("gene_id", DataType::Int),
+                    ("patient_id", DataType::Int),
+                    ("value", DataType::Float),
+                ])?;
+                Ok(LocalStore::Column {
+                    triples: ColumnTable::from_columns(
+                        schema,
+                        vec![
+                            ColumnData::Ints(gene_col),
+                            ColumnData::Ints(patient_col),
+                            ColumnData::Floats(value_col),
+                        ],
+                    )?,
+                })
+            }
+        }
+    }
+
+    /// Local band restricted to the given gene columns (Query 1/4 DM).
+    fn select_cols(
+        &self,
+        cols: &[usize],
+        band: &std::ops::Range<usize>,
+        budget: &Budget,
+    ) -> Result<Matrix> {
+        match self {
+            LocalStore::Pbdr { mat } => Ok(mat.select_cols(cols)),
+            LocalStore::SciDb { arr } => {
+                let rows: Vec<usize> = (0..arr.rows()).collect();
+                arr.select(&rows, cols, budget)?.to_matrix(budget)
+            }
+            LocalStore::Column { triples } => {
+                let gene_ids: Vec<i64> = cols.iter().map(|&c| c as i64).collect();
+                let key_schema = Schema::new(&[("gene_id", DataType::Int)])?;
+                let build = ColumnTable::from_columns(
+                    key_schema,
+                    vec![ColumnData::Ints(gene_ids.clone())],
+                )?;
+                let joined = triples.hash_join(0, &build, 0, budget)?;
+                let patient_ids: Vec<i64> = band.clone().map(|p| p as i64).collect();
+                let dense = genbase_relational::pivot_to_dense(
+                    &joined,
+                    1,
+                    0,
+                    2,
+                    &patient_ids,
+                    &gene_ids,
+                    budget,
+                )?;
+                Matrix::from_vec(dense.rows, dense.cols, dense.data)
+            }
+        }
+    }
+
+    /// Local band restricted to the given *local* row positions over all
+    /// genes (Query 2/3/5 DM).
+    fn select_rows(
+        &self,
+        local_rows: &[usize],
+        band: &std::ops::Range<usize>,
+        n_genes: usize,
+        budget: &Budget,
+    ) -> Result<Matrix> {
+        match self {
+            LocalStore::Pbdr { mat } => Ok(mat.select_rows(local_rows)),
+            LocalStore::SciDb { arr } => {
+                let cols: Vec<usize> = (0..n_genes).collect();
+                arr.select(local_rows, &cols, budget)?.to_matrix(budget)
+            }
+            LocalStore::Column { triples } => {
+                let patient_ids: Vec<i64> =
+                    local_rows.iter().map(|&r| (band.start + r) as i64).collect();
+                let key_schema = Schema::new(&[("patient_id", DataType::Int)])?;
+                let build = ColumnTable::from_columns(
+                    key_schema,
+                    vec![ColumnData::Ints(patient_ids.clone())],
+                )?;
+                let joined = triples.hash_join(1, &build, 0, budget)?;
+                let gene_ids: Vec<i64> = (0..n_genes as i64).collect();
+                let dense = genbase_relational::pivot_to_dense(
+                    &joined,
+                    1,
+                    0,
+                    2,
+                    &patient_ids,
+                    &gene_ids,
+                    budget,
+                )?;
+                Matrix::from_vec(dense.rows, dense.cols, dense.data)
+            }
+        }
+    }
+}
+
+/// Column store + pbdR exports each node's filtered matrix as CSV text into
+/// the R runtime; this is that round trip (bit-exact, but not free).
+fn maybe_export_to_r(flavor: MnFlavor, mat: Matrix, budget: &Budget) -> Result<Matrix> {
+    if flavor != MnFlavor::ColumnPbdr || mat.rows() == 0 {
+        // Nothing to export on an empty local selection (and CSV text
+        // cannot carry the column count of a zero-row matrix).
+        return Ok(mat);
+    }
+    budget.check("pbdR export")?;
+    let text = csv::write_matrix(mat.data(), mat.rows(), mat.cols());
+    let (data, rows, cols) = csv::parse_matrix(&text)?;
+    Matrix::from_vec(rows, cols, data)
+}
+
+struct NodeOut {
+    dm_wall: f64,
+    dm_sim: f64,
+    an_wall: f64,
+    an_sim: f64,
+    output: Option<QueryOutput>,
+}
+
+/// Run one query on a simulated cluster of `ctx.nodes` nodes.
+pub fn run_multinode(
+    flavor: MnFlavor,
+    query: Query,
+    data: &Dataset,
+    params: &QueryParams,
+    ctx: &ExecContext,
+) -> Result<QueryReport> {
+    let cluster = Cluster::new(ctx.nodes, ctx.net);
+    let bands = row_bands(data.n_patients(), ctx.nodes);
+    let threads = ctx.threads_per_node();
+    let bands_ref = &bands;
+
+    let (results, _) = cluster.run(|nctx: &mut NodeCtx| -> Result<NodeOut> {
+        let band = bands_ref[nctx.rank()].clone();
+        let budget = ctx.db_budget();
+        let opts = ExecOpts::with_threads(threads).with_budget(budget.clone());
+        let store = LocalStore::build(flavor, data, band.clone(), &budget)?; // untimed
+        let root = nctx.rank() == 0;
+        let mut out = NodeOut {
+            dm_wall: 0.0,
+            dm_sim: 0.0,
+            an_wall: 0.0,
+            an_sim: 0.0,
+            output: None,
+        };
+        let sim = nctx.sim.clone();
+        match query {
+            Query::Regression => {
+                let clock = PhaseClock::start();
+                let cols: Vec<usize> = data
+                    .genes
+                    .iter()
+                    .filter(|g| g.function < params.function_threshold)
+                    .map(|g| g.id as usize)
+                    .collect();
+                if cols.is_empty() {
+                    return Err(Error::invalid("gene filter selected nothing"));
+                }
+                let local_x = store.select_cols(&cols, &band, &budget)?;
+                let local_x = maybe_export_to_r(flavor, local_x, &budget)?;
+                let local_y: Vec<f64> = band
+                    .clone()
+                    .map(|p| data.patients[p].drug_response)
+                    .collect();
+                out.dm_wall = clock.secs();
+                out.dm_sim = sim.total_secs();
+
+                let clock = PhaseClock::start();
+                // Intercept column + TSQR least squares.
+                let aug = Matrix::from_fn(local_x.rows(), local_x.cols() + 1, |r, c| {
+                    if c == 0 {
+                        1.0
+                    } else {
+                        local_x.get(r, c - 1)
+                    }
+                });
+                let beta = dist_least_squares(nctx, &aug, &local_y, &opts)?;
+                // Distributed R²: allreduce [ss_res, Σy, Σy², m].
+                let mut acc = [0.0f64; 4];
+                for (r, &y) in local_y.iter().enumerate() {
+                    let pred = beta[0]
+                        + genbase_linalg::matrix::dot(local_x.row(r), &beta[1..]);
+                    acc[0] += (y - pred) * (y - pred);
+                    acc[1] += y;
+                    acc[2] += y * y;
+                    acc[3] += 1.0;
+                }
+                nctx.allreduce_sum(&mut acc)?;
+                out.an_wall = clock.secs();
+                out.an_sim = sim.total_secs() - out.dm_sim;
+                if root {
+                    let ss_tot = acc[2] - acc[1] * acc[1] / acc[3];
+                    let r_squared = if ss_tot <= 0.0 {
+                        1.0
+                    } else {
+                        1.0 - acc[0] / ss_tot
+                    };
+                    out.output = Some(QueryOutput::Regression {
+                        intercept: beta[0],
+                        coefficients: cols
+                            .iter()
+                            .map(|&c| c as i64)
+                            .zip(beta[1..].iter().copied())
+                            .collect(),
+                        r_squared,
+                    });
+                }
+            }
+            Query::Covariance => {
+                let clock = PhaseClock::start();
+                let local_rows: Vec<usize> = band
+                    .clone()
+                    .filter(|&p| data.patients[p].disease_id == params.disease_id)
+                    .map(|p| p - band.start)
+                    .collect();
+                let local_sel =
+                    store.select_rows(&local_rows, &band, data.n_genes(), &budget)?;
+                let local_sel = maybe_export_to_r(flavor, local_sel, &budget)?;
+                out.dm_wall = clock.secs();
+                out.dm_sim = sim.total_secs();
+
+                let clock = PhaseClock::start();
+                let mut count = [local_rows.len() as f64];
+                nctx.allreduce_sum(&mut count)?;
+                let total = count[0] as usize;
+                if total < 2 {
+                    return Err(Error::invalid("disease filter selected < 2 patients"));
+                }
+                let cov = dist_covariance(nctx, &local_sel, total, &opts)?;
+                out.an_wall = clock.secs();
+                out.an_sim = sim.total_secs() - out.dm_sim;
+
+                if root {
+                    let clock = PhaseClock::start();
+                    let (threshold, idx_pairs) =
+                        analytics::pairs_from_cov(&cov, params.top_pair_fraction);
+                    let gene_ids: Vec<i64> = (0..data.n_genes() as i64).collect();
+                    let functions = data
+                        .genes
+                        .iter()
+                        .map(|g| (g.id as i64, g.function))
+                        .collect();
+                    let pairs = super::sql_common::attach_gene_metadata(
+                        &idx_pairs,
+                        &gene_ids,
+                        &functions,
+                    )?;
+                    out.dm_wall += clock.secs();
+                    out.output = Some(QueryOutput::Covariance { threshold, pairs });
+                }
+            }
+            Query::Biclustering => {
+                let clock = PhaseClock::start();
+                let local_rows: Vec<usize> = band
+                    .clone()
+                    .filter(|&p| {
+                        let rec = &data.patients[p];
+                        rec.gender == params.gender && rec.age < params.max_age
+                    })
+                    .map(|p| p - band.start)
+                    .collect();
+                let local_sel =
+                    store.select_rows(&local_rows, &band, data.n_genes(), &budget)?;
+                let local_sel = maybe_export_to_r(flavor, local_sel, &budget)?;
+                // Gather the filtered submatrix to the root (with the ids).
+                let ids_f64: Vec<f64> = local_rows
+                    .iter()
+                    .map(|&r| (band.start + r) as f64)
+                    .collect();
+                let gathered_ids = nctx.gather_f64s(0, &ids_f64)?;
+                let gathered = gather_matrix(nctx, 0, &local_sel)?;
+                out.dm_wall = clock.secs();
+                out.dm_sim = sim.total_secs();
+
+                if root {
+                    let clock = PhaseClock::start();
+                    let mat = gathered.expect("root gathers");
+                    let patient_ids: Vec<i64> = gathered_ids
+                        .expect("root gathers")
+                        .into_iter()
+                        .flatten()
+                        .map(|f| f as i64)
+                        .collect();
+                    if patient_ids.len() < params.bicluster.min_rows {
+                        return Err(Error::invalid(
+                            "age/gender filter selected too few patients",
+                        ));
+                    }
+                    let gene_ids: Vec<i64> = (0..data.n_genes() as i64).collect();
+                    out.output = Some(analytics::bicluster_output(
+                        &mat,
+                        &patient_ids,
+                        &gene_ids,
+                        &params.bicluster,
+                        &opts,
+                    )?);
+                    out.an_wall = clock.secs();
+                    out.an_sim = sim.total_secs() - out.dm_sim;
+                }
+            }
+            Query::Svd => {
+                let clock = PhaseClock::start();
+                let cols: Vec<usize> = data
+                    .genes
+                    .iter()
+                    .filter(|g| g.function < params.function_threshold)
+                    .map(|g| g.id as usize)
+                    .collect();
+                if cols.is_empty() {
+                    return Err(Error::invalid("gene filter selected nothing"));
+                }
+                let local_x = store.select_cols(&cols, &band, &budget)?;
+                let local_x = maybe_export_to_r(flavor, local_x, &budget)?;
+                out.dm_wall = clock.secs();
+                out.dm_sim = sim.total_secs();
+
+                let clock = PhaseClock::start();
+                let op = DistGramOp::new(nctx, &local_x);
+                let k = params.svd_k.min(cols.len()).max(1);
+                let res = lanczos_topk(&op, k, 0, params.seed, &opts)?;
+                out.an_wall = clock.secs();
+                out.an_sim = sim.total_secs() - out.dm_sim;
+                if root {
+                    out.output = Some(QueryOutput::Svd {
+                        eigenvalues: res.eigenvalues,
+                    });
+                }
+            }
+            Query::Statistics => {
+                let clock = PhaseClock::start();
+                let count = params.sample_count(data.n_patients());
+                let sampled =
+                    analytics::sample_patients(data.n_patients(), count, params.seed);
+                let local_rows: Vec<usize> = sampled
+                    .iter()
+                    .filter(|&&p| band.contains(&p))
+                    .map(|&p| p - band.start)
+                    .collect();
+                let local_sel =
+                    store.select_rows(&local_rows, &band, data.n_genes(), &budget)?;
+                let local_sel = maybe_export_to_r(flavor, local_sel, &budget)?;
+                out.dm_wall = clock.secs();
+                out.dm_sim = sim.total_secs();
+
+                let clock = PhaseClock::start();
+                let all_local: Vec<usize> = (0..local_sel.rows()).collect();
+                let sums = dist_column_sums_selected(nctx, &local_sel, &all_local)?;
+                if root {
+                    let scores: Vec<f64> = sums
+                        .iter()
+                        .map(|s| s / sampled.len().max(1) as f64)
+                        .collect();
+                    out.output = Some(analytics::enrichment_output(
+                        &scores,
+                        &data.ontology.members,
+                        &opts,
+                    )?);
+                }
+                out.an_wall = clock.secs();
+                out.an_sim = sim.total_secs() - out.dm_sim;
+            }
+        }
+        Ok(out)
+    })?;
+
+    // Critical-path combination: max across nodes per phase; output from
+    // the root.
+    let mut phases = PhaseTimes::default();
+    let mut output = None;
+    for node in results {
+        phases.data_management.wall_secs = phases.data_management.wall_secs.max(node.dm_wall);
+        phases.data_management.sim_secs = phases.data_management.sim_secs.max(node.dm_sim);
+        phases.analytics.wall_secs = phases.analytics.wall_secs.max(node.an_wall);
+        phases.analytics.sim_secs = phases.analytics.sim_secs.max(node.an_sim);
+        if node.output.is_some() {
+            output = node.output;
+        }
+    }
+    let output = output.ok_or_else(|| Error::invalid("no node produced output"))?;
+    Ok(QueryReport { output, phases })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use genbase_datagen::{generate, GeneratorConfig, SizeSpec};
+
+    #[test]
+    fn all_flavors_run_all_queries_on_two_nodes() {
+        let data = generate(&GeneratorConfig::new(SizeSpec::tiny())).unwrap();
+        let params = QueryParams::for_dataset(&data);
+        let ctx = ExecContext::multi_node(2);
+        for flavor in [
+            MnFlavor::Pbdr,
+            MnFlavor::SciDb,
+            MnFlavor::ColumnUdf,
+            MnFlavor::ColumnPbdr,
+        ] {
+            for q in Query::ALL {
+                let report = run_multinode(flavor, q, &data, &params, &ctx)
+                    .unwrap_or_else(|e| panic!("{flavor:?}/{q:?}: {e}"));
+                assert_eq!(report.output.query(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn multinode_matches_single_node_scidb() {
+        let data = generate(&GeneratorConfig::new(SizeSpec::tiny())).unwrap();
+        let params = QueryParams::for_dataset(&data);
+        let single = ExecContext::single_node();
+        let scidb = super::super::scidb::SciDb::new();
+        for q in Query::ALL {
+            let reference = scidb.run(q, &data, &params, &single).unwrap().output;
+            for nodes in [2usize, 4] {
+                let ctx = ExecContext::multi_node(nodes);
+                let got = run_multinode(MnFlavor::Pbdr, q, &data, &params, &ctx)
+                    .unwrap()
+                    .output;
+                assert!(
+                    got.consistency_error(&reference, 1e-5).is_none(),
+                    "{q:?} nodes={nodes}: {:?}",
+                    got.consistency_error(&reference, 1e-5)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Benchmark harness: runs the (engine × query × size × nodes) matrix with
+//! the paper's cutoff and failure semantics.
+
+use crate::engine::{Engine, ExecContext};
+use crate::query::{Query, QueryParams};
+use crate::report::RunOutcome;
+use genbase_datagen::{generate, Dataset, GeneratorConfig, SizeClass, SizeSpec};
+use genbase_util::{Error, Result};
+use std::time::Duration;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Per-side scale factor relative to paper sizes (default 0.048 ⇒
+    /// Small 240x240 … Large 1440x1920; 1.0 = paper scale).
+    pub scale: f64,
+    /// Size classes to run.
+    pub sizes: Vec<SizeClass>,
+    /// Per-run cutoff (the paper's two-hour window, scaled with the data).
+    pub cutoff: Duration,
+    /// Simulated machine memory for in-memory runtimes (paper: 48 GB,
+    /// scaled by `scale²` by [`HarnessConfig::default`]).
+    pub r_mem_bytes: u64,
+    /// Hardware threads to use.
+    pub threads: usize,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Node counts for multi-node experiments.
+    pub node_counts: Vec<usize>,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        let scale: f64 = 0.048;
+        HarnessConfig {
+            scale,
+            sizes: SizeClass::REPORTED.to_vec(),
+            // Two hours scaled by the cell-count ratio (~scale²) would be
+            // ~16 s; leave headroom for slow CI machines.
+            cutoff: Duration::from_secs(60),
+            r_mem_bytes: (48e9 * scale * scale) as u64,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            seed: 0x9e6b,
+            node_counts: vec![1, 2, 4],
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Quick configuration for tests and examples: tiny datasets only.
+    pub fn quick() -> HarnessConfig {
+        HarnessConfig {
+            scale: 0.012,
+            sizes: vec![SizeClass::Small],
+            cutoff: Duration::from_secs(30),
+            r_mem_bytes: u64::MAX,
+            ..Default::default()
+        }
+    }
+}
+
+/// One cell of the benchmark result matrix.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Engine name.
+    pub engine: String,
+    /// Query executed.
+    pub query: Query,
+    /// Dataset size class.
+    pub size: SizeClass,
+    /// Cluster size.
+    pub nodes: usize,
+    /// What happened.
+    pub outcome: RunOutcome,
+}
+
+/// Dataset cache + run driver.
+pub struct Harness {
+    config: HarnessConfig,
+    datasets: Vec<(SizeClass, Dataset, QueryParams)>,
+}
+
+impl Harness {
+    /// Generate all configured datasets up front (seeded, reproducible).
+    pub fn new(config: HarnessConfig) -> Result<Harness> {
+        let mut datasets = Vec::with_capacity(config.sizes.len());
+        for &class in &config.sizes {
+            let spec = SizeSpec::scaled(class, config.scale);
+            let data = generate(&GeneratorConfig::new(spec).with_seed(config.seed))?;
+            let params = QueryParams::for_dataset(&data);
+            datasets.push((class, data, params));
+        }
+        Ok(Harness { config, datasets })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HarnessConfig {
+        &self.config
+    }
+
+    /// Borrow a generated dataset.
+    pub fn dataset(&self, class: SizeClass) -> Result<&Dataset> {
+        self.datasets
+            .iter()
+            .find(|(c, _, _)| *c == class)
+            .map(|(_, d, _)| d)
+            .ok_or_else(|| Error::invalid(format!("size {class:?} not configured")))
+    }
+
+    /// Query parameters for a dataset.
+    pub fn params(&self, class: SizeClass) -> Result<&QueryParams> {
+        self.datasets
+            .iter()
+            .find(|(c, _, _)| *c == class)
+            .map(|(_, _, p)| p)
+            .ok_or_else(|| Error::invalid(format!("size {class:?} not configured")))
+    }
+
+    /// Execution context for a run.
+    pub fn context(&self, nodes: usize) -> ExecContext {
+        let mut ctx = ExecContext::multi_node(nodes);
+        ctx.threads = self.config.threads;
+        ctx.cutoff = Some(self.config.cutoff);
+        ctx.r_mem_bytes = Some(self.config.r_mem_bytes);
+        ctx
+    }
+
+    /// Run one cell, mapping cutoff/OOM to [`RunOutcome::Infinite`] and
+    /// missing functionality to [`RunOutcome::Unsupported`]. Genuine engine
+    /// errors propagate.
+    pub fn run_cell(
+        &self,
+        engine: &dyn Engine,
+        query: Query,
+        size: SizeClass,
+        nodes: usize,
+    ) -> Result<RunRecord> {
+        let outcome = if !engine.supports(query) || nodes > engine.max_nodes() {
+            RunOutcome::Unsupported
+        } else {
+            let data = self.dataset(size)?;
+            let params = self.params(size)?;
+            let ctx = self.context(nodes);
+            match engine.run(query, data, params, &ctx) {
+                Ok(report) => RunOutcome::Completed(report),
+                Err(e) if e.is_infinite_result() => RunOutcome::Infinite {
+                    reason: e.to_string(),
+                },
+                Err(Error::Unsupported { .. }) => RunOutcome::Unsupported,
+                Err(e) => return Err(e),
+            }
+        };
+        Ok(RunRecord {
+            engine: engine.name().to_string(),
+            query,
+            size,
+            nodes,
+            outcome,
+        })
+    }
+
+    /// Run a full single-node matrix over the given engines and queries.
+    pub fn run_matrix(
+        &self,
+        engines: &[Box<dyn Engine>],
+        queries: &[Query],
+    ) -> Result<Vec<RunRecord>> {
+        let mut records = Vec::new();
+        for &query in queries {
+            for (class, _, _) in &self.datasets {
+                for engine in engines {
+                    records.push(self.run_cell(engine.as_ref(), query, *class, 1)?);
+                }
+            }
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines;
+
+    fn quick_harness() -> Harness {
+        let cfg = HarnessConfig {
+            scale: 0.012, // 60x60 small
+            sizes: vec![SizeClass::Small],
+            ..HarnessConfig::quick()
+        };
+        Harness::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn datasets_generated_per_size() {
+        let h = quick_harness();
+        let d = h.dataset(SizeClass::Small).unwrap();
+        assert_eq!(d.n_genes(), 60);
+        assert_eq!(d.n_patients(), 60);
+        assert!(h.dataset(SizeClass::Large).is_err());
+    }
+
+    #[test]
+    fn run_cell_outcomes() {
+        let h = quick_harness();
+        let scidb = engines::SciDb::new();
+        let rec = h
+            .run_cell(&scidb, Query::Regression, SizeClass::Small, 1)
+            .unwrap();
+        assert!(matches!(rec.outcome, RunOutcome::Completed(_)));
+        // Unsupported path.
+        let hadoop = engines::Hadoop::new();
+        let rec = h
+            .run_cell(&hadoop, Query::Biclustering, SizeClass::Small, 1)
+            .unwrap();
+        assert!(matches!(rec.outcome, RunOutcome::Unsupported));
+        // Multi-node beyond capability.
+        let r = engines::VanillaR::new();
+        let rec = h
+            .run_cell(&r, Query::Regression, SizeClass::Small, 4)
+            .unwrap();
+        assert!(matches!(rec.outcome, RunOutcome::Unsupported));
+    }
+
+    #[test]
+    fn cutoff_renders_infinite() {
+        let mut cfg = HarnessConfig::quick();
+        cfg.scale = 0.012;
+        cfg.sizes = vec![SizeClass::Small];
+        cfg.cutoff = Duration::from_nanos(1);
+        let h = Harness::new(cfg).unwrap();
+        let scidb = engines::SciDb::new();
+        let rec = h
+            .run_cell(&scidb, Query::Covariance, SizeClass::Small, 1)
+            .unwrap();
+        assert!(matches!(rec.outcome, RunOutcome::Infinite { .. }));
+    }
+}

@@ -1,0 +1,55 @@
+//! # GenBase: a complex analytics genomics benchmark
+//!
+//! Rust reproduction of *GenBase: A Complex Analytics Genomics Benchmark*
+//! (Taft, Vartak, Satish, Sundaram, Madden, Stonebraker — SIGMOD 2014 /
+//! MIT-CSAIL-TR-2013-028), including every substrate the paper runs on.
+//!
+//! The benchmark is five queries mixing data management and complex
+//! analytics over four genomics datasets:
+//!
+//! 1. **Predictive modeling** — filter genes, join, QR linear regression;
+//! 2. **Covariance** — filter patients, join, gene×gene covariance, top
+//!    pairs joined back to metadata;
+//! 3. **Biclustering** — filter patients, join, Cheng–Church δ-biclusters;
+//! 4. **SVD** — filter genes, join, Lanczos top-50 eigenpairs;
+//! 5. **Statistics (enrichment)** — sample patients, join GO, per-term
+//!    Wilcoxon rank-sum.
+//!
+//! The [`engines`] module provides the paper's system configurations (R,
+//! Postgres+Madlib, Postgres+R, column store ±R/UDFs, SciDB, Hadoop, pbdR,
+//! SciDB+Xeon Phi); [`harness`] runs the full matrix and [`figures`]
+//! regenerates every table and figure of the evaluation.
+//!
+//! ```
+//! use genbase::prelude::*;
+//!
+//! let data = genbase_datagen::generate(
+//!     &genbase_datagen::GeneratorConfig::new(genbase_datagen::SizeSpec::tiny()),
+//! ).unwrap();
+//! let params = QueryParams::for_dataset(&data);
+//! let engine = engines::SciDb::new();
+//! let ctx = ExecContext::default();
+//! let report = engine.run(Query::Regression, &data, &params, &ctx).unwrap();
+//! assert!(report.phases.total_secs() >= 0.0);
+//! ```
+
+pub mod analytics;
+pub mod engine;
+pub mod engines;
+pub mod figures;
+pub mod harness;
+pub mod query;
+pub mod report;
+
+pub use engine::{Engine, ExecContext};
+pub use query::{Query, QueryOutput, QueryParams};
+pub use report::{PhaseTimes, QueryReport, RunOutcome};
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use crate::engine::{Engine, ExecContext};
+    pub use crate::engines;
+    pub use crate::harness::{Harness, HarnessConfig};
+    pub use crate::query::{Query, QueryOutput, QueryParams};
+    pub use crate::report::{PhaseTimes, QueryReport, RunOutcome};
+}

@@ -1,0 +1,123 @@
+//! Timing reports with the paper's data-management / analytics split.
+
+use crate::query::QueryOutput;
+use genbase_util::CostReport;
+
+/// Per-phase costs for one query execution (the split behind Figures 2/4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    /// Data management: filters, joins, restructuring, export/reformat.
+    pub data_management: CostReport,
+    /// Analytics: the linear algebra / statistics kernel.
+    pub analytics: CostReport,
+}
+
+impl PhaseTimes {
+    /// Total reported seconds (measured + simulated across both phases).
+    pub fn total_secs(&self) -> f64 {
+        self.data_management.total_secs() + self.analytics.total_secs()
+    }
+}
+
+/// Successful execution of one query on one engine.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// Typed output (verified for cross-engine consistency in tests).
+    pub output: QueryOutput,
+    /// Phase timing split.
+    pub phases: PhaseTimes,
+}
+
+/// Outcome of one harness cell, following the paper's conventions: cutoff
+/// and memory failure render as "infinite" bars; missing functionality
+/// leaves the bar out entirely.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// Finished within budget.
+    Completed(QueryReport),
+    /// Timeout or memory-allocation failure (the horizontal lines across the
+    /// top of the paper's charts).
+    Infinite {
+        /// What gave out, for the report.
+        reason: String,
+    },
+    /// The engine lacks the required functionality (no bar in the paper).
+    Unsupported,
+}
+
+impl RunOutcome {
+    /// Total seconds for plotting; infinite outcomes return `f64::INFINITY`
+    /// and unsupported returns `NAN` (no bar).
+    pub fn plot_secs(&self) -> f64 {
+        match self {
+            RunOutcome::Completed(r) => r.phases.total_secs(),
+            RunOutcome::Infinite { .. } => f64::INFINITY,
+            RunOutcome::Unsupported => f64::NAN,
+        }
+    }
+
+    /// Cell text for harness tables.
+    pub fn cell(&self) -> String {
+        match self {
+            RunOutcome::Completed(r) => genbase_util::fmt_secs(r.phases.total_secs()),
+            RunOutcome::Infinite { .. } => "inf".to_string(),
+            RunOutcome::Unsupported => "-".to_string(),
+        }
+    }
+
+    /// Borrow the report when completed.
+    pub fn report(&self) -> Option<&QueryReport> {
+        match self {
+            RunOutcome::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryOutput;
+
+    fn report(dm: f64, an: f64) -> QueryReport {
+        QueryReport {
+            output: QueryOutput::Svd {
+                eigenvalues: vec![1.0],
+            },
+            phases: PhaseTimes {
+                data_management: CostReport {
+                    wall_secs: dm,
+                    sim_secs: 0.0,
+                    sim_bytes: 0,
+                },
+                analytics: CostReport {
+                    wall_secs: an,
+                    sim_secs: 0.5,
+                    sim_bytes: 0,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn totals_include_simulated() {
+        let r = report(1.0, 2.0);
+        assert!((r.phases.total_secs() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_rendering() {
+        let done = RunOutcome::Completed(report(0.5, 0.5));
+        assert!((done.plot_secs() - 1.5).abs() < 1e-12);
+        assert!(done.report().is_some());
+        let inf = RunOutcome::Infinite {
+            reason: "cutoff".into(),
+        };
+        assert!(inf.plot_secs().is_infinite());
+        assert_eq!(inf.cell(), "inf");
+        assert!(inf.report().is_none());
+        let uns = RunOutcome::Unsupported;
+        assert!(uns.plot_secs().is_nan());
+        assert_eq!(uns.cell(), "-");
+    }
+}

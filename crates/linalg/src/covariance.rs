@@ -1,0 +1,213 @@
+//! Covariance computation (benchmark Query 2).
+//!
+//! The paper's Query 2 computes "the covariance between the expression levels
+//! of all pairs of genes": with samples as rows and genes as columns, that is
+//! `C = Zᵀ Z / (m - 1)` where `Z` is the column-mean-centered expression
+//! matrix — a Gram matrix after centering.
+
+use crate::matmul::gram;
+use crate::matrix::Matrix;
+use crate::ExecOpts;
+use genbase_util::{Error, Result};
+
+/// Per-column means of a matrix.
+pub fn column_means(a: &Matrix) -> Vec<f64> {
+    let (m, n) = a.shape();
+    let mut means = vec![0.0; n];
+    for r in 0..m {
+        for (mean, v) in means.iter_mut().zip(a.row(r)) {
+            *mean += v;
+        }
+    }
+    let inv = 1.0 / m.max(1) as f64;
+    for mean in &mut means {
+        *mean *= inv;
+    }
+    means
+}
+
+/// Subtract per-column means in place; returns the means.
+pub fn center_columns(a: &mut Matrix) -> Vec<f64> {
+    let means = column_means(a);
+    for r in 0..a.rows() {
+        for (v, mean) in a.row_mut(r).iter_mut().zip(&means) {
+            *v -= mean;
+        }
+    }
+    means
+}
+
+/// Sample covariance matrix (`n x n`) of the columns of `a` (`m x n`).
+/// Requires at least two rows.
+pub fn covariance(a: &Matrix, opts: &ExecOpts) -> Result<Matrix> {
+    let (m, _n) = a.shape();
+    if m < 2 {
+        return Err(Error::invalid("covariance requires at least 2 rows"));
+    }
+    let mut centered = a.clone();
+    center_columns(&mut centered);
+    let mut g = gram(&centered, opts)?;
+    let inv = 1.0 / (m - 1) as f64;
+    g.map_inplace(|v| v * inv);
+    Ok(g)
+}
+
+/// A gene pair with its covariance, as produced by the Query 2 thresholding
+/// step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CovPair {
+    /// First column index (always < `b`).
+    pub a: usize,
+    /// Second column index.
+    pub b: usize,
+    /// Covariance value.
+    pub value: f64,
+}
+
+/// Extract the off-diagonal pairs with `|cov| >= threshold`, sorted by
+/// descending absolute covariance (ties broken by index for determinism).
+pub fn top_pairs_by_threshold(cov: &Matrix, threshold: f64) -> Vec<CovPair> {
+    let n = cov.cols();
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = cov.get(i, j);
+            if v.abs() >= threshold {
+                out.push(CovPair { a: i, b: j, value: v });
+            }
+        }
+    }
+    sort_pairs(&mut out);
+    out
+}
+
+/// The threshold value t such that exactly `fraction` of the off-diagonal
+/// pairs satisfy `|cov| >= t` (the paper's "top 10%" selection). Returns 0.0
+/// when there are no pairs.
+pub fn quantile_abs_threshold(cov: &Matrix, fraction: f64) -> f64 {
+    let n = cov.cols();
+    let mut vals = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            vals.push(cov.get(i, j).abs());
+        }
+    }
+    if vals.is_empty() {
+        return 0.0;
+    }
+    let keep = ((vals.len() as f64) * fraction).ceil() as usize;
+    let keep = keep.clamp(1, vals.len());
+    // Partial sort: nth element from the top.
+    vals.sort_by(|a, b| b.partial_cmp(a).expect("NaN covariance"));
+    vals[keep - 1]
+}
+
+fn sort_pairs(pairs: &mut [CovPair]) {
+    pairs.sort_by(|x, y| {
+        y.value
+            .abs()
+            .partial_cmp(&x.value.abs())
+            .expect("NaN covariance")
+            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genbase_util::Pcg64;
+
+    fn brute_covariance(a: &Matrix) -> Matrix {
+        let (m, n) = a.shape();
+        let means = column_means(a);
+        Matrix::from_fn(n, n, |i, j| {
+            let mut s = 0.0;
+            for r in 0..m {
+                s += (a.get(r, i) - means[i]) * (a.get(r, j) - means[j]);
+            }
+            s / (m - 1) as f64
+        })
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let mut rng = Pcg64::new(71);
+        let a = Matrix::from_fn(30, 12, |_, _| rng.normal() * 2.0 + 1.0);
+        let fast = covariance(&a, &ExecOpts::with_threads(3)).unwrap();
+        let slow = brute_covariance(&a);
+        assert!(fast.approx_eq(&slow, 1e-10));
+    }
+
+    #[test]
+    fn symmetric_and_psd_diagonal() {
+        let mut rng = Pcg64::new(72);
+        let a = Matrix::from_fn(25, 8, |_, _| rng.normal());
+        let c = covariance(&a, &ExecOpts::serial()).unwrap();
+        assert!(c.approx_eq(&c.transpose(), 1e-12));
+        for i in 0..8 {
+            assert!(c.get(i, i) >= 0.0, "variance must be non-negative");
+        }
+    }
+
+    #[test]
+    fn perfectly_correlated_columns() {
+        // col1 = 2*col0 => cov(0,1) = 2*var(0).
+        let a = Matrix::from_fn(10, 2, |r, c| (r as f64 + 1.0) * (c as f64 + 1.0));
+        let c = covariance(&a, &ExecOpts::serial()).unwrap();
+        assert!((c.get(0, 1) - 2.0 * c.get(0, 0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn centering_zeroes_means() {
+        let mut rng = Pcg64::new(73);
+        let mut a = Matrix::from_fn(40, 6, |_, _| rng.normal() + 5.0);
+        let old_means = center_columns(&mut a);
+        assert!(old_means.iter().all(|m| (m - 5.0).abs() < 1.0));
+        for m in column_means(&a) {
+            assert!(m.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn requires_two_rows() {
+        let a = Matrix::zeros(1, 3);
+        assert!(covariance(&a, &ExecOpts::serial()).is_err());
+    }
+
+    #[test]
+    fn top_pairs_sorted_and_thresholded() {
+        let mut c = Matrix::zeros(3, 3);
+        c.set(0, 1, 0.9);
+        c.set(1, 0, 0.9);
+        c.set(0, 2, -1.5);
+        c.set(2, 0, -1.5);
+        c.set(1, 2, 0.1);
+        c.set(2, 1, 0.1);
+        let pairs = top_pairs_by_threshold(&c, 0.5);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!((pairs[0].a, pairs[0].b), (0, 2));
+        assert!((pairs[0].value + 1.5).abs() < 1e-12);
+        assert_eq!((pairs[1].a, pairs[1].b), (0, 1));
+    }
+
+    #[test]
+    fn quantile_threshold_selects_fraction() {
+        let mut rng = Pcg64::new(74);
+        let a = Matrix::from_fn(50, 20, |_, _| rng.normal());
+        let c = covariance(&a, &ExecOpts::serial()).unwrap();
+        let t = quantile_abs_threshold(&c, 0.10);
+        let pairs = top_pairs_by_threshold(&c, t);
+        let total = 20 * 19 / 2;
+        let expect = (total as f64 * 0.10).ceil() as usize;
+        // Ties could add a pair or two; must be at least the requested count
+        // and close to it.
+        assert!(pairs.len() >= expect);
+        assert!(pairs.len() <= expect + 2);
+    }
+
+    #[test]
+    fn quantile_threshold_empty_matrix() {
+        assert_eq!(quantile_abs_threshold(&Matrix::zeros(0, 0), 0.1), 0.0);
+        assert_eq!(quantile_abs_threshold(&Matrix::zeros(1, 1), 0.1), 0.0);
+    }
+}

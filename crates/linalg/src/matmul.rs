@@ -1,0 +1,417 @@
+//! Matrix multiplication kernels.
+//!
+//! Three tiers mirror the performance spread the paper measures:
+//! - [`matmul_naive`]: textbook triple loop in i-j-k order. This is what
+//!   "simulating linear algebra in SQL" or Mahout-without-BLAS effectively
+//!   executes per cell; kept public for ablation benches.
+//! - [`matmul_blocked`]: cache-blocked i-k-j kernel, the serial fast path.
+//! - [`matmul`]: multithreaded blocked kernel over row bands.
+
+use crate::matrix::Matrix;
+use crate::{split_ranges, ExecOpts};
+use genbase_util::{Error, Result};
+
+/// Cache block edge (in elements) for the blocked kernels. 64x64 doubles =
+/// 32 KiB per tile, sized to stay in L1/L2 alongside the accumulator rows.
+const BLOCK: usize = 64;
+
+/// Textbook i-j-k matrix multiply. Quadratic cache misses on B; exists as
+/// the "no BLAS" baseline (see `ablation_matmul`).
+pub fn matmul_naive(a: &Matrix, b: &Matrix, opts: &ExecOpts) -> Result<Matrix> {
+    check_dims(a, b)?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        if i % 64 == 0 {
+            opts.budget.check("matmul (naive)")?;
+        }
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    Ok(out)
+}
+
+/// Serial cache-blocked multiply (i-k-j inner order, row-major friendly).
+pub fn matmul_blocked(a: &Matrix, b: &Matrix, opts: &ExecOpts) -> Result<Matrix> {
+    check_dims(a, b)?;
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    mm_block_into(
+        a.data(),
+        b.data(),
+        out.data_mut(),
+        0..a.rows(),
+        a.cols(),
+        b.cols(),
+        opts,
+    )?;
+    Ok(out)
+}
+
+/// Multithreaded blocked multiply: output rows are split into bands, one per
+/// worker; each band runs the serial blocked kernel.
+pub fn matmul(a: &Matrix, b: &Matrix, opts: &ExecOpts) -> Result<Matrix> {
+    check_dims(a, b)?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if opts.threads <= 1 || m < 2 * BLOCK {
+        return matmul_blocked(a, b, opts);
+    }
+    let mut out = Matrix::zeros(m, n);
+    let bands = split_ranges(m, opts.threads);
+    let a_data = a.data();
+    let b_data = b.data();
+    // Split the output buffer into disjoint row bands for the workers.
+    let mut out_slices: Vec<&mut [f64]> = Vec::with_capacity(bands.len());
+    let mut rest = out.data_mut();
+    for band in &bands {
+        let (head, tail) = rest.split_at_mut(band.len() * n);
+        out_slices.push(head);
+        rest = tail;
+    }
+    let results: Vec<Result<()>> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(bands.len());
+        for (band, out_band) in bands.iter().cloned().zip(out_slices) {
+            let opts = opts.clone();
+            handles.push(s.spawn(move |_| {
+                mm_block_into(a_data, b_data, out_band, band, k, n, &opts)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("thread scope failed");
+    for r in results {
+        r?;
+    }
+    Ok(out)
+}
+
+/// Blocked kernel computing `out[band] = A[band] * B`; `out` holds only the
+/// band's rows.
+fn mm_block_into(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    band: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+    opts: &ExecOpts,
+) -> Result<()> {
+    for ib in band.clone().step_by(BLOCK) {
+        opts.budget.check("matmul")?;
+        let i_end = (ib + BLOCK).min(band.end);
+        for kb in (0..k).step_by(BLOCK) {
+            let k_end = (kb + BLOCK).min(k);
+            for jb in (0..n).step_by(BLOCK) {
+                let j_end = (jb + BLOCK).min(n);
+                for i in ib..i_end {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let out_row = &mut out[(i - band.start) * n..(i - band.start + 1) * n];
+                    for p in kb..k_end {
+                        let aval = a_row[p];
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[p * n + jb..p * n + j_end];
+                        let o = &mut out_row[jb..j_end];
+                        for (oj, bj) in o.iter_mut().zip(b_row) {
+                            *oj += aval * bj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `Aᵀ * B` without materializing the transpose.
+pub fn at_mul(a: &Matrix, b: &Matrix, opts: &ExecOpts) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(Error::invalid(format!(
+            "at_mul shape mismatch: {:?} vs {:?}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let bands = split_ranges(k, opts.threads);
+    if bands.len() <= 1 {
+        let mut out = Matrix::zeros(k, n);
+        at_mul_band(a.data(), b.data(), out.data_mut(), 0..k, m, k, n, opts)?;
+        return Ok(out);
+    }
+    let mut out = Matrix::zeros(k, n);
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out_slices: Vec<&mut [f64]> = Vec::with_capacity(bands.len());
+    let mut rest = out.data_mut();
+    for band in &bands {
+        let (head, tail) = rest.split_at_mut(band.len() * n);
+        out_slices.push(head);
+        rest = tail;
+    }
+    let results: Vec<Result<()>> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(bands.len());
+        for (band, out_band) in bands.iter().cloned().zip(out_slices) {
+            let opts = opts.clone();
+            handles.push(
+                s.spawn(move |_| at_mul_band(a_data, b_data, out_band, band, m, k, n, &opts)),
+            );
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("thread scope failed");
+    for r in results {
+        r?;
+    }
+    Ok(out)
+}
+
+/// Compute rows `band` of `AᵀB` into `out` (band rows only).
+#[allow(clippy::too_many_arguments)]
+fn at_mul_band(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    band: std::ops::Range<usize>,
+    m: usize,
+    k: usize,
+    n: usize,
+    opts: &ExecOpts,
+) -> Result<()> {
+    // out[c, j] = sum_r a[r, c] * b[r, j]; iterate r outermost so both A and
+    // B stream sequentially.
+    for r in 0..m {
+        if r % 256 == 0 {
+            opts.budget.check("at_mul")?;
+        }
+        let a_row = &a[r * k..(r + 1) * k];
+        let b_row = &b[r * n..(r + 1) * n];
+        for c in band.clone() {
+            let aval = a_row[c];
+            if aval == 0.0 {
+                continue;
+            }
+            let o = &mut out[(c - band.start) * n..(c - band.start + 1) * n];
+            for (oj, bj) in o.iter_mut().zip(b_row) {
+                *oj += aval * bj;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Gram matrix `AᵀA` exploiting symmetry (computes the upper triangle and
+/// mirrors). This is the covariance workhorse.
+pub fn gram(a: &Matrix, opts: &ExecOpts) -> Result<Matrix> {
+    let (m, n) = a.shape();
+    let mut out = Matrix::zeros(n, n);
+    let bands = split_ranges(n, opts.threads);
+    let a_data = a.data();
+    if bands.len() <= 1 {
+        gram_band(a_data, out.data_mut(), 0..n, m, n, opts)?;
+    } else {
+        let mut out_slices: Vec<&mut [f64]> = Vec::with_capacity(bands.len());
+        let mut rest = out.data_mut();
+        for band in &bands {
+            let (head, tail) = rest.split_at_mut(band.len() * n);
+            out_slices.push(head);
+            rest = tail;
+        }
+        let results: Vec<Result<()>> = crossbeam::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(bands.len());
+            for (band, out_band) in bands.iter().cloned().zip(out_slices) {
+                let opts = opts.clone();
+                handles
+                    .push(s.spawn(move |_| gram_band(a_data, out_band, band, m, n, &opts)));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("thread scope failed");
+        for r in results {
+            r?;
+        }
+    }
+    // Mirror the strictly-lower part from the computed upper part.
+    for i in 0..n {
+        for j in 0..i {
+            let v = out.get(j, i);
+            out.set(i, j, v);
+        }
+    }
+    Ok(out)
+}
+
+/// Compute rows `band` of the upper triangle of `AᵀA`.
+fn gram_band(
+    a: &[f64],
+    out: &mut [f64],
+    band: std::ops::Range<usize>,
+    m: usize,
+    n: usize,
+    opts: &ExecOpts,
+) -> Result<()> {
+    for r in 0..m {
+        if r % 128 == 0 {
+            opts.budget.check("gram")?;
+        }
+        let a_row = &a[r * n..(r + 1) * n];
+        for c in band.clone() {
+            let aval = a_row[c];
+            if aval == 0.0 {
+                continue;
+            }
+            // upper triangle only: columns >= c
+            let o = &mut out[(c - band.start) * n + c..(c - band.start + 1) * n];
+            for (oj, bj) in o.iter_mut().zip(&a_row[c..]) {
+                *oj += aval * bj;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Matrix-vector product `A x`.
+pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.cols(), x.len(), "matvec shape mismatch");
+    (0..a.rows())
+        .map(|r| crate::matrix::dot(a.row(r), x))
+        .collect()
+}
+
+/// Transposed matrix-vector product `Aᵀ x` without materializing `Aᵀ`.
+pub fn matvec_transposed(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.rows(), x.len(), "matvec_transposed shape mismatch");
+    let mut out = vec![0.0; a.cols()];
+    for r in 0..a.rows() {
+        crate::matrix::axpy(x[r], a.row(r), &mut out);
+    }
+    out
+}
+
+fn check_dims(a: &Matrix, b: &Matrix) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(Error::invalid(format!(
+            "matmul shape mismatch: {:?} * {:?}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genbase_util::Pcg64;
+
+    fn random_matrix(rng: &mut Pcg64, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| rng.normal())
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = matmul(&a, &b, &ExecOpts::serial()).unwrap();
+        let expect = Matrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]).unwrap();
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let mut rng = Pcg64::new(21);
+        let a = random_matrix(&mut rng, 130, 70);
+        let b = random_matrix(&mut rng, 70, 90);
+        let opts = ExecOpts::serial();
+        let naive = matmul_naive(&a, &b, &opts).unwrap();
+        let blocked = matmul_blocked(&a, &b, &opts).unwrap();
+        assert!(blocked.approx_eq(&naive, 1e-9));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut rng = Pcg64::new(22);
+        let a = random_matrix(&mut rng, 200, 64);
+        let b = random_matrix(&mut rng, 64, 48);
+        let serial = matmul(&a, &b, &ExecOpts::serial()).unwrap();
+        let par = matmul(&a, &b, &ExecOpts::with_threads(4)).unwrap();
+        assert!(par.approx_eq(&serial, 1e-9));
+    }
+
+    #[test]
+    fn at_mul_matches_explicit_transpose() {
+        let mut rng = Pcg64::new(23);
+        let a = random_matrix(&mut rng, 60, 40);
+        let b = random_matrix(&mut rng, 60, 25);
+        let opts = ExecOpts::with_threads(3);
+        let direct = at_mul(&a, &b, &opts).unwrap();
+        let reference = matmul(&a.transpose(), &b, &ExecOpts::serial()).unwrap();
+        assert!(direct.approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn gram_matches_at_mul_self() {
+        let mut rng = Pcg64::new(24);
+        let a = random_matrix(&mut rng, 80, 50);
+        let opts = ExecOpts::with_threads(4);
+        let g = gram(&a, &opts).unwrap();
+        let reference = at_mul(&a, &a, &ExecOpts::serial()).unwrap();
+        assert!(g.approx_eq(&reference, 1e-9));
+        // symmetry
+        assert!(g.approx_eq(&g.transpose(), 1e-12));
+    }
+
+    #[test]
+    fn matvec_agrees_with_matmul() {
+        let mut rng = Pcg64::new(25);
+        let a = random_matrix(&mut rng, 30, 20);
+        let x: Vec<f64> = (0..20).map(|_| rng.normal()).collect();
+        let y = matvec(&a, &x);
+        let xm = Matrix::from_vec(20, 1, x.clone()).unwrap();
+        let ym = matmul(&a, &xm, &ExecOpts::serial()).unwrap();
+        for r in 0..30 {
+            assert!((y[r] - ym.get(r, 0)).abs() < 1e-10);
+        }
+        let yt = matvec_transposed(&a, &y);
+        let ytm = at_mul(&a, &ym, &ExecOpts::serial()).unwrap();
+        for c in 0..20 {
+            assert!((yt[c] - ytm.get(c, 0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(matmul(&a, &b, &ExecOpts::serial()).is_err());
+        assert!(at_mul(&a, &b, &ExecOpts::serial()).is_err());
+    }
+
+    #[test]
+    fn budget_timeout_propagates() {
+        use genbase_util::Budget;
+        use std::time::Duration;
+        let mut rng = Pcg64::new(26);
+        let a = random_matrix(&mut rng, 300, 300);
+        let b = random_matrix(&mut rng, 300, 300);
+        let budget = Budget::with_timeout(Duration::from_nanos(1));
+        std::thread::sleep(Duration::from_millis(2));
+        let opts = ExecOpts::with_threads(2).with_budget(budget);
+        let err = matmul(&a, &b, &opts).unwrap_err();
+        assert!(err.is_infinite_result());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Pcg64::new(27);
+        let a = random_matrix(&mut rng, 40, 40);
+        let i = Matrix::identity(40);
+        let ai = matmul(&a, &i, &ExecOpts::serial()).unwrap();
+        assert!(ai.approx_eq(&a, 1e-12));
+    }
+}

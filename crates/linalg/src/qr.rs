@@ -1,0 +1,271 @@
+//! Householder QR factorization and least-squares solves.
+//!
+//! Query 1 of the benchmark specifies that linear regression is solved "using
+//! a QR decomposition technique"; this module is that implementation.
+
+use crate::matrix::{norm2, Matrix};
+use crate::ExecOpts;
+use genbase_util::{Error, Result};
+
+/// Compact Householder QR factorization of an `m x n` matrix with `m >= n`.
+///
+/// Householder vectors are stored below the diagonal of `qr`, the diagonal of
+/// `R` in `rdiag`; `Q` is never materialized except for tests.
+#[derive(Debug, Clone)]
+pub struct QrFactor {
+    qr: Matrix,
+    rdiag: Vec<f64>,
+}
+
+impl QrFactor {
+    /// Factor `a` (consumed) into QR form. Fails if `m < n`.
+    pub fn factor(mut a: Matrix, opts: &ExecOpts) -> Result<QrFactor> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(Error::invalid(format!(
+                "QR requires rows >= cols, got {m}x{n}"
+            )));
+        }
+        let mut rdiag = vec![0.0; n];
+        for k in 0..n {
+            opts.budget.check("qr factor")?;
+            // Column norm below (and including) the diagonal.
+            let mut nrm = 0.0f64;
+            for i in k..m {
+                nrm = nrm.hypot(a.get(i, k));
+            }
+            if nrm == 0.0 {
+                rdiag[k] = 0.0;
+                continue;
+            }
+            if a.get(k, k) < 0.0 {
+                nrm = -nrm;
+            }
+            for i in k..m {
+                let v = a.get(i, k) / nrm;
+                a.set(i, k, v);
+            }
+            a.set(k, k, a.get(k, k) + 1.0);
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += a.get(i, k) * a.get(i, j);
+                }
+                s = -s / a.get(k, k);
+                for i in k..m {
+                    let v = a.get(i, j) + s * a.get(i, k);
+                    a.set(i, j, v);
+                }
+            }
+            rdiag[k] = -nrm;
+        }
+        Ok(QrFactor { qr: a, rdiag })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// True when `R` has no (near-)zero diagonal entry.
+    pub fn is_full_rank(&self) -> bool {
+        self.rdiag.iter().all(|d| d.abs() > 1e-12)
+    }
+
+    /// Solve the least-squares problem `min ||A x - b||` for one right-hand
+    /// side. Returns the `n`-vector `x`.
+    pub fn solve_ls(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(Error::invalid("rhs length mismatch"));
+        }
+        if !self.is_full_rank() {
+            return Err(Error::Numerical("rank-deficient design matrix".into()));
+        }
+        let mut y = b.to_vec();
+        // y <- Qᵀ b via stored reflectors.
+        for k in 0..n {
+            let mut s = 0.0;
+            for i in k..m {
+                s += self.qr.get(i, k) * y[i];
+            }
+            if self.qr.get(k, k) != 0.0 {
+                s = -s / self.qr.get(k, k);
+                for i in k..m {
+                    y[i] += s * self.qr.get(i, k);
+                }
+            }
+        }
+        // Back-substitute R x = y[0..n].
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut v = y[k];
+            for j in (k + 1)..n {
+                v -= self.qr.get(k, j) * x[j];
+            }
+            x[k] = v / self.rdiag[k];
+        }
+        Ok(x)
+    }
+
+    /// Materialize the upper-triangular `R` factor (`n x n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        Matrix::from_fn(n, n, |i, j| {
+            use std::cmp::Ordering;
+            match i.cmp(&j) {
+                Ordering::Less => self.qr.get(i, j),
+                Ordering::Equal => self.rdiag[i],
+                Ordering::Greater => 0.0,
+            }
+        })
+    }
+
+    /// Materialize the thin `Q` factor (`m x n`). Intended for tests and
+    /// small problems; O(m·n²).
+    pub fn q(&self) -> Matrix {
+        let (m, n) = self.qr.shape();
+        let mut q = Matrix::zeros(m, n);
+        for k in (0..n).rev() {
+            q.set(k, k, 1.0);
+            if self.qr.get(k, k) == 0.0 {
+                continue;
+            }
+            for j in k..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += self.qr.get(i, k) * q.get(i, j);
+                }
+                s = -s / self.qr.get(k, k);
+                for i in k..m {
+                    let v = q.get(i, j) + s * self.qr.get(i, k);
+                    q.set(i, j, v);
+                }
+            }
+        }
+        q
+    }
+}
+
+/// Convenience wrapper: factor + solve for a single right-hand side.
+pub fn least_squares(a: Matrix, b: &[f64], opts: &ExecOpts) -> Result<Vec<f64>> {
+    QrFactor::factor(a, opts)?.solve_ls(b)
+}
+
+/// Residual 2-norm `||A x - b||` (diagnostic helper).
+pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    let ax = crate::matmul::matvec(a, x);
+    norm2(
+        &ax.iter()
+            .zip(b)
+            .map(|(p, q)| p - q)
+            .collect::<Vec<f64>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genbase_util::Pcg64;
+
+    fn random_matrix(rng: &mut Pcg64, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| rng.normal())
+    }
+
+    #[test]
+    fn reconstructs_a() {
+        let mut rng = Pcg64::new(31);
+        let a = random_matrix(&mut rng, 20, 8);
+        let f = QrFactor::factor(a.clone(), &ExecOpts::serial()).unwrap();
+        let qr = crate::matmul::matmul(&f.q(), &f.r(), &ExecOpts::serial()).unwrap();
+        assert!(qr.approx_eq(&a, 1e-10), "Q*R should reconstruct A");
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let mut rng = Pcg64::new(32);
+        let a = random_matrix(&mut rng, 25, 10);
+        let f = QrFactor::factor(a, &ExecOpts::serial()).unwrap();
+        let q = f.q();
+        let qtq = crate::matmul::at_mul(&q, &q, &ExecOpts::serial()).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(10), 1e-10));
+    }
+
+    #[test]
+    fn solves_exact_system() {
+        // Square, consistent system: solution should be exact.
+        let a = Matrix::from_vec(3, 3, vec![2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 4.0])
+            .unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = crate::matmul::matvec(&a, &x_true);
+        let x = least_squares(a, &b, &ExecOpts::serial()).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        let mut rng = Pcg64::new(33);
+        let a = random_matrix(&mut rng, 50, 5);
+        let b: Vec<f64> = (0..50).map(|_| rng.normal()).collect();
+        let x = least_squares(a.clone(), &b, &ExecOpts::serial()).unwrap();
+        let base = residual_norm(&a, &x, &b);
+        // Perturbing the solution in any coordinate direction must not reduce
+        // the residual.
+        for j in 0..5 {
+            for delta in [-1e-3, 1e-3] {
+                let mut xp = x.clone();
+                xp[j] += delta;
+                assert!(residual_norm(&a, &xp, &b) >= base - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn normal_equations_satisfied() {
+        let mut rng = Pcg64::new(34);
+        let a = random_matrix(&mut rng, 40, 6);
+        let b: Vec<f64> = (0..40).map(|_| rng.normal()).collect();
+        let x = least_squares(a.clone(), &b, &ExecOpts::serial()).unwrap();
+        // Aᵀ(Ax - b) = 0 characterizes the LS solution.
+        let ax = crate::matmul::matvec(&a, &x);
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let grad = crate::matmul::matvec_transposed(&a, &resid);
+        for g in grad {
+            assert!(g.abs() < 1e-9, "gradient component {g}");
+        }
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = Matrix::zeros(2, 5);
+        assert!(QrFactor::factor(a, &ExecOpts::serial()).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Two identical columns.
+        let a = Matrix::from_fn(10, 3, |r, c| match c {
+            0 => r as f64,
+            1 => r as f64,
+            _ => 1.0,
+        });
+        let f = QrFactor::factor(a, &ExecOpts::serial()).unwrap();
+        assert!(!f.is_full_rank());
+        assert!(f.solve_ls(&vec![1.0; 10]).is_err());
+    }
+
+    #[test]
+    fn rhs_length_validated() {
+        let a = Matrix::identity(3);
+        let f = QrFactor::factor(a, &ExecOpts::serial()).unwrap();
+        assert!(f.solve_ls(&[1.0, 2.0]).is_err());
+    }
+}

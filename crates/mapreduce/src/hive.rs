@@ -1,0 +1,357 @@
+//! Hive-style relational operations as MapReduce jobs.
+//!
+//! Hive compiles SQL to MR jobs with full materialization between stages and
+//! (in the paper's era) only rudimentary optimization. The operations here do
+//! the same: a filter is a map-only pass over serialized rows, a join is a
+//! repartition join (tag, shuffle on key, cross-product in the reducer), an
+//! aggregate is a full map-shuffle-reduce.
+
+use crate::job::{run_job, run_map_only, JobConfig};
+use crate::record::Writable;
+use genbase_util::{Error, Result};
+
+/// One field of a Hive row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cell {
+    /// Integer field.
+    I(i64),
+    /// Float field.
+    F(f64),
+}
+
+impl Cell {
+    /// Integer content, or an error.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Cell::I(v) => Ok(*v),
+            Cell::F(_) => Err(Error::invalid("expected int cell")),
+        }
+    }
+
+    /// Float content, or an error.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Cell::F(v) => Ok(*v),
+            Cell::I(_) => Err(Error::invalid("expected float cell")),
+        }
+    }
+}
+
+impl Writable for Cell {
+    fn write(&self, out: &mut Vec<u8>) {
+        match self {
+            Cell::I(v) => {
+                out.push(0);
+                v.write(out);
+            }
+            Cell::F(v) => {
+                out.push(1);
+                v.write(out);
+            }
+        }
+    }
+
+    fn read(input: &mut &[u8]) -> Result<Self> {
+        let tag = u8::read(input)?;
+        match tag {
+            0 => Ok(Cell::I(i64::read(input)?)),
+            1 => Ok(Cell::F(f64::read(input)?)),
+            _ => Err(Error::invalid("bad cell tag")),
+        }
+    }
+}
+
+/// An "HDFS file" of rows. Row ids exist only as MR input keys.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HiveTable {
+    /// The rows; each row is a vector of cells.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl HiveTable {
+    /// Build from rows.
+    pub fn new(rows: Vec<Vec<Cell>>) -> HiveTable {
+        HiveTable { rows }
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn as_input(&self) -> Vec<(i64, Vec<Cell>)> {
+        // Hive re-reads the table from HDFS for every job; the clone here is
+        // that re-read.
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as i64, r.clone()))
+            .collect()
+    }
+
+    /// Map-only filter job.
+    pub fn filter(
+        &self,
+        pred: impl Fn(&[Cell]) -> bool + Sync,
+        cfg: &JobConfig,
+    ) -> Result<HiveTable> {
+        let input = self.as_input();
+        let out = run_map_only::<i64, Vec<Cell>, i64, Vec<Cell>>(
+            &input,
+            &|&id, row, emit| {
+                if pred(row) {
+                    emit(id, row.clone())
+                }
+            },
+            cfg,
+        )?;
+        Ok(HiveTable {
+            rows: out.into_iter().map(|(_, r)| r).collect(),
+        })
+    }
+
+    /// Map-only projection job.
+    pub fn project(&self, cols: &[usize], cfg: &JobConfig) -> Result<HiveTable> {
+        for &c in cols {
+            if self.rows.first().is_some_and(|r| c >= r.len()) {
+                return Err(Error::invalid(format!("projection column {c} out of range")));
+            }
+        }
+        let cols_owned = cols.to_vec();
+        let input = self.as_input();
+        let out = run_map_only::<i64, Vec<Cell>, i64, Vec<Cell>>(
+            &input,
+            &|&id, row, emit| emit(id, cols_owned.iter().map(|&c| row[c]).collect()),
+            cfg,
+        )?;
+        Ok(HiveTable {
+            rows: out.into_iter().map(|(_, r)| r).collect(),
+        })
+    }
+
+    /// Repartition (reduce-side) equi-join on integer key columns. Output
+    /// rows are `self_row ++ other_row`.
+    pub fn join(
+        &self,
+        self_key: usize,
+        other: &HiveTable,
+        other_key: usize,
+        cfg: &JobConfig,
+    ) -> Result<HiveTable> {
+        // Tag each side, shuffle on the join key, cross the groups.
+        let mut input: Vec<(u8, Vec<Cell>)> = Vec::with_capacity(self.len() + other.len());
+        for r in &self.rows {
+            input.push((0, r.clone()));
+        }
+        for r in &other.rows {
+            input.push((1, r.clone()));
+        }
+        let out = run_job::<u8, Vec<Cell>, i64, (u8, Vec<Cell>), i64, Vec<Cell>>(
+            &input,
+            &|&side, row, e| {
+                let key_col = if side == 0 { self_key } else { other_key };
+                if let Some(Cell::I(k)) = row.get(key_col) {
+                    e.emit(k, &(side, row.clone()));
+                }
+            },
+            None,
+            &|&_k, tagged, emit| {
+                let mut left: Vec<&Vec<Cell>> = Vec::new();
+                let mut right: Vec<&Vec<Cell>> = Vec::new();
+                for (side, row) in tagged.iter() {
+                    if *side == 0 {
+                        left.push(row);
+                    } else {
+                        right.push(row);
+                    }
+                }
+                for l in &left {
+                    for r in &right {
+                        let mut joined: Vec<Cell> = (*l).clone();
+                        joined.extend_from_slice(r);
+                        emit(0, joined);
+                    }
+                }
+            },
+            cfg,
+        )?;
+        Ok(HiveTable {
+            rows: out.into_iter().map(|(_, r)| r).collect(),
+        })
+    }
+
+    /// Group by an integer key column, summing a float column. Returns
+    /// `(key, sum, count)` sorted by key.
+    pub fn group_sum(
+        &self,
+        key_col: usize,
+        val_col: usize,
+        cfg: &JobConfig,
+    ) -> Result<Vec<(i64, f64, u64)>> {
+        let input = self.as_input();
+        let combiner = |_: &i64, vs: Vec<(f64, u64)>| {
+            let mut s = 0.0;
+            let mut c = 0u64;
+            for (v, n) in vs {
+                s += v;
+                c += n;
+            }
+            (s, c)
+        };
+        let out = run_job::<i64, Vec<Cell>, i64, (f64, u64), i64, (f64, u64)>(
+            &input,
+            &|_, row, e| {
+                if let (Some(Cell::I(k)), Some(Cell::F(v))) =
+                    (row.get(key_col), row.get(val_col))
+                {
+                    e.emit(k, &(*v, 1));
+                }
+            },
+            Some(&combiner),
+            &|&k, vs, emit| {
+                let mut s = 0.0;
+                let mut c = 0u64;
+                for (v, n) in vs.iter() {
+                    s += v;
+                    c += n;
+                }
+                emit(k, (s, c))
+            },
+            cfg,
+        )?;
+        let mut rows: Vec<(i64, f64, u64)> =
+            out.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
+        rows.sort_unstable_by_key(|&(k, _, _)| k);
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triples() -> HiveTable {
+        // (gene_id, patient_id, value)
+        let mut rows = Vec::new();
+        for g in 0..4i64 {
+            for p in 0..3i64 {
+                rows.push(vec![Cell::I(g), Cell::I(p), Cell::F((g * 10 + p) as f64)]);
+            }
+        }
+        HiveTable::new(rows)
+    }
+
+    fn gene_meta() -> HiveTable {
+        // (gene_id, function)
+        HiveTable::new(
+            (0..4i64)
+                .map(|g| vec![Cell::I(g), Cell::I(if g % 2 == 0 { 100 } else { 700 })])
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn cell_round_trip() {
+        let cells = vec![Cell::I(-5), Cell::F(1.25)];
+        let mut buf = Vec::new();
+        cells.write(&mut buf);
+        let decoded = crate::record::decode::<Vec<Cell>>(&buf).unwrap();
+        assert_eq!(decoded, cells);
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let t = triples();
+        let cfg = JobConfig::local(2);
+        let f = t
+            .filter(|r| matches!(r[0], Cell::I(g) if g < 2), &cfg)
+            .unwrap();
+        assert_eq!(f.len(), 6);
+        for r in &f.rows {
+            assert!(matches!(r[0], Cell::I(g) if g < 2));
+        }
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let t = triples();
+        let cfg = JobConfig::local(2);
+        let p = t.project(&[2, 0], &cfg).unwrap();
+        assert_eq!(p.len(), 12);
+        assert_eq!(p.rows[0].len(), 2);
+        assert!(t.project(&[7], &cfg).is_err());
+    }
+
+    #[test]
+    fn repartition_join_matches_nested_loop() {
+        let t = triples();
+        let m = gene_meta();
+        let cfg = JobConfig::local(3);
+        let mut joined = t.join(0, &m, 0, &cfg).unwrap();
+        // Reference nested loop join.
+        let mut expect: Vec<Vec<Cell>> = Vec::new();
+        for l in &t.rows {
+            for r in &m.rows {
+                if l[0] == r[0] {
+                    let mut row = l.clone();
+                    row.extend_from_slice(r);
+                    expect.push(row);
+                }
+            }
+        }
+        let key = |r: &Vec<Cell>| {
+            (
+                r[0].as_int().unwrap(),
+                r[1].as_int().unwrap(),
+                r[4].as_int().unwrap(),
+            )
+        };
+        joined.rows.sort_by_key(key);
+        expect.sort_by_key(key);
+        assert_eq!(joined.rows, expect);
+        assert_eq!(joined.len(), 12, "every triple matches exactly one gene");
+    }
+
+    #[test]
+    fn join_with_duplicates_crosses() {
+        let left = HiveTable::new(vec![
+            vec![Cell::I(1), Cell::F(0.1)],
+            vec![Cell::I(1), Cell::F(0.2)],
+        ]);
+        let right = HiveTable::new(vec![
+            vec![Cell::I(1), Cell::F(9.0)],
+            vec![Cell::I(1), Cell::F(8.0)],
+            vec![Cell::I(2), Cell::F(7.0)],
+        ]);
+        let cfg = JobConfig::local(2);
+        let j = left.join(0, &right, 0, &cfg).unwrap();
+        assert_eq!(j.len(), 4, "2 x 2 cross product on key 1");
+    }
+
+    #[test]
+    fn group_sum_aggregates() {
+        let t = triples();
+        let cfg = JobConfig::local(2);
+        let groups = t.group_sum(0, 2, &cfg).unwrap();
+        assert_eq!(groups.len(), 4);
+        for &(g, s, c) in &groups {
+            assert_eq!(c, 3);
+            let expect = (0..3).map(|p| (g * 10 + p) as f64).sum::<f64>();
+            assert!((s - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_table_operations() {
+        let t = HiveTable::default();
+        let cfg = JobConfig::local(2);
+        assert!(t.filter(|_| true, &cfg).unwrap().is_empty());
+        assert!(t.join(0, &triples(), 0, &cfg).unwrap().is_empty());
+        assert!(t.group_sum(0, 1, &cfg).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,501 @@
+//! The MapReduce job runner.
+//!
+//! A job executes in the classic three stages, with real byte traffic at
+//! every boundary:
+//!
+//! 1. **Map**: input splits run in parallel; every emitted `(K, V)` is
+//!    serialized immediately into the per-partition buffer chosen by a hash
+//!    of the key bytes (optionally combined map-side).
+//! 2. **Shuffle**: per-partition buffers from all map tasks are concatenated
+//!    (and, when a network model is configured, charged to the sim clock —
+//!    the multi-node engines use this).
+//! 3. **Reduce**: each partition is parsed, sorted by key, grouped, and fed
+//!    to the reducer; reducer output is serialized once more (HDFS write)
+//!    and parsed back on collection.
+
+use crate::record::Writable;
+use genbase_util::{Budget, Result, SimClock};
+
+/// Mapper emission sink: serializes and partitions each record.
+pub struct Emitter<'a, K: Writable, V: Writable> {
+    partitions: &'a mut [Vec<u8>],
+    key_buf: Vec<u8>,
+    _marker: std::marker::PhantomData<(K, V)>,
+}
+
+impl<K: Writable, V: Writable> Emitter<'_, K, V> {
+    /// Emit one key/value pair into the shuffle.
+    pub fn emit(&mut self, key: &K, value: &V) {
+        self.key_buf.clear();
+        key.write(&mut self.key_buf);
+        let p = (fnv1a(&self.key_buf) as usize) % self.partitions.len();
+        let buf = &mut self.partitions[p];
+        buf.extend_from_slice(&self.key_buf);
+        value.write(buf);
+    }
+}
+
+/// Job execution parameters.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Parallel map tasks (Hadoop map slots).
+    pub map_tasks: usize,
+    /// Parallel reduce tasks / shuffle partitions.
+    pub reduce_tasks: usize,
+    /// Startup latency charged to the sim clock per job (JVM spin-up,
+    /// scheduling). Zero keeps all numbers purely measured.
+    pub job_launch_secs: f64,
+    /// Optional `(latency_s, bytes_per_s)` network model applied to every
+    /// shuffled partition buffer (used by the multi-node Hadoop engine).
+    pub shuffle_net: Option<(f64, f64)>,
+    /// Simulated-cost clock.
+    pub sim: SimClock,
+    /// Cooperative cutoff.
+    pub budget: Budget,
+}
+
+impl JobConfig {
+    /// Single-node defaults: given task slots, no simulated costs.
+    pub fn local(slots: usize) -> JobConfig {
+        JobConfig {
+            map_tasks: slots.max(1),
+            reduce_tasks: slots.max(1),
+            job_launch_secs: 0.0,
+            shuffle_net: None,
+            sim: SimClock::new(),
+            budget: Budget::unlimited(),
+        }
+    }
+}
+
+/// Run a full map-shuffle-reduce job.
+///
+/// `combiner`, when provided, merges each map task's local output per key
+/// before the shuffle (`Fn(&K, Vec<V>) -> V` folding duplicates).
+#[allow(clippy::type_complexity)]
+pub fn run_job<KI, VI, KM, VM, KO, VO>(
+    input: &[(KI, VI)],
+    mapper: &(dyn Fn(&KI, &VI, &mut Emitter<'_, KM, VM>) + Sync),
+    combiner: Option<&(dyn Fn(&KM, Vec<VM>) -> VM + Sync)>,
+    reducer: &(dyn Fn(&KM, &mut Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync),
+    config: &JobConfig,
+) -> Result<Vec<(KO, VO)>>
+where
+    KI: Sync,
+    VI: Sync,
+    KM: Writable + Ord + Clone + Send,
+    VM: Writable + Send,
+    KO: Writable + Send,
+    VO: Writable + Send,
+{
+    config.sim.charge_secs(config.job_launch_secs);
+    let n_map = config.map_tasks.clamp(1, input.len().max(1));
+    let n_red = config.reduce_tasks.max(1);
+
+    // ---- map phase -------------------------------------------------------
+    let splits = split_input(input, n_map);
+    let map_outputs: Vec<Result<Vec<Vec<u8>>>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = splits
+            .into_iter()
+            .map(|split| {
+                s.spawn(move |_| -> Result<Vec<Vec<u8>>> {
+                    let mut partitions: Vec<Vec<u8>> = vec![Vec::new(); n_red];
+                    let mut emitter = Emitter {
+                        partitions: &mut partitions,
+                        key_buf: Vec::with_capacity(16),
+                        _marker: std::marker::PhantomData,
+                    };
+                    for (i, (k, v)) in split.iter().enumerate() {
+                        if i % 4096 == 0 {
+                            config.budget.check("mapreduce map")?;
+                        }
+                        mapper(k, v, &mut emitter);
+                    }
+                    if let Some(comb) = combiner {
+                        for buf in partitions.iter_mut() {
+                            *buf = combine_buffer::<KM, VM>(buf, comb)?;
+                        }
+                    }
+                    Ok(partitions)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("map task panicked"))
+            .collect()
+    })
+    .expect("map scope failed");
+
+    // ---- shuffle ----------------------------------------------------------
+    let mut reduce_inputs: Vec<Vec<u8>> = vec![Vec::new(); n_red];
+    for task_out in map_outputs {
+        let task_out = task_out?;
+        for (p, buf) in task_out.into_iter().enumerate() {
+            if let Some((lat, bw)) = config.shuffle_net {
+                if !buf.is_empty() {
+                    config.sim.charge_transfer(buf.len() as u64, lat, bw);
+                }
+            }
+            reduce_inputs[p].extend_from_slice(&buf);
+        }
+    }
+
+    // ---- reduce phase ------------------------------------------------------
+    let reduce_outputs: Vec<Result<Vec<u8>>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = reduce_inputs
+            .iter()
+            .map(|buf| {
+                s.spawn(move |_| -> Result<Vec<u8>> {
+                    let mut records = parse_records::<KM, VM>(buf)?;
+                    config.budget.check("mapreduce sort")?;
+                    records.sort_by(|a, b| a.0.cmp(&b.0));
+                    let mut out_buf = Vec::new();
+                    let mut emit = |k: KO, v: VO| {
+                        k.write(&mut out_buf);
+                        v.write(&mut out_buf);
+                    };
+                    let mut iter = records.into_iter().peekable();
+                    let mut groups = 0usize;
+                    while let Some((key, first)) = iter.next() {
+                        groups += 1;
+                        if groups % 1024 == 0 {
+                            config.budget.check("mapreduce reduce")?;
+                        }
+                        let mut values = vec![first];
+                        while iter.peek().is_some_and(|(k, _)| *k == key) {
+                            values.push(iter.next().expect("peeked").1);
+                        }
+                        reducer(&key, &mut values, &mut emit);
+                    }
+                    Ok(out_buf)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reduce task panicked"))
+            .collect()
+    })
+    .expect("reduce scope failed");
+
+    // ---- collect (HDFS read-back) -----------------------------------------
+    let mut out = Vec::new();
+    for buf in reduce_outputs {
+        let buf = buf?;
+        let mut slice = buf.as_slice();
+        while !slice.is_empty() {
+            let k = KO::read(&mut slice)?;
+            let v = VO::read(&mut slice)?;
+            out.push((k, v));
+        }
+    }
+    Ok(out)
+}
+
+/// Map-only job (Hadoop with zero reducers): no shuffle, no sort; output
+/// records still round-trip through bytes.
+pub fn run_map_only<KI, VI, KO, VO>(
+    input: &[(KI, VI)],
+    mapper: &(dyn Fn(&KI, &VI, &mut dyn FnMut(KO, VO)) + Sync),
+    config: &JobConfig,
+) -> Result<Vec<(KO, VO)>>
+where
+    KI: Sync,
+    VI: Sync,
+    KO: Writable + Send,
+    VO: Writable + Send,
+{
+    config.sim.charge_secs(config.job_launch_secs);
+    let n_map = config.map_tasks.clamp(1, input.len().max(1));
+    let splits = split_input(input, n_map);
+    let outputs: Vec<Result<Vec<u8>>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = splits
+            .into_iter()
+            .map(|split| {
+                s.spawn(move |_| -> Result<Vec<u8>> {
+                    let mut buf = Vec::new();
+                    let mut emit = |k: KO, v: VO| {
+                        k.write(&mut buf);
+                        v.write(&mut buf);
+                    };
+                    for (i, (k, v)) in split.iter().enumerate() {
+                        if i % 4096 == 0 {
+                            config.budget.check("mapreduce map-only")?;
+                        }
+                        mapper(k, v, &mut emit);
+                    }
+                    Ok(buf)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("map task panicked"))
+            .collect()
+    })
+    .expect("map scope failed");
+
+    let mut out = Vec::new();
+    for buf in outputs {
+        let buf = buf?;
+        let mut slice = buf.as_slice();
+        while !slice.is_empty() {
+            let k = KO::read(&mut slice)?;
+            let v = VO::read(&mut slice)?;
+            out.push((k, v));
+        }
+    }
+    Ok(out)
+}
+
+fn split_input<T>(input: &[T], parts: usize) -> Vec<&[T]> {
+    let n = input.len();
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(&input[start..start + len]);
+        start += len;
+    }
+    out
+}
+
+fn parse_records<K: Writable, V: Writable>(buf: &[u8]) -> Result<Vec<(K, V)>> {
+    let mut slice = buf;
+    let mut out = Vec::new();
+    while !slice.is_empty() {
+        let k = K::read(&mut slice)?;
+        let v = V::read(&mut slice)?;
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+fn combine_buffer<K, V>(
+    buf: &[u8],
+    combiner: &(dyn Fn(&K, Vec<V>) -> V + Sync),
+) -> Result<Vec<u8>>
+where
+    K: Writable + Ord + Clone,
+    V: Writable,
+{
+    let mut records = parse_records::<K, V>(buf)?;
+    records.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::with_capacity(buf.len() / 2);
+    let mut iter = records.into_iter().peekable();
+    while let Some((key, first)) = iter.next() {
+        let mut values = vec![first];
+        while iter.peek().is_some_and(|(k, _)| *k == key) {
+            values.push(iter.next().expect("peeked").1);
+        }
+        let folded = combiner(&key, values);
+        key.write(&mut out);
+        folded.write(&mut out);
+    }
+    Ok(out)
+}
+
+/// FNV-1a over the serialized key bytes (stable partitioner).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Word-count, the canonical MR correctness check (words as i64 ids).
+    #[test]
+    fn word_count() {
+        let words: Vec<(i64, i64)> = (0..1000).map(|i| (i % 7, 1i64)).collect();
+        let cfg = JobConfig::local(4);
+        let mut result = run_job::<i64, i64, i64, i64, i64, i64>(
+            &words,
+            &|&w, &one, emitter| emitter.emit(&w, &one),
+            None,
+            &|&w, counts, emit| emit(w, counts.iter().sum()),
+            &cfg,
+        )
+        .unwrap();
+        result.sort_unstable();
+        assert_eq!(result.len(), 7);
+        for (w, c) in result {
+            let expect = (0..1000).filter(|i| i % 7 == w).count() as i64;
+            assert_eq!(c, expect);
+        }
+    }
+
+    #[test]
+    fn combiner_preserves_result() {
+        let words: Vec<(i64, i64)> = (0..5000).map(|i| (i % 11, 1i64)).collect();
+        let cfg = JobConfig::local(4);
+        let mapper = |&w: &i64, &one: &i64, e: &mut Emitter<'_, i64, i64>| e.emit(&w, &one);
+        let reducer = |&w: &i64, counts: &mut Vec<i64>, emit: &mut dyn FnMut(i64, i64)| {
+            emit(w, counts.iter().sum())
+        };
+        let mut plain =
+            run_job::<i64, i64, i64, i64, i64, i64>(&words, &mapper, None, &reducer, &cfg)
+                .unwrap();
+        let combiner = |_: &i64, vs: Vec<i64>| vs.iter().sum::<i64>();
+        let mut combined = run_job::<i64, i64, i64, i64, i64, i64>(
+            &words,
+            &mapper,
+            Some(&combiner),
+            &reducer,
+            &cfg,
+        )
+        .unwrap();
+        plain.sort_unstable();
+        combined.sort_unstable();
+        assert_eq!(plain, combined);
+    }
+
+    #[test]
+    fn reduce_sees_sorted_groups_once() {
+        // Each key must reach the reducer exactly once with all its values.
+        let input: Vec<(i64, f64)> = (0..300).map(|i| (i % 10, i as f64)).collect();
+        let cfg = JobConfig::local(3);
+        let result = run_job::<i64, f64, i64, f64, i64, f64>(
+            &input,
+            &|&k, &v, e| e.emit(&k, &v),
+            None,
+            &|&k, vs, emit| {
+                assert_eq!(vs.len(), 30, "key {k} should group 30 values");
+                emit(k, vs.iter().sum())
+            },
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(result.len(), 10);
+    }
+
+    #[test]
+    fn map_only_round_trips() {
+        let input: Vec<(i64, f64)> = (0..100).map(|i| (i, i as f64 * 0.5)).collect();
+        let cfg = JobConfig::local(4);
+        let mut out = run_map_only::<i64, f64, i64, f64>(
+            &input,
+            &|&k, &v, emit| {
+                if k % 2 == 0 {
+                    emit(k, v * 10.0)
+                }
+            },
+            &cfg,
+        )
+        .unwrap();
+        out.sort_by_key(|&(k, _)| k);
+        assert_eq!(out.len(), 50);
+        assert_eq!(out[1], (2, 10.0));
+    }
+
+    #[test]
+    fn vector_values_shuffle_correctly() {
+        // Mahout-style (index, row) records.
+        let input: Vec<(i64, Vec<f64>)> =
+            (0..20).map(|i| (i % 4, vec![i as f64, 1.0])).collect();
+        let cfg = JobConfig::local(2);
+        let result = run_job::<i64, Vec<f64>, i64, Vec<f64>, i64, Vec<f64>>(
+            &input,
+            &|&k, v, e| e.emit(&k, v),
+            None,
+            &|&k, vs, emit| {
+                let mut acc = vec![0.0; 2];
+                for v in vs.iter() {
+                    acc[0] += v[0];
+                    acc[1] += v[1];
+                }
+                emit(k, acc)
+            },
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(result.len(), 4);
+        for (k, acc) in result {
+            assert_eq!(acc[1], 5.0, "5 records per key");
+            let expect: f64 = (0..20).filter(|i| i % 4 == k).map(|i| i as f64).sum();
+            assert_eq!(acc[0], expect);
+        }
+    }
+
+    #[test]
+    fn job_launch_latency_charged() {
+        let cfg = JobConfig {
+            job_launch_secs: 2.5,
+            ..JobConfig::local(2)
+        };
+        let input = vec![(1i64, 1i64)];
+        let _ = run_job::<i64, i64, i64, i64, i64, i64>(
+            &input,
+            &|&k, &v, e| e.emit(&k, &v),
+            None,
+            &|&k, vs, emit| emit(k, vs.iter().sum()),
+            &cfg,
+        )
+        .unwrap();
+        assert!((cfg.sim.total_secs() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shuffle_network_model_charged() {
+        let cfg = JobConfig {
+            shuffle_net: Some((0.001, 1e6)),
+            ..JobConfig::local(2)
+        };
+        let input: Vec<(i64, i64)> = (0..1000).map(|i| (i, i)).collect();
+        let _ = run_job::<i64, i64, i64, i64, i64, i64>(
+            &input,
+            &|&k, &v, e| e.emit(&k, &v),
+            None,
+            &|&k, vs, emit| emit(k, vs.iter().sum()),
+            &cfg,
+        )
+        .unwrap();
+        assert!(cfg.sim.bytes() >= 16_000, "16 bytes per shuffled record");
+        assert!(cfg.sim.total_secs() > 0.0);
+    }
+
+    #[test]
+    fn budget_timeout_propagates() {
+        use std::time::Duration;
+        let budget = Budget::with_timeout(Duration::from_nanos(1));
+        std::thread::sleep(Duration::from_millis(2));
+        let cfg = JobConfig {
+            budget,
+            ..JobConfig::local(2)
+        };
+        let input: Vec<(i64, i64)> = (0..100_000).map(|i| (i, i)).collect();
+        let err = run_job::<i64, i64, i64, i64, i64, i64>(
+            &input,
+            &|&k, &v, e| e.emit(&k, &v),
+            None,
+            &|&k, vs, emit| emit(k, vs.iter().sum()),
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(err.is_infinite_result());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let cfg = JobConfig::local(4);
+        let input: Vec<(i64, i64)> = vec![];
+        let out = run_job::<i64, i64, i64, i64, i64, i64>(
+            &input,
+            &|&k, &v, e| e.emit(&k, &v),
+            None,
+            &|&k, vs, emit| emit(k, vs.iter().sum()),
+            &cfg,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+}

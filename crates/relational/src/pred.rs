@@ -1,0 +1,149 @@
+//! Predicates over rows.
+//!
+//! A small interpreted expression tree. The row store evaluates it per tuple
+//! (interpretation overhead included on purpose — that is how tuple-at-a-time
+//! engines behave); the column store compiles each leaf into a vectorized
+//! pass over one column.
+
+use crate::value::Value;
+
+/// Filter predicate over a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// Always true (full scan).
+    True,
+    /// `col < v` (integer).
+    IntLt(usize, i64),
+    /// `col <= v` (integer).
+    IntLe(usize, i64),
+    /// `col = v` (integer).
+    IntEq(usize, i64),
+    /// `col >= v` (integer).
+    IntGe(usize, i64),
+    /// `col > v` (integer).
+    IntGt(usize, i64),
+    /// `col < v` (float).
+    FloatLt(usize, f64),
+    /// `col > v` (float).
+    FloatGt(usize, f64),
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// Convenience conjunction.
+    pub fn and(self, other: Pred) -> Pred {
+        Pred::And(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience disjunction.
+    pub fn or(self, other: Pred) -> Pred {
+        Pred::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate against a materialized row (row-store path).
+    pub fn eval(&self, row: &[Value]) -> bool {
+        match self {
+            Pred::True => true,
+            Pred::IntLt(c, v) => matches!(row[*c], Value::Int(x) if x < *v),
+            Pred::IntLe(c, v) => matches!(row[*c], Value::Int(x) if x <= *v),
+            Pred::IntEq(c, v) => matches!(row[*c], Value::Int(x) if x == *v),
+            Pred::IntGe(c, v) => matches!(row[*c], Value::Int(x) if x >= *v),
+            Pred::IntGt(c, v) => matches!(row[*c], Value::Int(x) if x > *v),
+            Pred::FloatLt(c, v) => matches!(row[*c], Value::Float(x) if x < *v),
+            Pred::FloatGt(c, v) => matches!(row[*c], Value::Float(x) if x > *v),
+            Pred::And(a, b) => a.eval(row) && b.eval(row),
+            Pred::Or(a, b) => a.eval(row) || b.eval(row),
+            Pred::Not(a) => !a.eval(row),
+        }
+    }
+
+    /// Columns referenced by the predicate (deduplicated, sorted).
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Pred::True => {}
+            Pred::IntLt(c, _)
+            | Pred::IntLe(c, _)
+            | Pred::IntEq(c, _)
+            | Pred::IntGe(c, _)
+            | Pred::IntGt(c, _)
+            | Pred::FloatLt(c, _)
+            | Pred::FloatGt(c, _) => out.push(*c),
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Pred::Not(a) => a.collect_columns(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(age: i64, gender: i64, resp: f64) -> Vec<Value> {
+        vec![Value::Int(age), Value::Int(gender), Value::Float(resp)]
+    }
+
+    #[test]
+    fn leaf_comparisons() {
+        let r = row(39, 1, 2.5);
+        assert!(Pred::IntLt(0, 40).eval(&r));
+        assert!(!Pred::IntLt(0, 39).eval(&r));
+        assert!(Pred::IntLe(0, 39).eval(&r));
+        assert!(Pred::IntEq(1, 1).eval(&r));
+        assert!(Pred::IntGe(0, 39).eval(&r));
+        assert!(Pred::IntGt(0, 38).eval(&r));
+        assert!(Pred::FloatGt(2, 2.0).eval(&r));
+        assert!(Pred::FloatLt(2, 3.0).eval(&r));
+        assert!(Pred::True.eval(&r));
+    }
+
+    #[test]
+    fn query3_style_compound() {
+        // male (gender = 1) and age < 40
+        let p = Pred::IntEq(1, 1).and(Pred::IntLt(0, 40));
+        assert!(p.eval(&row(39, 1, 0.0)));
+        assert!(!p.eval(&row(41, 1, 0.0)));
+        assert!(!p.eval(&row(30, 0, 0.0)));
+    }
+
+    #[test]
+    fn or_and_not() {
+        let p = Pred::IntEq(1, 0).or(Pred::IntGt(0, 90));
+        assert!(p.eval(&row(20, 0, 0.0)));
+        assert!(p.eval(&row(95, 1, 0.0)));
+        assert!(!p.eval(&row(50, 1, 0.0)));
+        let n = Pred::Not(Box::new(Pred::True));
+        assert!(!n.eval(&row(0, 0, 0.0)));
+    }
+
+    #[test]
+    fn type_mismatch_is_false() {
+        // Int predicate over a float column: no panic, simply false.
+        assert!(!Pred::IntEq(2, 1).eval(&row(1, 1, 1.0)));
+        assert!(!Pred::FloatGt(0, 0.5).eval(&row(1, 1, 1.0)));
+    }
+
+    #[test]
+    fn columns_collected() {
+        let p = Pred::IntEq(1, 1)
+            .and(Pred::IntLt(0, 40))
+            .or(Pred::FloatGt(2, 1.0).and(Pred::IntEq(1, 0)));
+        assert_eq!(p.columns(), vec![0, 1, 2]);
+        assert!(Pred::True.columns().is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Values, data types and schemas shared by both stores.
+
+use genbase_util::{Error, Result};
+
+/// Column data type. The benchmark schema only needs 64-bit integers (ids,
+/// codes, demographics) and 64-bit floats (expression values, responses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+}
+
+/// A single field value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer field.
+    Int(i64),
+    /// Float field.
+    Float(f64),
+}
+
+impl Value {
+    /// Data type of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+        }
+    }
+
+    /// Integer content, or an error for a float.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::Float(_) => Err(Error::invalid("expected Int, found Float")),
+        }
+    }
+
+    /// Float content, or an error for an integer.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(_) => Err(Error::invalid("expected Float, found Int")),
+        }
+    }
+
+    /// Raw 8-byte little-endian encoding (type known from the schema).
+    pub fn encode(&self) -> [u8; 8] {
+        match self {
+            Value::Int(v) => v.to_le_bytes(),
+            Value::Float(v) => v.to_bits().to_le_bytes(),
+        }
+    }
+
+    /// Decode from the 8-byte encoding given the schema type.
+    pub fn decode(bytes: [u8; 8], ty: DataType) -> Value {
+        match ty {
+            DataType::Int => Value::Int(i64::from_le_bytes(bytes)),
+            DataType::Float => Value::Float(f64::from_bits(u64::from_le_bytes(bytes))),
+        }
+    }
+}
+
+/// Named, typed column list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    fields: Vec<(String, DataType)>,
+}
+
+impl Schema {
+    /// Build from `(name, type)` pairs; names must be unique.
+    pub fn new(fields: &[(&str, DataType)]) -> Result<Schema> {
+        for (i, (n, _)) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|(m, _)| m == n) {
+                return Err(Error::invalid(format!("duplicate column name {n:?}")));
+            }
+        }
+        Ok(Schema {
+            fields: fields
+                .iter()
+                .map(|&(n, t)| (n.to_string(), t))
+                .collect(),
+        })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Column index by name.
+    pub fn col(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| Error::invalid(format!("no column named {name:?}")))
+    }
+
+    /// Type of column `i`.
+    pub fn col_type(&self, i: usize) -> DataType {
+        self.fields[i].1
+    }
+
+    /// Name of column `i`.
+    pub fn col_name(&self, i: usize) -> &str {
+        &self.fields[i].0
+    }
+
+    /// All `(name, type)` pairs.
+    pub fn fields(&self) -> &[(String, DataType)] {
+        &self.fields
+    }
+
+    /// Schema with only the given columns (projection).
+    pub fn project(&self, cols: &[usize]) -> Schema {
+        Schema {
+            fields: cols.iter().map(|&c| self.fields[c].clone()).collect(),
+        }
+    }
+
+    /// Concatenate with another schema (join output); clashing names get a
+    /// `right_` prefix.
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for (n, t) in &other.fields {
+            let name = if fields.iter().any(|(m, _)| m == n) {
+                format!("right_{n}")
+            } else {
+                n.clone()
+            };
+            fields.push((name, *t));
+        }
+        Schema { fields }
+    }
+
+    /// Validate that `row` matches this schema's types.
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.arity() {
+            return Err(Error::invalid(format!(
+                "row arity {} != schema arity {}",
+                row.len(),
+                self.arity()
+            )));
+        }
+        for (i, v) in row.iter().enumerate() {
+            if v.data_type() != self.fields[i].1 {
+                return Err(Error::invalid(format!(
+                    "type mismatch in column {} ({})",
+                    i, self.fields[i].0
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips() {
+        for v in [Value::Int(-42), Value::Int(i64::MAX), Value::Float(2.75)] {
+            let decoded = Value::decode(v.encode(), v.data_type());
+            assert_eq!(v, decoded);
+        }
+        // NaN bits preserved.
+        let nan = Value::Float(f64::NAN);
+        if let Value::Float(f) = Value::decode(nan.encode(), DataType::Float) {
+            assert!(f.is_nan());
+        } else {
+            panic!("decoded wrong type");
+        }
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Value::Int(5).as_int().unwrap(), 5);
+        assert!(Value::Int(5).as_float().is_err());
+        assert_eq!(Value::Float(1.5).as_float().unwrap(), 1.5);
+        assert!(Value::Float(1.5).as_int().is_err());
+    }
+
+    #[test]
+    fn schema_lookup_and_project() {
+        let s = Schema::new(&[
+            ("gene_id", DataType::Int),
+            ("patient_id", DataType::Int),
+            ("value", DataType::Float),
+        ])
+        .unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.col("value").unwrap(), 2);
+        assert!(s.col("nope").is_err());
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.col_name(0), "value");
+        assert_eq!(p.col_name(1), "gene_id");
+        assert_eq!(p.col_type(0), DataType::Float);
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        assert!(Schema::new(&[("a", DataType::Int), ("a", DataType::Float)]).is_err());
+    }
+
+    #[test]
+    fn schema_concat_renames_clashes() {
+        let a = Schema::new(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
+        let b = Schema::new(&[("id", DataType::Int), ("y", DataType::Float)]).unwrap();
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 4);
+        assert_eq!(c.col_name(2), "right_id");
+        assert_eq!(c.col_name(3), "y");
+    }
+
+    #[test]
+    fn check_row_validates() {
+        let s = Schema::new(&[("a", DataType::Int), ("b", DataType::Float)]).unwrap();
+        assert!(s.check_row(&[Value::Int(1), Value::Float(2.0)]).is_ok());
+        assert!(s.check_row(&[Value::Float(2.0), Value::Int(1)]).is_err());
+        assert!(s.check_row(&[Value::Int(1)]).is_err());
+    }
+}

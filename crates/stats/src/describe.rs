@@ -1,0 +1,131 @@
+//! Descriptive statistics and a two-sample t-test.
+//!
+//! Used by the data generator (to verify planted signal) and available to
+//! benchmark users alongside the Wilcoxon test.
+
+use crate::normal::two_sided_p;
+use genbase_util::{Error, Result};
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator) via Welford's algorithm.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mut m = 0.0;
+    let mut m2 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let delta = x - m;
+        m += delta / (i + 1) as f64;
+        m2 += delta * (x - m);
+    }
+    m2 / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Result of a Welch two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value via the normal approximation (accurate for the
+    /// sample sizes in this benchmark, where df is large).
+    pub p_value: f64,
+}
+
+/// Welch's unequal-variance t-test.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return Err(Error::invalid("each group needs at least 2 samples"));
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (sample_variance(a), sample_variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return Ok(TTestResult {
+            t: 0.0,
+            df: na + nb - 2.0,
+            p_value: 1.0,
+        });
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    Ok(TTestResult {
+        t,
+        df,
+        p_value: two_sided_p(t),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(sample_variance(&[1.0]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 100.0).collect();
+        let m = mean(&xs);
+        let two_pass =
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((sample_variance(&xs) - two_pass).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_test_detects_shift() {
+        let a: Vec<f64> = (0..50).map(|i| (i % 10) as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| (i % 10) as f64 + 5.0).collect();
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.t < -5.0);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn t_test_null_case() {
+        let a: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let r = welch_t_test(&a, &a).unwrap();
+        assert_eq!(r.t, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_test_constant_groups() {
+        let r = welch_t_test(&[1.0, 1.0, 1.0], &[1.0, 1.0]).unwrap();
+        assert_eq!(r.t, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn t_test_validates() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! Statistical tests for the GenBase benchmark.
+//!
+//! Query 5 (enrichment) ranks all genes by expression and applies the
+//! Wilcoxon rank-sum test per GO category to decide whether member genes
+//! cluster at the top or bottom of the ranking. This crate provides the
+//! ranking machinery, the tie-corrected Wilcoxon test, the normal
+//! distribution functions backing its p-values, and a few descriptive
+//! statistics used elsewhere in the suite.
+
+pub mod describe;
+pub mod normal;
+pub mod ranking;
+pub mod wilcoxon;
+
+pub use describe::{mean, sample_variance, std_dev, welch_t_test, TTestResult};
+pub use normal::{erf, erfc, normal_cdf, normal_sf, two_sided_p};
+pub use ranking::{average_ranks, rank_sort_indices};
+pub use wilcoxon::{wilcoxon_from_ranks, wilcoxon_rank_sum, WilcoxonResult};

@@ -1,0 +1,148 @@
+//! Standard normal distribution functions.
+//!
+//! `erfc` uses the Numerical-Recipes rational Chebyshev approximation
+//! (absolute error < 1.2e-7 everywhere, far below what a rank-sum z-score
+//! needs), with the complement identities handled explicitly so both tails
+//! stay accurate.
+
+/// Complementary error function.
+///
+/// For `|x| < 1` the Maclaurin series of `erf` converges to full double
+/// precision with no cancellation, which keeps `erfc` exactly symmetric and
+/// `normal_cdf(0) == 0.5`. For larger `|x|` the Numerical Recipes Chebyshev
+/// fit takes over (fractional error < 1.2e-7, ample for z-score p-values).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    if z < 1.0 {
+        return 1.0 - erf_small(x);
+    }
+    let t = 1.0 / (1.0 + 0.5 * z);
+    // Chebyshev fit from Numerical Recipes (erfcc).
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Maclaurin series for `erf(x)`, accurate to machine precision for |x| < 1.
+fn erf_small(x: f64) -> f64 {
+    const TWO_OVER_SQRT_PI: f64 = 1.128_379_167_095_512_6;
+    let mut term = x;
+    let mut sum = x;
+    for n in 1..60 {
+        term *= -x * x / n as f64;
+        let add = term / (2 * n + 1) as f64;
+        sum += add;
+        if add.abs() < 1e-18 * sum.abs().max(1e-300) {
+            break;
+        }
+    }
+    sum * TWO_OVER_SQRT_PI
+}
+
+/// Error function.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Standard normal cumulative distribution function Φ(x).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal survival function 1 − Φ(x), computed via the upper-tail
+/// erfc so large `x` keeps precision.
+pub fn normal_sf(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Two-sided p-value for a standard-normal test statistic.
+pub fn two_sided_p(z: f64) -> f64 {
+    (2.0 * normal_sf(z.abs())).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference erf via its Maclaurin series (converges fast for |x| <= 3).
+    fn erf_series(x: f64) -> f64 {
+        let mut term = x;
+        let mut sum = x;
+        for n in 1..200 {
+            term *= -x * x / n as f64;
+            let add = term / (2 * n + 1) as f64;
+            sum += add;
+            if add.abs() < 1e-17 {
+                break;
+            }
+        }
+        sum * 2.0 / std::f64::consts::PI.sqrt()
+    }
+
+    #[test]
+    fn erf_matches_series() {
+        for i in 0..60 {
+            let x = -3.0 + i as f64 * 0.1;
+            assert!(
+                (erf(x) - erf_series(x)).abs() < 2e-7,
+                "erf({x}) = {} vs {}",
+                erf(x),
+                erf_series(x)
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_symmetry() {
+        for x in [0.0, 0.3, 1.0, 2.5, 5.0] {
+            assert!((erfc(x) + erfc(-x) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.0) - 0.8413447).abs() < 1e-6);
+        assert!((normal_cdf(-1.0) - 0.1586553).abs() < 1e-6);
+        assert!((normal_cdf(1.959964) - 0.975).abs() < 1e-6);
+        assert!((normal_cdf(2.575829) - 0.995).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        for x in [-2.0, -0.5, 0.0, 0.7, 3.0] {
+            assert!((normal_sf(x) + normal_cdf(x) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_sided_p_values() {
+        assert!((two_sided_p(0.0) - 1.0).abs() < 1e-12);
+        assert!((two_sided_p(1.959964) - 0.05).abs() < 1e-6);
+        assert!((two_sided_p(-1.959964) - 0.05).abs() < 1e-6);
+        assert!(two_sided_p(10.0) < 1e-20);
+    }
+
+    #[test]
+    fn tails_monotone() {
+        let mut prev = 1.0;
+        for i in 0..100 {
+            let p = two_sided_p(i as f64 * 0.1);
+            assert!(p <= prev + 1e-15);
+            prev = p;
+        }
+    }
+}

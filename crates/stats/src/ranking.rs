@@ -1,0 +1,113 @@
+//! Ranking with average ranks for ties (the convention the Wilcoxon test
+//! requires, matching R's `rank(..., ties.method = "average")`).
+
+/// Indices that sort `values` ascending (stable; NaN-free input expected).
+pub fn rank_sort_indices(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN in ranking input")
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// 1-based ranks with ties receiving the average of the ranks they span.
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let order = rank_sort_indices(values);
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the same value; average rank is the midpoint
+        // of (i+1)..=(j+1).
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Sizes of tie groups (lengths > 1) in `values`; used for the tie
+/// correction in the rank-sum variance.
+pub fn tie_group_sizes(values: &[f64]) -> Vec<usize> {
+    let n = values.len();
+    let order = rank_sort_indices(values);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        if j > i {
+            out.push(j - i + 1);
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranks() {
+        let r = average_ranks(&[10.0, 30.0, 20.0]);
+        assert_eq!(r, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn tied_ranks_averaged() {
+        // values: 5, 5, 1, 9 -> ranks of the 5s span 2 and 3 => 2.5 each
+        let r = average_ranks(&[5.0, 5.0, 1.0, 9.0]);
+        assert_eq!(r, vec![2.5, 2.5, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn all_tied() {
+        let r = average_ranks(&[7.0; 5]);
+        assert!(r.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn ranks_sum_invariant() {
+        // Σ ranks must always equal n(n+1)/2 regardless of ties.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 2.0, 2.0, 5.0],
+            vec![9.0, -1.0, 9.0, 9.0, 0.0, 0.0],
+        ];
+        for v in cases {
+            let n = v.len() as f64;
+            let sum: f64 = average_ranks(&v).iter().sum();
+            assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sort_indices_stable_for_ties() {
+        let idx = rank_sort_indices(&[3.0, 1.0, 3.0, 1.0]);
+        assert_eq!(idx, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn tie_groups_detected() {
+        assert!(tie_group_sizes(&[1.0, 2.0, 3.0]).is_empty());
+        assert_eq!(tie_group_sizes(&[2.0, 2.0, 2.0, 5.0, 5.0]), vec![3, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(average_ranks(&[]).is_empty());
+        assert!(tie_group_sizes(&[]).is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Minimal CSV codec.
+//!
+//! This is not a general-purpose CSV library; it exists to make the paper's
+//! "export data from the DBMS, reformat, and load it into R" path a *real*
+//! cost. Engines that bridge a store and an external analytics runtime
+//! serialize matrices/tables to text through these routines and parse them
+//! back, paying the same O(N)-with-a-large-constant conversion the paper
+//! measures.
+
+use crate::error::{Error, Result};
+
+/// Serialize a dense row-major matrix to CSV text (no header).
+pub fn write_matrix(data: &[f64], rows: usize, cols: usize) -> String {
+    assert_eq!(data.len(), rows * cols, "shape mismatch");
+    // ~18 bytes per numeric field is typical for full-precision floats.
+    let mut out = String::with_capacity(rows * cols * 18 + rows);
+    for r in 0..rows {
+        let row = &data[r * cols..(r + 1) * cols];
+        for (c, v) in row.iter().enumerate() {
+            if c > 0 {
+                out.push(',');
+            }
+            push_f64(&mut out, *v);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CSV text produced by [`write_matrix`] back into a row-major buffer.
+/// Returns `(data, rows, cols)`.
+pub fn parse_matrix(text: &str) -> Result<(Vec<f64>, usize, usize)> {
+    let mut data = Vec::new();
+    let mut cols = None;
+    let mut rows = 0;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let start = data.len();
+        for field in line.split(',') {
+            let v: f64 = field
+                .trim()
+                .parse()
+                .map_err(|_| Error::invalid(format!("bad numeric field {field:?}")))?;
+            data.push(v);
+        }
+        let width = data.len() - start;
+        match cols {
+            None => cols = Some(width),
+            Some(c) if c != width => {
+                return Err(Error::invalid(format!(
+                    "ragged CSV: row {rows} has {width} fields, expected {c}"
+                )))
+            }
+            _ => {}
+        }
+        rows += 1;
+    }
+    Ok((data, rows, cols.unwrap_or(0)))
+}
+
+/// Serialize rows of mixed integer/float fields (as produced by relational
+/// exports). Each row is a slice of [`CsvField`]s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CsvField {
+    /// 64-bit signed integer field.
+    Int(i64),
+    /// 64-bit float field.
+    Float(f64),
+}
+
+/// Append one row of fields to `out` in CSV form.
+pub fn write_row(out: &mut String, fields: &[CsvField]) {
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match f {
+            CsvField::Int(v) => {
+                let mut buf = itoa_buffer();
+                out.push_str(fmt_i64(&mut buf, *v));
+            }
+            CsvField::Float(v) => push_f64(out, *v),
+        }
+    }
+    out.push('\n');
+}
+
+/// Parse a line written by [`write_row`], with a caller-provided column kind
+/// mask: `true` means float, `false` means int.
+pub fn parse_row(line: &str, float_mask: &[bool], out: &mut Vec<CsvField>) -> Result<()> {
+    let mut n = 0;
+    for field in line.split(',') {
+        let Some(&is_float) = float_mask.get(n) else {
+            return Err(Error::invalid(format!(
+                "row has more than {} fields",
+                float_mask.len()
+            )));
+        };
+        let t = field.trim();
+        if is_float {
+            out.push(CsvField::Float(t.parse().map_err(|_| {
+                Error::invalid(format!("bad float field {t:?}"))
+            })?));
+        } else {
+            out.push(CsvField::Int(t.parse().map_err(|_| {
+                Error::invalid(format!("bad int field {t:?}"))
+            })?));
+        }
+        n += 1;
+    }
+    if n != float_mask.len() {
+        return Err(Error::invalid(format!(
+            "row has {n} fields, expected {}",
+            float_mask.len()
+        )));
+    }
+    Ok(())
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // Full round-trip precision, like R's write.csv defaults with digits=17
+    // when needed; integers print compactly.
+    if v == v.trunc() && v.abs() < 1e15 {
+        let mut buf = itoa_buffer();
+        out.push_str(fmt_i64(&mut buf, v as i64));
+    } else {
+        use std::fmt::Write;
+        let _ = write!(out, "{v:?}");
+    }
+}
+
+fn itoa_buffer() -> [u8; 24] {
+    [0u8; 24]
+}
+
+fn fmt_i64(buf: &mut [u8; 24], mut v: i64) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        let digit = (v % 10).unsigned_abs() as u8;
+        buf[i] = b'0' + digit;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_round_trip() {
+        let data = vec![1.0, 2.5, -3.125, 0.1, 1e-9, 123456.0];
+        let text = write_matrix(&data, 2, 3);
+        let (parsed, rows, cols) = parse_matrix(&text).unwrap();
+        assert_eq!(rows, 2);
+        assert_eq!(cols, 3);
+        assert_eq!(parsed, data);
+    }
+
+    #[test]
+    fn matrix_full_precision_round_trip() {
+        let mut rng = crate::Pcg64::new(11);
+        let data: Vec<f64> = (0..100).map(|_| rng.normal() * 1e3).collect();
+        let text = write_matrix(&data, 10, 10);
+        let (parsed, _, _) = parse_matrix(&text).unwrap();
+        for (a, b) in data.iter().zip(&parsed) {
+            assert_eq!(a, b, "bit-exact round trip expected");
+        }
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        assert!(parse_matrix("1,2\n3\n").is_err());
+    }
+
+    #[test]
+    fn bad_field_rejected() {
+        assert!(parse_matrix("1,zap\n").is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let (d, r, c) = parse_matrix("").unwrap();
+        assert!(d.is_empty());
+        assert_eq!((r, c), (0, 0));
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let mut text = String::new();
+        write_row(
+            &mut text,
+            &[CsvField::Int(-42), CsvField::Float(2.75), CsvField::Int(7)],
+        );
+        let mask = [false, true, false];
+        let mut out = Vec::new();
+        parse_row(text.trim_end(), &mask, &mut out).unwrap();
+        assert_eq!(
+            out,
+            vec![CsvField::Int(-42), CsvField::Float(2.75), CsvField::Int(7)]
+        );
+    }
+
+    #[test]
+    fn row_width_mismatch_rejected() {
+        let mut out = Vec::new();
+        assert!(parse_row("1,2,3", &[false, false], &mut out).is_err());
+        out.clear();
+        assert!(parse_row("1", &[false, false], &mut out).is_err());
+    }
+
+    #[test]
+    fn i64_formatting_edge_cases() {
+        let mut text = String::new();
+        write_row(
+            &mut text,
+            &[
+                CsvField::Int(0),
+                CsvField::Int(i64::MIN + 1),
+                CsvField::Int(i64::MAX),
+            ],
+        );
+        assert_eq!(
+            text.trim_end(),
+            format!("0,{},{}", i64::MIN + 1, i64::MAX)
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Plain-text table rendering for harness output.
+//!
+//! The benchmark harness prints each paper figure/table as an aligned text
+//! table; this module handles column widths and alignment.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-justified (labels).
+    Left,
+    /// Right-justified (numbers).
+    Right,
+}
+
+/// Simple text table builder.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given header labels; numeric columns should be
+    /// marked [`Align::Right`].
+    pub fn new(columns: &[(&str, Align)]) -> Self {
+        TextTable {
+            header: columns.iter().map(|(n, _)| n.to_string()).collect(),
+            aligns: columns.iter().map(|&(_, a)| a).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row; must match the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String], widths: &[usize], aligns: &[Align]| {
+            for i in 0..ncols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i] - cell.len();
+                match aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        if i + 1 < ncols {
+                            out.extend(std::iter::repeat(' ').take(pad));
+                        }
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat(' ').take(pad));
+                        out.push_str(cell);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header, &widths, &self.aligns);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.extend(std::iter::repeat('-').take(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row, &widths, &self.aligns);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&[("system", Align::Left), ("secs", Align::Right)]);
+        t.row(vec!["scidb".into(), "1.25".into()]);
+        t.row(vec!["hadoop-mapreduce".into(), "312.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("system"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // numeric column right-aligned: both rows end at same column
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[2].ends_with("1.25"));
+        assert!(lines[3].ends_with("312.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_bad_width() {
+        let mut t = TextTable::new(&[("a", Align::Left)]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = TextTable::new(&[("a", Align::Left)]);
+        assert!(t.is_empty());
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

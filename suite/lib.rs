@@ -1,0 +1,16 @@
+//! GenBase suite: umbrella crate tying the workspace together for the
+//! root-level integration tests (`tests/`) and runnable examples
+//! (`examples/`). All functionality lives in the member crates; this crate
+//! only re-exports them under one roof.
+
+pub use genbase as core;
+pub use genbase_accel as accel;
+pub use genbase_array as array;
+pub use genbase_bicluster as bicluster;
+pub use genbase_cluster as cluster;
+pub use genbase_datagen as datagen;
+pub use genbase_linalg as linalg;
+pub use genbase_mapreduce as mapreduce;
+pub use genbase_relational as relational;
+pub use genbase_stats as stats;
+pub use genbase_util as util;

@@ -1,0 +1,126 @@
+//! Every engine must return the same answer to every query it supports —
+//! the defining correctness property of a benchmark suite. Performance may
+//! differ by orders of magnitude; results may not.
+
+use genbase::prelude::*;
+use genbase_datagen::{generate, GeneratorConfig, SizeSpec};
+
+fn dataset() -> genbase_datagen::Dataset {
+    generate(&GeneratorConfig::new(SizeSpec::custom(80, 70, 10))).unwrap()
+}
+
+#[test]
+fn all_single_node_engines_agree_on_every_query() {
+    let data = dataset();
+    let params = QueryParams::for_dataset(&data);
+    let ctx = ExecContext::single_node();
+    let reference_engine = engines::SciDb::new();
+    for query in Query::ALL {
+        let reference = reference_engine
+            .run(query, &data, &params, &ctx)
+            .unwrap()
+            .output;
+        for engine in engines::single_node_engines() {
+            if !engine.supports(query) {
+                continue;
+            }
+            let output = engine
+                .run(query, &data, &params, &ctx)
+                .unwrap_or_else(|e| panic!("{} / {query:?}: {e}", engine.name()))
+                .output;
+            assert!(
+                output.consistency_error(&reference, 1e-5).is_none(),
+                "{} / {query:?} disagrees with SciDB: {:?}",
+                engine.name(),
+                output.consistency_error(&reference, 1e-5)
+            );
+        }
+    }
+}
+
+#[test]
+fn phi_configuration_matches_plain_scidb() {
+    let data = dataset();
+    let params = QueryParams::for_dataset(&data);
+    let ctx = ExecContext::single_node();
+    let scidb = engines::SciDb::new();
+    let phi = engines::SciDbPhi::new();
+    for query in genbase::figures::PHI_QUERIES {
+        let a = scidb.run(query, &data, &params, &ctx).unwrap().output;
+        let b = phi.run(query, &data, &params, &ctx).unwrap().output;
+        assert!(
+            a.consistency_error(&b, 1e-9).is_none(),
+            "offload must not change results: {query:?}"
+        );
+    }
+}
+
+#[test]
+fn outputs_are_deterministic_across_runs() {
+    let data = dataset();
+    let params = QueryParams::for_dataset(&data);
+    let ctx = ExecContext::single_node();
+    let engine = engines::SciDb::new();
+    for query in Query::ALL {
+        let a = engine.run(query, &data, &params, &ctx).unwrap().output;
+        let b = engine.run(query, &data, &params, &ctx).unwrap().output;
+        assert_eq!(a, b, "{query:?} must be bit-identical across runs");
+    }
+}
+
+#[test]
+fn regression_recovers_planted_signal() {
+    let data = dataset();
+    let params = QueryParams::for_dataset(&data);
+    let ctx = ExecContext::single_node();
+    let out = engines::SciDb::new()
+        .run(Query::Regression, &data, &params, &ctx)
+        .unwrap()
+        .output;
+    let QueryOutput::Regression { r_squared, coefficients, .. } = out else {
+        panic!("wrong output kind")
+    };
+    // The generator plants a strong linear model over causal genes that all
+    // pass the function filter.
+    assert!(r_squared > 0.8, "R^2 = {r_squared}");
+    // Causal genes should carry the largest |coefficients|.
+    let mut ranked = coefficients.clone();
+    ranked.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+    let causal: Vec<i64> = data.truth.causal_genes.iter().map(|&(g, _)| g as i64).collect();
+    let top_hits = ranked
+        .iter()
+        .take(causal.len())
+        .filter(|(g, _)| causal.contains(g))
+        .count();
+    assert!(
+        top_hits * 2 >= causal.len(),
+        "at least half the planted causal genes in the top set: {top_hits}/{}",
+        causal.len()
+    );
+}
+
+#[test]
+fn enrichment_finds_planted_terms() {
+    let data = dataset();
+    let params = QueryParams::for_dataset(&data);
+    let ctx = ExecContext::single_node();
+    let out = engines::SciDb::new()
+        .run(Query::Statistics, &data, &params, &ctx)
+        .unwrap()
+        .output;
+    let QueryOutput::Enrichment { per_term } = out else {
+        panic!("wrong output kind")
+    };
+    // Module-aligned GO terms must test significant (module genes carry a
+    // planted mean shift, so they rank high).
+    for &term in &data.truth.aligned_terms {
+        let (_, z, p) = per_term
+            .iter()
+            .find(|(t, _, _)| *t == term)
+            .expect("aligned term tested");
+        assert!(
+            *z > 1.5 && *p < 0.15,
+            "planted term {term} should enrich: z = {z}, p = {p}"
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! End-to-end: the harness regenerates every figure/table at micro scale.
+
+use genbase::figures;
+use genbase::harness::{Harness, HarnessConfig};
+use genbase_datagen::SizeClass;
+use std::time::Duration;
+
+fn micro_harness() -> Harness {
+    let cfg = HarnessConfig {
+        scale: 0.014, // 70x70 "small"
+        sizes: vec![SizeClass::Small],
+        cutoff: Duration::from_secs(120),
+        r_mem_bytes: u64::MAX,
+        node_counts: vec![1, 2],
+        ..HarnessConfig::quick()
+    };
+    Harness::new(cfg).unwrap()
+}
+
+#[test]
+fn all_figures_and_tables_render() {
+    let h = micro_harness();
+    let f1 = figures::figure1(&h).unwrap();
+    assert_eq!(f1.tables.len(), 5, "one table per query");
+    let rendered = f1.render();
+    for engine in [
+        "Vanilla R",
+        "Postgres + Madlib",
+        "Postgres + R",
+        "Column store + R",
+        "Column store + UDFs",
+        "SciDB",
+        "Hadoop",
+    ] {
+        assert!(rendered.contains(engine), "figure 1 must list {engine}");
+    }
+    // Hadoop shows no bar for biclustering/SVD (missing functionality).
+    assert!(rendered.contains('-'));
+
+    let f2 = figures::figure2(&h).unwrap();
+    assert_eq!(f2.tables.len(), 2);
+
+    let f3 = figures::figure3(&h, SizeClass::Small).unwrap();
+    assert_eq!(f3.tables.len(), 5);
+    let rendered = f3.render();
+    for engine in ["Column store + pbdR", "pbdR", "SciDB"] {
+        assert!(rendered.contains(engine), "figure 3 must list {engine}");
+    }
+
+    let f4 = figures::figure4(&h, SizeClass::Small).unwrap();
+    assert_eq!(f4.tables.len(), 2);
+
+    let f5 = figures::figure5(&h).unwrap();
+    assert_eq!(f5.tables.len(), 4, "the four offloadable queries");
+
+    let t1 = figures::table1(&h, SizeClass::Small).unwrap();
+    let rendered = t1.render();
+    for bench in ["Covariance", "SVD", "Statistics", "Biclustering"] {
+        assert!(rendered.contains(bench), "table 1 must list {bench}");
+    }
+}
+
+#[test]
+fn run_matrix_covers_all_cells() {
+    let h = micro_harness();
+    let engines = genbase::engines::single_node_engines();
+    let records = h
+        .run_matrix(&engines, &genbase::Query::ALL)
+        .unwrap();
+    // 5 queries x 1 size x 7 engines.
+    assert_eq!(records.len(), 35);
+    let completed = records
+        .iter()
+        .filter(|r| matches!(r.outcome, genbase::RunOutcome::Completed(_)))
+        .count();
+    let unsupported = records
+        .iter()
+        .filter(|r| matches!(r.outcome, genbase::RunOutcome::Unsupported))
+        .count();
+    // Hadoop misses 2 queries, Madlib misses 1.
+    assert_eq!(unsupported, 3);
+    assert_eq!(completed, 32);
+}

@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) over the core data structures and
+//! numerical invariants of the substrate crates.
+
+use genbase_linalg::{covariance, gram, matmul, ExecOpts, Matrix, QrFactor};
+use genbase_relational::{ColumnTable, Pred, RowTable, Schema, DataType, Value};
+use genbase_stats::{average_ranks, wilcoxon_rank_sum};
+use genbase_util::{csv, Budget};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    ((1..max_dim), (1..max_dim)).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f64..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_distributes_over_addition(a in small_matrix(12), b in small_matrix(12)) {
+        // (A*B)*1-vector == A*(B*1-vector): associativity on a probe vector.
+        prop_assume!(a.cols() == b.rows());
+        let opts = ExecOpts::serial();
+        let ab = matmul(&a, &b, &opts).unwrap();
+        let ones = vec![1.0; b.cols()];
+        let via_ab = genbase_linalg::matvec(&ab, &ones);
+        let bv = genbase_linalg::matvec(&b, &ones);
+        let via_chain = genbase_linalg::matvec(&a, &bv);
+        for (x, y) in via_ab.iter().zip(&via_chain) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(m in small_matrix(16)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn gram_matrices_are_symmetric_psd(m in small_matrix(10)) {
+        let g = gram(&m, &ExecOpts::serial()).unwrap();
+        prop_assert!(g.approx_eq(&g.transpose(), 1e-9));
+        // PSD: xᵀGx >= 0 for probe vectors.
+        for probe in 0..3 {
+            let x: Vec<f64> = (0..g.cols()).map(|i| ((i + probe) % 5) as f64 - 2.0).collect();
+            let gx = genbase_linalg::matvec(&g, &x);
+            let quad: f64 = x.iter().zip(&gx).map(|(a, b)| a * b).sum();
+            prop_assert!(quad >= -1e-6);
+        }
+    }
+
+    #[test]
+    fn covariance_is_symmetric_with_nonneg_diagonal(m in small_matrix(10)) {
+        prop_assume!(m.rows() >= 2);
+        let c = covariance(&m, &ExecOpts::serial()).unwrap();
+        prop_assert!(c.approx_eq(&c.transpose(), 1e-9));
+        for i in 0..c.cols() {
+            prop_assert!(c.get(i, i) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_matrices(
+        cols in 1usize..6,
+        extra in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let rows = cols + extra;
+        let mut rng = genbase_util::Pcg64::new(seed);
+        let a = Matrix::from_fn(rows, cols, |_, _| rng.normal());
+        let f = QrFactor::factor(a.clone(), &ExecOpts::serial()).unwrap();
+        let qr = matmul(&f.q(), &f.r(), &ExecOpts::serial()).unwrap();
+        prop_assert!(qr.approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn ranks_sum_to_triangle_number(values in proptest::collection::vec(-50.0f64..50.0, 1..60)) {
+        let ranks = average_ranks(&values);
+        let n = values.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wilcoxon_is_antisymmetric(
+        a in proptest::collection::vec(-10.0f64..10.0, 2..20),
+        b in proptest::collection::vec(-10.0f64..10.0, 2..20),
+    ) {
+        let ab = wilcoxon_rank_sum(&a, &b).unwrap();
+        let ba = wilcoxon_rank_sum(&b, &a).unwrap();
+        prop_assert!((ab.z + ba.z).abs() < 1e-9);
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_matrix_round_trip(m in small_matrix(10)) {
+        let text = csv::write_matrix(m.data(), m.rows(), m.cols());
+        let (data, rows, cols) = csv::parse_matrix(&text).unwrap();
+        prop_assert_eq!(rows, m.rows());
+        prop_assert_eq!(cols, m.cols());
+        prop_assert_eq!(data, m.data().to_vec());
+    }
+
+    #[test]
+    fn row_and_column_stores_agree_on_filters(
+        rows in proptest::collection::vec((0i64..100, 0i64..2), 0..200),
+        age_limit in 0i64..100,
+        gender in 0i64..2,
+    ) {
+        let schema = Schema::new(&[("age", DataType::Int), ("gender", DataType::Int)]).unwrap();
+        let values: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|&(a, g)| vec![Value::Int(a), Value::Int(g)])
+            .collect();
+        let rt = RowTable::from_rows(schema.clone(), values.clone()).unwrap();
+        let ct = ColumnTable::from_rows(schema, values).unwrap();
+        let pred = Pred::IntLt(0, age_limit).and(Pred::IntEq(1, gender));
+        let b = Budget::unlimited();
+        let rf = rt.filter(&pred, &b).unwrap();
+        let cf = ct.filter(&pred, &b).unwrap();
+        prop_assert_eq!(rf.n_rows(), cf.n_rows());
+        let mut c_rows = Vec::new();
+        use genbase_relational::Relation;
+        cf.for_each(&mut |r: &[Value]| c_rows.push(r.to_vec()));
+        prop_assert_eq!(c_rows, rf.scan());
+    }
+
+    #[test]
+    fn bicluster_msr_nonnegative_and_bounded(
+        seed in 0u64..500,
+        rows in 3usize..12,
+        cols in 3usize..12,
+    ) {
+        let mut rng = genbase_util::Pcg64::new(seed);
+        let m = Matrix::from_fn(rows, cols, |_, _| rng.normal());
+        let all_rows: Vec<usize> = (0..rows).collect();
+        let all_cols: Vec<usize> = (0..cols).collect();
+        let msr = genbase_bicluster::mean_squared_residue(&m, &all_rows, &all_cols);
+        prop_assert!(msr >= 0.0);
+        // MSR is bounded by the matrix variance (residue removes means).
+        let mean: f64 = m.data().iter().sum::<f64>() / (rows * cols) as f64;
+        let var: f64 = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / (rows * cols) as f64;
+        prop_assert!(msr <= var + 1e-9);
+    }
+
+    #[test]
+    fn array_engine_select_matches_dense(
+        seed in 0u64..200,
+        chunk in 1usize..9,
+    ) {
+        let mut rng = genbase_util::Pcg64::new(seed);
+        let m = Matrix::from_fn(17, 13, |_, _| rng.normal());
+        let arr = genbase_array::Array2D::from_matrix_chunked(
+            &m, chunk, chunk, &Budget::unlimited(),
+        ).unwrap();
+        let rows: Vec<usize> = (0..17).step_by(2).collect();
+        let cols: Vec<usize> = (0..13).step_by(3).collect();
+        let sel = arr
+            .select(&rows, &cols, &Budget::unlimited())
+            .unwrap()
+            .to_matrix(&Budget::unlimited())
+            .unwrap();
+        let dense = m.select_rows(&rows).select_cols(&cols);
+        prop_assert!(sel.approx_eq(&dense, 0.0));
+    }
+
+    #[test]
+    fn mapreduce_group_sum_matches_serial(
+        pairs in proptest::collection::vec((0i64..20, -100.0f64..100.0), 0..300),
+    ) {
+        use genbase_mapreduce::hive::{Cell, HiveTable};
+        use genbase_mapreduce::job::JobConfig;
+        let table = HiveTable::new(
+            pairs.iter().map(|&(k, v)| vec![Cell::I(k), Cell::F(v)]).collect(),
+        );
+        let cfg = JobConfig::local(3);
+        let mr = table.group_sum(0, 1, &cfg).unwrap();
+        let mut serial: std::collections::BTreeMap<i64, (f64, u64)> = Default::default();
+        for &(k, v) in &pairs {
+            let e = serial.entry(k).or_insert((0.0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        prop_assert_eq!(mr.len(), serial.len());
+        for (k, s, c) in mr {
+            let &(es, ec) = serial.get(&k).unwrap();
+            prop_assert!((s - es).abs() < 1e-6);
+            prop_assert_eq!(c, ec);
+        }
+    }
+}
