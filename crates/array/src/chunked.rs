@@ -1,7 +1,12 @@
 //! Dense chunked 2-D array.
 
 use genbase_linalg::Matrix;
-use genbase_util::{Budget, Error, Result};
+use genbase_util::{runtime, Budget, Error, Result, SharedSlice};
+
+/// Rows per task in the parallel per-chunk scans. Fixed (not derived from
+/// the thread count) so partial-sum reduction order — and therefore FP
+/// results — are identical at every thread count.
+const ROW_TASK: usize = 512;
 
 /// Default chunk edge in cells. SciDB favors chunks of ~1M cells; 512x512
 /// (256K cells, 2 MB of doubles) keeps edge effects small at benchmark scale
@@ -175,21 +180,33 @@ impl Array2D {
         })
     }
 
-    /// Dimension subsetting: keep the given global rows and columns (in the
-    /// given order). This is the array engine's join — coordinate lists from
-    /// metadata filters select directly along the dimensions, no hash table,
-    /// no restructuring.
-    pub fn select(&self, rows: &[usize], cols: &[usize], budget: &Budget) -> Result<Array2D> {
+    /// Validate global row indices.
+    fn check_rows(&self, rows: &[usize]) -> Result<()> {
         for &r in rows {
             if r >= self.rows {
                 return Err(Error::invalid(format!("row {r} out of range")));
             }
         }
+        Ok(())
+    }
+
+    /// Validate global column indices.
+    fn check_cols(&self, cols: &[usize]) -> Result<()> {
         for &c in cols {
             if c >= self.cols {
                 return Err(Error::invalid(format!("col {c} out of range")));
             }
         }
+        Ok(())
+    }
+
+    /// Dimension subsetting: keep the given global rows and columns (in the
+    /// given order). This is the array engine's join — coordinate lists from
+    /// metadata filters select directly along the dimensions, no hash table,
+    /// no restructuring.
+    pub fn select(&self, rows: &[usize], cols: &[usize], budget: &Budget) -> Result<Array2D> {
+        self.check_rows(rows)?;
+        self.check_cols(cols)?;
         let cells = (rows.len() * cols.len()) as u64;
         budget.alloc(cells * 8, cells)?;
         let mut out =
@@ -226,6 +243,79 @@ impl Array2D {
         Ok(m)
     }
 
+    /// Fused dimension-subset + materialize: the per-chunk gather loop of
+    /// [`select`](Self::select) followed by [`to_matrix`](Self::to_matrix),
+    /// parallelized over destination row blocks on the shared runtime.
+    /// This is the engines' hot select→dense path; results are identical to
+    /// the serial pair at every thread count (each output row is written by
+    /// exactly one task).
+    pub fn select_to_matrix_par(
+        &self,
+        rows: &[usize],
+        cols: &[usize],
+        threads: usize,
+        budget: &Budget,
+    ) -> Result<Matrix> {
+        self.check_rows(rows)?;
+        self.check_cols(cols)?;
+        let mut m = Matrix::zeros_budgeted(rows.len(), cols.len(), budget)?;
+        let width = cols.len();
+        let tasks = rows.len().div_ceil(ROW_TASK);
+        let shared = SharedSlice::new(m.data_mut());
+        runtime::try_parallel_for(threads, tasks, |t| {
+            let r0 = t * ROW_TASK;
+            let r1 = (r0 + ROW_TASK).min(rows.len());
+            let mut src_row = vec![0.0; self.cols];
+            budget.check("array select")?;
+            for ri in r0..r1 {
+                self.read_row(rows[ri], &mut src_row);
+                // SAFETY: each task owns the disjoint output rows r0..r1.
+                let dst = unsafe { shared.slice_mut(ri * width, width) };
+                for (d, &c) in dst.iter_mut().zip(cols) {
+                    *d = src_row[c];
+                }
+            }
+            Ok(())
+        })?;
+        budget.free(rows.len() as u64 * cols.len() as u64 * 8);
+        Ok(m)
+    }
+
+    /// Per-column sums over selected rows, parallelized over fixed row
+    /// blocks with the block partials reduced in block order (thread-count
+    /// invariant). Parallel counterpart of
+    /// [`column_sums_over_rows`](Self::column_sums_over_rows).
+    pub fn column_sums_over_rows_par(
+        &self,
+        rows: &[usize],
+        threads: usize,
+        budget: &Budget,
+    ) -> Result<Vec<f64>> {
+        self.check_rows(rows)?;
+        let tasks = rows.len().div_ceil(ROW_TASK);
+        let partials = runtime::parallel_map(threads, tasks, |t| -> Result<Vec<f64>> {
+            let r0 = t * ROW_TASK;
+            let r1 = (r0 + ROW_TASK).min(rows.len());
+            budget.check("array aggregate")?;
+            let mut sums = vec![0.0; self.cols];
+            let mut row_buf = vec![0.0; self.cols];
+            for &r in &rows[r0..r1] {
+                self.read_row(r, &mut row_buf);
+                for (s, v) in sums.iter_mut().zip(&row_buf) {
+                    *s += v;
+                }
+            }
+            Ok(sums)
+        });
+        let mut sums = vec![0.0; self.cols];
+        for part in partials {
+            for (s, p) in sums.iter_mut().zip(&part?) {
+                *s += p;
+            }
+        }
+        Ok(sums)
+    }
+
     /// Re-chunk into a new chunk shape (used when redistributing to
     /// ScaLAPACK-style block-cyclic layouts).
     pub fn rechunk(&self, chunk_rows: usize, chunk_cols: usize, budget: &Budget) -> Result<Array2D> {
@@ -242,11 +332,7 @@ impl Array2D {
     /// Per-column sums over a set of selected rows (used by the enrichment
     /// query's ranking aggregate), computed chunk-wise.
     pub fn column_sums_over_rows(&self, rows: &[usize], budget: &Budget) -> Result<Vec<f64>> {
-        for &r in rows {
-            if r >= self.rows {
-                return Err(Error::invalid(format!("row {r} out of range")));
-            }
-        }
+        self.check_rows(rows)?;
         let mut sums = vec![0.0; self.cols];
         let mut row_buf = vec![0.0; self.cols];
         for (i, &r) in rows.iter().enumerate() {
@@ -357,6 +443,51 @@ mod tests {
         for c in 0..12 {
             let expect: f64 = rows.iter().map(|&r| m.get(r, c)).sum();
             assert!((sums[c] - expect).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fused_select_matches_serial_pair() {
+        let mut rng = Pcg64::new(125);
+        let m = random_matrix(&mut rng, 1100, 40);
+        let a = Array2D::from_matrix_chunked(&m, 64, 16, &Budget::unlimited()).unwrap();
+        let rows: Vec<usize> = (0..1100).step_by(2).collect();
+        let cols: Vec<usize> = (0..40).step_by(3).collect();
+        let serial = a
+            .select(&rows, &cols, &Budget::unlimited())
+            .unwrap()
+            .to_matrix(&Budget::unlimited())
+            .unwrap();
+        for threads in [1, 2, 8] {
+            let fused = a
+                .select_to_matrix_par(&rows, &cols, threads, &Budget::unlimited())
+                .unwrap();
+            assert!(fused.approx_eq(&serial, 0.0), "threads={threads}");
+        }
+        assert!(a
+            .select_to_matrix_par(&[9999], &[0], 2, &Budget::unlimited())
+            .is_err());
+    }
+
+    #[test]
+    fn parallel_column_sums_thread_invariant() {
+        let mut rng = Pcg64::new(126);
+        let m = random_matrix(&mut rng, 1500, 9);
+        let a = Array2D::from_matrix_chunked(&m, 128, 4, &Budget::unlimited()).unwrap();
+        let rows: Vec<usize> = (0..1500).step_by(2).collect();
+        let reference = a
+            .column_sums_over_rows_par(&rows, 1, &Budget::unlimited())
+            .unwrap();
+        for threads in [2, 8] {
+            let par = a
+                .column_sums_over_rows_par(&rows, threads, &Budget::unlimited())
+                .unwrap();
+            assert_eq!(par, reference, "threads={threads}");
+        }
+        // Serial chunk-free sum agrees within rounding.
+        let serial = a.column_sums_over_rows(&rows, &Budget::unlimited()).unwrap();
+        for (p, s) in reference.iter().zip(&serial) {
+            assert!((p - s).abs() < 1e-9);
         }
     }
 

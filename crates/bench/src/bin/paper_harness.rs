@@ -1,17 +1,25 @@
 //! The full benchmark driver: regenerates every table and figure from the
-//! GenBase paper's evaluation section.
+//! GenBase paper's evaluation section, plus the kernel perf baseline.
 //!
 //! ```text
-//! paper_harness [fig1|fig2|fig3|fig4|fig5|table1|weak|all]
+//! paper_harness [fig1|fig2|fig3|fig4|fig5|table1|weak|bench|all]
 //!               [--scale F]      per-side scale vs paper sizes (default 0.048)
 //!               [--cutoff SECS]  per-run cutoff (default 60)
 //!               [--mn-size S]    multi-node dataset: small|medium|large (default medium)
+//!               [--bench-size N] kernel bench matrix edge (default 2048)
+//!               [--bench-iters K] timed iterations per kernel (default 2)
+//!               [--bench-out P]  kernel bench JSON path (default BENCH_baseline.json)
 //! ```
 //!
 //! At the default scale the size ladder is Small 240x240, Medium 720x960,
 //! Large 1440x1920 (paper ÷ ~20.8 per side), and the cutoff plays the role
 //! of the paper's two-hour window. Pass `--scale 1.0` for paper-size runs
 //! (hours of compute and ~10 GB matrices).
+//!
+//! `bench` times the linalg/stats hot kernels against the seed repo's
+//! serial implementations and writes `BENCH_baseline.json`
+//! (`op, size, threads, ns/iter`) so later PRs have a perf trajectory to
+//! regress against (see the CI bench job).
 
 use genbase::figures;
 use genbase::harness::{Harness, HarnessConfig};
@@ -23,6 +31,9 @@ struct Args {
     scale: f64,
     cutoff_secs: u64,
     mn_size: SizeClass,
+    bench_size: usize,
+    bench_iters: u32,
+    bench_out: String,
 }
 
 fn parse_args() -> Args {
@@ -31,6 +42,9 @@ fn parse_args() -> Args {
         scale: 0.048,
         cutoff_secs: 60,
         mn_size: SizeClass::Medium,
+        bench_size: 2048,
+        bench_iters: 2,
+        bench_out: "BENCH_baseline.json".to_string(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -53,6 +67,18 @@ fn parse_args() -> Args {
                     other => panic!("unknown size {other:?}"),
                 };
             }
+            "--bench-size" => {
+                i += 1;
+                args.bench_size = argv[i].parse().expect("--bench-size takes an integer");
+            }
+            "--bench-iters" => {
+                i += 1;
+                args.bench_iters = argv[i].parse().expect("--bench-iters takes an integer");
+            }
+            "--bench-out" => {
+                i += 1;
+                args.bench_out = argv[i].clone();
+            }
             what => args.what = what.to_string(),
         }
         i += 1;
@@ -62,6 +88,14 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.what == "bench" {
+        let entries = perf::run(args.bench_size, args.bench_iters);
+        let json = perf::to_json(args.bench_size, &entries);
+        std::fs::write(&args.bench_out, &json).expect("write bench output");
+        eprintln!("wrote {}", args.bench_out);
+        println!("{json}");
+        return;
+    }
     let config = HarnessConfig {
         scale: args.scale,
         cutoff: Duration::from_secs(args.cutoff_secs),
@@ -125,5 +159,193 @@ fn main() {
             .expect("weak scaling")
             .render()
         );
+    }
+}
+
+/// Kernel perf baseline: times the hot linalg/stats paths against the seed
+/// repo's serial kernels and serializes `BENCH_baseline.json`.
+mod perf {
+    use genbase_linalg::{covariance, matmul, matmul_blocked, ExecOpts, Matrix};
+    use genbase_util::Pcg64;
+    use std::time::Instant;
+
+    /// One timed configuration.
+    pub struct Entry {
+        /// Kernel name (`*_seed_serial` entries are the frozen baselines).
+        pub op: &'static str,
+        /// Problem edge: matrices are `size x size`, rankings `size * 256`
+        /// values.
+        pub size: usize,
+        /// `ExecOpts.threads` handed to the kernel.
+        pub threads: usize,
+        /// Mean wall nanoseconds per iteration.
+        pub ns_per_iter: f64,
+        /// Timed iterations (after one warm-up).
+        pub iters: u32,
+    }
+
+    fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+        f(); // warm-up (page-in, pool spin-up)
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / iters.max(1) as f64
+    }
+
+    /// The seed repo's serial blocked matmul: i-k-j order, 64-edge cache
+    /// blocks, per-element zero-skip branch — exactly the pre-runtime
+    /// kernel (the library's matmul_blocked has since dropped the branch,
+    /// so it is reconstructed here to keep the baseline honest).
+    fn matmul_seed_serial(a: &Matrix, b: &Matrix) -> Matrix {
+        const BLOCK: usize = 64;
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::zeros(m, n);
+        let a = a.data();
+        let b = b.data();
+        let o = out.data_mut();
+        for ib in (0..m).step_by(BLOCK) {
+            let i_end = (ib + BLOCK).min(m);
+            for kb in (0..k).step_by(BLOCK) {
+                let k_end = (kb + BLOCK).min(k);
+                for jb in (0..n).step_by(BLOCK) {
+                    let j_end = (jb + BLOCK).min(n);
+                    for i in ib..i_end {
+                        let a_row = &a[i * k..(i + 1) * k];
+                        let out_row = &mut o[i * n..(i + 1) * n];
+                        for p in kb..k_end {
+                            let aval = a_row[p];
+                            if aval == 0.0 {
+                                continue;
+                            }
+                            let b_row = &b[p * n + jb..p * n + j_end];
+                            let orow = &mut out_row[jb..j_end];
+                            for (oj, bj) in orow.iter_mut().zip(b_row) {
+                                *oj += aval * bj;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The seed repo's serial blocked gram + centering (covariance Query 2
+    /// path): row-streaming upper-triangle update with the per-element
+    /// zero-skip branch, exactly as in the pre-runtime kernel.
+    fn covariance_seed_serial(a: &Matrix) -> Matrix {
+        let (m, n) = a.shape();
+        let mut centered = a.clone();
+        genbase_linalg::center_columns(&mut centered);
+        let mut out = Matrix::zeros(n, n);
+        {
+            let a = centered.data();
+            let o = out.data_mut();
+            for r in 0..m {
+                let a_row = &a[r * n..(r + 1) * n];
+                for c in 0..n {
+                    let aval = a_row[c];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let seg = &mut o[c * n + c..(c + 1) * n];
+                    for (oj, bj) in seg.iter_mut().zip(&a_row[c..]) {
+                        *oj += aval * bj;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                let v = out.get(j, i);
+                out.set(i, j, v);
+            }
+        }
+        let inv = 1.0 / (m - 1) as f64;
+        out.map_inplace(|v| v * inv);
+        out
+    }
+
+    /// Run the kernel sweep. `size` is the matrix edge (the acceptance
+    /// configuration is 2048); thread counts follow the perf-trajectory
+    /// convention {1, 2, 8}.
+    pub fn run(size: usize, iters: u32) -> Vec<Entry> {
+        let mut rng = Pcg64::new(0xbe7c);
+        eprintln!("bench: generating {size}x{size} inputs...");
+        let a = Matrix::from_fn(size, size, |_, _| rng.normal());
+        let b = Matrix::from_fn(size, size, |_, _| rng.normal());
+        let mut entries = Vec::new();
+        let mut push = |op: &'static str, threads: usize, ns: f64, iters: u32| {
+            eprintln!("bench: {op} size={size} threads={threads}: {:.3} ms/iter", ns / 1e6);
+            entries.push(Entry { op, size, threads, ns_per_iter: ns, iters });
+        };
+
+        // -- matmul ----------------------------------------------------------
+        let serial = ExecOpts::serial();
+        let ns = time_ns(iters, || {
+            matmul_seed_serial(&a, &b);
+        });
+        push("matmul_seed_serial", 1, ns, iters);
+        let ns = time_ns(iters, || {
+            matmul_blocked(&a, &b, &serial).expect("blocked matmul");
+        });
+        push("matmul_blocked_serial", 1, ns, iters);
+        for threads in [1usize, 2, 8] {
+            let opts = ExecOpts::with_threads(threads);
+            let ns = time_ns(iters, || {
+                matmul(&a, &b, &opts).expect("packed matmul");
+            });
+            push("matmul_packed", threads, ns, iters);
+        }
+
+        // -- covariance --------------------------------------------------------
+        let ns = time_ns(iters, || {
+            covariance_seed_serial(&a);
+        });
+        push("covariance_seed_serial", 1, ns, iters);
+        for threads in [1usize, 2, 8] {
+            let opts = ExecOpts::with_threads(threads);
+            let ns = time_ns(iters, || {
+                covariance(&a, &opts).expect("covariance");
+            });
+            push("covariance_syrk", threads, ns, iters);
+        }
+
+        // -- statistics ranking ------------------------------------------------
+        let values: Vec<f64> = (0..size * 256).map(|_| rng.normal()).collect();
+        let ns = time_ns(iters, || {
+            genbase_stats::average_ranks(&values);
+        });
+        push("ranking_seed_serial", 1, ns, iters);
+        for threads in [1usize, 2, 8] {
+            let ns = time_ns(iters, || {
+                genbase_stats::average_ranks_par(&values, threads);
+            });
+            push("ranking_parallel", threads, ns, iters);
+        }
+        entries
+    }
+
+    /// Hand-rolled JSON (the workspace is dependency-free by design).
+    pub fn to_json(size: usize, entries: &[Entry]) -> String {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"genbase-bench-v1\",\n");
+        out.push_str(&format!("  \"bench_size\": {size},\n"));
+        out.push_str(&format!("  \"host_threads\": {host},\n"));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in entries.iter().enumerate() {
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"op\": \"{}\", \"size\": {}, \"threads\": {}, \"ns_per_iter\": {:.0}, \"iters\": {}}}{comma}\n",
+                e.op, e.size, e.threads, e.ns_per_iter, e.iters
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 }

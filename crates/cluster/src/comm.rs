@@ -106,17 +106,22 @@ impl Cluster {
         }
         let sims: Vec<SimClock> = ctxs.iter().map(|c| c.sim.clone()).collect();
         let f_ref = &f;
-        let results: Vec<Result<R>> = crossbeam::thread::scope(|s| {
+        // Nodes rendezvous through blocking channel receives, so every node
+        // must run on its own live thread — a capped task pool could park a
+        // sender behind its receiver and deadlock. This is the one place
+        // that spawns scoped OS threads instead of using the shared
+        // runtime; compute *inside* a node still goes through the pool via
+        // ExecOpts.threads.
+        let results: Vec<Result<R>> = std::thread::scope(|s| {
             let handles: Vec<_> = ctxs
                 .into_iter()
-                .map(|mut ctx| s.spawn(move |_| f_ref(&mut ctx)))
+                .map(|mut ctx| s.spawn(move || f_ref(&mut ctx)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("node thread panicked"))
                 .collect()
-        })
-        .expect("cluster scope failed");
+        });
         let mut out = Vec::with_capacity(self.n);
         for r in results {
             out.push(r?);

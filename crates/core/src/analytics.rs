@@ -12,7 +12,7 @@ use genbase_linalg::covariance::{quantile_abs_threshold, top_pairs_by_threshold}
 use genbase_linalg::{
     covariance, lanczos_topk, ExecOpts, GramOp, LinearRegression, Matrix, RegressionMethod,
 };
-use genbase_stats::wilcoxon_rank_sum;
+use genbase_stats::wilcoxon_rank_sum_par;
 use genbase_util::{Error, Pcg64, Result};
 
 /// Deterministic Query 5 patient sample: `count` distinct patient indices
@@ -105,31 +105,50 @@ pub fn svd_output(mat: &Matrix, k: usize, seed: u64, opts: &ExecOpts) -> Result<
 /// patients, run the Wilcoxon rank-sum test per GO term, R-script style:
 /// each term extracts its two value vectors and ranks them fresh (this
 /// per-term re-ranking is what the paper's scripts do and is the dominant
-/// analytics cost of the statistics task).
+/// analytics cost of the statistics task). Terms are independent, so they
+/// run in parallel on the shared runtime under `opts.threads`; per-term
+/// order is preserved, making results thread-count invariant.
 pub fn enrichment_output(
     gene_scores: &[f64],
     memberships: &[Vec<u32>],
     opts: &ExecOpts,
 ) -> Result<QueryOutput> {
     let n = gene_scores.len();
-    let mut per_term = Vec::with_capacity(memberships.len());
-    for (term, members) in memberships.iter().enumerate() {
-        if term % 16 == 0 {
+    // When there are fewer terms than threads, the leftover budget goes to
+    // the per-test ranking sort (wilcoxon_rank_sum_par); with many terms
+    // the term axis soaks up all threads and each test sorts serially.
+    let inner_threads = (opts.threads / memberships.len().max(1)).max(1);
+    let tested = genbase_util::parallel_map(
+        opts.threads,
+        memberships.len(),
+        |term| -> Result<Option<(usize, f64, f64)>> {
+            // Every task checks: one task is one term (the serial loop
+            // checked every 16 iterations, but here a skipped check would
+            // mean a whole uncancellable test past the cutoff).
             opts.budget.check("enrichment tests")?;
-        }
-        if members.is_empty() || members.len() >= n {
-            continue; // degenerate term: no test possible
-        }
-        let mut in_group = vec![false; n];
-        for &g in members {
-            if (g as usize) < n {
-                in_group[g as usize] = true;
+            let members = &memberships[term];
+            if members.is_empty() || members.len() >= n {
+                return Ok(None); // degenerate term: no test possible
             }
+            let mut in_group = vec![false; n];
+            for &g in members {
+                if (g as usize) < n {
+                    in_group[g as usize] = true;
+                }
+            }
+            let group1: Vec<f64> =
+                (0..n).filter(|&g| in_group[g]).map(|g| gene_scores[g]).collect();
+            let group2: Vec<f64> =
+                (0..n).filter(|&g| !in_group[g]).map(|g| gene_scores[g]).collect();
+            let res = wilcoxon_rank_sum_par(&group1, &group2, inner_threads)?;
+            Ok(Some((term, res.z, res.p_value)))
+        },
+    );
+    let mut per_term = Vec::with_capacity(memberships.len());
+    for t in tested {
+        if let Some(entry) = t? {
+            per_term.push(entry);
         }
-        let group1: Vec<f64> = (0..n).filter(|&g| in_group[g]).map(|g| gene_scores[g]).collect();
-        let group2: Vec<f64> = (0..n).filter(|&g| !in_group[g]).map(|g| gene_scores[g]).collect();
-        let res = wilcoxon_rank_sum(&group1, &group2)?;
-        per_term.push((term, res.z, res.p_value));
     }
     Ok(QueryOutput::Enrichment { per_term })
 }

@@ -101,13 +101,14 @@ impl LocalStore {
         &self,
         cols: &[usize],
         band: &std::ops::Range<usize>,
+        threads: usize,
         budget: &Budget,
     ) -> Result<Matrix> {
         match self {
             LocalStore::Pbdr { mat } => Ok(mat.select_cols(cols)),
             LocalStore::SciDb { arr } => {
                 let rows: Vec<usize> = (0..arr.rows()).collect();
-                arr.select(&rows, cols, budget)?.to_matrix(budget)
+                arr.select_to_matrix_par(&rows, cols, threads, budget)
             }
             LocalStore::Column { triples } => {
                 let gene_ids: Vec<i64> = cols.iter().map(|&c| c as i64).collect();
@@ -139,13 +140,14 @@ impl LocalStore {
         local_rows: &[usize],
         band: &std::ops::Range<usize>,
         n_genes: usize,
+        threads: usize,
         budget: &Budget,
     ) -> Result<Matrix> {
         match self {
             LocalStore::Pbdr { mat } => Ok(mat.select_rows(local_rows)),
             LocalStore::SciDb { arr } => {
                 let cols: Vec<usize> = (0..n_genes).collect();
-                arr.select(local_rows, &cols, budget)?.to_matrix(budget)
+                arr.select_to_matrix_par(local_rows, &cols, threads, budget)
             }
             LocalStore::Column { triples } => {
                 let patient_ids: Vec<i64> =
@@ -233,7 +235,7 @@ pub fn run_multinode(
                 if cols.is_empty() {
                     return Err(Error::invalid("gene filter selected nothing"));
                 }
-                let local_x = store.select_cols(&cols, &band, &budget)?;
+                let local_x = store.select_cols(&cols, &band, threads, &budget)?;
                 let local_x = maybe_export_to_r(flavor, local_x, &budget)?;
                 let local_y: Vec<f64> = band
                     .clone()
@@ -291,7 +293,7 @@ pub fn run_multinode(
                     .map(|p| p - band.start)
                     .collect();
                 let local_sel =
-                    store.select_rows(&local_rows, &band, data.n_genes(), &budget)?;
+                    store.select_rows(&local_rows, &band, data.n_genes(), threads, &budget)?;
                 let local_sel = maybe_export_to_r(flavor, local_sel, &budget)?;
                 out.dm_wall = clock.secs();
                 out.dm_sim = sim.total_secs();
@@ -337,7 +339,7 @@ pub fn run_multinode(
                     .map(|p| p - band.start)
                     .collect();
                 let local_sel =
-                    store.select_rows(&local_rows, &band, data.n_genes(), &budget)?;
+                    store.select_rows(&local_rows, &band, data.n_genes(), threads, &budget)?;
                 let local_sel = maybe_export_to_r(flavor, local_sel, &budget)?;
                 // Gather the filtered submatrix to the root (with the ids).
                 let ids_f64: Vec<f64> = local_rows
@@ -386,7 +388,7 @@ pub fn run_multinode(
                 if cols.is_empty() {
                     return Err(Error::invalid("gene filter selected nothing"));
                 }
-                let local_x = store.select_cols(&cols, &band, &budget)?;
+                let local_x = store.select_cols(&cols, &band, threads, &budget)?;
                 let local_x = maybe_export_to_r(flavor, local_x, &budget)?;
                 out.dm_wall = clock.secs();
                 out.dm_sim = sim.total_secs();
@@ -414,7 +416,7 @@ pub fn run_multinode(
                     .map(|&p| p - band.start)
                     .collect();
                 let local_sel =
-                    store.select_rows(&local_rows, &band, data.n_genes(), &budget)?;
+                    store.select_rows(&local_rows, &band, data.n_genes(), threads, &budget)?;
                 let local_sel = maybe_export_to_r(flavor, local_sel, &budget)?;
                 out.dm_wall = clock.secs();
                 out.dm_sim = sim.total_secs();

@@ -127,8 +127,9 @@ pub(crate) fn run_scidb_single(
                 return Err(Error::invalid("gene filter selected nothing"));
             }
             let rows: Vec<usize> = (0..data.n_patients()).collect();
-            let sub = arrays.expression.select(&rows, &cols, &budget)?;
-            let mat = sub.to_matrix(&budget)?;
+            let mat = arrays
+                .expression
+                .select_to_matrix_par(&rows, &cols, ctx.threads, &budget)?;
             let y = arrays.patients.float_attr("drug_response")?.to_vec();
             let gene_ids: Vec<i64> = cols.iter().map(|&c| c as i64).collect();
             phases.data_management.wall_secs += clock.secs();
@@ -152,8 +153,9 @@ pub(crate) fn run_scidb_single(
                 return Err(Error::invalid("disease filter selected < 2 patients"));
             }
             let cols: Vec<usize> = (0..data.n_genes()).collect();
-            let sub = arrays.expression.select(&rows, &cols, &budget)?;
-            let mat = sub.to_matrix(&budget)?;
+            let mat = arrays
+                .expression
+                .select_to_matrix_par(&rows, &cols, ctx.threads, &budget)?;
             phases.data_management.wall_secs += clock.secs();
 
             let clock = PhaseClock::start();
@@ -188,8 +190,9 @@ pub(crate) fn run_scidb_single(
                 return Err(Error::invalid("age/gender filter selected too few patients"));
             }
             let cols: Vec<usize> = (0..data.n_genes()).collect();
-            let sub = arrays.expression.select(&rows, &cols, &budget)?;
-            let mat = sub.to_matrix(&budget)?;
+            let mat = arrays
+                .expression
+                .select_to_matrix_par(&rows, &cols, ctx.threads, &budget)?;
             let patient_ids: Vec<i64> = rows.iter().map(|&r| r as i64).collect();
             let gene_ids: Vec<i64> = cols.iter().map(|&c| c as i64).collect();
             phases.data_management.wall_secs += clock.secs();
@@ -217,8 +220,9 @@ pub(crate) fn run_scidb_single(
                 return Err(Error::invalid("gene filter selected nothing"));
             }
             let rows: Vec<usize> = (0..data.n_patients()).collect();
-            let sub = arrays.expression.select(&rows, &cols, &budget)?;
-            let mat = sub.to_matrix(&budget)?;
+            let mat = arrays
+                .expression
+                .select_to_matrix_par(&rows, &cols, ctx.threads, &budget)?;
             phases.data_management.wall_secs += clock.secs();
             let clock = PhaseClock::start();
             let out = analytics::svd_output(&mat, params.svd_k, params.seed, &opts)?;
@@ -239,7 +243,7 @@ pub(crate) fn run_scidb_single(
             let sampled = analytics::sample_patients(data.n_patients(), count, params.seed);
             let sums = arrays
                 .expression
-                .column_sums_over_rows(&sampled, &budget)?;
+                .column_sums_over_rows_par(&sampled, ctx.threads, &budget)?;
             let scores: Vec<f64> = sums
                 .iter()
                 .map(|s| s / sampled.len().max(1) as f64)

@@ -8,7 +8,13 @@
 use crate::matmul::gram;
 use crate::matrix::Matrix;
 use crate::ExecOpts;
-use genbase_util::{Error, Result};
+use genbase_util::{runtime, Error, Result, SharedSlice};
+
+/// Rows per partial-sum chunk in the parallel centering pass. Fixed (never
+/// derived from the thread count) so the chunked summation order — and
+/// therefore the floating-point result — is identical at every thread
+/// count.
+const MEAN_CHUNK: usize = 512;
 
 /// Per-column means of a matrix.
 pub fn column_means(a: &Matrix) -> Vec<f64> {
@@ -37,15 +43,74 @@ pub fn center_columns(a: &mut Matrix) -> Vec<f64> {
     means
 }
 
+/// Per-column means computed in parallel over fixed row chunks; the chunk
+/// partials are reduced in chunk order, so the result does not depend on
+/// the thread count (it differs from [`column_means`]' sequential sum only
+/// by FP rounding, typically favorably).
+pub fn column_means_par(a: &Matrix, opts: &ExecOpts) -> Vec<f64> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return vec![0.0; n];
+    }
+    let chunks = m.div_ceil(MEAN_CHUNK);
+    let partials = runtime::parallel_map(opts.threads, chunks, |t| {
+        let r0 = t * MEAN_CHUNK;
+        let r1 = (r0 + MEAN_CHUNK).min(m);
+        let mut sums = vec![0.0f64; n];
+        for r in r0..r1 {
+            for (s, v) in sums.iter_mut().zip(a.row(r)) {
+                *s += v;
+            }
+        }
+        sums
+    });
+    let mut means = vec![0.0f64; n];
+    for part in partials {
+        for (mean, p) in means.iter_mut().zip(&part) {
+            *mean += p;
+        }
+    }
+    let inv = 1.0 / m as f64;
+    for mean in &mut means {
+        *mean *= inv;
+    }
+    means
+}
+
+/// Parallel in-place column centering; returns the subtracted means.
+pub fn center_columns_par(a: &mut Matrix, opts: &ExecOpts) -> Vec<f64> {
+    let means = column_means_par(a, opts);
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return means;
+    }
+    let chunks = m.div_ceil(MEAN_CHUNK);
+    let threads = opts.threads;
+    let shared = SharedSlice::new(a.data_mut());
+    runtime::parallel_for(threads, chunks, |t| {
+        let r0 = t * MEAN_CHUNK;
+        let r1 = (r0 + MEAN_CHUNK).min(m);
+        // SAFETY: each chunk owns the disjoint row range r0..r1.
+        let band = unsafe { shared.slice_mut(r0 * n, (r1 - r0) * n) };
+        for row in band.chunks_exact_mut(n) {
+            for (v, mean) in row.iter_mut().zip(&means) {
+                *v -= mean;
+            }
+        }
+    });
+    means
+}
+
 /// Sample covariance matrix (`n x n`) of the columns of `a` (`m x n`).
-/// Requires at least two rows.
+/// Requires at least two rows. Centering and the symmetric rank-k update
+/// both run on the shared runtime under `opts.threads`.
 pub fn covariance(a: &Matrix, opts: &ExecOpts) -> Result<Matrix> {
     let (m, _n) = a.shape();
     if m < 2 {
         return Err(Error::invalid("covariance requires at least 2 rows"));
     }
     let mut centered = a.clone();
-    center_columns(&mut centered);
+    center_columns_par(&mut centered, opts);
     let mut g = gram(&centered, opts)?;
     let inv = 1.0 / (m - 1) as f64;
     g.map_inplace(|v| v * inv);
@@ -166,6 +231,30 @@ mod tests {
         for m in column_means(&a) {
             assert!(m.abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn covariance_thread_count_invariant() {
+        let mut rng = Pcg64::new(75);
+        let a = Matrix::from_fn(700, 90, |_, _| rng.normal() * 3.0 - 1.0);
+        let serial = covariance(&a, &ExecOpts::serial()).unwrap();
+        for threads in [2, 8] {
+            let par = covariance(&a, &ExecOpts::with_threads(threads)).unwrap();
+            assert!(par.approx_eq(&serial, 0.0), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_centering_matches_serial_means() {
+        let mut rng = Pcg64::new(76);
+        let mut a = Matrix::from_fn(1100, 17, |_, _| rng.normal() + 2.5);
+        let mut b = a.clone();
+        let serial_means = center_columns(&mut a);
+        let par_means = center_columns_par(&mut b, &ExecOpts::with_threads(4));
+        for (s, p) in serial_means.iter().zip(&par_means) {
+            assert!((s - p).abs() < 1e-12, "means drifted: {s} vs {p}");
+        }
+        assert!(a.approx_eq(&b, 1e-12));
     }
 
     #[test]

@@ -20,10 +20,14 @@ pub mod qr;
 pub mod regression;
 pub mod rsvd;
 
-pub use covariance::{center_columns, column_means, covariance};
+pub use covariance::{
+    center_columns, center_columns_par, column_means, column_means_par, covariance,
+};
 pub use eigen::{jacobi_eigen, tridiag_eigen, EigenPairs};
 pub use lanczos::{lanczos_topk, DenseSymOp, GramOp, LanczosResult, LinearOp};
-pub use matmul::{at_mul, gram, matmul, matvec, matvec_transposed};
+pub use matmul::{
+    at_mul, gram, matmul, matmul_blocked, matmul_naive, matvec, matvec_transposed,
+};
 pub use matrix::Matrix;
 pub use qr::QrFactor;
 pub use regression::{LinearRegression, RegressionMethod};

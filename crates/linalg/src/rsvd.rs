@@ -52,7 +52,7 @@ pub fn randomized_gram_eigen(
     config: &RsvdConfig,
     opts: &ExecOpts,
 ) -> Result<Vec<f64>> {
-    let (m, n) = a.shape();
+    let (_m, n) = a.shape();
     if config.k == 0 {
         return Err(Error::invalid("k must be positive"));
     }

@@ -93,39 +93,31 @@ where
     let n_red = config.reduce_tasks.max(1);
 
     // ---- map phase -------------------------------------------------------
+    // Map tasks run on the shared runtime pool; `map_tasks` caps the
+    // concurrent slots (Hadoop's map-slot count).
     let splits = split_input(input, n_map);
-    let map_outputs: Vec<Result<Vec<Vec<u8>>>> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = splits
-            .into_iter()
-            .map(|split| {
-                s.spawn(move |_| -> Result<Vec<Vec<u8>>> {
-                    let mut partitions: Vec<Vec<u8>> = vec![Vec::new(); n_red];
-                    let mut emitter = Emitter {
-                        partitions: &mut partitions,
-                        key_buf: Vec::with_capacity(16),
-                        _marker: std::marker::PhantomData,
-                    };
-                    for (i, (k, v)) in split.iter().enumerate() {
-                        if i % 4096 == 0 {
-                            config.budget.check("mapreduce map")?;
-                        }
-                        mapper(k, v, &mut emitter);
-                    }
-                    if let Some(comb) = combiner {
-                        for buf in partitions.iter_mut() {
-                            *buf = combine_buffer::<KM, VM>(buf, comb)?;
-                        }
-                    }
-                    Ok(partitions)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("map task panicked"))
-            .collect()
-    })
-    .expect("map scope failed");
+    let map_outputs: Vec<Result<Vec<Vec<u8>>>> =
+        genbase_util::parallel_map(n_map, splits.len(), |t| -> Result<Vec<Vec<u8>>> {
+            let split = splits[t];
+            let mut partitions: Vec<Vec<u8>> = vec![Vec::new(); n_red];
+            let mut emitter = Emitter {
+                partitions: &mut partitions,
+                key_buf: Vec::with_capacity(16),
+                _marker: std::marker::PhantomData,
+            };
+            for (i, (k, v)) in split.iter().enumerate() {
+                if i % 4096 == 0 {
+                    config.budget.check("mapreduce map")?;
+                }
+                mapper(k, v, &mut emitter);
+            }
+            if let Some(comb) = combiner {
+                for buf in partitions.iter_mut() {
+                    *buf = combine_buffer::<KM, VM>(buf, comb)?;
+                }
+            }
+            Ok(partitions)
+        });
 
     // ---- shuffle ----------------------------------------------------------
     let mut reduce_inputs: Vec<Vec<u8>> = vec![Vec::new(); n_red];
@@ -142,42 +134,32 @@ where
     }
 
     // ---- reduce phase ------------------------------------------------------
-    let reduce_outputs: Vec<Result<Vec<u8>>> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = reduce_inputs
-            .iter()
-            .map(|buf| {
-                s.spawn(move |_| -> Result<Vec<u8>> {
-                    let mut records = parse_records::<KM, VM>(buf)?;
-                    config.budget.check("mapreduce sort")?;
-                    records.sort_by(|a, b| a.0.cmp(&b.0));
-                    let mut out_buf = Vec::new();
-                    let mut emit = |k: KO, v: VO| {
-                        k.write(&mut out_buf);
-                        v.write(&mut out_buf);
-                    };
-                    let mut iter = records.into_iter().peekable();
-                    let mut groups = 0usize;
-                    while let Some((key, first)) = iter.next() {
-                        groups += 1;
-                        if groups % 1024 == 0 {
-                            config.budget.check("mapreduce reduce")?;
-                        }
-                        let mut values = vec![first];
-                        while iter.peek().is_some_and(|(k, _)| *k == key) {
-                            values.push(iter.next().expect("peeked").1);
-                        }
-                        reducer(&key, &mut values, &mut emit);
-                    }
-                    Ok(out_buf)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("reduce task panicked"))
-            .collect()
-    })
-    .expect("reduce scope failed");
+    let reduce_outputs: Vec<Result<Vec<u8>>> =
+        genbase_util::parallel_map(n_red, reduce_inputs.len(), |t| -> Result<Vec<u8>> {
+            let buf = &reduce_inputs[t];
+            let mut records = parse_records::<KM, VM>(buf)?;
+            config.budget.check("mapreduce sort")?;
+            records.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut out_buf = Vec::new();
+            let mut emit = |k: KO, v: VO| {
+                k.write(&mut out_buf);
+                v.write(&mut out_buf);
+            };
+            let mut iter = records.into_iter().peekable();
+            let mut groups = 0usize;
+            while let Some((key, first)) = iter.next() {
+                groups += 1;
+                if groups % 1024 == 0 {
+                    config.budget.check("mapreduce reduce")?;
+                }
+                let mut values = vec![first];
+                while iter.peek().is_some_and(|(k, _)| *k == key) {
+                    values.push(iter.next().expect("peeked").1);
+                }
+                reducer(&key, &mut values, &mut emit);
+            }
+            Ok(out_buf)
+        });
 
     // ---- collect (HDFS read-back) -----------------------------------------
     let mut out = Vec::new();
@@ -209,32 +191,22 @@ where
     config.sim.charge_secs(config.job_launch_secs);
     let n_map = config.map_tasks.clamp(1, input.len().max(1));
     let splits = split_input(input, n_map);
-    let outputs: Vec<Result<Vec<u8>>> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = splits
-            .into_iter()
-            .map(|split| {
-                s.spawn(move |_| -> Result<Vec<u8>> {
-                    let mut buf = Vec::new();
-                    let mut emit = |k: KO, v: VO| {
-                        k.write(&mut buf);
-                        v.write(&mut buf);
-                    };
-                    for (i, (k, v)) in split.iter().enumerate() {
-                        if i % 4096 == 0 {
-                            config.budget.check("mapreduce map-only")?;
-                        }
-                        mapper(k, v, &mut emit);
-                    }
-                    Ok(buf)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("map task panicked"))
-            .collect()
-    })
-    .expect("map scope failed");
+    let outputs: Vec<Result<Vec<u8>>> =
+        genbase_util::parallel_map(n_map, splits.len(), |t| -> Result<Vec<u8>> {
+            let split = splits[t];
+            let mut buf = Vec::new();
+            let mut emit = |k: KO, v: VO| {
+                k.write(&mut buf);
+                v.write(&mut buf);
+            };
+            for (i, (k, v)) in split.iter().enumerate() {
+                if i % 4096 == 0 {
+                    config.budget.check("mapreduce map-only")?;
+                }
+                mapper(k, v, &mut emit);
+            }
+            Ok(buf)
+        });
 
     let mut out = Vec::new();
     for buf in outputs {

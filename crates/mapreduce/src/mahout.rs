@@ -97,41 +97,32 @@ pub fn gram(rows: &RowMatrix, cfg: &JobConfig) -> Result<RowMatrix> {
     // In-mapper combining: chunk the input like map splits.
     let tasks = cfg.map_tasks.clamp(1, rows.len());
     let chunk = rows.len().div_ceil(tasks);
-    let partials: Vec<Result<RowMatrix>> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = rows
-            .chunks(chunk)
-            .map(|split| {
-                s.spawn(move |_| -> Result<RowMatrix> {
-                    let mut acc = vec![0.0; n * n];
-                    for (i, (_, row)) in split.iter().enumerate() {
-                        if i % 64 == 0 {
-                            cfg.budget.check("mahout gram")?;
-                        }
-                        for (c, &v) in row.iter().enumerate() {
-                            if v == 0.0 {
-                                continue;
-                            }
-                            let out = &mut acc[c * n..(c + 1) * n];
-                            for (o, &x) in out.iter_mut().zip(row.iter()) {
-                                *o += v * x;
-                            }
-                        }
+    let splits: Vec<&[(i64, Vec<f64>)]> = rows.chunks(chunk).collect();
+    let partials: Vec<Result<RowMatrix>> =
+        genbase_util::parallel_map(tasks, splits.len(), |t| -> Result<RowMatrix> {
+            let split = splits[t];
+            let mut acc = vec![0.0; n * n];
+            for (i, (_, row)) in split.iter().enumerate() {
+                if i % 64 == 0 {
+                    cfg.budget.check("mahout gram")?;
+                }
+                for (c, &v) in row.iter().enumerate() {
+                    if v == 0.0 {
+                        continue;
                     }
-                    Ok((0..n as i64)
-                        .map(|j| {
-                            let ju = j as usize;
-                            (j, acc[ju * n..(ju + 1) * n].to_vec())
-                        })
-                        .collect())
+                    let out = &mut acc[c * n..(c + 1) * n];
+                    for (o, &x) in out.iter_mut().zip(row.iter()) {
+                        *o += v * x;
+                    }
+                }
+            }
+            Ok((0..n as i64)
+                .map(|j| {
+                    let ju = j as usize;
+                    (j, acc[ju * n..(ju + 1) * n].to_vec())
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("gram task panicked"))
-            .collect()
-    })
-    .expect("gram scope failed");
+                .collect())
+        });
     // Reduce the per-task partials through a real MR job (this is the
     // shuffle Mahout pays).
     let mut job_input: RowMatrix = Vec::with_capacity(tasks * n);
@@ -188,43 +179,34 @@ pub fn xtx_xty(rows: &RowMatrix, cfg: &JobConfig) -> Result<(Vec<Vec<f64>>, Vec<
     let tasks = cfg.map_tasks.clamp(1, rows.len());
     let chunk = rows.len().div_ceil(tasks);
     // In-mapper combining of the (d x d + d) accumulator.
-    let partials: Vec<Result<Vec<f64>>> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = rows
-            .chunks(chunk)
-            .map(|split| {
-                s.spawn(move |_| -> Result<Vec<f64>> {
-                    let mut acc = vec![0.0; d * d + d];
-                    let mut aug = vec![0.0; d];
-                    for (i, (_, row)) in split.iter().enumerate() {
-                        if i % 256 == 0 {
-                            cfg.budget.check("mahout normal equations")?;
-                        }
-                        let (features, target) = row.split_at(width - 1);
-                        aug[0] = 1.0;
-                        aug[1..].copy_from_slice(features);
-                        let y = target[0];
-                        for a in 0..d {
-                            let av = aug[a];
-                            if av == 0.0 {
-                                continue;
-                            }
-                            let out = &mut acc[a * d..(a + 1) * d];
-                            for (o, &x) in out.iter_mut().zip(aug.iter()) {
-                                *o += av * x;
-                            }
-                            acc[d * d + a] += av * y;
-                        }
+    let splits: Vec<&[(i64, Vec<f64>)]> = rows.chunks(chunk).collect();
+    let partials: Vec<Result<Vec<f64>>> =
+        genbase_util::parallel_map(tasks, splits.len(), |t| -> Result<Vec<f64>> {
+            let split = splits[t];
+            let mut acc = vec![0.0; d * d + d];
+            let mut aug = vec![0.0; d];
+            for (i, (_, row)) in split.iter().enumerate() {
+                if i % 256 == 0 {
+                    cfg.budget.check("mahout normal equations")?;
+                }
+                let (features, target) = row.split_at(width - 1);
+                aug[0] = 1.0;
+                aug[1..].copy_from_slice(features);
+                let y = target[0];
+                for a in 0..d {
+                    let av = aug[a];
+                    if av == 0.0 {
+                        continue;
                     }
-                    Ok(acc)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("xtx task panicked"))
-            .collect()
-    })
-    .expect("xtx scope failed");
+                    let out = &mut acc[a * d..(a + 1) * d];
+                    for (o, &x) in out.iter_mut().zip(aug.iter()) {
+                        *o += av * x;
+                    }
+                    acc[d * d + a] += av * y;
+                }
+            }
+            Ok(acc)
+        });
     let job_input: Vec<(i64, Vec<f64>)> = partials
         .into_iter()
         .collect::<Result<Vec<_>>>()?

@@ -1,22 +1,94 @@
 //! Ranking with average ranks for ties (the convention the Wilcoxon test
 //! requires, matching R's `rank(..., ties.method = "average")`).
+//!
+//! The `_par` variants run the sort's chunk phase on the shared
+//! [`genbase_util::runtime`] pool. The comparator is total (value, then
+//! index), so the parallel merge sort produces exactly the order the serial
+//! stable sort does — results are independent of the thread count.
+
+use genbase_util::runtime;
+
+/// Values per sort chunk in the parallel index sort. Fixed (not derived
+/// from the thread count) so the merge tree shape is deterministic.
+const SORT_CHUNK: usize = 8192;
 
 /// Indices that sort `values` ascending (stable; NaN-free input expected).
 pub fn rank_sort_indices(values: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| {
-        values[a]
-            .partial_cmp(&values[b])
-            .expect("NaN in ranking input")
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| cmp_by_value(values, a, b));
     idx
+}
+
+#[inline]
+fn cmp_by_value(values: &[f64], a: usize, b: usize) -> std::cmp::Ordering {
+    values[a]
+        .partial_cmp(&values[b])
+        .expect("NaN in ranking input")
+        .then(a.cmp(&b))
+}
+
+/// Parallel [`rank_sort_indices`]: fixed-size chunks are sorted on the
+/// shared runtime, then merged pairwise. Identical output to the serial
+/// sort at every thread count (the comparator is total).
+pub fn rank_sort_indices_par(values: &[f64], threads: usize) -> Vec<usize> {
+    let n = values.len();
+    if threads <= 1 || n <= SORT_CHUNK {
+        return rank_sort_indices(values);
+    }
+    let chunks = n.div_ceil(SORT_CHUNK);
+    let mut runs: Vec<Vec<usize>> = runtime::parallel_map(threads, chunks, |t| {
+        let lo = t * SORT_CHUNK;
+        let hi = (lo + SORT_CHUNK).min(n);
+        let mut idx: Vec<usize> = (lo..hi).collect();
+        idx.sort_by(|&a, &b| cmp_by_value(values, a, b));
+        idx
+    });
+    // Pairwise merge rounds, adjacent runs merged in parallel.
+    while runs.len() > 1 {
+        let pairs = runs.len() / 2;
+        let mut next: Vec<Vec<usize>> = runtime::parallel_map(threads, pairs, |p| {
+            merge_runs(values, &runs[2 * p], &runs[2 * p + 1])
+        });
+        if runs.len() % 2 == 1 {
+            next.push(runs.pop().expect("odd run"));
+        }
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
+}
+
+fn merge_runs(values: &[f64], a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp_by_value(values, a[i], b[j]).is_le() {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Parallel [`average_ranks`]; see [`rank_sort_indices_par`].
+pub fn average_ranks_par(values: &[f64], threads: usize) -> Vec<f64> {
+    let order = rank_sort_indices_par(values, threads);
+    ranks_from_order(values, &order)
 }
 
 /// 1-based ranks with ties receiving the average of the ranks they span.
 pub fn average_ranks(values: &[f64]) -> Vec<f64> {
-    let n = values.len();
     let order = rank_sort_indices(values);
+    ranks_from_order(values, &order)
+}
+
+/// Tie-averaged ranks given the ascending sort order of `values`.
+fn ranks_from_order(values: &[f64], order: &[usize]) -> Vec<f64> {
+    let n = values.len();
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -109,5 +181,23 @@ mod tests {
     fn empty_input() {
         assert!(average_ranks(&[]).is_empty());
         assert!(tie_group_sizes(&[]).is_empty());
+    }
+
+    #[test]
+    fn parallel_sort_matches_serial_exactly() {
+        // Bigger than SORT_CHUNK so the merge path actually runs; heavy
+        // ties so tiebreaking by index is exercised.
+        let mut state = 0x1234_5678_u64;
+        let values: Vec<f64> = (0..3 * super::SORT_CHUNK + 17)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) % 257) as f64 - 128.0
+            })
+            .collect();
+        let serial = rank_sort_indices(&values);
+        for threads in [1, 2, 8] {
+            assert_eq!(rank_sort_indices_par(&values, threads), serial, "threads={threads}");
+            assert_eq!(average_ranks_par(&values, threads), average_ranks(&values));
+        }
     }
 }

@@ -29,6 +29,17 @@ pub struct WilcoxonResult {
 
 /// Rank-sum test for two independent samples.
 pub fn wilcoxon_rank_sum(group1: &[f64], group2: &[f64]) -> Result<WilcoxonResult> {
+    wilcoxon_rank_sum_par(group1, group2, 1)
+}
+
+/// Rank-sum test with the combined ranking sorted on the shared runtime
+/// pool (`threads > 1`); identical results to [`wilcoxon_rank_sum`] at any
+/// thread count.
+pub fn wilcoxon_rank_sum_par(
+    group1: &[f64],
+    group2: &[f64],
+    threads: usize,
+) -> Result<WilcoxonResult> {
     if group1.is_empty() || group2.is_empty() {
         return Err(Error::invalid("both groups must be non-empty"));
     }
@@ -37,7 +48,7 @@ pub fn wilcoxon_rank_sum(group1: &[f64], group2: &[f64]) -> Result<WilcoxonResul
     let mut all = Vec::with_capacity(n1 + n2);
     all.extend_from_slice(group1);
     all.extend_from_slice(group2);
-    let ranks = average_ranks(&all);
+    let ranks = crate::ranking::average_ranks_par(&all, threads);
     let w: f64 = ranks[..n1].iter().sum();
     let ties = tie_group_sizes(&all);
     Ok(finish(w, n1, n2, &ties))

@@ -11,12 +11,14 @@ pub mod budget;
 pub mod csv;
 pub mod error;
 pub mod rng;
+pub mod runtime;
 pub mod sim;
 pub mod table;
 
 pub use budget::Budget;
 pub use error::{Error, Result};
 pub use rng::Pcg64;
+pub use runtime::{parallel_for, parallel_map, try_parallel_for, SharedSlice};
 pub use sim::{CostReport, SimClock};
 
 /// Format a byte count with a binary-prefix unit, e.g. `1.50 MiB`.

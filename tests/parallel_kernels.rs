@@ -1,0 +1,115 @@
+//! Property tests for the shared-runtime packed kernels: the parallel
+//! packed matmul and the symmetric rank-k covariance must match the naive
+//! serial references within 1e-9 at every thread count in {1, 2, 8}, and
+//! results must be *thread-count invariant* (bit-identical across thread
+//! counts — every output element is owned by exactly one task with a fixed
+//! reduction order).
+
+use genbase_linalg::{covariance, gram, matmul, matmul_naive, ExecOpts, Matrix};
+use genbase_util::Pcg64;
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn random_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
+    let mut rng = Pcg64::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.normal() * 2.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn packed_matmul_matches_naive_across_thread_counts(
+        m in 1usize..140,
+        k in 1usize..90,
+        n in 1usize..140,
+        seed in 0u64..1000,
+    ) {
+        let a = random_matrix(seed, m, k);
+        let b = random_matrix(seed ^ 0xa5a5, k, n);
+        let reference = matmul_naive(&a, &b, &ExecOpts::serial()).unwrap();
+        for threads in THREAD_COUNTS {
+            let fast = matmul(&a, &b, &ExecOpts::with_threads(threads)).unwrap();
+            prop_assert!(
+                fast.approx_eq(&reference, 1e-9),
+                "threads={} diverged from naive by {}",
+                threads,
+                fast.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn packed_matmul_thread_count_invariant(
+        m in 65usize..200,
+        k in 1usize..80,
+        n in 33usize..120,
+        seed in 0u64..1000,
+    ) {
+        let a = random_matrix(seed, m, k);
+        let b = random_matrix(seed ^ 0x5a5a, k, n);
+        let one = matmul(&a, &b, &ExecOpts::with_threads(1)).unwrap();
+        for threads in [2usize, 8] {
+            let multi = matmul(&a, &b, &ExecOpts::with_threads(threads)).unwrap();
+            // Bit-identical, not merely close.
+            prop_assert!(multi.approx_eq(&one, 0.0), "threads={threads} changed bits");
+        }
+    }
+
+    #[test]
+    fn syrk_covariance_matches_serial_reference(
+        m in 2usize..120,
+        n in 1usize..150,
+        seed in 0u64..1000,
+    ) {
+        let a = random_matrix(seed, m, n);
+        // Naive reference: centered AᵀA / (m - 1), straight triple loop.
+        let means: Vec<f64> = (0..n)
+            .map(|c| (0..m).map(|r| a.get(r, c)).sum::<f64>() / m as f64)
+            .collect();
+        let reference = Matrix::from_fn(n, n, |i, j| {
+            (0..m)
+                .map(|r| (a.get(r, i) - means[i]) * (a.get(r, j) - means[j]))
+                .sum::<f64>()
+                / (m - 1) as f64
+        });
+        for threads in THREAD_COUNTS {
+            let fast = covariance(&a, &ExecOpts::with_threads(threads)).unwrap();
+            prop_assert!(
+                fast.approx_eq(&reference, 1e-9),
+                "threads={} diverged by {}",
+                threads,
+                fast.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn covariance_and_gram_thread_count_invariant(
+        m in 2usize..300,
+        n in 129usize..200,
+        seed in 0u64..1000,
+    ) {
+        let a = random_matrix(seed, m, n);
+        let cov_one = covariance(&a, &ExecOpts::with_threads(1)).unwrap();
+        let gram_one = gram(&a, &ExecOpts::with_threads(1)).unwrap();
+        for threads in [2usize, 8] {
+            let opts = ExecOpts::with_threads(threads);
+            prop_assert!(covariance(&a, &opts).unwrap().approx_eq(&cov_one, 0.0));
+            prop_assert!(gram(&a, &opts).unwrap().approx_eq(&gram_one, 0.0));
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric_at_any_thread_count(
+        m in 1usize..60,
+        n in 1usize..170,
+        seed in 0u64..1000,
+        threads in 1usize..9,
+    ) {
+        let a = random_matrix(seed, m, n);
+        let g = gram(&a, &ExecOpts::with_threads(threads)).unwrap();
+        prop_assert!(g.approx_eq(&g.transpose(), 0.0), "mirror must be exact");
+    }
+}
