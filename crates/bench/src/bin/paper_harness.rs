@@ -1,11 +1,20 @@
 //! The full benchmark driver: regenerates every table and figure from the
-//! GenBase paper's evaluation section, plus the kernel perf baseline.
+//! GenBase paper's evaluation section through the sharded cell scheduler,
+//! plus the kernel perf baseline.
 //!
 //! ```text
 //! paper_harness [fig1|fig2|fig3|fig4|fig5|table1|weak|bench|all]
 //!               [--scale F]      per-side scale vs paper sizes (default 0.048)
+//!               [--sizes LIST]   size classes, e.g. small,medium (default all)
 //!               [--cutoff SECS]  per-run cutoff (default 60)
 //!               [--mn-size S]    multi-node dataset: small|medium|large (default medium)
+//!               [--jobs K]       benchmark cells in flight (default: host threads)
+//!               [--shards N] [--shard-id I]  run the I-th of N cell partitions
+//!               [--checkpoint P] resume file: completed cells skip on rerun
+//!               [--grid-out P]   write the result grid as JSON
+//!               [--grid-in P]    render from grid file(s) instead of running
+//!                                (repeatable; shards merge)
+//!               [--sim-only]     deterministic timing (simulated costs only)
 //!               [--bench-size N] kernel bench matrix edge (default 2048)
 //!               [--bench-iters K] timed iterations per kernel (default 2)
 //!               [--bench-out P]  kernel bench JSON path (default BENCH_baseline.json)
@@ -16,21 +25,39 @@
 //! of the paper's two-hour window. Pass `--scale 1.0` for paper-size runs
 //! (hours of compute and ~10 GB matrices).
 //!
+//! Sweeps run cell-by-cell on the shared runtime pool: `--jobs` cells in
+//! flight, each under `threads / jobs` kernel threads. Output is
+//! byte-identical to the serial path for any `--jobs`; with `--sim-only`
+//! it is byte-identical across runs and machines too — that is what the CI
+//! shard-conformance job diffs. A multi-shard run renders nothing (its grid
+//! is partial); write `--grid-out` per shard and render the merged result
+//! with `--grid-in`.
+//!
 //! `bench` times the linalg/stats hot kernels against the seed repo's
-//! serial implementations and writes `BENCH_baseline.json`
-//! (`op, size, threads, ns/iter`) so later PRs have a perf trajectory to
-//! regress against (see the CI bench job).
+//! serial implementations, plus the fig1 sweep wall-clock serial vs
+//! sharded, and writes `BENCH_baseline.json` (`op, size, threads, ns/iter`)
+//! so later PRs have a perf trajectory to regress against (see the CI
+//! bench job).
 
 use genbase::figures;
-use genbase::harness::{Harness, HarnessConfig};
+use genbase::harness::{Harness, HarnessConfig, TimingMode};
+use genbase::sched::{FigureId, ReportGrid, Scheduler, SweepOptions};
 use genbase_datagen::SizeClass;
 use std::time::Duration;
 
 struct Args {
     what: String,
     scale: f64,
+    sizes: Option<Vec<SizeClass>>,
     cutoff_secs: u64,
     mn_size: SizeClass,
+    jobs: usize,
+    shards: usize,
+    shard_id: usize,
+    checkpoint: Option<String>,
+    grid_out: Option<String>,
+    grid_in: Vec<String>,
+    sim_only: bool,
     bench_size: usize,
     bench_iters: u32,
     bench_out: String,
@@ -40,8 +67,16 @@ fn parse_args() -> Args {
     let mut args = Args {
         what: "all".to_string(),
         scale: 0.048,
+        sizes: None,
         cutoff_secs: 60,
         mn_size: SizeClass::Medium,
+        jobs: 0,
+        shards: 1,
+        shard_id: 0,
+        checkpoint: None,
+        grid_out: None,
+        grid_in: Vec::new(),
+        sim_only: false,
         bench_size: 2048,
         bench_iters: 2,
         bench_out: "BENCH_baseline.json".to_string(),
@@ -54,19 +89,52 @@ fn parse_args() -> Args {
                 i += 1;
                 args.scale = argv[i].parse().expect("--scale takes a float");
             }
+            "--sizes" => {
+                i += 1;
+                args.sizes = Some(
+                    argv[i]
+                        .split(',')
+                        .map(|s| {
+                            SizeClass::from_slug(s.trim())
+                                .unwrap_or_else(|| panic!("unknown size {s:?}"))
+                        })
+                        .collect(),
+                );
+            }
             "--cutoff" => {
                 i += 1;
                 args.cutoff_secs = argv[i].parse().expect("--cutoff takes seconds");
             }
             "--mn-size" => {
                 i += 1;
-                args.mn_size = match argv[i].as_str() {
-                    "small" => SizeClass::Small,
-                    "medium" => SizeClass::Medium,
-                    "large" => SizeClass::Large,
-                    other => panic!("unknown size {other:?}"),
-                };
+                args.mn_size = SizeClass::from_slug(argv[i].as_str())
+                    .unwrap_or_else(|| panic!("unknown size {:?}", argv[i]));
             }
+            "--jobs" => {
+                i += 1;
+                args.jobs = argv[i].parse().expect("--jobs takes an integer");
+            }
+            "--shards" => {
+                i += 1;
+                args.shards = argv[i].parse().expect("--shards takes an integer");
+            }
+            "--shard-id" => {
+                i += 1;
+                args.shard_id = argv[i].parse().expect("--shard-id takes an integer");
+            }
+            "--checkpoint" => {
+                i += 1;
+                args.checkpoint = Some(argv[i].clone());
+            }
+            "--grid-out" => {
+                i += 1;
+                args.grid_out = Some(argv[i].clone());
+            }
+            "--grid-in" => {
+                i += 1;
+                args.grid_in.push(argv[i].clone());
+            }
+            "--sim-only" => args.sim_only = true,
             "--bench-size" => {
                 i += 1;
                 args.bench_size = argv[i].parse().expect("--bench-size takes an integer");
@@ -86,63 +154,41 @@ fn parse_args() -> Args {
     args
 }
 
-fn main() {
-    let args = parse_args();
-    if args.what == "bench" {
-        let entries = perf::run(args.bench_size, args.bench_iters);
-        let json = perf::to_json(args.bench_size, &entries);
-        std::fs::write(&args.bench_out, &json).expect("write bench output");
-        eprintln!("wrote {}", args.bench_out);
-        println!("{json}");
-        return;
+fn requested_figures(what: &str) -> Vec<FigureId> {
+    if what == "all" {
+        FigureId::ALL.to_vec()
+    } else {
+        vec![FigureId::from_name(what)
+            .unwrap_or_else(|| panic!("unknown command {what:?} (want figN/table1/weak/bench/all)"))]
     }
-    let config = HarnessConfig {
+}
+
+fn harness_config(args: &Args) -> HarnessConfig {
+    let mut config = HarnessConfig {
         scale: args.scale,
         cutoff: Duration::from_secs(args.cutoff_secs),
         r_mem_bytes: (48e9 * args.scale * args.scale) as u64,
         ..Default::default()
     };
-    eprintln!(
-        "generating datasets at scale {} (cutoff {}s, simulated R memory {})...",
-        args.scale,
-        args.cutoff_secs,
-        genbase_util::fmt_bytes(config.r_mem_bytes)
-    );
-    let harness = Harness::new(config).expect("dataset generation");
+    if let Some(sizes) = &args.sizes {
+        config.sizes = sizes.clone();
+    }
+    if args.sim_only {
+        config.timing = TimingMode::SimOnly;
+    }
+    config
+}
 
-    let run = |name: &str| args.what == "all" || args.what == name;
-    if run("fig1") {
-        println!("{}", figures::figure1(&harness).expect("figure 1").render());
-    }
-    if run("fig2") {
-        println!("{}", figures::figure2(&harness).expect("figure 2").render());
-    }
-    if run("fig3") {
-        println!(
-            "{}",
-            figures::figure3(&harness, args.mn_size)
-                .expect("figure 3")
-                .render()
-        );
-    }
-    if run("fig4") {
-        println!(
-            "{}",
-            figures::figure4(&harness, args.mn_size)
-                .expect("figure 4")
-                .render()
-        );
-    }
-    if run("fig5") {
-        println!("{}", figures::figure5(&harness).expect("figure 5").render());
-    }
-    if run("table1") {
-        println!(
-            "{}",
-            figures::table1(&harness, args.mn_size)
-                .expect("table 1")
-                .render()
-        );
+fn main() {
+    let args = parse_args();
+    if args.what == "bench" {
+        let mut entries = perf::run(args.bench_size, args.bench_iters);
+        entries.extend(perf::sweep_wall_clock());
+        let json = perf::to_json(args.bench_size, &entries);
+        std::fs::write(&args.bench_out, &json).expect("write bench output");
+        eprintln!("wrote {}", args.bench_out);
+        println!("{json}");
+        return;
     }
     if args.what == "weak" {
         // Paper future work (§5.2): weak scaling — per-node data constant.
@@ -159,6 +205,88 @@ fn main() {
             .expect("weak scaling")
             .render()
         );
+        return;
+    }
+
+    let figs = requested_figures(&args.what);
+    let config = harness_config(&args);
+    // A multi-shard run renders nothing (its grid is partial); without a
+    // place to persist the grid, the whole shard's work would be discarded.
+    // Catch that before hours of compute, not after.
+    if args.shards > 1 && args.grid_out.is_none() && args.checkpoint.is_none() {
+        panic!("--shards > 1 needs --grid-out (or --checkpoint): nothing would persist the shard's results");
+    }
+
+    // Render-only mode: merge grids from earlier (sharded) runs.
+    if !args.grid_in.is_empty() {
+        let mut grid = ReportGrid::default();
+        for path in &args.grid_in {
+            let part = ReportGrid::load(std::path::Path::new(path))
+                .unwrap_or_else(|e| panic!("load {path}: {e}"));
+            grid.merge(part).unwrap_or_else(|e| panic!("merge {path}: {e}"));
+        }
+        // The grids must come from the configuration we are rendering
+        // under — table1 regenerates the dataset from the render-time
+        // config, so a scale mismatch would silently produce wrong numbers.
+        let expect = genbase::sched::config_fingerprint(&config);
+        if let Some(have) = grid.fingerprint() {
+            assert_eq!(
+                have, expect,
+                "grid files were produced under a different configuration; \
+                 repeat the sweep's --scale/--sim-only/... flags when rendering"
+            );
+        }
+        let harness = Harness::new(config).expect("harness");
+        for &fig in &figs {
+            let figure = figures::render(fig, &harness, args.mn_size, &grid)
+                .unwrap_or_else(|e| panic!("render {}: {e}", fig.name()));
+            println!("{}", figure.render());
+        }
+        return;
+    }
+
+    eprintln!(
+        "sweeping {} at scale {} (cutoff {}s, simulated R memory {}, shard {}/{})...",
+        figs.iter().map(|f| f.name()).collect::<Vec<_>>().join("+"),
+        args.scale,
+        args.cutoff_secs,
+        genbase_util::fmt_bytes(config.r_mem_bytes),
+        args.shard_id,
+        args.shards.max(1),
+    );
+    let scheduler = Scheduler::new(config).expect("scheduler");
+    let mut sweep = SweepOptions::default().with_shard(args.shards, args.shard_id);
+    if args.jobs > 0 {
+        sweep = sweep.with_cells_in_flight(args.jobs);
+    }
+    if let Some(path) = &args.checkpoint {
+        sweep = sweep.with_checkpoint(path);
+    }
+    let outcome = scheduler
+        .run_sweep(&figs, args.mn_size, &sweep)
+        .expect("sweep");
+    eprintln!(
+        "sweep: {} cells ({} executed, {} from checkpoint) in {:.2}s",
+        outcome.planned, outcome.executed, outcome.skipped, outcome.wall_secs
+    );
+    if let Some(path) = &args.grid_out {
+        outcome
+            .grid
+            .save(std::path::Path::new(path))
+            .expect("write grid");
+        eprintln!("wrote {path}");
+    }
+    if args.shards.max(1) > 1 {
+        eprintln!(
+            "shard {}/{} complete; render the merged sweep with --grid-in",
+            args.shard_id, args.shards
+        );
+        return;
+    }
+    for &fig in &figs {
+        let figure = figures::render(fig, scheduler.harness(), args.mn_size, &outcome.grid)
+            .unwrap_or_else(|e| panic!("render {}: {e}", fig.name()));
+        println!("{}", figure.render());
     }
 }
 
@@ -327,8 +455,50 @@ mod perf {
         entries
     }
 
-    /// Hand-rolled JSON (the workspace is dependency-free by design).
+    /// Sweep wall-clock: a small fig1 sweep through the cell scheduler,
+    /// serial (one cell in flight) vs sharded (8 cells in flight), so the
+    /// perf trajectory records harness-level scheduling gains alongside
+    /// kernel numbers. Fresh scheduler per run ⇒ dataset generation is
+    /// inside the measured window both times.
+    pub fn sweep_wall_clock() -> Vec<Entry> {
+        use genbase::harness::HarnessConfig;
+        use genbase::sched::{FigureId, Scheduler, SweepOptions};
+        use genbase_datagen::SizeClass;
+
+        let config = || HarnessConfig {
+            scale: 0.012,
+            sizes: vec![SizeClass::Small],
+            r_mem_bytes: u64::MAX,
+            ..Default::default()
+        };
+        let mut entries = Vec::new();
+        for (op, jobs) in [("sweep_fig1_serial", 1usize), ("sweep_fig1_sharded", 8)] {
+            let scheduler = Scheduler::new(config()).expect("scheduler");
+            let sweep = SweepOptions::default().with_cells_in_flight(jobs);
+            let outcome = scheduler
+                .run_sweep(&[FigureId::Fig1], SizeClass::Small, &sweep)
+                .expect("fig1 sweep");
+            let ns = outcome.wall_secs * 1e9;
+            eprintln!(
+                "bench: {op} jobs={jobs}: {:.3} ms ({} cells)",
+                ns / 1e6,
+                outcome.planned
+            );
+            entries.push(Entry {
+                op,
+                size: outcome.planned,
+                threads: jobs,
+                ns_per_iter: ns,
+                iters: 1,
+            });
+        }
+        entries
+    }
+
+    /// Serialize through the shared `genbase_util::json` writer (one
+    /// entry object per line, so committed baselines stay diff-friendly).
     pub fn to_json(size: usize, entries: &[Entry]) -> String {
+        use genbase_util::Json;
         let host = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -339,11 +509,14 @@ mod perf {
         out.push_str(&format!("  \"host_threads\": {host},\n"));
         out.push_str("  \"entries\": [\n");
         for (i, e) in entries.iter().enumerate() {
+            let mut obj = Json::obj();
+            obj.set("op", Json::from(e.op));
+            obj.set("size", Json::from(e.size));
+            obj.set("threads", Json::from(e.threads));
+            obj.set("ns_per_iter", Json::Num(e.ns_per_iter.round()));
+            obj.set("iters", Json::from(e.iters as u64));
             let comma = if i + 1 == entries.len() { "" } else { "," };
-            out.push_str(&format!(
-                "    {{\"op\": \"{}\", \"size\": {}, \"threads\": {}, \"ns_per_iter\": {:.0}, \"iters\": {}}}{comma}\n",
-                e.op, e.size, e.threads, e.ns_per_iter, e.iters
-            ));
+            out.push_str(&format!("    {}{comma}\n", obj.render()));
         }
         out.push_str("  ]\n}\n");
         out

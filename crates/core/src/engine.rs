@@ -9,8 +9,16 @@ use genbase_util::{Budget, Result};
 /// Execution context shared by all engines for one run.
 #[derive(Debug, Clone)]
 pub struct ExecContext {
-    /// Total hardware threads available on the (simulated) machine.
+    /// Execution thread budget for this run's kernels. The sweep scheduler
+    /// shrinks this per cell (`config.threads / cells_in_flight`) so
+    /// concurrent cells share the pool fairly.
     pub threads: usize,
+    /// Hardware threads of the *simulated machine*. Engine cost models
+    /// (e.g. Hadoop's map/reduce task slots) must size from this, never
+    /// from `threads`: the scheduler's per-cell budget is a scheduling
+    /// artifact, and letting it leak into simulated costs would make sweep
+    /// results depend on `--jobs`.
+    pub sim_threads: usize,
     /// Number of cluster nodes (1 = single-node run).
     pub nodes: usize,
     /// Wall-clock cutoff (the paper's two-hour window, scaled).
@@ -21,6 +29,11 @@ pub struct ExecContext {
     pub r_mem_bytes: Option<u64>,
     /// Inter-node network model.
     pub net: NetModel,
+    /// Deterministic-timing mode (the harness's `TimingMode::SimOnly`):
+    /// model components normally derived from *measured* wall time must
+    /// use zero measured time instead, so simulated costs depend only on
+    /// the workload, never the host.
+    pub deterministic: bool,
 }
 
 /// R's per-object allocation limit: 2^31 - 1 cells.
@@ -29,14 +42,17 @@ pub const R_CELL_LIMIT: u64 = (1 << 31) - 1;
 impl ExecContext {
     /// Single-node context using all cores, unlimited budget.
     pub fn single_node() -> ExecContext {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         ExecContext {
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            threads,
+            sim_threads: threads,
             nodes: 1,
             cutoff: None,
             r_mem_bytes: None,
             net: NetModel::gigabit(),
+            deterministic: false,
         }
     }
 

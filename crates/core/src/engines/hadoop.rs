@@ -37,7 +37,11 @@ impl Hadoop {
     }
 
     fn job_config(&self, ctx: &ExecContext) -> JobConfig {
-        let mut cfg = JobConfig::local(ctx.threads.max(1));
+        // Task slots model the simulated machine (sim_threads), not the
+        // scheduler's per-cell execution budget: slot count feeds the
+        // shuffle cost model, so sizing it from `ctx.threads` would make
+        // simulated costs depend on how many sweep cells run concurrently.
+        let mut cfg = JobConfig::local(ctx.sim_threads.max(1));
         cfg.job_launch_secs = JOB_LAUNCH_SECS;
         cfg.budget = ctx.db_budget();
         if ctx.nodes > 1 {

@@ -43,3 +43,16 @@ pub fn multi_node_engines() -> Vec<Box<dyn Engine>> {
         Box::new(SciDb::new()),
     ]
 }
+
+/// Every distinct engine configuration in the suite, one instance each
+/// (the scheduler's registry: cells reference engines by display name).
+pub fn all_engines() -> Vec<Box<dyn Engine>> {
+    let mut engines = single_node_engines();
+    for e in multi_node_engines() {
+        if !engines.iter().any(|have| have.name() == e.name()) {
+            engines.push(e);
+        }
+    }
+    engines.push(Box::new(SciDbPhi::new()));
+    engines
+}

@@ -99,10 +99,13 @@ pub(crate) fn run_scidb_single(
     let mut phases = PhaseTimes::default();
 
     // Helper translating a measured analytics time through the Phi model.
+    // In deterministic-timing mode the measured input is zeroed, so the
+    // modeled device time depends only on the workload profile.
     let finish_analytics =
         |phases: &mut PhaseTimes, measured: f64, profile: Option<OpProfile>| match (phi, profile)
         {
             (Some(co), Some(p)) => {
+                let measured = if ctx.deterministic { 0.0 } else { measured };
                 phases.analytics = CostReport {
                     wall_secs: 0.0,
                     sim_secs: co.scale_measured(measured, &p),

@@ -1,19 +1,29 @@
 //! Regeneration of every table and figure in the paper's evaluation.
 //!
-//! Each function runs the relevant slice of the benchmark matrix and renders
-//! the same rows/series the paper plots. Figures 1–4 come out as text tables
-//! (rows = x-axis, columns = systems); Figure 5 and Table 1 compare SciDB
-//! against the modeled Xeon Phi configuration.
+//! Each exhibit is described twice, deliberately:
+//! - [`plan`] decomposes it into independent [`CellKey`] work units in a
+//!   fixed order (what the scheduler executes, serially or sharded);
+//! - [`render`] turns a [`ReportGrid`] of cell outcomes back into the
+//!   paper's rows/series as a **pure function of the grid**.
+//!
+//! Because rendering never looks at how or where cells ran, the sharded
+//! scheduler's output is byte-identical to the serial path's. The classic
+//! `figure1(&harness)`-style wrappers below run their own plan serially
+//! and render it — same code path, one cell in flight.
+//!
+//! Figures 1–4 come out as text tables (rows = x-axis, columns = systems);
+//! Figure 5 and Table 1 compare SciDB against the modeled Xeon Phi
+//! configuration.
 
 use crate::engine::Engine;
 use crate::engines;
 use crate::harness::Harness;
 use crate::query::Query;
-use crate::report::RunOutcome;
+use crate::sched::{run_cells_serial, CellKey, CellOutcome, FigureId, ReportGrid};
 use genbase_accel::{Coprocessor, OpProfile};
 use genbase_datagen::SizeClass;
 use genbase_util::table::{Align, TextTable};
-use genbase_util::{fmt_secs, Result};
+use genbase_util::{fmt_secs, Error, Result};
 
 /// A rendered figure: a title plus one or more captioned tables.
 #[derive(Debug)]
@@ -36,6 +46,121 @@ impl Figure {
     }
 }
 
+/// The four queries Figure 5 / Table 1 cover (regression offload was
+/// unsupported in the paper's MKL release).
+pub const PHI_QUERIES: [Query; 4] = [
+    Query::Biclustering,
+    Query::Svd,
+    Query::Covariance,
+    Query::Statistics,
+];
+
+/// Table 1's row order.
+const TABLE1_QUERIES: [Query; 4] = [
+    Query::Covariance,
+    Query::Svd,
+    Query::Statistics,
+    Query::Biclustering,
+];
+
+fn cell(figure: FigureId, query: Query, size: SizeClass, nodes: usize, engine: &dyn Engine) -> CellKey {
+    CellKey {
+        figure,
+        query,
+        size,
+        nodes,
+        engine: engine.name().to_string(),
+    }
+}
+
+/// Decompose one exhibit into its cell list, in the serial harness's
+/// historical execution order. `mn_size` selects the dataset for the
+/// multi-node exhibits (fig3/fig4/table1).
+pub fn plan(figure: FigureId, cfg: &crate::harness::HarnessConfig, mn_size: SizeClass) -> Vec<CellKey> {
+    let mut cells = Vec::new();
+    match figure {
+        FigureId::Fig1 => {
+            let engines = engines::single_node_engines();
+            for query in Query::ALL {
+                for &size in &cfg.sizes {
+                    for engine in &engines {
+                        cells.push(cell(figure, query, size, 1, engine.as_ref()));
+                    }
+                }
+            }
+        }
+        FigureId::Fig2 => {
+            let engines = engines::single_node_engines();
+            for &size in &cfg.sizes {
+                for engine in &engines {
+                    cells.push(cell(figure, Query::Regression, size, 1, engine.as_ref()));
+                }
+            }
+        }
+        FigureId::Fig3 => {
+            let engines = engines::multi_node_engines();
+            for query in Query::ALL {
+                for &nodes in &cfg.node_counts {
+                    for engine in &engines {
+                        cells.push(cell(figure, query, mn_size, nodes, engine.as_ref()));
+                    }
+                }
+            }
+        }
+        FigureId::Fig4 => {
+            let engines = engines::multi_node_engines();
+            for &nodes in &cfg.node_counts {
+                for engine in &engines {
+                    cells.push(cell(figure, Query::Regression, mn_size, nodes, engine.as_ref()));
+                }
+            }
+        }
+        FigureId::Fig5 => {
+            let scidb = engines::SciDb::new();
+            let phi = engines::SciDbPhi::new();
+            for query in PHI_QUERIES {
+                for &size in &cfg.sizes {
+                    cells.push(cell(figure, query, size, 1, &scidb));
+                    cells.push(cell(figure, query, size, 1, &phi));
+                }
+            }
+        }
+        FigureId::Table1 => {
+            let scidb = engines::SciDb::new();
+            for query in TABLE1_QUERIES {
+                for &nodes in &cfg.node_counts {
+                    cells.push(cell(figure, query, mn_size, nodes, &scidb));
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Render one exhibit from a grid of cell outcomes. Every cell the exhibit
+/// plans must be present (a missing cell — e.g. rendering a partial shard —
+/// is an error naming the gap).
+pub fn render(
+    figure: FigureId,
+    harness: &Harness,
+    mn_size: SizeClass,
+    grid: &ReportGrid,
+) -> Result<Figure> {
+    match figure {
+        FigureId::Fig1 => render_fig1(harness, grid),
+        FigureId::Fig2 => render_fig2(harness, grid),
+        FigureId::Fig3 => render_fig3(harness, mn_size, grid),
+        FigureId::Fig4 => render_fig4(harness, mn_size, grid),
+        FigureId::Fig5 => render_fig5(harness, grid),
+        FigureId::Table1 => render_table1(harness, mn_size, grid),
+    }
+}
+
+fn lookup<'g>(grid: &'g ReportGrid, key: &CellKey) -> Result<&'g CellOutcome> {
+    grid.get(key)
+        .ok_or_else(|| Error::invalid(format!("grid missing cell {}", key.id())))
+}
+
 fn outcome_columns(engines: &[Box<dyn Engine>]) -> Vec<(String, Align)> {
     let mut cols = vec![("dataset".to_string(), Align::Left)];
     cols.extend(
@@ -51,9 +176,30 @@ fn table_with_columns(cols: &[(String, Align)]) -> TextTable {
     TextTable::new(&refs)
 }
 
+fn node_columns(engines: &[Box<dyn Engine>]) -> Vec<(String, Align)> {
+    let mut cols = vec![("nodes".to_string(), Align::Left)];
+    cols.extend(
+        engines
+            .iter()
+            .map(|e| (e.name().to_string(), Align::Right)),
+    );
+    cols
+}
+
+/// Phase-split cell text pair (dm, an) — "inf"/"-" for failures.
+fn phase_cells(outcome: &CellOutcome) -> (String, String) {
+    match outcome {
+        CellOutcome::Completed { dm, an } => {
+            (fmt_secs(dm.total_secs()), fmt_secs(an.total_secs()))
+        }
+        CellOutcome::Infinite { .. } => ("inf".into(), "inf".into()),
+        CellOutcome::Unsupported => ("-".into(), "-".into()),
+    }
+}
+
 /// Figure 1: overall performance of the single-node systems — one table per
 /// query, rows = dataset sizes, columns = systems.
-pub fn figure1(harness: &Harness) -> Result<Figure> {
+fn render_fig1(harness: &Harness, grid: &ReportGrid) -> Result<Figure> {
     let engines = engines::single_node_engines();
     let cols = outcome_columns(&engines);
     let mut tables = Vec::new();
@@ -62,8 +208,8 @@ pub fn figure1(harness: &Harness) -> Result<Figure> {
         for &size in &harness.config().sizes {
             let mut row = vec![size.label().to_string()];
             for engine in &engines {
-                let rec = harness.run_cell(engine.as_ref(), query, size, 1)?;
-                row.push(rec.outcome.cell());
+                let key = cell(FigureId::Fig1, query, size, 1, engine.as_ref());
+                row.push(lookup(grid, &key)?.cell());
             }
             table.row(row);
         }
@@ -77,7 +223,7 @@ pub fn figure1(harness: &Harness) -> Result<Figure> {
 
 /// Figure 2: data-management and analytics breakdown for the regression
 /// query across the single-node systems.
-pub fn figure2(harness: &Harness) -> Result<Figure> {
+fn render_fig2(harness: &Harness, grid: &ReportGrid) -> Result<Figure> {
     let engines = engines::single_node_engines();
     let cols = outcome_columns(&engines);
     let mut dm_table = table_with_columns(&cols);
@@ -86,21 +232,10 @@ pub fn figure2(harness: &Harness) -> Result<Figure> {
         let mut dm_row = vec![size.label().to_string()];
         let mut an_row = vec![size.label().to_string()];
         for engine in &engines {
-            let rec = harness.run_cell(engine.as_ref(), Query::Regression, size, 1)?;
-            match &rec.outcome {
-                RunOutcome::Completed(r) => {
-                    dm_row.push(fmt_secs(r.phases.data_management.total_secs()));
-                    an_row.push(fmt_secs(r.phases.analytics.total_secs()));
-                }
-                RunOutcome::Infinite { .. } => {
-                    dm_row.push("inf".into());
-                    an_row.push("inf".into());
-                }
-                RunOutcome::Unsupported => {
-                    dm_row.push("-".into());
-                    an_row.push("-".into());
-                }
-            }
+            let key = cell(FigureId::Fig2, Query::Regression, size, 1, engine.as_ref());
+            let (dm, an) = phase_cells(lookup(grid, &key)?);
+            dm_row.push(dm);
+            an_row.push(an);
         }
         dm_table.row(dm_row);
         an_table.row(an_row);
@@ -114,19 +249,9 @@ pub fn figure2(harness: &Harness) -> Result<Figure> {
     })
 }
 
-fn node_columns(engines: &[Box<dyn Engine>]) -> Vec<(String, Align)> {
-    let mut cols = vec![("nodes".to_string(), Align::Left)];
-    cols.extend(
-        engines
-            .iter()
-            .map(|e| (e.name().to_string(), Align::Right)),
-    );
-    cols
-}
-
 /// Figure 3: multi-node overall performance on the large dataset — one
 /// table per query, rows = node counts, columns = systems.
-pub fn figure3(harness: &Harness, size: SizeClass) -> Result<Figure> {
+fn render_fig3(harness: &Harness, size: SizeClass, grid: &ReportGrid) -> Result<Figure> {
     let engines = engines::multi_node_engines();
     let cols = node_columns(&engines);
     let mut tables = Vec::new();
@@ -135,8 +260,8 @@ pub fn figure3(harness: &Harness, size: SizeClass) -> Result<Figure> {
         for &nodes in &harness.config().node_counts {
             let mut row = vec![nodes.to_string()];
             for engine in &engines {
-                let rec = harness.run_cell(engine.as_ref(), query, size, nodes)?;
-                row.push(rec.outcome.cell());
+                let key = cell(FigureId::Fig3, query, size, nodes, engine.as_ref());
+                row.push(lookup(grid, &key)?.cell());
             }
             table.row(row);
         }
@@ -152,7 +277,7 @@ pub fn figure3(harness: &Harness, size: SizeClass) -> Result<Figure> {
 }
 
 /// Figure 4: multi-node regression breakdown on the large dataset.
-pub fn figure4(harness: &Harness, size: SizeClass) -> Result<Figure> {
+fn render_fig4(harness: &Harness, size: SizeClass, grid: &ReportGrid) -> Result<Figure> {
     let engines = engines::multi_node_engines();
     let cols = node_columns(&engines);
     let mut dm_table = table_with_columns(&cols);
@@ -161,21 +286,10 @@ pub fn figure4(harness: &Harness, size: SizeClass) -> Result<Figure> {
         let mut dm_row = vec![nodes.to_string()];
         let mut an_row = vec![nodes.to_string()];
         for engine in &engines {
-            let rec = harness.run_cell(engine.as_ref(), Query::Regression, size, nodes)?;
-            match &rec.outcome {
-                RunOutcome::Completed(r) => {
-                    dm_row.push(fmt_secs(r.phases.data_management.total_secs()));
-                    an_row.push(fmt_secs(r.phases.analytics.total_secs()));
-                }
-                RunOutcome::Infinite { .. } => {
-                    dm_row.push("inf".into());
-                    an_row.push("inf".into());
-                }
-                RunOutcome::Unsupported => {
-                    dm_row.push("-".into());
-                    an_row.push("-".into());
-                }
-            }
+            let key = cell(FigureId::Fig4, Query::Regression, size, nodes, engine.as_ref());
+            let (dm, an) = phase_cells(lookup(grid, &key)?);
+            dm_row.push(dm);
+            an_row.push(an);
         }
         dm_table.row(dm_row);
         an_table.row(an_row);
@@ -192,18 +306,9 @@ pub fn figure4(harness: &Harness, size: SizeClass) -> Result<Figure> {
     })
 }
 
-/// The four queries Figure 5 / Table 1 cover (regression offload was
-/// unsupported in the paper's MKL release).
-pub const PHI_QUERIES: [Query; 4] = [
-    Query::Biclustering,
-    Query::Svd,
-    Query::Covariance,
-    Query::Statistics,
-];
-
 /// Figure 5: SciDB vs SciDB + Xeon Phi across dataset sizes, one table per
 /// accelerable query.
-pub fn figure5(harness: &Harness) -> Result<Figure> {
+fn render_fig5(harness: &Harness, grid: &ReportGrid) -> Result<Figure> {
     let scidb = engines::SciDb::new();
     let phi = engines::SciDbPhi::new();
     let mut tables = Vec::new();
@@ -214,12 +319,12 @@ pub fn figure5(harness: &Harness) -> Result<Figure> {
             ("SciDB + Xeon Phi", Align::Right),
         ]);
         for &size in &harness.config().sizes {
-            let base = harness.run_cell(&scidb, query, size, 1)?;
-            let accel = harness.run_cell(&phi, query, size, 1)?;
+            let base = lookup(grid, &cell(FigureId::Fig5, query, size, 1, &scidb))?;
+            let accel = lookup(grid, &cell(FigureId::Fig5, query, size, 1, &phi))?;
             table.row(vec![
                 size.label().to_string(),
-                base.outcome.cell(),
-                accel.outcome.cell(),
+                base.cell(),
+                accel.cell(),
             ]);
         }
         tables.push((
@@ -244,7 +349,7 @@ pub fn figure5(harness: &Harness) -> Result<Figure> {
 /// roofline model for its share of the data (per-node transfer overhead and
 /// the unchanged network time shrink the speedup as nodes grow — the
 /// paper's observed pattern).
-pub fn table1(harness: &Harness, size: SizeClass) -> Result<Figure> {
+fn render_table1(harness: &Harness, size: SizeClass, grid: &ReportGrid) -> Result<Figure> {
     let co = Coprocessor::phi_on_e5();
     let scidb = engines::SciDb::new();
     let data = harness.dataset(size)?;
@@ -257,20 +362,15 @@ pub fn table1(harness: &Harness, size: SizeClass) -> Result<Figure> {
         ));
     }
     let mut table = table_with_columns(&cols);
-    for query in [
-        Query::Covariance,
-        Query::Svd,
-        Query::Statistics,
-        Query::Biclustering,
-    ] {
+    for query in TABLE1_QUERIES {
         let mut row = vec![query.title().to_string()];
         for &nodes in &harness.config().node_counts {
-            let rec = harness.run_cell(&scidb, query, size, nodes)?;
-            let Some(report) = rec.outcome.report() else {
+            let key = cell(FigureId::Table1, query, size, nodes, &scidb);
+            let Some(phases) = lookup(grid, &key)?.phases() else {
                 row.push("-".into());
                 continue;
             };
-            let an = &report.phases.analytics;
+            let an = &phases.analytics;
             // Per-node share of the analytics workload.
             let m = data.n_patients() / nodes;
             let profile = match query {
@@ -327,6 +427,43 @@ pub fn table1(harness: &Harness, size: SizeClass) -> Result<Figure> {
     })
 }
 
+/// Plan one exhibit, run it serially (one cell at a time, full thread
+/// budget each — the classic path), and render.
+fn run_serial_and_render(harness: &Harness, figure: FigureId, mn_size: SizeClass) -> Result<Figure> {
+    let cells = plan(figure, harness.config(), mn_size);
+    let grid = run_cells_serial(harness, &engines::all_engines(), &cells)?;
+    render(figure, harness, mn_size, &grid)
+}
+
+/// Figure 1 via the serial path (see [`render`] for the grid-based form).
+pub fn figure1(harness: &Harness) -> Result<Figure> {
+    run_serial_and_render(harness, FigureId::Fig1, SizeClass::Small)
+}
+
+/// Figure 2 via the serial path.
+pub fn figure2(harness: &Harness) -> Result<Figure> {
+    run_serial_and_render(harness, FigureId::Fig2, SizeClass::Small)
+}
+
+/// Figure 3 via the serial path, on the `size` dataset.
+pub fn figure3(harness: &Harness, size: SizeClass) -> Result<Figure> {
+    run_serial_and_render(harness, FigureId::Fig3, size)
+}
+
+/// Figure 4 via the serial path, on the `size` dataset.
+pub fn figure4(harness: &Harness, size: SizeClass) -> Result<Figure> {
+    run_serial_and_render(harness, FigureId::Fig4, size)
+}
+
+/// Figure 5 via the serial path.
+pub fn figure5(harness: &Harness) -> Result<Figure> {
+    run_serial_and_render(harness, FigureId::Fig5, SizeClass::Small)
+}
+
+/// Table 1 via the serial path, on the `size` dataset.
+pub fn table1(harness: &Harness, size: SizeClass) -> Result<Figure> {
+    run_serial_and_render(harness, FigureId::Table1, size)
+}
 
 /// Weak-scaling experiment — the paper's stated future work ("in reality,
 /// the genomics data should scale in size with the number of nodes in the
@@ -423,5 +560,41 @@ mod tests {
         let rendered = f2.render();
         assert!(rendered.contains("Data Management"));
         assert!(rendered.contains("Analytics"));
+    }
+
+    #[test]
+    fn plans_have_expected_shapes() {
+        let cfg = HarnessConfig {
+            sizes: vec![SizeClass::Small, SizeClass::Medium],
+            node_counts: vec![1, 2],
+            ..HarnessConfig::quick()
+        };
+        // 5 queries x 2 sizes x 7 engines.
+        assert_eq!(plan(FigureId::Fig1, &cfg, SizeClass::Small).len(), 70);
+        // 2 sizes x 7 engines.
+        assert_eq!(plan(FigureId::Fig2, &cfg, SizeClass::Small).len(), 14);
+        // 5 queries x 2 node counts x 5 engines.
+        assert_eq!(plan(FigureId::Fig3, &cfg, SizeClass::Small).len(), 50);
+        // 2 node counts x 5 engines.
+        assert_eq!(plan(FigureId::Fig4, &cfg, SizeClass::Small).len(), 10);
+        // 4 queries x 2 sizes x 2 engines.
+        assert_eq!(plan(FigureId::Fig5, &cfg, SizeClass::Small).len(), 16);
+        // 4 queries x 2 node counts.
+        assert_eq!(plan(FigureId::Table1, &cfg, SizeClass::Small).len(), 8);
+        // Plans are deterministic and duplicate-free.
+        let cells = plan(FigureId::Fig1, &cfg, SizeClass::Small);
+        assert_eq!(cells, plan(FigureId::Fig1, &cfg, SizeClass::Small));
+        let mut ids: Vec<String> = cells.iter().map(CellKey::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), cells.len());
+    }
+
+    #[test]
+    fn render_fails_cleanly_on_missing_cells() {
+        let h = micro_harness();
+        let empty = ReportGrid::default();
+        let err = render(FigureId::Fig1, &h, SizeClass::Small, &empty).unwrap_err();
+        assert!(err.to_string().contains("missing cell"));
     }
 }

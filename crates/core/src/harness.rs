@@ -1,12 +1,35 @@
 //! Benchmark harness: runs the (engine × query × size × nodes) matrix with
 //! the paper's cutoff and failure semantics.
+//!
+//! Datasets come from a shared, lazily-built [`DatasetPool`]: a size class
+//! is generated the first time any cell asks for it (exactly once, no
+//! matter how many cells ask concurrently), shared by reference count
+//! across every in-flight cell, and cached for the harness's lifetime —
+//! the substrate the sharded scheduler in [`crate::sched`] dispatches
+//! onto.
 
 use crate::engine::{Engine, ExecContext};
 use crate::query::{Query, QueryParams};
 use crate::report::RunOutcome;
-use genbase_datagen::{generate, Dataset, GeneratorConfig, SizeClass, SizeSpec};
+use genbase_datagen::{Dataset, DatasetPool, SizeClass};
 use genbase_util::{Error, Result};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// How completed cells report time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimingMode {
+    /// Measured wall seconds plus simulated costs (the paper's numbers).
+    #[default]
+    Measured,
+    /// Simulated costs only: measured wall seconds are zeroed and the
+    /// (machine-dependent) wall-clock cutoff is disabled, making every
+    /// cell outcome deterministic. This is the conformance-tier mode —
+    /// sweep output becomes byte-identical across runs, machines, and
+    /// serial-vs-sharded execution. Memory budgets still apply (byte
+    /// accounting is deterministic).
+    SimOnly,
+}
 
 /// Harness configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +50,8 @@ pub struct HarnessConfig {
     pub seed: u64,
     /// Node counts for multi-node experiments.
     pub node_counts: Vec<usize>,
+    /// Timing mode for completed cells.
+    pub timing: TimingMode,
 }
 
 impl Default for HarnessConfig {
@@ -44,6 +69,7 @@ impl Default for HarnessConfig {
                 .unwrap_or(4),
             seed: 0x9e6b,
             node_counts: vec![1, 2, 4],
+            timing: TimingMode::Measured,
         }
     }
 }
@@ -58,6 +84,12 @@ impl HarnessConfig {
             r_mem_bytes: u64::MAX,
             ..Default::default()
         }
+    }
+
+    /// Same configuration in deterministic sim-only timing mode.
+    pub fn sim_only(mut self) -> HarnessConfig {
+        self.timing = TimingMode::SimOnly;
+        self
     }
 }
 
@@ -76,23 +108,18 @@ pub struct RunRecord {
     pub outcome: RunOutcome,
 }
 
-/// Dataset cache + run driver.
+/// Dataset pool + run driver.
 pub struct Harness {
     config: HarnessConfig,
-    datasets: Vec<(SizeClass, Dataset, QueryParams)>,
+    pool: DatasetPool,
 }
 
 impl Harness {
-    /// Generate all configured datasets up front (seeded, reproducible).
+    /// Build a harness over a lazily-populated dataset pool (seeded,
+    /// reproducible; nothing is generated until a cell needs it).
     pub fn new(config: HarnessConfig) -> Result<Harness> {
-        let mut datasets = Vec::with_capacity(config.sizes.len());
-        for &class in &config.sizes {
-            let spec = SizeSpec::scaled(class, config.scale);
-            let data = generate(&GeneratorConfig::new(spec).with_seed(config.seed))?;
-            let params = QueryParams::for_dataset(&data);
-            datasets.push((class, data, params));
-        }
-        Ok(Harness { config, datasets })
+        let pool = DatasetPool::new(config.scale, config.seed);
+        Ok(Harness { config, pool })
     }
 
     /// The active configuration.
@@ -100,30 +127,49 @@ impl Harness {
         &self.config
     }
 
-    /// Borrow a generated dataset.
-    pub fn dataset(&self, class: SizeClass) -> Result<&Dataset> {
-        self.datasets
-            .iter()
-            .find(|(c, _, _)| *c == class)
-            .map(|(_, d, _)| d)
-            .ok_or_else(|| Error::invalid(format!("size {class:?} not configured")))
+    /// The shared dataset pool.
+    pub fn pool(&self) -> &DatasetPool {
+        &self.pool
     }
 
-    /// Query parameters for a dataset.
-    pub fn params(&self, class: SizeClass) -> Result<&QueryParams> {
-        self.datasets
-            .iter()
-            .find(|(c, _, _)| *c == class)
-            .map(|(_, _, p)| p)
-            .ok_or_else(|| Error::invalid(format!("size {class:?} not configured")))
+    /// Fetch a dataset handle (generated on first use, then shared).
+    /// Classes outside the configured `sizes` are rejected.
+    pub fn dataset(&self, class: SizeClass) -> Result<Arc<Dataset>> {
+        if !self.config.sizes.contains(&class) {
+            return Err(Error::invalid(format!("size {class:?} not configured")));
+        }
+        self.pool.get(class)
+    }
+
+    /// Query parameters for a dataset (derived deterministically; cheap).
+    pub fn params(&self, class: SizeClass) -> Result<QueryParams> {
+        Ok(QueryParams::for_dataset(self.dataset(class)?.as_ref()))
     }
 
     /// Execution context for a run.
     pub fn context(&self, nodes: usize) -> ExecContext {
+        self.context_with_threads(nodes, self.config.threads)
+    }
+
+    /// Execution context with an explicit thread budget — the scheduler
+    /// splits `config.threads` between concurrent cells through this.
+    pub fn context_with_threads(&self, nodes: usize, threads: usize) -> ExecContext {
         let mut ctx = ExecContext::multi_node(nodes);
-        ctx.threads = self.config.threads;
-        ctx.cutoff = Some(self.config.cutoff);
+        ctx.threads = threads.max(1);
+        // The simulated machine's size is part of the benchmark
+        // configuration; only the execution budget varies per cell.
+        ctx.sim_threads = self.config.threads.max(1);
+        // The wall-clock cutoff is inherently machine-dependent: in
+        // deterministic SimOnly mode it is disabled, or a slow runner
+        // could turn a Completed cell into Infinite and break the
+        // byte-identical guarantee. Memory budgets stay on — byte
+        // accounting is deterministic.
+        ctx.cutoff = match self.config.timing {
+            TimingMode::Measured => Some(self.config.cutoff),
+            TimingMode::SimOnly => None,
+        };
         ctx.r_mem_bytes = Some(self.config.r_mem_bytes);
+        ctx.deterministic = self.config.timing == TimingMode::SimOnly;
         ctx
     }
 
@@ -137,14 +183,32 @@ impl Harness {
         size: SizeClass,
         nodes: usize,
     ) -> Result<RunRecord> {
+        self.run_cell_with_threads(engine, query, size, nodes, self.config.threads)
+    }
+
+    /// [`Harness::run_cell`] under an explicit per-cell thread budget.
+    pub fn run_cell_with_threads(
+        &self,
+        engine: &dyn Engine,
+        query: Query,
+        size: SizeClass,
+        nodes: usize,
+        threads: usize,
+    ) -> Result<RunRecord> {
         let outcome = if !engine.supports(query) || nodes > engine.max_nodes() {
             RunOutcome::Unsupported
         } else {
             let data = self.dataset(size)?;
             let params = self.params(size)?;
-            let ctx = self.context(nodes);
-            match engine.run(query, data, params, &ctx) {
-                Ok(report) => RunOutcome::Completed(report),
+            let ctx = self.context_with_threads(nodes, threads);
+            match engine.run(query, &data, &params, &ctx) {
+                Ok(mut report) => {
+                    if self.config.timing == TimingMode::SimOnly {
+                        report.phases.data_management.wall_secs = 0.0;
+                        report.phases.analytics.wall_secs = 0.0;
+                    }
+                    RunOutcome::Completed(report)
+                }
                 Err(e) if e.is_infinite_result() => RunOutcome::Infinite {
                     reason: e.to_string(),
                 },
@@ -169,9 +233,9 @@ impl Harness {
     ) -> Result<Vec<RunRecord>> {
         let mut records = Vec::new();
         for &query in queries {
-            for (class, _, _) in &self.datasets {
+            for &class in &self.config.sizes {
                 for engine in engines {
-                    records.push(self.run_cell(engine.as_ref(), query, *class, 1)?);
+                    records.push(self.run_cell(engine.as_ref(), query, class, 1)?);
                 }
             }
         }
@@ -200,6 +264,17 @@ mod tests {
         assert_eq!(d.n_genes(), 60);
         assert_eq!(d.n_patients(), 60);
         assert!(h.dataset(SizeClass::Large).is_err());
+        // Lazy pool: only the touched class was generated.
+        assert_eq!(h.pool().generated(), vec![SizeClass::Small]);
+    }
+
+    #[test]
+    fn dataset_handles_are_shared_not_regenerated() {
+        let h = quick_harness();
+        let a = h.dataset(SizeClass::Small).unwrap();
+        let b = h.dataset(SizeClass::Small).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(h.pool().handle_count(SizeClass::Small), 2);
     }
 
     #[test]
@@ -236,5 +311,32 @@ mod tests {
             .run_cell(&scidb, Query::Covariance, SizeClass::Small, 1)
             .unwrap();
         assert!(matches!(rec.outcome, RunOutcome::Infinite { .. }));
+    }
+
+    #[test]
+    fn sim_only_mode_zeroes_measured_wall_time() {
+        let cfg = HarnessConfig {
+            scale: 0.012,
+            sizes: vec![SizeClass::Small],
+            ..HarnessConfig::quick()
+        }
+        .sim_only();
+        let h = Harness::new(cfg).unwrap();
+        let scidb = engines::SciDb::new();
+        let rec = h
+            .run_cell(&scidb, Query::Covariance, SizeClass::Small, 1)
+            .unwrap();
+        let report = rec.outcome.report().expect("completed");
+        assert_eq!(report.phases.data_management.wall_secs, 0.0);
+        assert_eq!(report.phases.analytics.wall_secs, 0.0);
+        // Deterministic: a second identical run reports identical totals.
+        let rec2 = h
+            .run_cell(&scidb, Query::Covariance, SizeClass::Small, 1)
+            .unwrap();
+        let report2 = rec2.outcome.report().unwrap();
+        assert_eq!(
+            report.phases.total_secs().to_bits(),
+            report2.phases.total_secs().to_bits()
+        );
     }
 }

@@ -40,16 +40,22 @@ pub mod figures;
 pub mod harness;
 pub mod query;
 pub mod report;
+pub mod sched;
 
 pub use engine::{Engine, ExecContext};
+pub use harness::TimingMode;
 pub use query::{Query, QueryOutput, QueryParams};
 pub use report::{PhaseTimes, QueryReport, RunOutcome};
+pub use sched::{CellKey, CellOutcome, FigureId, ReportGrid, Scheduler, SweepOptions};
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
     pub use crate::engine::{Engine, ExecContext};
     pub use crate::engines;
-    pub use crate::harness::{Harness, HarnessConfig};
+    pub use crate::harness::{Harness, HarnessConfig, TimingMode};
     pub use crate::query::{Query, QueryOutput, QueryParams};
     pub use crate::report::{PhaseTimes, QueryReport, RunOutcome};
+    pub use crate::sched::{
+        CellKey, CellOutcome, FigureId, ReportGrid, Scheduler, SweepOptions,
+    };
 }

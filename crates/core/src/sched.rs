@@ -1,0 +1,808 @@
+//! Sharded benchmark scheduler.
+//!
+//! The paper's evaluation is a sweep over (engine × dataset-scale × query ×
+//! nodes) cells. The serial harness runs them one at a time; this module
+//! decomposes every figure into independent [`CellKey`] work units and
+//! dispatches them onto the shared `genbase_util::runtime` pool, so
+//! inter-cell and intra-kernel parallelism compose under one thread budget
+//! (`HarnessConfig.threads` split across `cells_in_flight` concurrent
+//! cells, remainder to each cell's kernels — no oversubscription).
+//!
+//! Determinism: cells report into a fixed-order [`ReportGrid`] keyed by
+//! cell id; figure rendering is a pure function of the grid, so fig1–fig5 /
+//! table1 output is **byte-identical** between the serial path and any
+//! sharded/parallel execution (pinned by `tests/sched_determinism.rs`).
+//! Under [`TimingMode::SimOnly`](crate::harness::TimingMode) the grid
+//! itself is deterministic, so independent runs — including CI shard
+//! fan-out via `--shards N --shard-id I` — agree byte for byte.
+//!
+//! Resumability: with a checkpoint path, the grid is persisted as JSON
+//! after every completed cell (write-to-temp + rename); an interrupted
+//! sweep resumes by loading the checkpoint and running only missing cells.
+
+use crate::engine::Engine;
+use crate::engines;
+use crate::figures;
+use crate::harness::{Harness, HarnessConfig};
+use crate::query::Query;
+use crate::report::{PhaseTimes, RunOutcome};
+use genbase_datagen::SizeClass;
+use genbase_util::{parallel_map, CostReport, Error, Json, Result};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The six paper exhibits the scheduler can sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FigureId {
+    /// Figure 1: single-node overall performance.
+    Fig1,
+    /// Figure 2: single-node regression phase breakdown.
+    Fig2,
+    /// Figure 3: multi-node overall performance.
+    Fig3,
+    /// Figure 4: multi-node regression phase breakdown.
+    Fig4,
+    /// Figure 5: SciDB vs SciDB + Xeon Phi.
+    Fig5,
+    /// Table 1: Phi analytics speedup per node count.
+    Table1,
+}
+
+impl FigureId {
+    /// All exhibits in paper order.
+    pub const ALL: [FigureId; 6] = [
+        FigureId::Fig1,
+        FigureId::Fig2,
+        FigureId::Fig3,
+        FigureId::Fig4,
+        FigureId::Fig5,
+        FigureId::Table1,
+    ];
+
+    /// Stable identifier (cell keys, CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            FigureId::Fig1 => "fig1",
+            FigureId::Fig2 => "fig2",
+            FigureId::Fig3 => "fig3",
+            FigureId::Fig4 => "fig4",
+            FigureId::Fig5 => "fig5",
+            FigureId::Table1 => "table1",
+        }
+    }
+
+    /// Inverse of [`FigureId::name`].
+    pub fn from_name(name: &str) -> Option<FigureId> {
+        FigureId::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+/// One independent unit of sweep work: run `query` on `engine` against the
+/// `size` dataset over `nodes` simulated nodes, for exhibit `figure`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Exhibit this cell belongs to (fig2's regression cells are distinct
+    /// work from fig1's, exactly as in the serial harness).
+    pub figure: FigureId,
+    /// Query to execute.
+    pub query: Query,
+    /// Dataset size class.
+    pub size: SizeClass,
+    /// Simulated cluster size.
+    pub nodes: usize,
+    /// Engine display name (resolved through the engine registry).
+    pub engine: String,
+}
+
+impl CellKey {
+    /// Stable string id, e.g. `fig1/covariance/small/n1/SciDB`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/n{}/{}",
+            self.figure.name(),
+            self.query.name(),
+            self.size.slug(),
+            self.nodes,
+            self.engine
+        )
+    }
+}
+
+/// The slimmed, serializable outcome of one cell — exactly what figure
+/// rendering needs (phase costs or failure class), without the full typed
+/// query output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// Finished within budget, with the paper's phase split.
+    Completed {
+        /// Data-management phase costs.
+        dm: CostReport,
+        /// Analytics phase costs.
+        an: CostReport,
+    },
+    /// Cutoff or memory failure (the paper's "infinite" bars).
+    Infinite {
+        /// What gave out.
+        reason: String,
+    },
+    /// The engine lacks the functionality (no bar in the paper).
+    Unsupported,
+}
+
+impl CellOutcome {
+    /// Convert a harness outcome, dropping the typed query output.
+    pub fn from_run(outcome: &RunOutcome) -> CellOutcome {
+        match outcome {
+            RunOutcome::Completed(r) => CellOutcome::Completed {
+                dm: r.phases.data_management,
+                an: r.phases.analytics,
+            },
+            RunOutcome::Infinite { reason } => CellOutcome::Infinite {
+                reason: reason.clone(),
+            },
+            RunOutcome::Unsupported => CellOutcome::Unsupported,
+        }
+    }
+
+    /// The phase split for completed cells.
+    pub fn phases(&self) -> Option<PhaseTimes> {
+        match self {
+            CellOutcome::Completed { dm, an } => Some(PhaseTimes {
+                data_management: *dm,
+                analytics: *an,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Table-cell text, identical to [`RunOutcome::cell`].
+    pub fn cell(&self) -> String {
+        match self {
+            CellOutcome::Completed { .. } => {
+                genbase_util::fmt_secs(self.phases().expect("completed").total_secs())
+            }
+            CellOutcome::Infinite { .. } => "inf".to_string(),
+            CellOutcome::Unsupported => "-".to_string(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        match self {
+            CellOutcome::Completed { dm, an } => {
+                obj.set("status", Json::from("completed"));
+                for (name, cost) in [("dm", dm), ("an", an)] {
+                    obj.set(
+                        name,
+                        Json::Arr(vec![
+                            Json::Num(cost.wall_secs),
+                            Json::Num(cost.sim_secs),
+                            Json::from(cost.sim_bytes),
+                        ]),
+                    );
+                }
+            }
+            CellOutcome::Infinite { reason } => {
+                obj.set("status", Json::from("infinite"));
+                obj.set("reason", Json::from(reason.as_str()));
+            }
+            CellOutcome::Unsupported => {
+                obj.set("status", Json::from("unsupported"));
+            }
+        }
+        obj
+    }
+
+    fn from_json(value: &Json) -> Result<CellOutcome> {
+        let status = value
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::invalid("cell outcome missing status"))?;
+        match status {
+            "completed" => {
+                let cost = |name: &str| -> Result<CostReport> {
+                    let arr = value
+                        .get(name)
+                        .and_then(Json::as_arr)
+                        .filter(|a| a.len() == 3)
+                        .ok_or_else(|| Error::invalid(format!("bad {name} cost")))?;
+                    // Strict: a malformed entry must fail the load, not
+                    // silently render as a zero-cost cell.
+                    let bad = || Error::invalid(format!("non-numeric {name} cost"));
+                    Ok(CostReport {
+                        wall_secs: arr[0].as_f64().ok_or_else(bad)?,
+                        sim_secs: arr[1].as_f64().ok_or_else(bad)?,
+                        sim_bytes: arr[2].as_u64().ok_or_else(bad)?,
+                    })
+                };
+                Ok(CellOutcome::Completed {
+                    dm: cost("dm")?,
+                    an: cost("an")?,
+                })
+            }
+            "infinite" => Ok(CellOutcome::Infinite {
+                reason: value
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            }),
+            "unsupported" => Ok(CellOutcome::Unsupported),
+            other => Err(Error::invalid(format!("unknown cell status {other:?}"))),
+        }
+    }
+}
+
+/// Fixed-order collection of cell outcomes; the single source every figure
+/// renders from. Keys sort lexicographically by cell id, so serialization
+/// is deterministic regardless of completion order. A grid optionally
+/// carries a configuration fingerprint (scale/seed/timing) so checkpoints
+/// and shard files from mismatched runs are rejected instead of silently
+/// mixing outcomes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReportGrid {
+    cells: BTreeMap<String, CellOutcome>,
+    fingerprint: Option<String>,
+}
+
+/// The configuration facets that change cell outcomes: anything differing
+/// here makes grids incomparable. The cutoff only matters in Measured mode
+/// (SimOnly disables it), so two SimOnly runs with different `--cutoff`
+/// flags still compare equal.
+pub fn config_fingerprint(config: &HarnessConfig) -> String {
+    let cutoff = match config.timing {
+        crate::harness::TimingMode::Measured => format!("{}", config.cutoff.as_secs_f64()),
+        crate::harness::TimingMode::SimOnly => "off".to_string(),
+    };
+    format!(
+        "scale={};seed={};timing={:?};rmem={};cutoff={cutoff}",
+        config.scale, config.seed, config.timing, config.r_mem_bytes
+    )
+}
+
+/// Grid / checkpoint file schema tag.
+pub const GRID_SCHEMA: &str = "genbase-grid-v1";
+
+impl ReportGrid {
+    /// Number of recorded cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Record a cell outcome.
+    pub fn insert(&mut self, key: &CellKey, outcome: CellOutcome) {
+        self.cells.insert(key.id(), outcome);
+    }
+
+    /// Look up a cell.
+    pub fn get(&self, key: &CellKey) -> Option<&CellOutcome> {
+        self.cells.get(&key.id())
+    }
+
+    /// Whether a cell is recorded.
+    pub fn contains(&self, key: &CellKey) -> bool {
+        self.cells.contains_key(&key.id())
+    }
+
+    /// Recorded cell ids in sorted order.
+    pub fn ids(&self) -> impl Iterator<Item = &str> {
+        self.cells.keys().map(String::as_str)
+    }
+
+    /// The configuration fingerprint, if stamped.
+    pub fn fingerprint(&self) -> Option<&str> {
+        self.fingerprint.as_deref()
+    }
+
+    /// Stamp the grid with its producing configuration.
+    pub fn set_fingerprint(&mut self, fingerprint: String) {
+        self.fingerprint = Some(fingerprint);
+    }
+
+    /// Fold `other` in. Fingerprints (when both stamped) and overlapping
+    /// ids must agree (shards are disjoint by construction; a conflict
+    /// means mismatched runs were mixed).
+    pub fn merge(&mut self, other: ReportGrid) -> Result<()> {
+        match (&self.fingerprint, &other.fingerprint) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(Error::invalid(format!(
+                    "grid merge refused: config fingerprints differ ({a} vs {b})"
+                )))
+            }
+            (None, Some(b)) => self.fingerprint = Some(b.clone()),
+            _ => {}
+        }
+        for (id, outcome) in other.cells {
+            if let Some(have) = self.cells.get(&id) {
+                if *have != outcome {
+                    return Err(Error::invalid(format!(
+                        "grid merge conflict on cell {id}: differing outcomes"
+                    )));
+                }
+            }
+            self.cells.insert(id, outcome);
+        }
+        Ok(())
+    }
+
+    /// Serialize deterministically.
+    pub fn to_json(&self) -> String {
+        let mut cells = Json::obj();
+        for (id, outcome) in &self.cells {
+            cells.set(id, outcome.to_json());
+        }
+        let mut doc = Json::obj();
+        doc.set("schema", Json::from(GRID_SCHEMA));
+        if let Some(fp) = &self.fingerprint {
+            doc.set("config", Json::from(fp.as_str()));
+        }
+        doc.set("cells", cells);
+        doc.render()
+    }
+
+    /// Parse a serialized grid.
+    pub fn from_json(text: &str) -> Result<ReportGrid> {
+        let doc = Json::parse(text)?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(GRID_SCHEMA) => {}
+            other => {
+                return Err(Error::invalid(format!(
+                    "unexpected grid schema {other:?} (want {GRID_SCHEMA})"
+                )))
+            }
+        }
+        let mut grid = ReportGrid::default();
+        grid.fingerprint = doc
+            .get("config")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        let pairs = doc
+            .get("cells")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| Error::invalid("grid missing cells object"))?;
+        for (id, value) in pairs {
+            grid.cells.insert(id.clone(), CellOutcome::from_json(value)?);
+        }
+        Ok(grid)
+    }
+
+    /// Load a grid file.
+    pub fn load(path: &Path) -> Result<ReportGrid> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Error::invalid(format!("read {}: {e}", path.display())))?;
+        ReportGrid::from_json(&text)
+    }
+
+    /// Persist atomically (write temp file, then rename), so a sweep killed
+    /// mid-write never corrupts its checkpoint.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        save_text(path, &self.to_json(), 0)
+    }
+}
+
+/// Atomic file write: temp file (tagged, so concurrent writers never share
+/// one) then rename over the target.
+fn save_text(path: &Path, text: &str, tag: usize) -> Result<()> {
+    let tmp = path.with_extension(format!("tmp{tag}"));
+    std::fs::write(&tmp, text)
+        .map_err(|e| Error::invalid(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| Error::invalid(format!("rename {}: {e}", path.display())))?;
+    Ok(())
+}
+
+/// How a sweep is split and dispatched.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Total shards the cell list is split across (round-robin by index).
+    pub shards: usize,
+    /// This run's shard (0-based).
+    pub shard_id: usize,
+    /// Cells executing concurrently; `HarnessConfig.threads` is divided
+    /// between them so kernels and scheduler never oversubscribe.
+    pub cells_in_flight: usize,
+    /// Checkpoint file: loaded (if present) to skip completed cells,
+    /// rewritten after every completion.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            shards: 1,
+            shard_id: 0,
+            cells_in_flight: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            checkpoint: None,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Serial execution (one cell at a time, full thread budget per cell).
+    pub fn serial() -> SweepOptions {
+        SweepOptions {
+            cells_in_flight: 1,
+            ..Default::default()
+        }
+    }
+
+    /// With `n` cells in flight.
+    pub fn with_cells_in_flight(mut self, n: usize) -> SweepOptions {
+        self.cells_in_flight = n.max(1);
+        self
+    }
+
+    /// Run shard `id` of `n`.
+    pub fn with_shard(mut self, n: usize, id: usize) -> SweepOptions {
+        self.shards = n.max(1);
+        self.shard_id = id;
+        self
+    }
+
+    /// Checkpoint to (and resume from) `path`.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> SweepOptions {
+        self.checkpoint = Some(path.into());
+        self
+    }
+}
+
+/// What a sweep did, plus the grid to render from.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// All outcomes for this shard (including checkpoint-restored cells).
+    pub grid: ReportGrid,
+    /// Cells planned for this shard.
+    pub planned: usize,
+    /// Cells actually executed this run.
+    pub executed: usize,
+    /// Cells skipped because the checkpoint already had them.
+    pub skipped: usize,
+    /// Sweep wall-clock seconds (dataset generation + all cells).
+    pub wall_secs: f64,
+}
+
+/// Observer/failure hook invoked before each cell executes. Returning an
+/// error marks the cell failed without running it — the mechanism
+/// `tests/failure_injection.rs` uses to simulate a killed sweep.
+pub type CellHook = dyn Fn(&CellKey) -> Result<()> + Send + Sync;
+
+/// The sweep driver: a pool-backed [`Harness`] plus the engine registry.
+pub struct Scheduler {
+    harness: Harness,
+    engines: Vec<Box<dyn Engine>>,
+    hook: Option<Box<CellHook>>,
+}
+
+impl Scheduler {
+    /// Scheduler over a fresh pool-backed harness.
+    pub fn new(config: HarnessConfig) -> Result<Scheduler> {
+        Ok(Scheduler {
+            harness: Harness::new(config)?,
+            engines: engines::all_engines(),
+            hook: None,
+        })
+    }
+
+    /// The underlying harness (datasets, config, rendering context).
+    pub fn harness(&self) -> &Harness {
+        &self.harness
+    }
+
+    /// Install a pre-execution hook (observation / failure injection).
+    pub fn set_cell_hook(&mut self, hook: Box<CellHook>) {
+        self.hook = Some(hook);
+    }
+
+    /// Plan the full cell list for `figures` in deterministic order.
+    pub fn plan(&self, figs: &[FigureId], mn_size: SizeClass) -> Vec<CellKey> {
+        figs.iter()
+            .flat_map(|&f| figures::plan(f, self.harness.config(), mn_size))
+            .collect()
+    }
+
+    fn engine(&self, name: &str) -> Result<&dyn Engine> {
+        self.engines
+            .iter()
+            .find(|e| e.name() == name)
+            .map(|e| e.as_ref())
+            .ok_or_else(|| Error::invalid(format!("unknown engine {name:?}")))
+    }
+
+    /// Execute one cell under an explicit thread budget.
+    pub fn run_cell(&self, key: &CellKey, threads: usize) -> Result<CellOutcome> {
+        let engine = self.engine(&key.engine)?;
+        let rec = self.harness.run_cell_with_threads(
+            engine, key.query, key.size, key.nodes, threads,
+        )?;
+        Ok(CellOutcome::from_run(&rec.outcome))
+    }
+
+    /// Run the sweep for `figures`: shard-filter the planned cells, skip
+    /// checkpointed ones, dispatch the rest with `cells_in_flight`
+    /// concurrency, and collect a deterministic grid.
+    ///
+    /// On a cell failure every other cell still runs and checkpoints; the
+    /// first failure (in plan order) is then returned, so a resumed sweep
+    /// re-attempts only what is missing.
+    pub fn run_sweep(
+        &self,
+        figs: &[FigureId],
+        mn_size: SizeClass,
+        sweep: &SweepOptions,
+    ) -> Result<SweepOutcome> {
+        let start = std::time::Instant::now();
+        let shards = sweep.shards.max(1);
+        if sweep.shard_id >= shards {
+            return Err(Error::invalid(format!(
+                "shard id {} out of range (shards = {shards})",
+                sweep.shard_id
+            )));
+        }
+        let cells: Vec<CellKey> = self
+            .plan(figs, mn_size)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % shards == sweep.shard_id)
+            .map(|(_, c)| c)
+            .collect();
+
+        let fingerprint = config_fingerprint(self.harness.config());
+        let mut base = match &sweep.checkpoint {
+            Some(path) if path.exists() => {
+                let grid = ReportGrid::load(path)?;
+                if let Some(have) = grid.fingerprint() {
+                    if have != fingerprint {
+                        return Err(Error::invalid(format!(
+                            "checkpoint {} is from a different configuration \
+                             ({have} vs {fingerprint}); delete it or match the flags",
+                            path.display()
+                        )));
+                    }
+                }
+                grid
+            }
+            _ => ReportGrid::default(),
+        };
+        base.set_fingerprint(fingerprint);
+        let pending: Vec<&CellKey> = cells.iter().filter(|c| !base.contains(c)).collect();
+        let skipped = cells.len() - pending.len();
+
+        let in_flight = sweep.cells_in_flight.max(1);
+        let per_cell_threads = (self.harness.config().threads / in_flight).max(1);
+        // Incremental checkpoint state, only maintained when a checkpoint
+        // is configured (checkpoint-less sweeps collect from `results`).
+        let live = sweep.checkpoint.as_ref().map(|_| Mutex::new(base.clone()));
+        let results: Vec<Result<CellOutcome>> =
+            parallel_map(in_flight, pending.len(), |i| -> Result<CellOutcome> {
+                let key = pending[i];
+                if let Some(hook) = &self.hook {
+                    hook(key)?;
+                }
+                let outcome = self.run_cell(key, per_cell_threads)?;
+                // Serialize under the lock, write outside it: completions
+                // must not queue behind each other's disk I/O. Concurrent
+                // writers use distinct temp files; renames may land out of
+                // order, leaving an older-but-valid intermediate file —
+                // the authoritative checkpoint is rewritten once, from the
+                // complete grid, after the dispatch loop below.
+                if let Some(live) = &live {
+                    let json = {
+                        let mut grid = live.lock().expect("live grid");
+                        grid.insert(key, outcome.clone());
+                        grid.to_json()
+                    };
+                    save_text(sweep.checkpoint.as_ref().expect("checkpoint"), &json, i)?;
+                }
+                Ok(outcome)
+            });
+
+        // Rebuild the grid from results in plan order (deterministic,
+        // independent of completion interleaving).
+        let mut grid = base;
+        let mut first_err = None;
+        for (key, result) in pending.iter().zip(results) {
+            match result {
+                Ok(outcome) => grid.insert(key, outcome),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        // Authoritative checkpoint write: every completed cell, even if an
+        // out-of-order incremental rename left an older file, and even when
+        // some cells failed (the resume then re-runs only those).
+        if let Some(path) = &sweep.checkpoint {
+            grid.save(path)?;
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(SweepOutcome {
+            planned: cells.len(),
+            executed: pending.len(),
+            skipped,
+            grid,
+            wall_secs: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Run a sweep and render each requested figure from the grid
+    /// (single-shard convenience; byte-identical to the serial wrappers).
+    pub fn run_and_render(
+        &self,
+        figs: &[FigureId],
+        mn_size: SizeClass,
+        sweep: &SweepOptions,
+    ) -> Result<Vec<figures::Figure>> {
+        let outcome = self.run_sweep(figs, mn_size, sweep)?;
+        figs.iter()
+            .map(|&f| figures::render(f, &self.harness, mn_size, &outcome.grid))
+            .collect()
+    }
+}
+
+/// Serial grid construction for the classic `figures::figureN` wrappers:
+/// run `cells` one at a time, in order, with the harness's full thread
+/// budget per cell.
+pub fn run_cells_serial(
+    harness: &Harness,
+    engines: &[Box<dyn Engine>],
+    cells: &[CellKey],
+) -> Result<ReportGrid> {
+    let mut grid = ReportGrid::default();
+    for key in cells {
+        let engine = engines
+            .iter()
+            .find(|e| e.name() == key.engine)
+            .ok_or_else(|| Error::invalid(format!("unknown engine {:?}", key.engine)))?;
+        let rec = harness.run_cell(engine.as_ref(), key.query, key.size, key.nodes)?;
+        grid.insert(key, CellOutcome::from_run(&rec.outcome));
+    }
+    Ok(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(figure: FigureId, nodes: usize, engine: &str) -> CellKey {
+        CellKey {
+            figure,
+            query: Query::Covariance,
+            size: SizeClass::Small,
+            nodes,
+            engine: engine.to_string(),
+        }
+    }
+
+    #[test]
+    fn cell_ids_are_stable() {
+        let k = key(FigureId::Fig1, 1, "SciDB");
+        assert_eq!(k.id(), "fig1/covariance/small/n1/SciDB");
+        let k = key(FigureId::Table1, 4, "SciDB + Xeon Phi");
+        assert_eq!(k.id(), "table1/covariance/small/n4/SciDB + Xeon Phi");
+    }
+
+    #[test]
+    fn figure_names_round_trip() {
+        for f in FigureId::ALL {
+            assert_eq!(FigureId::from_name(f.name()), Some(f));
+        }
+        assert_eq!(FigureId::from_name("fig9"), None);
+    }
+
+    #[test]
+    fn grid_json_round_trips() {
+        let mut grid = ReportGrid::default();
+        grid.insert(
+            &key(FigureId::Fig1, 1, "SciDB"),
+            CellOutcome::Completed {
+                dm: CostReport {
+                    wall_secs: 0.125,
+                    sim_secs: 0.5,
+                    sim_bytes: 1024,
+                },
+                an: CostReport::default(),
+            },
+        );
+        grid.insert(
+            &key(FigureId::Fig1, 1, "Hadoop"),
+            CellOutcome::Infinite {
+                reason: "cutoff after \"2h\"".into(),
+            },
+        );
+        grid.insert(&key(FigureId::Fig1, 1, "Vanilla R"), CellOutcome::Unsupported);
+        let text = grid.to_json();
+        let back = ReportGrid::from_json(&text).unwrap();
+        assert_eq!(back, grid);
+        assert_eq!(back.to_json(), text, "serialization must be deterministic");
+    }
+
+    #[test]
+    fn grid_merge_detects_conflicts() {
+        let k = key(FigureId::Fig1, 1, "SciDB");
+        let mut a = ReportGrid::default();
+        a.insert(&k, CellOutcome::Unsupported);
+        let mut b = ReportGrid::default();
+        b.insert(&k, CellOutcome::Unsupported);
+        assert!(a.clone().merge(b).is_ok());
+        let mut c = ReportGrid::default();
+        c.insert(
+            &k,
+            CellOutcome::Infinite {
+                reason: "x".into(),
+            },
+        );
+        assert!(a.merge(c).is_err());
+    }
+
+    #[test]
+    fn mismatched_fingerprints_refuse_to_merge() {
+        let mut a = ReportGrid::default();
+        a.set_fingerprint("scale=0.012;seed=1;timing=SimOnly".into());
+        let mut b = ReportGrid::default();
+        b.set_fingerprint("scale=0.048;seed=1;timing=SimOnly".into());
+        b.insert(&key(FigureId::Fig1, 1, "SciDB"), CellOutcome::Unsupported);
+        assert!(a.clone().merge(b.clone()).is_err());
+        // Unstamped grids (legacy files) adopt the stamped side's config.
+        let mut unstamped = ReportGrid::default();
+        unstamped.merge(b.clone()).unwrap();
+        assert_eq!(unstamped.fingerprint(), b.fingerprint());
+        // Fingerprints survive serialization.
+        let back = ReportGrid::from_json(&b.to_json()).unwrap();
+        assert_eq!(back.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn checkpoint_from_other_config_is_rejected() {
+        let path = std::env::temp_dir().join(format!(
+            "genbase-ckpt-fingerprint-{}.json",
+            std::process::id()
+        ));
+        let sched = Scheduler::new(HarnessConfig::quick()).unwrap();
+        let mut stale = ReportGrid::default();
+        stale.set_fingerprint("scale=1;seed=2;timing=Measured".into());
+        stale.save(&path).unwrap();
+        let sweep = SweepOptions::serial().with_checkpoint(&path);
+        let err = sched
+            .run_sweep(&[FigureId::Fig1], SizeClass::Small, &sweep)
+            .unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(err.to_string().contains("different configuration"), "{err}");
+    }
+
+    #[test]
+    fn malformed_checkpoint_costs_are_rejected() {
+        let text = format!(
+            "{{\"schema\":\"{GRID_SCHEMA}\",\"cells\":{{\
+             \"fig1/covariance/small/n1/SciDB\":\
+             {{\"status\":\"completed\",\"dm\":[null,null,null],\"an\":[0,0,0]}}}}}}"
+        );
+        let err = ReportGrid::from_json(&text).unwrap_err();
+        assert!(err.to_string().contains("non-numeric"), "{err}");
+    }
+
+    #[test]
+    fn sweep_rejects_bad_shard_id() {
+        let sched = Scheduler::new(HarnessConfig::quick()).unwrap();
+        let sweep = SweepOptions::serial().with_shard(2, 2);
+        assert!(sched
+            .run_sweep(&[FigureId::Fig1], SizeClass::Small, &sweep)
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_engine_is_an_error() {
+        let sched = Scheduler::new(HarnessConfig::quick()).unwrap();
+        let k = key(FigureId::Fig1, 1, "No Such Engine");
+        assert!(sched.run_cell(&k, 1).is_err());
+    }
+}

@@ -18,9 +18,11 @@
 //! Everything is deterministic in the [`GeneratorConfig::seed`].
 
 pub mod generate;
+pub mod pool;
 pub mod spec;
 pub mod types;
 
 pub use generate::{generate, GeneratorConfig};
+pub use pool::DatasetPool;
 pub use spec::{SizeClass, SizeSpec};
 pub use types::{Dataset, GeneOntology, GeneRecord, GroundTruth, PatientRecord};

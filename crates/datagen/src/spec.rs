@@ -42,6 +42,28 @@ impl SizeClass {
             SizeClass::ExtraLarge => "60k x 70k",
         }
     }
+
+    /// Stable machine-readable identifier (cell keys, CLI flags,
+    /// checkpoint files).
+    pub fn slug(self) -> &'static str {
+        match self {
+            SizeClass::Small => "small",
+            SizeClass::Medium => "medium",
+            SizeClass::Large => "large",
+            SizeClass::ExtraLarge => "xlarge",
+        }
+    }
+
+    /// Inverse of [`SizeClass::slug`].
+    pub fn from_slug(slug: &str) -> Option<SizeClass> {
+        match slug {
+            "small" => Some(SizeClass::Small),
+            "medium" => Some(SizeClass::Medium),
+            "large" => Some(SizeClass::Large),
+            "xlarge" => Some(SizeClass::ExtraLarge),
+            _ => None,
+        }
+    }
 }
 
 /// Concrete dataset dimensions handed to the generator.

@@ -9,7 +9,7 @@
 
 use crate::eigen::tridiag_eigen;
 use crate::matrix::{axpy, dot, norm2, scale, Matrix};
-use crate::{matvec, matvec_transposed, ExecOpts};
+use crate::{matvec_par, matvec_transposed_par, ExecOpts};
 use genbase_util::{Error, Pcg64, Result};
 
 /// A symmetric linear operator `y = B x`.
@@ -21,18 +21,27 @@ pub trait LinearOp {
     fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<()>;
 }
 
-/// Dense symmetric operator backed by an explicit matrix.
+/// Dense symmetric operator backed by an explicit matrix. The matvec runs
+/// on the shared runtime under the configured thread budget (default 1);
+/// results are bit-identical for every thread count.
 pub struct DenseSymOp<'a> {
     mat: &'a Matrix,
+    threads: usize,
 }
 
 impl<'a> DenseSymOp<'a> {
-    /// Wrap a square symmetric matrix.
+    /// Wrap a square symmetric matrix (serial matvec).
     pub fn new(mat: &'a Matrix) -> Result<Self> {
         if mat.rows() != mat.cols() {
             return Err(Error::invalid("DenseSymOp requires a square matrix"));
         }
-        Ok(DenseSymOp { mat })
+        Ok(DenseSymOp { mat, threads: 1 })
+    }
+
+    /// Run the matvec with `threads` workers on the shared runtime.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -42,22 +51,31 @@ impl LinearOp for DenseSymOp<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
-        let out = matvec(self.mat, x);
+        let out = matvec_par(self.mat, x, self.threads);
         y.copy_from_slice(&out);
         Ok(())
     }
 }
 
 /// Implicit Gram operator `B = AᵀA` for a (typically tall) data matrix `A`,
-/// applied as two matvecs without forming the n×n Gram matrix.
+/// applied as two matvecs without forming the n×n Gram matrix. Both matvecs
+/// run on the shared runtime under the configured thread budget (default
+/// 1); results are bit-identical for every thread count.
 pub struct GramOp<'a> {
     a: &'a Matrix,
+    threads: usize,
 }
 
 impl<'a> GramOp<'a> {
     /// Wrap the data matrix `A` (`m x n`); the operator has dimension `n`.
     pub fn new(a: &'a Matrix) -> Self {
-        GramOp { a }
+        GramOp { a, threads: 1 }
+    }
+
+    /// Run both matvecs with `threads` workers on the shared runtime.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -67,8 +85,8 @@ impl LinearOp for GramOp<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
-        let ax = matvec(self.a, x);
-        let atax = matvec_transposed(self.a, &ax);
+        let ax = matvec_par(self.a, x, self.threads);
+        let atax = matvec_transposed_par(self.a, &ax, self.threads);
         y.copy_from_slice(&atax);
         Ok(())
     }
@@ -215,7 +233,7 @@ pub fn lanczos_singular_values(
     seed: u64,
     opts: &ExecOpts,
 ) -> Result<Vec<f64>> {
-    let op = GramOp::new(a);
+    let op = GramOp::new(a).with_threads(opts.threads);
     let res = lanczos_topk(&op, k, 0, seed, opts)?;
     Ok(res
         .eigenvalues
@@ -228,7 +246,7 @@ pub fn lanczos_singular_values(
 mod tests {
     use super::*;
     use crate::eigen::jacobi_eigen;
-    use crate::gram;
+    use crate::{gram, matvec};
 
     fn random_tall(rng: &mut Pcg64, m: usize, n: usize) -> Matrix {
         Matrix::from_fn(m, n, |_, _| rng.normal())
@@ -354,6 +372,26 @@ mod tests {
         let res = lanczos_topk(&op, 3, 10, 9, &ExecOpts::serial()).unwrap();
         for r in &res.residuals {
             assert!(*r < 1e-6, "residual {r}");
+        }
+    }
+
+    #[test]
+    fn parallel_matvec_path_is_thread_count_invariant() {
+        // Wide enough that the banded matvec kernels actually split.
+        let mut rng = Pcg64::new(68);
+        let a = random_tall(&mut rng, 150, 140);
+        let serial = {
+            let op = GramOp::new(&a);
+            lanczos_topk(&op, 4, 0, 17, &ExecOpts::serial()).unwrap()
+        };
+        for threads in [2, 8] {
+            let op = GramOp::new(&a).with_threads(threads);
+            let res = lanczos_topk(&op, 4, 0, 17, &ExecOpts::with_threads(threads)).unwrap();
+            assert_eq!(
+                res.eigenvalues, serial.eigenvalues,
+                "threads={threads}: eigenvalues must be bit-identical"
+            );
+            assert_eq!(res.iterations, serial.iterations);
         }
     }
 

@@ -296,15 +296,23 @@ fn micro_1x4(
     }
 }
 
-/// Blocked parallel transpose on the shared runtime: returns `aᵀ` data
-/// (cols×rows, row-major). Tasks split the output rows (input columns).
-pub(crate) fn par_transpose(a: &[f64], rows: usize, cols: usize, opts: &ExecOpts) -> Vec<f64> {
-    let mut at = vec![0.0f64; rows * cols];
+/// Blocked parallel transpose on the shared runtime, writing `aᵀ`
+/// (cols×rows, row-major) into `at`, which must hold exactly `rows * cols`
+/// elements and is fully overwritten. Tasks split the output rows (input
+/// columns).
+pub(crate) fn par_transpose_into(
+    a: &[f64],
+    rows: usize,
+    cols: usize,
+    at: &mut [f64],
+    opts: &ExecOpts,
+) {
+    debug_assert_eq!(at.len(), rows * cols);
     if rows == 0 || cols == 0 {
-        return at;
+        return;
     }
     let tasks = cols.div_ceil(BLOCK);
-    let shared = SharedSlice::new(&mut at);
+    let shared = SharedSlice::new(at);
     runtime::parallel_for(opts.threads, tasks, |t| {
         let cb = t * BLOCK;
         let c_end = (cb + BLOCK).min(cols);
@@ -320,11 +328,11 @@ pub(crate) fn par_transpose(a: &[f64], rows: usize, cols: usize, opts: &ExecOpts
             }
         }
     });
-    at
 }
 
 /// `Aᵀ * B` without materializing the transpose in the caller: A's
-/// transpose is packed in parallel, then the packed kernel runs on it.
+/// transpose is packed in parallel into a pooled scratch buffer (no
+/// per-call allocation in steady state), then the packed kernel runs on it.
 pub fn at_mul(a: &Matrix, b: &Matrix, opts: &ExecOpts) -> Result<Matrix> {
     if a.rows() != b.rows() {
         return Err(Error::invalid(format!(
@@ -338,7 +346,8 @@ pub fn at_mul(a: &Matrix, b: &Matrix, opts: &ExecOpts) -> Result<Matrix> {
     if m == 0 || k == 0 || n == 0 {
         return Ok(out);
     }
-    let at = par_transpose(a.data(), m, k, opts);
+    let mut at = genbase_util::scratch::take(m * k);
+    par_transpose_into(a.data(), m, k, &mut at, opts);
     if (k as u64) * (m as u64) * (n as u64) <= PACK_THRESHOLD {
         mm_block_into(&at, b.data(), out.data_mut(), k, m, n, opts)?;
     } else {
@@ -511,19 +520,68 @@ fn mirror_lower(out: &mut [f64], n: usize, opts: &ExecOpts) {
 
 /// Matrix-vector product `A x`.
 pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    matvec_par(a, x, 1)
+}
+
+/// Parallel `A x` on the shared runtime: rows split into bands, each row's
+/// dot product folded in the same ascending-`c` order as the serial path,
+/// so results are **bit-identical for every thread count**.
+pub fn matvec_par(a: &Matrix, x: &[f64], threads: usize) -> Vec<f64> {
     assert_eq!(a.cols(), x.len(), "matvec shape mismatch");
-    (0..a.rows())
-        .map(|r| crate::matrix::dot(a.row(r), x))
-        .collect()
+    let rows = a.rows();
+    if threads <= 1 || rows < 2 * MC {
+        return (0..rows).map(|r| crate::matrix::dot(a.row(r), x)).collect();
+    }
+    let mut out = vec![0.0; rows];
+    let tasks = rows.div_ceil(MC);
+    let shared = SharedSlice::new(&mut out);
+    runtime::parallel_for(threads, tasks, |t| {
+        let rb = t * MC;
+        let r_end = (rb + MC).min(rows);
+        // SAFETY: each task owns the disjoint row range rb..r_end.
+        let band = unsafe { shared.slice_mut(rb, r_end - rb) };
+        for (i, y) in band.iter_mut().enumerate() {
+            *y = crate::matrix::dot(a.row(rb + i), x);
+        }
+    });
+    out
 }
 
 /// Transposed matrix-vector product `Aᵀ x` without materializing `Aᵀ`.
 pub fn matvec_transposed(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    matvec_transposed_par(a, x, 1)
+}
+
+/// Parallel `Aᵀ x` on the shared runtime: output columns split into bands;
+/// within a band, rows stream in ascending order (row-major reads of the
+/// band's column stripe), accumulating each output element in exactly the
+/// serial path's `r` order — results are **bit-identical for every thread
+/// count**.
+pub fn matvec_transposed_par(a: &Matrix, x: &[f64], threads: usize) -> Vec<f64> {
     assert_eq!(a.rows(), x.len(), "matvec_transposed shape mismatch");
-    let mut out = vec![0.0; a.cols()];
-    for r in 0..a.rows() {
-        crate::matrix::axpy(x[r], a.row(r), &mut out);
+    let (rows, cols) = a.shape();
+    let mut out = vec![0.0; cols];
+    if threads <= 1 || cols < 2 * MC {
+        for (r, &xv) in x.iter().enumerate() {
+            crate::matrix::axpy(xv, a.row(r), &mut out);
+        }
+        return out;
     }
+    let tasks = cols.div_ceil(MC);
+    let shared = SharedSlice::new(&mut out);
+    let data = a.data();
+    runtime::parallel_for(threads, tasks, |t| {
+        let cb = t * MC;
+        let c_end = (cb + MC).min(cols);
+        // SAFETY: each task owns the disjoint column range cb..c_end.
+        let band = unsafe { shared.slice_mut(cb, c_end - cb) };
+        for (r, &xv) in x.iter().enumerate() {
+            let row = &data[r * cols + cb..r * cols + c_end];
+            for (acc, &av) in band.iter_mut().zip(row) {
+                *acc += xv * av;
+            }
+        }
+    });
     out
 }
 
@@ -663,6 +721,37 @@ mod tests {
         let ytm = at_mul(&a, &ym, &ExecOpts::serial()).unwrap();
         for c in 0..20 {
             assert!((yt[c] - ytm.get(c, 0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_matvec_bitwise_matches_serial() {
+        let mut rng = Pcg64::new(41);
+        // Tall and wide enough that both kernels actually split into bands.
+        let a = random_matrix(&mut rng, 3 * MC + 17, 2 * MC + 9);
+        let x: Vec<f64> = (0..a.cols()).map(|_| rng.normal()).collect();
+        let xt: Vec<f64> = (0..a.rows()).map(|_| rng.normal()).collect();
+        let serial = matvec(&a, &x);
+        let serial_t = matvec_transposed(&a, &xt);
+        for threads in [2, 4, 8] {
+            let par = matvec_par(&a, &x, threads);
+            let par_t = matvec_transposed_par(&a, &xt, threads);
+            assert_eq!(par, serial, "matvec threads={threads}");
+            assert_eq!(par_t, serial_t, "matvec_transposed threads={threads}");
+        }
+    }
+
+    #[test]
+    fn at_mul_scratch_reuse_stays_correct_across_shapes() {
+        // Back-to-back calls with different shapes exercise the pooled
+        // scratch buffer resize paths (shrink, grow, exact fit).
+        let mut rng = Pcg64::new(42);
+        for (m, k, n) in [(90, 40, 30), (33, 70, 20), (90, 40, 30), (8, 9, 10)] {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, m, n);
+            let direct = at_mul(&a, &b, &ExecOpts::with_threads(2)).unwrap();
+            let reference = matmul(&a.transpose(), &b, &ExecOpts::serial()).unwrap();
+            assert!(direct.approx_eq(&reference, 1e-9), "({m},{k},{n})");
         }
     }
 

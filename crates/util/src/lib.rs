@@ -10,13 +10,16 @@
 pub mod budget;
 pub mod csv;
 pub mod error;
+pub mod json;
 pub mod rng;
 pub mod runtime;
+pub mod scratch;
 pub mod sim;
 pub mod table;
 
 pub use budget::Budget;
 pub use error::{Error, Result};
+pub use json::Json;
 pub use rng::Pcg64;
 pub use runtime::{parallel_for, parallel_map, try_parallel_for, SharedSlice};
 pub use sim::{CostReport, SimClock};

@@ -193,6 +193,26 @@ pub mod collection {
     }
 }
 
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Clone, Copy)]
+    pub struct Any;
+
+    /// `proptest::bool::ANY` — either boolean with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+}
+
 /// Runner configuration (`test_runner::ProptestConfig`).
 pub mod test_runner {
     /// How many accepted cases each property runs.

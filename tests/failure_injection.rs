@@ -1,6 +1,8 @@
 //! Failure injection: the paper's two failure modes — computation cutoff
 //! and memory-allocation failure — must surface as clean "infinite"
 //! outcomes from every engine family, never as panics or wrong answers.
+//! Plus scheduler-level failures: a sweep killed mid-run must resume from
+//! its checkpoint without re-running completed cells.
 
 use genbase::prelude::*;
 use genbase_datagen::{generate, GeneratorConfig, SizeSpec};
@@ -84,6 +86,100 @@ fn oom_in_export_bridge_r_side() {
         .run(Query::Covariance, &data, &params, &ctx)
         .unwrap_err();
     assert!(err.is_infinite_result(), "R-side OOM must be infinite: {err}");
+}
+
+#[test]
+fn killed_sweep_resumes_from_checkpoint_without_rerunning_cells() {
+    use genbase::figures;
+    use genbase_datagen::SizeClass;
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex};
+
+    let config = || {
+        HarnessConfig {
+            scale: 0.012,
+            sizes: vec![SizeClass::Small],
+            cutoff: Duration::from_secs(120),
+            r_mem_bytes: u64::MAX,
+            node_counts: vec![1, 2],
+            ..HarnessConfig::quick()
+        }
+        .sim_only()
+    };
+    let ckpt = std::env::temp_dir().join(format!(
+        "genbase-sweep-resume-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&ckpt);
+    let sweep = SweepOptions::default()
+        .with_cells_in_flight(2)
+        .with_checkpoint(&ckpt);
+    let executions: Arc<Mutex<HashMap<String, usize>>> = Arc::default();
+
+    // Run 1: "kill" the sweep by failing every SVD cell before it executes.
+    let mut sched = Scheduler::new(config()).unwrap();
+    let counts = Arc::clone(&executions);
+    sched.set_cell_hook(Box::new(move |key: &CellKey| {
+        if key.query == Query::Svd {
+            return Err(genbase_util::Error::invalid("injected kill"));
+        }
+        *counts.lock().unwrap().entry(key.id()).or_insert(0) += 1;
+        Ok(())
+    }));
+    let err = sched
+        .run_sweep(&[FigureId::Fig1], SizeClass::Small, &sweep)
+        .unwrap_err();
+    assert!(err.to_string().contains("injected kill"));
+    let partial = ReportGrid::load(&ckpt).expect("checkpoint written before the kill");
+    assert!(partial.len() < 35, "killed cells must be missing");
+    assert!(!partial.is_empty(), "completed cells must be checkpointed");
+
+    // Run 2: resume without the failure. Only the missing cells execute.
+    let mut sched = Scheduler::new(config()).unwrap();
+    let counts = Arc::clone(&executions);
+    sched.set_cell_hook(Box::new(move |key: &CellKey| {
+        *counts.lock().unwrap().entry(key.id()).or_insert(0) += 1;
+        Ok(())
+    }));
+    let resumed = sched
+        .run_sweep(&[FigureId::Fig1], SizeClass::Small, &sweep)
+        .unwrap();
+    assert_eq!(resumed.planned, 35);
+    assert_eq!(resumed.skipped, partial.len(), "checkpointed cells must not rerun");
+    assert_eq!(resumed.executed, 35 - partial.len());
+
+    // Across both runs, no cell executed twice and every cell executed once.
+    let counts = executions.lock().unwrap();
+    assert_eq!(counts.len(), 35, "every planned cell must eventually run");
+    for (id, n) in counts.iter() {
+        assert_eq!(*n, 1, "cell {id} executed {n} times");
+    }
+    drop(counts);
+
+    // The resumed grid matches an uninterrupted sweep, byte for byte.
+    let clean_sched = Scheduler::new(config()).unwrap();
+    let clean = clean_sched
+        .run_sweep(&[FigureId::Fig1], SizeClass::Small, &SweepOptions::serial())
+        .unwrap();
+    assert_eq!(resumed.grid.to_json(), clean.grid.to_json());
+    let rendered_resumed = figures::render(
+        FigureId::Fig1,
+        sched.harness(),
+        SizeClass::Small,
+        &resumed.grid,
+    )
+    .unwrap()
+    .render();
+    let rendered_clean = figures::render(
+        FigureId::Fig1,
+        clean_sched.harness(),
+        SizeClass::Small,
+        &clean.grid,
+    )
+    .unwrap()
+    .render();
+    assert_eq!(rendered_resumed, rendered_clean);
+    let _ = std::fs::remove_file(&ckpt);
 }
 
 #[test]

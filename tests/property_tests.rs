@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over the core data structures and
 //! numerical invariants of the substrate crates.
 
+use genbase_datagen::{DatasetPool, SizeClass};
 use genbase_linalg::{covariance, gram, matmul, ExecOpts, Matrix, QrFactor};
 use genbase_relational::{ColumnTable, Pred, RowTable, Schema, DataType, Value};
 use genbase_stats::{average_ranks, wilcoxon_rank_sum};
@@ -164,6 +165,50 @@ proptest! {
             .unwrap();
         let dense = m.select_rows(&rows).select_cols(&cols);
         prop_assert!(sel.approx_eq(&dense, 0.0));
+    }
+
+    #[test]
+    fn dataset_pool_is_trigger_order_invariant(
+        seed in 0u64..40,
+        first_medium in proptest::bool::ANY,
+        concurrency in 1usize..9,
+    ) {
+        // Same (scale, seed, class) must yield a bit-identical dataset no
+        // matter which cell triggers generation, in what order, or how many
+        // trigger it concurrently.
+        let scale = 0.004; // 20x20 small, 60x80 medium — cheap enough to sweep
+        let reference = DatasetPool::new(scale, seed);
+        let ref_small = reference.get(SizeClass::Small).unwrap();
+
+        let pool = DatasetPool::new(scale, seed);
+        if first_medium {
+            // A different class generating first must not perturb Small.
+            let _m = pool.get(SizeClass::Medium).unwrap();
+        }
+        let handles = genbase_util::parallel_map(concurrency, concurrency, |_| {
+            pool.get(SizeClass::Small).unwrap()
+        });
+        for h in &handles {
+            // One generation, shared by every concurrent requester...
+            prop_assert!(std::sync::Arc::ptr_eq(h, &handles[0]));
+            // ...bit-identical to an independent pool's generation.
+            prop_assert_eq!(h.expression.data(), ref_small.expression.data());
+            prop_assert_eq!(&h.patients, &ref_small.patients);
+            prop_assert_eq!(&h.genes, &ref_small.genes);
+            prop_assert_eq!(&h.ontology, &ref_small.ontology);
+        }
+        prop_assert_eq!(pool.handle_count(SizeClass::Small), handles.len());
+    }
+
+    #[test]
+    fn dataset_pool_seeds_are_independent(seed in 0u64..40) {
+        // Different seeds must actually change the data (no accidental
+        // seed-ignoring path in the pool).
+        let scale = 0.004;
+        let a = DatasetPool::new(scale, seed).get(SizeClass::Small).unwrap();
+        let b = DatasetPool::new(scale, seed + 1).get(SizeClass::Small).unwrap();
+        prop_assert_eq!(a.n_genes(), b.n_genes());
+        prop_assert!(a.expression.data() != b.expression.data());
     }
 
     #[test]
