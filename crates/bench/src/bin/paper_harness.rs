@@ -4,10 +4,14 @@
 //!
 //! ```text
 //! paper_harness [fig1|fig2|fig3|fig4|fig5|table1|weak|bench|all]
+//!               [coordinate|work]  distributed sweep roles (see below)
 //!               [--scale F]      per-side scale vs paper sizes (default 0.048)
 //!               [--sizes LIST]   size classes, e.g. small,medium (default all)
 //!               [--cutoff SECS]  per-run cutoff (default 60)
 //!               [--mn-size S]    multi-node dataset: small|medium|large (default medium)
+//!               [--threads N]    simulated machine size / kernel budget
+//!                                (default: host threads; pin it for
+//!                                cross-machine shard or worker runs)
 //!               [--jobs K]       benchmark cells in flight (default: host threads)
 //!               [--shards N] [--shard-id I]  run the I-th of N cell partitions
 //!               [--checkpoint P] resume file: completed cells skip on rerun
@@ -15,10 +19,24 @@
 //!               [--grid-in P]    render from grid file(s) instead of running
 //!                                (repeatable; shards merge)
 //!               [--sim-only]     deterministic timing (simulated costs only)
+//!               [--listen ADDR]  coordinate: bind address (default 127.0.0.1:7717)
+//!               [--connect ADDR] work: coordinator address (default 127.0.0.1:7717)
+//!               [--connect-window SECS]  work: retry window while the
+//!                                coordinator starts (default 30)
+//!               [--figures LIST] coordinate: exhibits to sweep, e.g.
+//!                                fig1,table1 (default all)
 //!               [--bench-size N] kernel bench matrix edge (default 2048)
 //!               [--bench-iters K] timed iterations per kernel (default 2)
 //!               [--bench-out P]  kernel bench JSON path (default BENCH_baseline.json)
 //! ```
+//!
+//! `coordinate` runs the sweep across worker *processes* instead of
+//! in-process jobs: it listens on `--listen`, leases one cell at a time to
+//! every `work` process that connects (handshake-checked against this
+//! process's config fingerprint), streams outcomes back over the socket,
+//! re-leases cells whose worker died, and renders the figures when the
+//! grid is complete — no shared filesystem required. `work --connect HOST:PORT`
+//! must be started with the same configuration flags as the coordinator.
 //!
 //! At the default scale the size ladder is Small 240x240, Medium 720x960,
 //! Large 1440x1920 (paper ÷ ~20.8 per side), and the cutoff plays the role
@@ -51,6 +69,7 @@ struct Args {
     sizes: Option<Vec<SizeClass>>,
     cutoff_secs: u64,
     mn_size: SizeClass,
+    threads: usize,
     jobs: usize,
     shards: usize,
     shard_id: usize,
@@ -58,6 +77,10 @@ struct Args {
     grid_out: Option<String>,
     grid_in: Vec<String>,
     sim_only: bool,
+    listen: String,
+    connect: String,
+    connect_window_secs: u64,
+    figures: Option<Vec<FigureId>>,
     bench_size: usize,
     bench_iters: u32,
     bench_out: String,
@@ -70,6 +93,7 @@ fn parse_args() -> Args {
         sizes: None,
         cutoff_secs: 60,
         mn_size: SizeClass::Medium,
+        threads: 0,
         jobs: 0,
         shards: 1,
         shard_id: 0,
@@ -77,6 +101,10 @@ fn parse_args() -> Args {
         grid_out: None,
         grid_in: Vec::new(),
         sim_only: false,
+        listen: "127.0.0.1:7717".to_string(),
+        connect: "127.0.0.1:7717".to_string(),
+        connect_window_secs: 30,
+        figures: None,
         bench_size: 2048,
         bench_iters: 2,
         bench_out: "BENCH_baseline.json".to_string(),
@@ -110,6 +138,10 @@ fn parse_args() -> Args {
                 args.mn_size = SizeClass::from_slug(argv[i].as_str())
                     .unwrap_or_else(|| panic!("unknown size {:?}", argv[i]));
             }
+            "--threads" => {
+                i += 1;
+                args.threads = argv[i].parse().expect("--threads takes an integer");
+            }
             "--jobs" => {
                 i += 1;
                 args.jobs = argv[i].parse().expect("--jobs takes an integer");
@@ -135,6 +167,31 @@ fn parse_args() -> Args {
                 args.grid_in.push(argv[i].clone());
             }
             "--sim-only" => args.sim_only = true,
+            "--listen" => {
+                i += 1;
+                args.listen = argv[i].clone();
+            }
+            "--connect" => {
+                i += 1;
+                args.connect = argv[i].clone();
+            }
+            "--connect-window" => {
+                i += 1;
+                args.connect_window_secs =
+                    argv[i].parse().expect("--connect-window takes seconds");
+            }
+            "--figures" => {
+                i += 1;
+                args.figures = Some(
+                    argv[i]
+                        .split(',')
+                        .map(|s| {
+                            FigureId::from_name(s.trim())
+                                .unwrap_or_else(|| panic!("unknown figure {s:?}"))
+                        })
+                        .collect(),
+                );
+            }
             "--bench-size" => {
                 i += 1;
                 args.bench_size = argv[i].parse().expect("--bench-size takes an integer");
@@ -173,6 +230,9 @@ fn harness_config(args: &Args) -> HarnessConfig {
     if let Some(sizes) = &args.sizes {
         config.sizes = sizes.clone();
     }
+    if args.threads > 0 {
+        config.threads = args.threads;
+    }
     if args.sim_only {
         config.timing = TimingMode::SimOnly;
     }
@@ -181,6 +241,23 @@ fn harness_config(args: &Args) -> HarnessConfig {
 
 fn main() {
     let args = parse_args();
+    if args.what == "coordinate" {
+        return coordinate(&args);
+    }
+    if args.what == "work" {
+        let config = harness_config(&args);
+        let report = genbase::coord::run_worker(
+            args.connect.as_str(),
+            config,
+            Duration::from_secs(args.connect_window_secs),
+        )
+        .expect("worker");
+        eprintln!(
+            "worker done: {} cells completed, {} failed",
+            report.completed, report.failed
+        );
+        return;
+    }
     if args.what == "bench" {
         let mut entries = perf::run(args.bench_size, args.bench_iters);
         entries.extend(perf::sweep_wall_clock());
@@ -285,6 +362,50 @@ fn main() {
     }
     for &fig in &figs {
         let figure = figures::render(fig, scheduler.harness(), args.mn_size, &outcome.grid)
+            .unwrap_or_else(|e| panic!("render {}: {e}", fig.name()));
+        println!("{}", figure.render());
+    }
+}
+
+/// The `coordinate` role: serve leases over TCP until the grid is
+/// complete, then render the figures exactly as a local sweep would.
+fn coordinate(args: &Args) {
+    let config = harness_config(args);
+    let figs = args.figures.clone().unwrap_or_else(|| FigureId::ALL.to_vec());
+    let mut options = genbase::coord::CoordOptions::default();
+    if let Some(path) = &args.checkpoint {
+        options = options.with_checkpoint(path);
+    }
+    let coordinator = genbase::coord::Coordinator::bind(
+        args.listen.as_str(),
+        config.clone(),
+        &figs,
+        args.mn_size,
+        options,
+    )
+    .expect("coordinator bind");
+    eprintln!(
+        "coordinator listening on {} for {} (fingerprint {})",
+        coordinator.local_addr().expect("local addr"),
+        figs.iter().map(|f| f.name()).collect::<Vec<_>>().join("+"),
+        genbase::sched::config_fingerprint(&config),
+    );
+    let outcome = coordinator.serve().expect("coordinated sweep");
+    eprintln!(
+        "coordinated sweep: {} cells ({} executed by {} workers, {} from \
+         checkpoint, {} leases re-issued)",
+        outcome.planned, outcome.executed, outcome.workers, outcome.restored, outcome.reissued
+    );
+    if let Some(path) = &args.grid_out {
+        outcome
+            .grid
+            .save(std::path::Path::new(path))
+            .expect("write grid");
+        eprintln!("wrote {path}");
+    }
+    let harness = Harness::new(config).expect("harness");
+    for &fig in &figs {
+        let figure = figures::render(fig, &harness, args.mn_size, &outcome.grid)
             .unwrap_or_else(|e| panic!("render {}: {e}", fig.name()));
         println!("{}", figure.render());
     }

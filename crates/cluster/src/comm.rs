@@ -3,7 +3,19 @@
 use genbase_util::{Error, Result, SimClock};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
-/// Network cost model applied to every message.
+/// Network cost model applied to every message **between simulated nodes
+/// inside one benchmark cell**.
+///
+/// This is part of the benchmark's *cost model*, not of its plumbing: a
+/// transfer charges `latency + bytes / bandwidth` simulated seconds to the
+/// receiving node's [`SimClock`], and those seconds show up in the
+/// figures as the paper's multi-node communication cost. It is unrelated
+/// to the real TCP sockets of the distributed coordinator
+/// (`genbase::coord`): coordinator/worker traffic moves work between real
+/// processes, costs real wall-clock time, and is **never** charged to any
+/// `SimClock` — which is why, under `--sim-only`, the rendered figures
+/// are identical no matter how many workers ran the sweep. See
+/// `ARCHITECTURE.md`, "Two network tiers".
 #[derive(Debug, Clone, Copy)]
 pub struct NetModel {
     /// Per-message startup latency in seconds.
@@ -13,7 +25,10 @@ pub struct NetModel {
 }
 
 impl NetModel {
-    /// Paper-era gigabit Ethernet: 100 µs latency, 125 MB/s.
+    /// Paper-era gigabit Ethernet: 100 µs latency and the 1 Gbit/s line
+    /// rate (125 MB/s *theoretical* — the model deliberately ignores
+    /// framing/TCP overhead that keeps real links nearer 117 MB/s, since
+    /// the paper's interconnect numbers are idealized the same way).
     pub fn gigabit() -> NetModel {
         NetModel {
             latency_s: 100e-6,

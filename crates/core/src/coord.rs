@@ -1,0 +1,830 @@
+//! Distributed sweep coordinator: lease cells to workers over TCP.
+//!
+//! The sharded scheduler in [`crate::sched`] splits a sweep into static
+//! shards that merge by grid *files* — which requires a shared filesystem
+//! (or artifact copying) and fixes the partition up front. This module
+//! removes both constraints: a **coordinator** process listens on a TCP
+//! socket, hands out [`CellKey`] work **leases** to connecting **workers**,
+//! and streams each completed cell's outcome back as a length-prefixed
+//! `genbase_util::json` message ([`genbase_util::frame`]), folding it into
+//! one authoritative [`ReportGrid`]. Workers can live on other machines, or
+//! be N local processes; the file-based shard merge remains as the fallback
+//! path for batch clusters without connectivity.
+//!
+//! ## Wire protocol (`genbase-coord-v1`)
+//!
+//! Every message is one frame: a 4-byte big-endian length prefix followed
+//! by compact JSON (see `ARCHITECTURE.md` for the full schema). After a
+//! `hello`/`welcome` handshake, the worker strictly alternates: it sends
+//! `request`, `result`, or `failed`, and reads exactly one reply (`lease`,
+//! `idle`, or `done`).
+//!
+//! - The handshake carries the worker's **config fingerprint**
+//!   ([`config_fingerprint`]); a worker built from mismatched flags is
+//!   rejected at connect, the same guard the file-merge path applies to
+//!   grid files.
+//! - **Worker death is a first-class event:** each connection is served by
+//!   a dedicated blocking thread, so a dying worker — process kill, crash,
+//!   connection reset — surfaces as an I/O error/EOF, and its outstanding
+//!   lease is returned to the front of the pending queue for the next
+//!   requester. Completed cells are already in the grid (and in the
+//!   checkpoint file, when configured), so no work is lost and none
+//!   repeats. (A machine that vanishes *without* a TCP reset — power
+//!   loss, hard partition — is not detected until its connection errors;
+//!   per-lease deadlines are a ROADMAP item.)
+//! - **Checkpoint reuse:** the coordinator persists the grid through the
+//!   same `--checkpoint` JSON file as a local sweep, after every streamed
+//!   result. A killed coordinator restarts with only the missing cells
+//!   pending, exactly like a killed local sweep.
+//!
+//! Determinism: the grid is keyed and ordered by cell id, so the rendered
+//! figures are independent of which worker ran which cell and of arrival
+//! order. Under [`TimingMode::SimOnly`](crate::harness::TimingMode) a
+//! coordinated sweep renders **byte-identical** output to the serial
+//! single-process run (`tests/coord_distributed.rs` pins this).
+//!
+//! Connection handlers use dedicated OS threads, not the shared runtime
+//! pool: they block on socket reads for the lifetime of a worker, and a
+//! capped task pool must never have its slots parked on I/O (the same
+//! reasoning as `genbase_cluster::Cluster::run`). Cell *compute* on the
+//! worker side still goes through the pool via `ExecOpts.threads`.
+
+use crate::figures;
+use crate::harness::HarnessConfig;
+use crate::sched::{
+    config_fingerprint, save_text, CellKey, CellOutcome, FigureId, ReportGrid, Scheduler,
+};
+use genbase_datagen::SizeClass;
+use genbase_util::frame::{read_frame_opt, write_frame};
+use genbase_util::{Error, Json, Result};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Protocol identifier sent in every handshake; bump on wire changes.
+pub const PROTOCOL: &str = "genbase-coord-v1";
+
+/// Milliseconds a worker waits before re-requesting when the coordinator
+/// has no pending cells but other workers still hold leases.
+const IDLE_BACKOFF_MS: u64 = 50;
+
+/// How many times one cell may be re-issued after worker deaths before it
+/// is abandoned as a hard failure. Bounds the livelock where a cell
+/// reliably kills (OOMs, segfaults) every worker that leases it: after
+/// this many dead workers the cell is written off through `first_error`
+/// and the rest of the sweep completes, mirroring how the local scheduler
+/// surfaces an in-process crash instead of retrying forever.
+const MAX_REISSUES_PER_CELL: usize = 3;
+
+fn msg(kind: &str) -> Json {
+    let mut m = Json::obj();
+    m.set("type", Json::from(kind));
+    m
+}
+
+fn msg_type(m: &Json) -> Result<&str> {
+    m.get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| Error::invalid("frame missing type"))
+}
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone, Default)]
+pub struct CoordOptions {
+    /// Checkpoint file: loaded (if present) to skip completed cells,
+    /// rewritten after every streamed result — the same file format and
+    /// fingerprint guard as a local `--checkpoint` sweep.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl CoordOptions {
+    /// Checkpoint to (and resume from) `path`.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> CoordOptions {
+        self.checkpoint = Some(path.into());
+        self
+    }
+}
+
+/// What a coordinated sweep did, plus the grid to render from.
+#[derive(Debug)]
+pub struct CoordOutcome {
+    /// All outcomes (including checkpoint-restored cells).
+    pub grid: ReportGrid,
+    /// Cells in the plan.
+    pub planned: usize,
+    /// Cells executed by workers this run.
+    pub executed: usize,
+    /// Cells restored from the checkpoint.
+    pub restored: usize,
+    /// Leases re-issued after a worker died mid-cell.
+    pub reissued: usize,
+    /// Distinct worker connections that completed the handshake.
+    pub workers: usize,
+}
+
+/// Shared lease-scheduler state behind the connection handlers.
+struct State {
+    pending: VecDeque<CellKey>,
+    /// Outstanding lease per live worker connection.
+    leased: HashMap<u64, CellKey>,
+    grid: ReportGrid,
+    executed: usize,
+    reissued: usize,
+    workers: usize,
+    /// First hard (non-outcome) cell failure, reported after drain.
+    first_error: Option<Error>,
+    /// Cells abandoned because a worker reported a hard error.
+    failed: usize,
+    /// Coordinator-side failure (e.g. an unwritable checkpoint): the
+    /// sweep cannot meaningfully continue, so workers are drained with
+    /// `done` and this error is returned from `serve`.
+    fatal: Option<Error>,
+    /// Per-cell re-issue counts (worker deaths while holding the lease),
+    /// for the [`MAX_REISSUES_PER_CELL`] cap.
+    reissue_counts: HashMap<String, usize>,
+}
+
+impl State {
+    /// No work left and none in flight (hard-failed cells count as
+    /// drained — they are reported through `first_error`, not retried
+    /// forever), or the coordinator itself failed.
+    fn complete(&self) -> bool {
+        self.fatal.is_some() || (self.pending.is_empty() && self.leased.is_empty())
+    }
+}
+
+/// Everything a connection handler needs, one `Arc` hop away.
+struct Shared {
+    state: Mutex<State>,
+    fingerprint: String,
+    checkpoint: Option<PathBuf>,
+    /// Serializes checkpoint render+write+rename: a writer renders the
+    /// grid *inside* this lock, so renames land in render order and a
+    /// newer on-disk grid is never replaced by an older snapshot (the
+    /// hazard the local sweep's authoritative rewrite also guards).
+    checkpoint_io: Mutex<()>,
+}
+
+/// The coordinator half: plans the sweep, listens, leases, collects.
+pub struct Coordinator {
+    listener: TcpListener,
+    config: HarnessConfig,
+    fingerprint: String,
+    plan: Vec<CellKey>,
+    options: CoordOptions,
+}
+
+impl Coordinator {
+    /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and plan
+    /// the sweep for `figs`. Nothing is leased until [`Coordinator::serve`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: HarnessConfig,
+        figs: &[FigureId],
+        mn_size: SizeClass,
+        options: CoordOptions,
+    ) -> Result<Coordinator> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| Error::invalid(format!("coordinator bind: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::invalid(format!("coordinator listener: {e}")))?;
+        let plan: Vec<CellKey> = figs
+            .iter()
+            .flat_map(|&f| figures::plan(f, &config, mn_size))
+            .collect();
+        let fingerprint = config_fingerprint(&config);
+        Ok(Coordinator {
+            listener,
+            config,
+            fingerprint,
+            plan,
+            options,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        self.listener
+            .local_addr()
+            .map_err(|e| Error::invalid(format!("coordinator addr: {e}")))
+    }
+
+    /// The planning configuration.
+    pub fn config(&self) -> &HarnessConfig {
+        &self.config
+    }
+
+    /// Serve until every planned cell has an outcome (or was abandoned by
+    /// a hard failure): accept workers, lease cells, stream results into
+    /// the grid, re-lease on worker death, checkpoint after every result.
+    ///
+    /// Like [`Scheduler::run_sweep`](crate::sched::Scheduler::run_sweep),
+    /// a hard cell failure does not stop other cells; the first failure is
+    /// returned once no work remains, and the checkpoint keeps everything
+    /// that did complete.
+    pub fn serve(&self) -> Result<CoordOutcome> {
+        let mut base = match &self.options.checkpoint {
+            Some(path) if path.exists() => {
+                let grid = ReportGrid::load(path)?;
+                if let Some(have) = grid.fingerprint() {
+                    if have != self.fingerprint {
+                        return Err(Error::invalid(format!(
+                            "checkpoint {} is from a different configuration \
+                             ({have} vs {}); delete it or match the flags",
+                            path.display(),
+                            self.fingerprint
+                        )));
+                    }
+                }
+                grid
+            }
+            _ => ReportGrid::default(),
+        };
+        base.set_fingerprint(self.fingerprint.clone());
+        let pending: VecDeque<CellKey> = self
+            .plan
+            .iter()
+            .filter(|c| !base.contains(c))
+            .cloned()
+            .collect();
+        let restored = self.plan.len() - pending.len();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                pending,
+                leased: HashMap::new(),
+                grid: base,
+                executed: 0,
+                reissued: 0,
+                workers: 0,
+                first_error: None,
+                failed: 0,
+                fatal: None,
+                reissue_counts: HashMap::new(),
+            }),
+            fingerprint: self.fingerprint.clone(),
+            checkpoint: self.options.checkpoint.clone(),
+            checkpoint_io: Mutex::new(()),
+        });
+
+        let mut next_worker: u64 = 0;
+        let mut handlers = Vec::new();
+        while !shared.state.lock().expect("coord state").complete() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    next_worker += 1;
+                    let worker = next_worker;
+                    let shared = Arc::clone(&shared);
+                    // Dedicated blocking thread per connection (see module
+                    // docs). The handle is kept: serve() must not return
+                    // until every connected worker has been answered, or a
+                    // worker idling between polls would see a reset socket
+                    // instead of `done` when the last result lands.
+                    handlers.push(std::thread::spawn(move || {
+                        let _ = stream.set_nodelay(true);
+                        handle_worker(stream, worker, &shared);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(Error::invalid(format!("coordinator accept: {e}"))),
+            }
+        }
+        // Backlog drain: a worker that connected while the last result was
+        // landing may still sit unaccepted in the listen queue. Accept
+        // everything queued so those workers get a handshake and a `done`
+        // instead of watching the socket die when this process exits.
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    next_worker += 1;
+                    let worker = next_worker;
+                    let shared = Arc::clone(&shared);
+                    handlers.push(std::thread::spawn(move || {
+                        let _ = stream.set_nodelay(true);
+                        handle_worker(stream, worker, &shared);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        // Drain: workers get `done` on their next poll, close, and their
+        // handlers exit on the EOF.
+        for handle in handlers {
+            let _ = handle.join();
+        }
+
+        let mut state = shared.state.lock().expect("coord state");
+        if let Some(e) = state.fatal.take() {
+            return Err(e);
+        }
+        if let Some(path) = &self.options.checkpoint {
+            state.grid.save(path)?;
+        }
+        if let Some(e) = state.first_error.take() {
+            return Err(e);
+        }
+        Ok(CoordOutcome {
+            grid: std::mem::take(&mut state.grid),
+            planned: self.plan.len(),
+            executed: state.executed,
+            restored,
+            reissued: state.reissued,
+            workers: state.workers,
+        })
+    }
+}
+
+/// Return a dead worker's outstanding lease to the head of the queue —
+/// or, past [`MAX_REISSUES_PER_CELL`] deaths, abandon the cell as a hard
+/// failure so a worker-killing cell cannot livelock the sweep.
+fn release_lease(worker: u64, shared: &Shared) {
+    let mut s = shared.state.lock().expect("coord state");
+    if let Some(cell) = s.leased.remove(&worker) {
+        let id = cell.id();
+        let deaths = {
+            let count = s.reissue_counts.entry(id.clone()).or_insert(0);
+            *count += 1;
+            *count
+        };
+        if deaths > MAX_REISSUES_PER_CELL {
+            s.failed += 1;
+            let err = Error::invalid(format!(
+                "cell {id}: abandoned after killing {deaths} workers"
+            ));
+            s.first_error.get_or_insert(err);
+        } else {
+            // Only an actual re-queue counts as a re-issue.
+            s.reissued += 1;
+            s.pending.push_front(cell);
+        }
+    }
+}
+
+/// How long a fresh connection gets to complete the `hello` handshake.
+/// Bounded so a port-scanner (or a client that connects and goes silent)
+/// cannot pin a handler thread forever.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Read timeout while a worker holds *no* lease. An idle worker polls
+/// every [`IDLE_BACKOFF_MS`], so silence this long means the connection
+/// is wedged (half-open link, stopped process); closing it keeps the
+/// post-completion handler join — and with it `serve()` — bounded. A
+/// worker that *does* hold a lease is legitimately silent for the whole
+/// cell, so its reads stay unbounded (its death still surfaces as
+/// EOF/reset, and re-leasing is the recovery path).
+const IDLE_READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One worker connection: handshake, then the lease/result loop. Any I/O
+/// or protocol error ends the connection and re-queues the lease.
+fn handle_worker(mut stream: TcpStream, worker: u64, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+    if let Err(_e) = handshake(&mut stream, worker, shared) {
+        return; // reject already sent where possible; nothing leased yet
+    }
+    loop {
+        let leased = shared
+            .state
+            .lock()
+            .expect("coord state")
+            .leased
+            .contains_key(&worker);
+        let _ = stream.set_read_timeout(if leased { None } else { Some(IDLE_READ_TIMEOUT) });
+        let frame = match read_frame_opt(&mut stream) {
+            Ok(Some(frame)) => frame,
+            // EOF (worker finished or died), I/O error, or idle timeout:
+            // re-queue whatever it held (nothing, for idle timeouts).
+            Ok(None) | Err(_) => return release_lease(worker, shared),
+        };
+        let reply = match apply_frame(&frame, worker, shared) {
+            Ok(reply) => reply,
+            Err(e) => {
+                let mut reject = msg("reject");
+                reject.set("reason", Json::from(e.to_string().as_str()));
+                let _ = write_frame(&mut stream, &reject);
+                return release_lease(worker, shared);
+            }
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            return release_lease(worker, shared);
+        }
+    }
+}
+
+/// Validate `hello` and send `welcome`/`reject`.
+fn handshake(stream: &mut TcpStream, worker: u64, shared: &Shared) -> Result<()> {
+    let hello = read_frame_opt(stream)?.ok_or_else(|| Error::invalid("closed before hello"))?;
+    let reject = |stream: &mut TcpStream, reason: String| -> Result<()> {
+        let mut m = msg("reject");
+        m.set("reason", Json::from(reason.as_str()));
+        let _ = write_frame(stream, &m);
+        Err(Error::invalid(reason))
+    };
+    if msg_type(&hello)? != "hello" {
+        return reject(stream, "expected hello".to_string());
+    }
+    match hello.get("protocol").and_then(Json::as_str) {
+        Some(PROTOCOL) => {}
+        other => {
+            return reject(
+                stream,
+                format!("protocol mismatch: worker speaks {other:?}, want {PROTOCOL:?}"),
+            )
+        }
+    }
+    match hello.get("config").and_then(Json::as_str) {
+        Some(have) if have == shared.fingerprint => {}
+        have => {
+            return reject(
+                stream,
+                format!(
+                    "config fingerprint mismatch ({} vs {}); \
+                     start the worker with the coordinator's flags",
+                    have.unwrap_or("<missing>"),
+                    shared.fingerprint
+                ),
+            )
+        }
+    }
+    let remaining = {
+        let mut s = shared.state.lock().expect("coord state");
+        s.workers += 1;
+        s.pending.len() + s.leased.len()
+    };
+    let mut welcome = msg("welcome");
+    welcome.set("worker", Json::from(worker));
+    welcome.set("remaining", Json::from(remaining));
+    write_frame(stream, &welcome)
+}
+
+/// Process one post-handshake worker frame and produce the single reply.
+fn apply_frame(frame: &Json, worker: u64, shared: &Shared) -> Result<Json> {
+    let kind = msg_type(frame)?;
+    // Results and failures settle the worker's outstanding lease first.
+    if kind == "result" || kind == "failed" {
+        let cell = CellKey::from_json(
+            frame
+                .get("cell")
+                .ok_or_else(|| Error::invalid("result missing cell"))?,
+        )?;
+        let mut s = shared.state.lock().expect("coord state");
+        match s.leased.get(&worker) {
+            Some(have) if have.id() == cell.id() => {
+                s.leased.remove(&worker);
+            }
+            _ => {
+                return Err(Error::invalid(format!(
+                    "worker {worker} reported cell {} it does not hold",
+                    cell.id()
+                )))
+            }
+        }
+        if kind == "failed" {
+            let reason = frame
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown worker error");
+            s.failed += 1;
+            let err = Error::invalid(format!("cell {}: {reason}", cell.id()));
+            s.first_error.get_or_insert(err);
+            drop(s);
+        } else {
+            let outcome = CellOutcome::from_json(
+                frame
+                    .get("outcome")
+                    .ok_or_else(|| Error::invalid("result missing outcome"))?,
+            )?;
+            s.grid.insert(&cell, outcome);
+            s.executed += 1;
+            let skip_checkpoint = s.fatal.is_some();
+            drop(s);
+            if let (Some(path), false) = (&shared.checkpoint, skip_checkpoint) {
+                // The result is accepted either way — the worker did the
+                // work and the grid has it. A checkpoint write failure is
+                // a *coordinator* failure: record it as fatal (the sweep
+                // drains and reports it) instead of blaming the worker.
+                if let Err(e) = write_checkpoint(path, worker, shared) {
+                    let mut s = shared.state.lock().expect("coord state");
+                    s.fatal.get_or_insert(e);
+                }
+            }
+        }
+        return next_assignment(worker, shared);
+    }
+    if kind != "request" {
+        return Err(Error::invalid(format!("unexpected frame type {kind:?}")));
+    }
+    next_assignment(worker, shared)
+}
+
+/// Persist the grid. Render-and-rename runs under `checkpoint_io`, so
+/// concurrent completions serialize and the on-disk file monotonically
+/// gains cells: a snapshot rendered earlier can never rename over one
+/// rendered later.
+fn write_checkpoint(path: &std::path::Path, worker: u64, shared: &Shared) -> Result<()> {
+    let _io = shared.checkpoint_io.lock().expect("checkpoint io");
+    let json = shared.state.lock().expect("coord state").grid.to_json();
+    save_text(path, &json, worker as usize)
+}
+
+/// Lease the next pending cell, or tell the worker to wait / stop.
+fn next_assignment(worker: u64, shared: &Shared) -> Result<Json> {
+    let mut s = shared.state.lock().expect("coord state");
+    if s.fatal.is_some() {
+        // The coordinator is going down; drain workers cleanly.
+        return Ok(msg("done"));
+    }
+    if let Some(held) = s.leased.get(&worker) {
+        // A `request` while already holding a lease would silently orphan
+        // the held cell if we just overwrote it. Protocol error: the
+        // handler rejects the connection and release_lease re-queues.
+        return Err(Error::invalid(format!(
+            "worker {worker} requested work while still holding cell {}",
+            held.id()
+        )));
+    }
+    if let Some(cell) = s.pending.pop_front() {
+        let mut lease = msg("lease");
+        lease.set("cell", cell.to_json());
+        s.leased.insert(worker, cell);
+        Ok(lease)
+    } else if s.leased.is_empty() {
+        Ok(msg("done"))
+    } else {
+        // Another worker's lease may yet fail and re-queue; poll back.
+        let mut idle = msg("idle");
+        idle.set("backoff_ms", Json::from(IDLE_BACKOFF_MS));
+        Ok(idle)
+    }
+}
+
+/// What one worker process contributed.
+#[derive(Debug)]
+pub struct WorkerReport {
+    /// Cells this worker completed (including `Infinite`/`Unsupported`
+    /// outcomes, which are results, not failures).
+    pub completed: usize,
+    /// Cells whose hard errors were reported to the coordinator.
+    pub failed: usize,
+}
+
+/// Connect to `addr` (retrying `ConnectionRefused` until `connect_window`
+/// elapses, so workers may start before the coordinator) and execute
+/// leases until the coordinator says `done`.
+///
+/// The worker runs one cell at a time under the full `config.threads`
+/// kernel budget — worker *processes* are the unit of sweep parallelism.
+/// `config` must match the coordinator's flags: the handshake enforces the
+/// [`config_fingerprint`] and rejects mismatches at connect.
+pub fn run_worker(
+    addr: impl ToSocketAddrs + Clone,
+    config: HarnessConfig,
+    connect_window: Duration,
+) -> Result<WorkerReport> {
+    let deadline = Instant::now() + connect_window;
+    let mut stream = loop {
+        match TcpStream::connect(addr.clone()) {
+            Ok(stream) => break stream,
+            // Refused means the coordinator has not bound yet — the one
+            // transient error worth waiting out. Anything else (DNS
+            // failure, unroutable address) is permanent: fail fast.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::ConnectionRefused
+                    && Instant::now() < deadline =>
+            {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(Error::invalid(format!("worker connect: {e}"))),
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let threads = config.threads;
+    let scheduler = Scheduler::new(config)?;
+
+    let mut hello = msg("hello");
+    hello.set("protocol", Json::from(PROTOCOL));
+    hello.set(
+        "config",
+        Json::from(config_fingerprint(scheduler.harness().config()).as_str()),
+    );
+    write_frame(&mut stream, &hello)?;
+    let welcome = read_frame_opt(&mut stream)?
+        .ok_or_else(|| Error::invalid("coordinator closed during handshake"))?;
+    match msg_type(&welcome)? {
+        "welcome" => {}
+        "reject" => {
+            let reason = welcome
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified");
+            return Err(Error::invalid(format!("coordinator rejected worker: {reason}")));
+        }
+        other => return Err(Error::invalid(format!("unexpected handshake reply {other:?}"))),
+    }
+
+    let mut report = WorkerReport {
+        completed: 0,
+        failed: 0,
+    };
+    let mut outbound = msg("request");
+    loop {
+        write_frame(&mut stream, &outbound)?;
+        let reply = read_frame_opt(&mut stream)?
+            .ok_or_else(|| Error::invalid("coordinator hung up mid-sweep"))?;
+        match msg_type(&reply)? {
+            "done" => return Ok(report),
+            "idle" => {
+                let ms = reply
+                    .get("backoff_ms")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(IDLE_BACKOFF_MS);
+                std::thread::sleep(Duration::from_millis(ms));
+                outbound = msg("request");
+            }
+            "lease" => {
+                let cell = CellKey::from_json(
+                    reply
+                        .get("cell")
+                        .ok_or_else(|| Error::invalid("lease missing cell"))?,
+                )?;
+                match scheduler.run_cell(&cell, threads) {
+                    Ok(outcome) => {
+                        report.completed += 1;
+                        outbound = msg("result");
+                        outbound.set("cell", cell.to_json());
+                        outbound.set("outcome", outcome.to_json());
+                    }
+                    Err(e) => {
+                        report.failed += 1;
+                        outbound = msg("failed");
+                        outbound.set("cell", cell.to_json());
+                        outbound.set("reason", Json::from(e.to_string().as_str()));
+                    }
+                }
+            }
+            "reject" => {
+                let reason = reply
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified");
+                return Err(Error::invalid(format!("coordinator rejected worker: {reason}")));
+            }
+            other => return Err(Error::invalid(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> HarnessConfig {
+        HarnessConfig {
+            scale: 0.012,
+            sizes: vec![SizeClass::Small],
+            r_mem_bytes: u64::MAX,
+            ..HarnessConfig::quick()
+        }
+        .sim_only()
+    }
+
+    fn connect_handshake(addr: SocketAddr, fingerprint: &str) -> TcpStream {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut hello = msg("hello");
+        hello.set("protocol", Json::from(PROTOCOL));
+        hello.set("config", Json::from(fingerprint));
+        write_frame(&mut stream, &hello).unwrap();
+        let welcome = read_frame_opt(&mut stream).unwrap().unwrap();
+        assert_eq!(msg_type(&welcome).unwrap(), "welcome");
+        stream
+    }
+
+    #[test]
+    fn cell_keys_round_trip_through_json() {
+        let coord = Coordinator::bind(
+            "127.0.0.1:0",
+            quick_config(),
+            &[FigureId::Fig1],
+            SizeClass::Small,
+            CoordOptions::default(),
+        )
+        .unwrap();
+        assert!(!coord.plan.is_empty());
+        for cell in &coord.plan {
+            let back = CellKey::from_json(&cell.to_json()).unwrap();
+            assert_eq!(&back, cell);
+        }
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_rejected_at_connect() {
+        let coord = Coordinator::bind(
+            "127.0.0.1:0",
+            quick_config(),
+            &[FigureId::Fig1],
+            SizeClass::Small,
+            CoordOptions::default(),
+        )
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        let serve = std::thread::spawn(move || coord.serve());
+
+        let mut bad_config = quick_config();
+        bad_config.scale = 0.024;
+        let err = run_worker(addr, bad_config, Duration::from_secs(5)).unwrap_err();
+        assert!(err.to_string().contains("fingerprint mismatch"), "{err}");
+
+        // A matching worker still drains the sweep.
+        let report = run_worker(addr, quick_config(), Duration::from_secs(5)).unwrap();
+        let outcome = serve.join().unwrap().unwrap();
+        assert_eq!(report.completed, outcome.planned);
+        assert_eq!(outcome.executed, outcome.planned);
+    }
+
+    #[test]
+    fn stale_protocol_is_rejected_at_connect() {
+        let coord = Coordinator::bind(
+            "127.0.0.1:0",
+            quick_config(),
+            &[FigureId::Fig1],
+            SizeClass::Small,
+            CoordOptions::default(),
+        )
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        let fingerprint = config_fingerprint(coord.config());
+        let serve = std::thread::spawn(move || coord.serve());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut hello = msg("hello");
+        hello.set("protocol", Json::from("genbase-coord-v0"));
+        hello.set("config", Json::from(fingerprint.as_str()));
+        write_frame(&mut stream, &hello).unwrap();
+        let reply = read_frame_opt(&mut stream).unwrap().unwrap();
+        assert_eq!(msg_type(&reply).unwrap(), "reject");
+        drop(stream);
+
+        run_worker(addr, quick_config(), Duration::from_secs(5)).unwrap();
+        serve.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn unwritable_checkpoint_fails_the_sweep_not_the_worker() {
+        let bogus = std::env::temp_dir()
+            .join(format!("genbase-coord-noexist-{}", std::process::id()))
+            .join("deep")
+            .join("ckpt.json"); // parent directories never created
+        let coord = Coordinator::bind(
+            "127.0.0.1:0",
+            quick_config(),
+            &[FigureId::Fig1],
+            SizeClass::Small,
+            CoordOptions::default().with_checkpoint(&bogus),
+        )
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        let serve = std::thread::spawn(move || coord.serve());
+        // The worker must terminate cleanly (drained with `done`), not be
+        // blamed with a protocol reject; the coordinator reports the
+        // checkpoint I/O error.
+        let report = run_worker(addr, quick_config(), Duration::from_secs(5)).unwrap();
+        assert!(report.completed >= 1, "first result triggers the failure");
+        let err = serve.join().unwrap().unwrap_err();
+        assert!(err.to_string().contains("write"), "{err}");
+    }
+
+    #[test]
+    fn result_for_unleased_cell_is_a_protocol_error() {
+        let coord = Coordinator::bind(
+            "127.0.0.1:0",
+            quick_config(),
+            &[FigureId::Fig1],
+            SizeClass::Small,
+            CoordOptions::default(),
+        )
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        let fingerprint = config_fingerprint(coord.config());
+        let forged = coord.plan[0].clone();
+        let serve = std::thread::spawn(move || coord.serve());
+
+        let mut stream = connect_handshake(addr, &fingerprint);
+        let mut result = msg("result");
+        result.set("cell", forged.to_json());
+        result.set("outcome", CellOutcome::Unsupported.to_json());
+        write_frame(&mut stream, &result).unwrap();
+        let reply = read_frame_opt(&mut stream).unwrap().unwrap();
+        assert_eq!(msg_type(&reply).unwrap(), "reject");
+        drop(stream);
+
+        // The forged outcome must not have entered the grid: a real worker
+        // still executes every cell.
+        let report = run_worker(addr, quick_config(), Duration::from_secs(5)).unwrap();
+        let outcome = serve.join().unwrap().unwrap();
+        assert_eq!(report.completed, outcome.planned);
+    }
+}

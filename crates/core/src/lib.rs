@@ -33,7 +33,10 @@
 //! assert!(report.phases.total_secs() >= 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analytics;
+pub mod coord;
 pub mod engine;
 pub mod engines;
 pub mod figures;
@@ -42,6 +45,7 @@ pub mod query;
 pub mod report;
 pub mod sched;
 
+pub use coord::{run_worker, CoordOptions, CoordOutcome, Coordinator};
 pub use engine::{Engine, ExecContext};
 pub use harness::TimingMode;
 pub use query::{Query, QueryOutput, QueryParams};

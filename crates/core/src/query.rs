@@ -39,6 +39,11 @@ impl Query {
         }
     }
 
+    /// Inverse of [`Query::name`] (cell keys, wire protocol).
+    pub fn from_name(name: &str) -> Option<Query> {
+        Query::ALL.into_iter().find(|q| q.name() == name)
+    }
+
     /// Figure title fragment from the paper.
     pub fn title(&self) -> &'static str {
         match self {

@@ -107,6 +107,42 @@ impl CellKey {
             self.engine
         )
     }
+
+    /// Serialize for the coordinator wire protocol (explicit fields, not
+    /// the display id, so no parsing of engine names containing `/`).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("figure", Json::from(self.figure.name()));
+        obj.set("query", Json::from(self.query.name()));
+        obj.set("size", Json::from(self.size.slug()));
+        obj.set("nodes", Json::from(self.nodes));
+        obj.set("engine", Json::from(self.engine.as_str()));
+        obj
+    }
+
+    /// Inverse of [`CellKey::to_json`].
+    pub fn from_json(value: &Json) -> Result<CellKey> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| Error::invalid(format!("cell key missing {name}")))
+        };
+        Ok(CellKey {
+            figure: FigureId::from_name(field("figure")?)
+                .ok_or_else(|| Error::invalid("cell key: unknown figure"))?,
+            query: Query::from_name(field("query")?)
+                .ok_or_else(|| Error::invalid("cell key: unknown query"))?,
+            size: SizeClass::from_slug(field("size")?)
+                .ok_or_else(|| Error::invalid("cell key: unknown size"))?,
+            nodes: value
+                .get("nodes")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| Error::invalid("cell key missing nodes"))?
+                as usize,
+            engine: field("engine")?.to_string(),
+        })
+    }
 }
 
 /// The slimmed, serializable outcome of one cell — exactly what figure
@@ -167,7 +203,8 @@ impl CellOutcome {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// Serialize (grid files, wire protocol).
+    pub fn to_json(&self) -> Json {
         let mut obj = Json::obj();
         match self {
             CellOutcome::Completed { dm, an } => {
@@ -194,7 +231,8 @@ impl CellOutcome {
         obj
     }
 
-    fn from_json(value: &Json) -> Result<CellOutcome> {
+    /// Inverse of [`CellOutcome::to_json`].
+    pub fn from_json(value: &Json) -> Result<CellOutcome> {
         let status = value
             .get("status")
             .and_then(Json::as_str)
@@ -250,14 +288,26 @@ pub struct ReportGrid {
 /// here makes grids incomparable. The cutoff only matters in Measured mode
 /// (SimOnly disables it), so two SimOnly runs with different `--cutoff`
 /// flags still compare equal.
+///
+/// `threads` is included because it is the *simulated machine size*:
+/// `ExecContext.sim_threads` feeds Hadoop's task-slot count (and with it
+/// the simulated shuffle costs), so hosts with different core counts
+/// produce different grids even under SimOnly. Cross-machine runs — file
+/// shards or coordinator workers — must pin `--threads` explicitly; the
+/// per-cell `--jobs` *budget* deliberately stays out of the fingerprint
+/// (kernels are bit-identical across thread budgets).
 pub fn config_fingerprint(config: &HarnessConfig) -> String {
     let cutoff = match config.timing {
         crate::harness::TimingMode::Measured => format!("{}", config.cutoff.as_secs_f64()),
         crate::harness::TimingMode::SimOnly => "off".to_string(),
     };
     format!(
-        "scale={};seed={};timing={:?};rmem={};cutoff={cutoff}",
-        config.scale, config.seed, config.timing, config.r_mem_bytes
+        "scale={};seed={};timing={:?};rmem={};cutoff={cutoff};simthreads={}",
+        config.scale,
+        config.seed,
+        config.timing,
+        config.r_mem_bytes,
+        config.threads.max(1)
     )
 }
 
@@ -388,7 +438,7 @@ impl ReportGrid {
 
 /// Atomic file write: temp file (tagged, so concurrent writers never share
 /// one) then rename over the target.
-fn save_text(path: &Path, text: &str, tag: usize) -> Result<()> {
+pub(crate) fn save_text(path: &Path, text: &str, tag: usize) -> Result<()> {
     let tmp = path.with_extension(format!("tmp{tag}"));
     std::fs::write(&tmp, text)
         .map_err(|e| Error::invalid(format!("write {}: {e}", tmp.display())))?;

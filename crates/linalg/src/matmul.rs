@@ -559,7 +559,7 @@ pub fn matvec_transposed(a: &Matrix, x: &[f64]) -> Vec<f64> {
 /// count**.
 pub fn matvec_transposed_par(a: &Matrix, x: &[f64], threads: usize) -> Vec<f64> {
     assert_eq!(a.rows(), x.len(), "matvec_transposed shape mismatch");
-    let (rows, cols) = a.shape();
+    let (_rows, cols) = a.shape();
     let mut out = vec![0.0; cols];
     if threads <= 1 || cols < 2 * MC {
         for (r, &xv) in x.iter().enumerate() {

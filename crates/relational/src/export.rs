@@ -5,7 +5,7 @@
 //! - [`export_csv`] / [`import_matrix_csv`]: the "export data from the DBMS
 //!   and reformat it for R" path — full text serialization and re-parsing,
 //!   an O(N) conversion with a deliberately large constant.
-//! - [`pivot_to_dense`]: the "restructure the information as a matrix"
+//! - [`pivot_to_dense`] — the "restructure the information as a matrix"
 //!   step — turning relational `(row_id, col_id, value)` triples into the
 //!   dense array the analytics kernels need.
 

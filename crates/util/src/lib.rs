@@ -4,12 +4,17 @@
 //! (data generators, engines, the cluster simulator) relies on the
 //! deterministic RNG, the cooperative [`Budget`] cancellation token, the
 //! [`SimClock`] used to account simulated costs (network transfers, PCIe
-//! copies, MapReduce job launches), and the CSV codec that models the
-//! "export to R" reformatting path from the paper.
+//! copies, MapReduce job launches), the CSV codec that models the
+//! "export to R" reformatting path from the paper, the [`Json`]
+//! reader/writer behind every harness artifact, and the length-prefixed
+//! [`frame`] codec the distributed coordinator speaks over TCP.
+
+#![warn(missing_docs)]
 
 pub mod budget;
 pub mod csv;
 pub mod error;
+pub mod frame;
 pub mod json;
 pub mod rng;
 pub mod runtime;
@@ -19,6 +24,7 @@ pub mod table;
 
 pub use budget::Budget;
 pub use error::{Error, Result};
+pub use frame::{encode_frame, read_frame, read_frame_opt, write_frame, MAX_FRAME_BYTES};
 pub use json::Json;
 pub use rng::Pcg64;
 pub use runtime::{parallel_for, parallel_map, try_parallel_for, SharedSlice};

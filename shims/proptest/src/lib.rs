@@ -149,7 +149,7 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Element count for [`vec`]: an exact length or a range of lengths.
+    /// Element count for [`vec()`]: an exact length or a range of lengths.
     pub struct SizeRange {
         min: usize,
         max: usize, // exclusive
@@ -176,7 +176,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

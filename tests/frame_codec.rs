@@ -1,0 +1,96 @@
+//! Property tests for the coordinator wire codec
+//! (`genbase_util::frame`): length-prefixed frames must round-trip
+//! arbitrary JSON messages byte-exactly, in sequence, and reject every
+//! truncation and oversized length prefix instead of misreading them.
+
+use genbase_util::frame::{encode_frame, read_frame, read_frame_opt, MAX_FRAME_BYTES};
+use genbase_util::Json;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Arbitrary unicode-ish strings, including escapes-in-waiting (quotes,
+/// backslashes, control characters) the JSON writer must escape.
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..0x500, 0..12)
+        .prop_map(|codes| codes.into_iter().filter_map(char::from_u32).collect())
+}
+
+fn arb_leaf() -> impl Strategy<Value = Json> {
+    (0..4usize, -1e9f64..1e9, arb_string()).prop_map(|(tag, num, s)| match tag {
+        0 => Json::Null,
+        1 => Json::Bool(num > 0.0),
+        2 => Json::Num(num),
+        _ => Json::Str(s),
+    })
+}
+
+/// Arbitrary protocol-shaped messages: an object with a `type` tag, scalar
+/// fields, and one nested array — the shape every coord frame takes.
+fn arb_msg() -> impl Strategy<Value = Json> {
+    (
+        proptest::collection::vec((arb_string(), arb_leaf()), 0..6),
+        proptest::collection::vec(arb_leaf(), 0..6),
+    )
+        .prop_map(|(pairs, items)| {
+            let mut obj = Json::obj();
+            obj.set("type", Json::from("msg"));
+            for (k, v) in pairs {
+                obj.set(&k, v);
+            }
+            obj.set("items", Json::Arr(items));
+            obj
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frames_round_trip(msg in arb_msg()) {
+        let frame = encode_frame(&msg).unwrap();
+        let mut cursor = Cursor::new(frame.as_slice());
+        let back = read_frame(&mut cursor).unwrap();
+        prop_assert_eq!(&back, &msg);
+        prop_assert_eq!(cursor.position() as usize, frame.len(), "no bytes left behind");
+        // Deterministic: the same message always frames to the same bytes.
+        prop_assert_eq!(encode_frame(&back).unwrap(), frame);
+    }
+
+    #[test]
+    fn frame_sequences_preserve_order_and_boundaries(msgs in proptest::collection::vec(arb_msg(), 1..5)) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_frame(m).unwrap());
+        }
+        let mut cursor = Cursor::new(wire.as_slice());
+        for m in &msgs {
+            prop_assert_eq!(&read_frame(&mut cursor).unwrap(), m);
+        }
+        prop_assert!(read_frame_opt(&mut cursor).unwrap().is_none(), "clean EOF after the last frame");
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(msg in arb_msg(), fraction in 0.0f64..1.0) {
+        let frame = encode_frame(&msg).unwrap();
+        // Cut anywhere strictly inside the frame: inside the 4-byte prefix
+        // or inside the payload. Either way the reader must error, never
+        // return a message or block forever.
+        let cut = ((frame.len() as f64 * fraction) as usize).min(frame.len() - 1);
+        let mut cursor = Cursor::new(&frame[..cut]);
+        if cut == 0 {
+            // EOF exactly on a frame boundary is the one clean case.
+            prop_assert!(read_frame_opt(&mut cursor).unwrap().is_none());
+        } else {
+            prop_assert!(read_frame_opt(&mut cursor).is_err(), "cut at {} of {}", cut, frame.len());
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected(excess in 1u64..1 << 31) {
+        let len = (MAX_FRAME_BYTES as u64 + excess).min(u32::MAX as u64) as u32;
+        let mut wire = len.to_be_bytes().to_vec();
+        wire.extend_from_slice(b"{}"); // readers must reject before the payload
+        let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
+        prop_assert!(err.to_string().contains("cap"), "{}", err);
+    }
+}
