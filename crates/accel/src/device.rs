@@ -131,8 +131,6 @@ mod tests {
         let phi = DeviceSpec::xeon_phi_5110p();
         let full = phi.peak_gflops * phi.flops_efficiency;
         assert!((phi.effective_gflops(1.0) - full).abs() < 1e-9);
-        assert!(
-            (phi.effective_gflops(0.0) - full * phi.scalar_penalty).abs() < 1e-9
-        );
+        assert!((phi.effective_gflops(0.0) - full * phi.scalar_penalty).abs() < 1e-9);
     }
 }

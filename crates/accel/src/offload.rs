@@ -43,8 +43,7 @@ impl Coprocessor {
     /// Roofline kernel time on an arbitrary device.
     pub fn roofline_secs(spec: &DeviceSpec, profile: &OpProfile) -> f64 {
         let compute = profile.flops / (spec.effective_gflops(profile.vectorizable) * 1e9);
-        let memory =
-            profile.bytes / (spec.effective_bw_gbps(profile.vectorizable) * 1e9);
+        let memory = profile.bytes / (spec.effective_bw_gbps(profile.vectorizable) * 1e9);
         compute.max(memory)
     }
 
@@ -146,10 +145,7 @@ mod tests {
         // compute — transfer overhead eats the gain.
         let p = OpProfile::biclustering(M / 5, N / 7, 40);
         let s = co.modeled_speedup(&p);
-        assert!(
-            s < 2.0,
-            "biclustering cannot be accelerated much: {s}"
-        );
+        assert!(s < 2.0, "biclustering cannot be accelerated much: {s}");
     }
 
     #[test]
@@ -195,9 +191,7 @@ mod tests {
         assert!((scaled - est.total_secs()).abs() < 1e-9);
         // Twice-slower measurement scales proportionally (minus transfer).
         let scaled2 = co.scale_measured(2.0 * host_model, &p);
-        assert!(
-            (scaled2 - (2.0 * est.compute_secs + est.transfer_secs)).abs() < 1e-9
-        );
+        assert!((scaled2 - (2.0 * est.compute_secs + est.transfer_secs)).abs() < 1e-9);
     }
 
     #[test]

@@ -114,16 +114,12 @@ impl AttrArray1D {
         }
         let mut out = AttrArray1D::new(coords.len());
         for (name, vals) in &self.int_attrs {
-            out.int_attrs.push((
-                name.clone(),
-                coords.iter().map(|&c| vals[c]).collect(),
-            ));
+            out.int_attrs
+                .push((name.clone(), coords.iter().map(|&c| vals[c]).collect()));
         }
         for (name, vals) in &self.float_attrs {
-            out.float_attrs.push((
-                name.clone(),
-                coords.iter().map(|&c| vals[c]).collect(),
-            ));
+            out.float_attrs
+                .push((name.clone(), coords.iter().map(|&c| vals[c]).collect()));
         }
         Ok(out)
     }
@@ -180,9 +176,14 @@ mod tests {
 
     #[test]
     fn duplicate_or_ragged_attrs_rejected() {
-        let base = AttrArray1D::new(3).with_int_attr("a", vec![1, 2, 3]).unwrap();
+        let base = AttrArray1D::new(3)
+            .with_int_attr("a", vec![1, 2, 3])
+            .unwrap();
         assert!(base.clone().with_int_attr("a", vec![1, 2, 3]).is_err());
-        assert!(base.clone().with_float_attr("a", vec![1.0, 2.0, 3.0]).is_err());
+        assert!(base
+            .clone()
+            .with_float_attr("a", vec![1.0, 2.0, 3.0])
+            .is_err());
         assert!(base.with_int_attr("b", vec![1]).is_err());
     }
 

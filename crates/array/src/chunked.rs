@@ -51,7 +51,10 @@ impl Array2D {
         chunk_rows: usize,
         chunk_cols: usize,
     ) -> Array2D {
-        assert!(chunk_rows > 0 && chunk_cols > 0, "chunk dims must be positive");
+        assert!(
+            chunk_rows > 0 && chunk_cols > 0,
+            "chunk dims must be positive"
+        );
         let grid_rows = rows.div_ceil(chunk_rows).max(1);
         let grid_cols = cols.div_ceil(chunk_cols).max(1);
         let mut chunks = Vec::with_capacity(grid_rows * grid_cols);
@@ -209,8 +212,7 @@ impl Array2D {
         self.check_cols(cols)?;
         let cells = (rows.len() * cols.len()) as u64;
         budget.alloc(cells * 8, cells)?;
-        let mut out =
-            Self::zeros_chunked(rows.len(), cols.len(), self.chunk_rows, self.chunk_cols);
+        let mut out = Self::zeros_chunked(rows.len(), cols.len(), self.chunk_rows, self.chunk_cols);
         let mut src_row = vec![0.0; self.cols];
         let mut dst_row = vec![0.0; cols.len()];
         for (ri, &r) in rows.iter().enumerate() {
@@ -234,8 +236,7 @@ impl Array2D {
         for chunk in self.chunk_refs() {
             for cr in 0..chunk.rows {
                 let global_r = chunk.row_start + cr;
-                let dst = &mut m.row_mut(global_r)
-                    [chunk.col_start..chunk.col_start + chunk.cols];
+                let dst = &mut m.row_mut(global_r)[chunk.col_start..chunk.col_start + chunk.cols];
                 dst.copy_from_slice(&chunk.data[cr * chunk.cols..(cr + 1) * chunk.cols]);
             }
         }
@@ -318,7 +319,12 @@ impl Array2D {
 
     /// Re-chunk into a new chunk shape (used when redistributing to
     /// ScaLAPACK-style block-cyclic layouts).
-    pub fn rechunk(&self, chunk_rows: usize, chunk_cols: usize, budget: &Budget) -> Result<Array2D> {
+    pub fn rechunk(
+        &self,
+        chunk_rows: usize,
+        chunk_cols: usize,
+        budget: &Budget,
+    ) -> Result<Array2D> {
         budget.check("rechunk")?;
         let mut out = Self::zeros_chunked(self.rows, self.cols, chunk_rows, chunk_cols);
         let mut row = vec![0.0; self.cols];
@@ -439,7 +445,9 @@ mod tests {
         let m = random_matrix(&mut rng, 50, 12);
         let a = Array2D::from_matrix_chunked(&m, 16, 4, &Budget::unlimited()).unwrap();
         let rows: Vec<usize> = vec![1, 4, 9, 16, 25, 36, 49];
-        let sums = a.column_sums_over_rows(&rows, &Budget::unlimited()).unwrap();
+        let sums = a
+            .column_sums_over_rows(&rows, &Budget::unlimited())
+            .unwrap();
         for c in 0..12 {
             let expect: f64 = rows.iter().map(|&r| m.get(r, c)).sum();
             assert!((sums[c] - expect).abs() < 1e-10);
@@ -485,7 +493,9 @@ mod tests {
             assert_eq!(par, reference, "threads={threads}");
         }
         // Serial chunk-free sum agrees within rounding.
-        let serial = a.column_sums_over_rows(&rows, &Budget::unlimited()).unwrap();
+        let serial = a
+            .column_sums_over_rows(&rows, &Budget::unlimited())
+            .unwrap();
         for (p, s) in reference.iter().zip(&serial) {
             assert!((p - s).abs() < 1e-9);
         }

@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use genbase_linalg::{
-    jacobi_eigen, lanczos_topk, gram, matmul::{matmul_blocked, matmul_naive},
+    gram, jacobi_eigen, lanczos_topk,
+    matmul::{matmul_blocked, matmul_naive},
     DenseSymOp, ExecOpts, Matrix,
 };
 use genbase_util::{Budget, Pcg64};
@@ -36,17 +37,15 @@ fn ablation_eigensolver(c: &mut Criterion) {
     let g = gram(&a, &ExecOpts::serial()).unwrap();
     let mut group = c.benchmark_group("ablation/eigensolver_top10");
     group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_millis(300));
-        group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("lanczos", |bch| {
         bch.iter(|| {
             let op = DenseSymOp::new(&g).unwrap();
             lanczos_topk(&op, 10, 0, 7, &ExecOpts::serial()).unwrap()
         })
     });
-    group.bench_function("jacobi_full", |bch| {
-        bch.iter(|| jacobi_eigen(&g).unwrap())
-    });
+    group.bench_function("jacobi_full", |bch| bch.iter(|| jacobi_eigen(&g).unwrap()));
     group.finish();
 }
 
@@ -66,15 +65,13 @@ fn ablation_rsvd(c: &mut Criterion) {
         })
     });
     group.bench_function("randomized_approx", |bch| {
-        bch.iter(|| {
-            randomized_gram_eigen(&a, &RsvdConfig::new(10), &ExecOpts::serial()).unwrap()
-        })
+        bch.iter(|| randomized_gram_eigen(&a, &RsvdConfig::new(10), &ExecOpts::serial()).unwrap())
     });
     group.finish();
 }
 
 fn ablation_filter(c: &mut Criterion) {
-    use genbase_relational::{ColumnTable, Pred, RowTable, Schema, DataType, Value};
+    use genbase_relational::{ColumnTable, DataType, Pred, RowTable, Schema, Value};
     let schema = Schema::new(&[
         ("id", DataType::Int),
         ("age", DataType::Int),

@@ -12,8 +12,8 @@ fn fig2(c: &mut Criterion) {
     let engines = engines::single_node_engines();
     let mut group = c.benchmark_group("fig2/regression_phases");
     group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_millis(300));
-        group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
     for engine in &engines {
         group.bench_function(BenchmarkId::from_parameter(engine.name()), |b| {
             b.iter(|| {

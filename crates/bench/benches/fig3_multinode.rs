@@ -19,10 +19,9 @@ fn fig3(c: &mut Criterion) {
                 continue;
             }
             for nodes in [1usize, 2, 4] {
-                group.bench_function(
-                    BenchmarkId::new(engine.name(), nodes),
-                    |b| b.iter(|| run_query(engine.as_ref(), query, &data, nodes)),
-                );
+                group.bench_function(BenchmarkId::new(engine.name(), nodes), |b| {
+                    b.iter(|| run_query(engine.as_ref(), query, &data, nodes))
+                });
             }
         }
         group.finish();

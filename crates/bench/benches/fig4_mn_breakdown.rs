@@ -11,8 +11,8 @@ fn fig4(c: &mut Criterion) {
     let engines = engines::multi_node_engines();
     let mut group = c.benchmark_group("fig4/regression_phases");
     group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_millis(300));
-        group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
     for engine in &engines {
         for nodes in [1usize, 2, 4] {
             let ctx = ExecContext::multi_node(nodes);

@@ -12,8 +12,8 @@ fn table1(c: &mut Criterion) {
     let scidb = engines::SciDb::new();
     let mut group = c.benchmark_group("table1/analytics_phase");
     group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_millis(300));
-        group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
     for query in PHI_QUERIES {
         for nodes in [1usize, 2, 4] {
             let ctx = ExecContext::multi_node(nodes);

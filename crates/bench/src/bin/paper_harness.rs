@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! paper_harness [fig1|fig2|fig3|fig4|fig5|table1|weak|bench|all]
+//!               [explain [ENGINE] [QUERY]]  per-operator plan cost tables
 //!               [coordinate|work]  distributed sweep roles (see below)
 //!               [--scale F]      per-side scale vs paper sizes (default 0.048)
 //!               [--sizes LIST]   size classes, e.g. small,medium (default all)
@@ -12,7 +13,13 @@
 //!               [--threads N]    simulated machine size / kernel budget
 //!                                (default: host threads; pin it for
 //!                                cross-machine shard or worker runs)
-//!               [--jobs K]       benchmark cells in flight (default: host threads)
+//!               [--jobs K]       benchmark cells in flight (default: host
+//!                                threads); for `work`: leased cells the
+//!                                worker multiplexes (default 1)
+//!               [--nodes N]      explain: simulated cluster size (default 1)
+//!               [--lease-timeout SECS]  coordinate: revoke and re-issue a
+//!                                cell leased longer than this (default:
+//!                                off, EOF-only death detection)
 //!               [--shards N] [--shard-id I]  run the I-th of N cell partitions
 //!               [--checkpoint P] resume file: completed cells skip on rerun
 //!               [--grid-out P]   write the result grid as JSON
@@ -51,6 +58,16 @@
 //! is partial); write `--grid-out` per shard and render the merged result
 //! with `--grid-in`.
 //!
+//! `explain` runs engine × query pairs once each and prints one table per
+//! pair with a row per executed physical operator (filter, join,
+//! restructure, export, group-agg, marshal, analytics) and its cost — the
+//! plan-IR decomposition behind the Figure 2/4 phase split, which is
+//! exactly the sum of each pair's trace rows. Positional arguments narrow
+//! the matrix: `explain "SciDB" svd` (quote engine names containing
+//! spaces). With `--sim-only --threads N` the output is deterministic
+//! across machines — the CI `explain-golden` step diffs it against a
+//! committed snapshot.
+//!
 //! `bench` times the linalg/stats hot kernels against the seed repo's
 //! serial implementations, plus the fig1 sweep wall-clock serial vs
 //! sharded, and writes `BENCH_baseline.json` (`op, size, threads, ns/iter`)
@@ -84,6 +101,9 @@ struct Args {
     bench_size: usize,
     bench_iters: u32,
     bench_out: String,
+    nodes: usize,
+    lease_timeout_secs: u64,
+    positionals: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -108,6 +128,9 @@ fn parse_args() -> Args {
         bench_size: 2048,
         bench_iters: 2,
         bench_out: "BENCH_baseline.json".to_string(),
+        nodes: 1,
+        lease_timeout_secs: 0,
+        positionals: Vec::new(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -177,8 +200,7 @@ fn parse_args() -> Args {
             }
             "--connect-window" => {
                 i += 1;
-                args.connect_window_secs =
-                    argv[i].parse().expect("--connect-window takes seconds");
+                args.connect_window_secs = argv[i].parse().expect("--connect-window takes seconds");
             }
             "--figures" => {
                 i += 1;
@@ -204,7 +226,27 @@ fn parse_args() -> Args {
                 i += 1;
                 args.bench_out = argv[i].clone();
             }
-            what => args.what = what.to_string(),
+            "--nodes" => {
+                i += 1;
+                args.nodes = argv[i].parse().expect("--nodes takes an integer");
+            }
+            "--lease-timeout" => {
+                i += 1;
+                args.lease_timeout_secs = argv[i].parse().expect("--lease-timeout takes seconds");
+            }
+            what => {
+                // A mistyped flag must not be silently swallowed as a
+                // subcommand argument (or the run proceeds with defaults).
+                assert!(!what.starts_with("--"), "unknown flag {what:?}");
+                if args.what == "all" {
+                    args.what = what.to_string();
+                } else if args.what == "explain" {
+                    // Subcommand arguments: `explain <engine> <query>`.
+                    args.positionals.push(what.to_string());
+                } else {
+                    panic!("unexpected argument {what:?} after {:?}", args.what);
+                }
+            }
         }
         i += 1;
     }
@@ -215,8 +257,9 @@ fn requested_figures(what: &str) -> Vec<FigureId> {
     if what == "all" {
         FigureId::ALL.to_vec()
     } else {
-        vec![FigureId::from_name(what)
-            .unwrap_or_else(|| panic!("unknown command {what:?} (want figN/table1/weak/bench/all)"))]
+        vec![FigureId::from_name(what).unwrap_or_else(|| {
+            panic!("unknown command {what:?} (want figN/table1/weak/bench/all)")
+        })]
     }
 }
 
@@ -246,10 +289,11 @@ fn main() {
     }
     if args.what == "work" {
         let config = harness_config(&args);
-        let report = genbase::coord::run_worker(
+        let report = genbase::coord::run_worker_jobs(
             args.connect.as_str(),
             config,
             Duration::from_secs(args.connect_window_secs),
+            args.jobs.max(1),
         )
         .expect("worker");
         eprintln!(
@@ -257,6 +301,9 @@ fn main() {
             report.completed, report.failed
         );
         return;
+    }
+    if args.what == "explain" {
+        return explain(&args);
     }
     if args.what == "bench" {
         let mut entries = perf::run(args.bench_size, args.bench_iters);
@@ -300,7 +347,8 @@ fn main() {
         for path in &args.grid_in {
             let part = ReportGrid::load(std::path::Path::new(path))
                 .unwrap_or_else(|e| panic!("load {path}: {e}"));
-            grid.merge(part).unwrap_or_else(|e| panic!("merge {path}: {e}"));
+            grid.merge(part)
+                .unwrap_or_else(|e| panic!("merge {path}: {e}"));
         }
         // The grids must come from the configuration we are rendering
         // under — table1 regenerates the dataset from the render-time
@@ -367,14 +415,42 @@ fn main() {
     }
 }
 
+/// The `explain` subcommand: per-operator plan cost tables for engine ×
+/// query pairs (all pairs by default; positionals narrow the matrix).
+fn explain(args: &Args) {
+    let config = harness_config(args);
+    let size = *config.sizes.first().expect("at least one size configured");
+    let engine_filter = args.positionals.first().map(String::as_str);
+    let query_filter = args.positionals.get(1).map(|name| {
+        genbase::Query::from_name(name)
+            .unwrap_or_else(|| panic!("unknown query {name:?} (want one of regression/covariance/biclustering/svd/statistics)"))
+    });
+    let harness = Harness::new(config).expect("harness");
+    let figure = figures::explain(
+        &harness,
+        size,
+        args.nodes.max(1),
+        engine_filter,
+        query_filter,
+    )
+    .expect("explain");
+    println!("{}", figure.render());
+}
+
 /// The `coordinate` role: serve leases over TCP until the grid is
 /// complete, then render the figures exactly as a local sweep would.
 fn coordinate(args: &Args) {
     let config = harness_config(args);
-    let figs = args.figures.clone().unwrap_or_else(|| FigureId::ALL.to_vec());
+    let figs = args
+        .figures
+        .clone()
+        .unwrap_or_else(|| FigureId::ALL.to_vec());
     let mut options = genbase::coord::CoordOptions::default();
     if let Some(path) = &args.checkpoint {
         options = options.with_checkpoint(path);
+    }
+    if args.lease_timeout_secs > 0 {
+        options = options.with_lease_timeout(Duration::from_secs(args.lease_timeout_secs));
     }
     let coordinator = genbase::coord::Coordinator::bind(
         args.listen.as_str(),
@@ -526,8 +602,17 @@ mod perf {
         let b = Matrix::from_fn(size, size, |_, _| rng.normal());
         let mut entries = Vec::new();
         let mut push = |op: &'static str, threads: usize, ns: f64, iters: u32| {
-            eprintln!("bench: {op} size={size} threads={threads}: {:.3} ms/iter", ns / 1e6);
-            entries.push(Entry { op, size, threads, ns_per_iter: ns, iters });
+            eprintln!(
+                "bench: {op} size={size} threads={threads}: {:.3} ms/iter",
+                ns / 1e6
+            );
+            entries.push(Entry {
+                op,
+                size,
+                threads,
+                ns_per_iter: ns,
+                iters,
+            });
         };
 
         // -- matmul ----------------------------------------------------------

@@ -382,8 +382,7 @@ mod tests {
     fn input_not_mutated() {
         let data = planted(15, 15, &[1, 2, 3], &[4, 5, 6], 116);
         let copy = data.clone();
-        let _ =
-            find_biclusters(&data, &ChengChurchConfig::default(), &ExecOpts::serial()).unwrap();
+        let _ = find_biclusters(&data, &ChengChurchConfig::default(), &ExecOpts::serial()).unwrap();
         assert_eq!(data, copy);
     }
 

@@ -141,10 +141,7 @@ impl Cluster {
         for r in results {
             out.push(r?);
         }
-        let max_sim = sims
-            .iter()
-            .map(|s| s.total_secs())
-            .fold(0.0, f64::max);
+        let max_sim = sims.iter().map(|s| s.total_secs()).fold(0.0, f64::max);
         Ok((out, max_sim))
     }
 }
@@ -163,8 +160,11 @@ impl NodeCtx {
     /// Send raw bytes to `to`. Local sends are free (no network).
     pub fn send_bytes(&self, to: usize, bytes: Vec<u8>) -> Result<()> {
         if to != self.rank {
-            self.sim
-                .charge_transfer(bytes.len() as u64, self.net.latency_s, self.net.bandwidth_bps);
+            self.sim.charge_transfer(
+                bytes.len() as u64,
+                self.net.latency_s,
+                self.net.bandwidth_bps,
+            );
         }
         self.senders[to]
             .send(bytes)

@@ -7,9 +7,7 @@
 //! assert that — so only the *cost* differs across node counts.
 
 use crate::comm::NodeCtx;
-use genbase_linalg::{
-    gram, matvec, matvec_transposed, qr::QrFactor, ExecOpts, LinearOp, Matrix,
-};
+use genbase_linalg::{gram, matvec, matvec_transposed, qr::QrFactor, ExecOpts, LinearOp, Matrix};
 use genbase_util::{Error, Result};
 
 /// Split `total` rows into `n` contiguous bands (node `i` gets `bands[i]`).
@@ -279,7 +277,11 @@ mod tests {
                     let local = scatter_rows(
                         ctx,
                         0,
-                        if ctx.rank() == 0 { Some(full_ref) } else { None },
+                        if ctx.rank() == 0 {
+                            Some(full_ref)
+                        } else {
+                            None
+                        },
                     )?;
                     gather_matrix(ctx, 0, &local)
                 })
@@ -300,7 +302,11 @@ mod tests {
                 let local = scatter_rows(
                     ctx,
                     0,
-                    if ctx.rank() == 0 { Some(full_ref) } else { None },
+                    if ctx.rank() == 0 {
+                        Some(full_ref)
+                    } else {
+                        None
+                    },
                 )?;
                 dist_column_means(ctx, &local, 50)
             })
@@ -324,7 +330,11 @@ mod tests {
                     let local = scatter_rows(
                         ctx,
                         0,
-                        if ctx.rank() == 0 { Some(full_ref) } else { None },
+                        if ctx.rank() == 0 {
+                            Some(full_ref)
+                        } else {
+                            None
+                        },
                     )?;
                     dist_covariance(ctx, &local, 60, &ExecOpts::serial())
                 })
@@ -340,24 +350,18 @@ mod tests {
         let mut rng = Pcg64::new(144);
         let x = Matrix::from_fn(80, 5, |_, _| rng.normal());
         let y: Vec<f64> = (0..80)
-            .map(|r| {
-                1.0 + 2.0 * x.get(r, 0) - 0.5 * x.get(r, 3) + 0.01 * rng.normal()
-            })
+            .map(|r| 1.0 + 2.0 * x.get(r, 0) - 0.5 * x.get(r, 3) + 0.01 * rng.normal())
             .collect();
         // Serial reference via QR on the same design (no intercept column
         // here; the engine layer adds it).
-        let serial = genbase_linalg::qr::least_squares(x.clone(), &y, &ExecOpts::serial())
-            .unwrap();
+        let serial = genbase_linalg::qr::least_squares(x.clone(), &y, &ExecOpts::serial()).unwrap();
         for n in [1, 2, 4] {
             let cluster = Cluster::new(n, NetModel::free());
             let (x_ref, y_ref) = (&x, &y);
             let (results, _) = cluster
                 .run(|ctx| {
-                    let local_x = scatter_rows(
-                        ctx,
-                        0,
-                        if ctx.rank() == 0 { Some(x_ref) } else { None },
-                    )?;
+                    let local_x =
+                        scatter_rows(ctx, 0, if ctx.rank() == 0 { Some(x_ref) } else { None })?;
                     let bands = row_bands(80, ctx.n_nodes());
                     let band = bands[ctx.rank()].clone();
                     dist_least_squares(ctx, &local_x, &y_ref[band], &ExecOpts::serial())
@@ -376,8 +380,7 @@ mod tests {
         let full = test_matrix(70, 16, 145);
         let serial_g = genbase_linalg::gram(&full, &ExecOpts::serial()).unwrap();
         let serial_op = genbase_linalg::DenseSymOp::new(&serial_g).unwrap();
-        let serial =
-            lanczos_topk(&serial_op, 4, 0, 99, &ExecOpts::serial()).unwrap();
+        let serial = lanczos_topk(&serial_op, 4, 0, 99, &ExecOpts::serial()).unwrap();
         let cluster = Cluster::new(3, NetModel::free());
         let full_ref = &full;
         let (results, _) = cluster
@@ -385,7 +388,11 @@ mod tests {
                 let local = scatter_rows(
                     ctx,
                     0,
-                    if ctx.rank() == 0 { Some(full_ref) } else { None },
+                    if ctx.rank() == 0 {
+                        Some(full_ref)
+                    } else {
+                        None
+                    },
                 )?;
                 let op = DistGramOp::new(ctx, &local);
                 let res = lanczos_topk(&op, 4, 0, 99, &ExecOpts::serial())?;
@@ -410,7 +417,11 @@ mod tests {
                 let local = scatter_rows(
                     ctx,
                     0,
-                    if ctx.rank() == 0 { Some(full_ref) } else { None },
+                    if ctx.rank() == 0 {
+                        Some(full_ref)
+                    } else {
+                        None
+                    },
                 )?;
                 // Select every other local row.
                 let sel: Vec<usize> = (0..local.rows()).step_by(2).collect();
@@ -444,7 +455,11 @@ mod tests {
                     let local = scatter_rows(
                         ctx,
                         0,
-                        if ctx.rank() == 0 { Some(full_ref) } else { None },
+                        if ctx.rank() == 0 {
+                            Some(full_ref)
+                        } else {
+                            None
+                        },
                     )?;
                     dist_covariance(ctx, &local, 64, &ExecOpts::serial())
                 })
@@ -471,7 +486,11 @@ mod tests {
                 let local = scatter_rows(
                     ctx,
                     0,
-                    if ctx.rank() == 0 { Some(full_ref) } else { None },
+                    if ctx.rank() == 0 {
+                        Some(full_ref)
+                    } else {
+                        None
+                    },
                 )?;
                 dist_covariance(ctx, &local, 7, &ExecOpts::serial())
             })

@@ -136,10 +136,14 @@ pub fn enrichment_output(
                     in_group[g as usize] = true;
                 }
             }
-            let group1: Vec<f64> =
-                (0..n).filter(|&g| in_group[g]).map(|g| gene_scores[g]).collect();
-            let group2: Vec<f64> =
-                (0..n).filter(|&g| !in_group[g]).map(|g| gene_scores[g]).collect();
+            let group1: Vec<f64> = (0..n)
+                .filter(|&g| in_group[g])
+                .map(|g| gene_scores[g])
+                .collect();
+            let group2: Vec<f64> = (0..n)
+                .filter(|&g| !in_group[g])
+                .map(|g| gene_scores[g])
+                .collect();
             let res = wilcoxon_rank_sum_par(&group1, &group2, inner_threads)?;
             Ok(Some((term, res.z, res.p_value)))
         },
@@ -196,8 +200,7 @@ mod tests {
         assert!((coefficients[0].1 - 2.0).abs() < 1e-9);
         assert!((coefficients[1].1).abs() < 1e-9);
         assert!((r_squared - 1.0).abs() < 1e-9);
-        assert!(fit_regression(&x, &y, &[1], RegressionMethod::Qr, &ExecOpts::serial())
-            .is_err());
+        assert!(fit_regression(&x, &y, &[1], RegressionMethod::Qr, &ExecOpts::serial()).is_err());
     }
 
     #[test]
@@ -219,8 +222,7 @@ mod tests {
     fn svd_output_descending() {
         let mut rng = Pcg64::new(153);
         let mat = Matrix::from_fn(50, 10, |_, _| rng.normal());
-        let QueryOutput::Svd { eigenvalues } =
-            svd_output(&mat, 5, 7, &ExecOpts::serial()).unwrap()
+        let QueryOutput::Svd { eigenvalues } = svd_output(&mat, 5, 7, &ExecOpts::serial()).unwrap()
         else {
             panic!("wrong variant")
         };
@@ -271,13 +273,15 @@ mod tests {
             ..Default::default()
         };
         let QueryOutput::Biclusters(bcs) =
-            bicluster_output(&mat, &patient_ids, &gene_ids, &config, &ExecOpts::serial())
-                .unwrap()
+            bicluster_output(&mat, &patient_ids, &gene_ids, &config, &ExecOpts::serial()).unwrap()
         else {
             panic!("wrong variant")
         };
         assert_eq!(bcs.len(), 1);
-        assert!(bcs[0].patient_ids.iter().all(|&p| (1000..1020).contains(&p)));
+        assert!(bcs[0]
+            .patient_ids
+            .iter()
+            .all(|&p| (1000..1020).contains(&p)));
         assert!(bcs[0].gene_ids.iter().all(|&g| (2000..2016).contains(&g)));
     }
 }

@@ -97,12 +97,27 @@ pub struct CoordOptions {
     /// rewritten after every streamed result — the same file format and
     /// fingerprint guard as a local `--checkpoint` sweep.
     pub checkpoint: Option<PathBuf>,
+    /// Per-lease deadline. A cell held longer than this is revoked: the
+    /// holder's connection is shut down (unblocking a handler wedged on a
+    /// half-open link) and the cell re-queued under the usual
+    /// `MAX_REISSUES_PER_CELL` cap. `None` (default) keeps the EOF-only
+    /// behavior: a wedged-but-open connection holds its lease until TCP
+    /// gives up. Size it well above the slowest expected cell — a slow but
+    /// healthy worker past the deadline loses its lease and its connection,
+    /// and the cell runs again elsewhere.
+    pub lease_timeout: Option<Duration>,
 }
 
 impl CoordOptions {
     /// Checkpoint to (and resume from) `path`.
     pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> CoordOptions {
         self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Revoke and re-issue leases held longer than `timeout`.
+    pub fn with_lease_timeout(mut self, timeout: Duration) -> CoordOptions {
+        self.lease_timeout = Some(timeout);
         self
     }
 }
@@ -124,11 +139,17 @@ pub struct CoordOutcome {
     pub workers: usize,
 }
 
+/// One outstanding lease: the cell and when it was handed out.
+struct Lease {
+    cell: CellKey,
+    since: Instant,
+}
+
 /// Shared lease-scheduler state behind the connection handlers.
 struct State {
     pending: VecDeque<CellKey>,
     /// Outstanding lease per live worker connection.
-    leased: HashMap<u64, CellKey>,
+    leased: HashMap<u64, Lease>,
     grid: ReportGrid,
     executed: usize,
     reissued: usize,
@@ -165,6 +186,12 @@ struct Shared {
     /// newer on-disk grid is never replaced by an older snapshot (the
     /// hazard the local sweep's authoritative rewrite also guards).
     checkpoint_io: Mutex<()>,
+    /// Per-lease deadline, if configured.
+    lease_timeout: Option<Duration>,
+    /// Live connections by worker id (`try_clone` handles), so the deadline
+    /// reaper can shut down the holder of an expired lease — unblocking its
+    /// handler thread even on a half-open link.
+    streams: Mutex<HashMap<u64, TcpStream>>,
 }
 
 /// The coordinator half: plans the sweep, listens, leases, collects.
@@ -267,15 +294,36 @@ impl Coordinator {
             fingerprint: self.fingerprint.clone(),
             checkpoint: self.options.checkpoint.clone(),
             checkpoint_io: Mutex::new(()),
+            lease_timeout: self.options.lease_timeout,
+            streams: Mutex::new(HashMap::new()),
         });
 
         let mut next_worker: u64 = 0;
         let mut handlers = Vec::new();
         while !shared.state.lock().expect("coord state").complete() {
+            reap_expired_leases(&shared);
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     next_worker += 1;
                     let worker = next_worker;
+                    match stream.try_clone() {
+                        Ok(clone) => {
+                            shared
+                                .streams
+                                .lock()
+                                .expect("streams")
+                                .insert(worker, clone);
+                        }
+                        // Without a clone handle the deadline reaper could
+                        // revoke this worker's lease but never unblock its
+                        // handler thread — the unkillable-handler hang the
+                        // timeout exists to prevent. Refuse the connection
+                        // instead (the worker sees EOF and can be
+                        // restarted); without a deadline configured the
+                        // handle is unused, so the connection is fine.
+                        Err(_) if shared.lease_timeout.is_some() => continue,
+                        Err(_) => {}
+                    }
                     let shared = Arc::clone(&shared);
                     // Dedicated blocking thread per connection (see module
                     // docs). The handle is kept: serve() must not return
@@ -285,6 +333,7 @@ impl Coordinator {
                     handlers.push(std::thread::spawn(move || {
                         let _ = stream.set_nodelay(true);
                         handle_worker(stream, worker, &shared);
+                        shared.streams.lock().expect("streams").remove(&worker);
                     }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -339,28 +388,76 @@ impl Coordinator {
     }
 }
 
-/// Return a dead worker's outstanding lease to the head of the queue —
-/// or, past [`MAX_REISSUES_PER_CELL`] deaths, abandon the cell as a hard
-/// failure so a worker-killing cell cannot livelock the sweep.
+/// Return a revoked/dead worker's cell to the head of the queue — or, past
+/// [`MAX_REISSUES_PER_CELL`] losses, abandon it as a hard failure so a
+/// worker-killing cell cannot livelock the sweep.
+fn requeue_or_abandon(s: &mut State, cell: CellKey, why: &str) {
+    let id = cell.id();
+    let losses = {
+        let count = s.reissue_counts.entry(id.clone()).or_insert(0);
+        *count += 1;
+        *count
+    };
+    if losses > MAX_REISSUES_PER_CELL {
+        s.failed += 1;
+        let err = Error::invalid(format!(
+            "cell {id}: abandoned after {losses} lost leases (last: {why})"
+        ));
+        s.first_error.get_or_insert(err);
+    } else {
+        // Only an actual re-queue counts as a re-issue.
+        s.reissued += 1;
+        s.pending.push_front(cell);
+    }
+}
+
+/// Return a dead worker's outstanding lease to the head of the queue.
 fn release_lease(worker: u64, shared: &Shared) {
     let mut s = shared.state.lock().expect("coord state");
-    if let Some(cell) = s.leased.remove(&worker) {
-        let id = cell.id();
-        let deaths = {
-            let count = s.reissue_counts.entry(id.clone()).or_insert(0);
-            *count += 1;
-            *count
+    if let Some(lease) = s.leased.remove(&worker) {
+        requeue_or_abandon(&mut s, lease.cell, "worker connection ended");
+    }
+}
+
+/// Deadline sweep: revoke leases held past `lease_timeout`, re-queue their
+/// cells, and shut down the holders' connections. Shutdown unblocks a
+/// handler thread parked in a read on a half-open link — the gap the
+/// EOF-only recovery path cannot close — so `serve()`'s final join stays
+/// bounded. The handler then exits through the normal error path and finds
+/// no lease left to release.
+fn reap_expired_leases(shared: &Shared) {
+    let Some(timeout) = shared.lease_timeout else {
+        return;
+    };
+    let now = Instant::now();
+    let expired: Vec<u64> = {
+        let s = shared.state.lock().expect("coord state");
+        s.leased
+            .iter()
+            .filter(|(_, lease)| now.duration_since(lease.since) > timeout)
+            .map(|(&worker, _)| worker)
+            .collect()
+    };
+    for worker in expired {
+        let revoked = {
+            let mut s = shared.state.lock().expect("coord state");
+            // Re-check under the lock: between the snapshot above and now
+            // the worker may have returned its result and taken a *fresh*
+            // lease — revoking that one would cut a healthy worker and run
+            // its cell twice.
+            match s.leased.get(&worker) {
+                Some(lease) if now.duration_since(lease.since) > timeout => {
+                    let lease = s.leased.remove(&worker).expect("present under lock");
+                    requeue_or_abandon(&mut s, lease.cell, "lease deadline exceeded");
+                    true
+                }
+                _ => false,
+            }
         };
-        if deaths > MAX_REISSUES_PER_CELL {
-            s.failed += 1;
-            let err = Error::invalid(format!(
-                "cell {id}: abandoned after killing {deaths} workers"
-            ));
-            s.first_error.get_or_insert(err);
-        } else {
-            // Only an actual re-queue counts as a re-issue.
-            s.reissued += 1;
-            s.pending.push_front(cell);
+        if revoked {
+            if let Some(stream) = shared.streams.lock().expect("streams").remove(&worker) {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
         }
     }
 }
@@ -393,7 +490,11 @@ fn handle_worker(mut stream: TcpStream, worker: u64, shared: &Shared) {
             .expect("coord state")
             .leased
             .contains_key(&worker);
-        let _ = stream.set_read_timeout(if leased { None } else { Some(IDLE_READ_TIMEOUT) });
+        let _ = stream.set_read_timeout(if leased {
+            None
+        } else {
+            Some(IDLE_READ_TIMEOUT)
+        });
         let frame = match read_frame_opt(&mut stream) {
             Ok(Some(frame)) => frame,
             // EOF (worker finished or died), I/O error, or idle timeout:
@@ -473,7 +574,7 @@ fn apply_frame(frame: &Json, worker: u64, shared: &Shared) -> Result<Json> {
         )?;
         let mut s = shared.state.lock().expect("coord state");
         match s.leased.get(&worker) {
-            Some(have) if have.id() == cell.id() => {
+            Some(have) if have.cell.id() == cell.id() => {
                 s.leased.remove(&worker);
             }
             _ => {
@@ -544,13 +645,19 @@ fn next_assignment(worker: u64, shared: &Shared) -> Result<Json> {
         // handler rejects the connection and release_lease re-queues.
         return Err(Error::invalid(format!(
             "worker {worker} requested work while still holding cell {}",
-            held.id()
+            held.cell.id()
         )));
     }
     if let Some(cell) = s.pending.pop_front() {
         let mut lease = msg("lease");
         lease.set("cell", cell.to_json());
-        s.leased.insert(worker, cell);
+        s.leased.insert(
+            worker,
+            Lease {
+                cell,
+                since: Instant::now(),
+            },
+        );
         Ok(lease)
     } else if s.leased.is_empty() {
         Ok(msg("done"))
@@ -577,12 +684,76 @@ pub struct WorkerReport {
 /// leases until the coordinator says `done`.
 ///
 /// The worker runs one cell at a time under the full `config.threads`
-/// kernel budget — worker *processes* are the unit of sweep parallelism.
-/// `config` must match the coordinator's flags: the handshake enforces the
-/// [`config_fingerprint`] and rejects mismatches at connect.
+/// kernel budget. `config` must match the coordinator's flags: the
+/// handshake enforces the [`config_fingerprint`] and rejects mismatches at
+/// connect. To multiplex several cells inside one process, see
+/// [`run_worker_jobs`].
 pub fn run_worker(
-    addr: impl ToSocketAddrs + Clone,
+    addr: impl ToSocketAddrs + Clone + Send,
     config: HarnessConfig,
+    connect_window: Duration,
+) -> Result<WorkerReport> {
+    run_worker_jobs(addr, config, connect_window, 1)
+}
+
+/// [`run_worker`] with `jobs` cells in flight: one worker process opens
+/// `jobs` coordinator connections, each leasing and executing cells
+/// concurrently under a `config.threads / jobs` kernel budget (the same
+/// split the local scheduler's `--jobs` applies), all sharing one dataset
+/// pool. The coordinator sees `jobs` logical workers; per-connection
+/// leases, deadlines, and death recovery apply unchanged.
+///
+/// Kernel results are bit-identical across thread budgets, so `jobs` never
+/// changes sweep output — only how a many-core worker host is filled.
+pub fn run_worker_jobs(
+    addr: impl ToSocketAddrs + Clone + Send,
+    config: HarnessConfig,
+    connect_window: Duration,
+    jobs: usize,
+) -> Result<WorkerReport> {
+    let jobs = jobs.max(1);
+    let threads = (config.threads / jobs).max(1);
+    let scheduler = Scheduler::new(config)?;
+    if jobs == 1 {
+        return worker_connection(addr, &scheduler, threads, connect_window);
+    }
+    let scheduler = &scheduler;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || worker_connection(addr, scheduler, threads, connect_window))
+            })
+            .collect();
+        let mut report = WorkerReport {
+            completed: 0,
+            failed: 0,
+        };
+        let mut first_err = None;
+        for handle in handles {
+            match handle.join().expect("worker job thread") {
+                Ok(part) => {
+                    report.completed += part.completed;
+                    report.failed += part.failed;
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    })
+}
+
+/// One coordinator connection: handshake, then lease/execute/report until
+/// `done`. Cells run through the shared scheduler under `threads` kernels.
+fn worker_connection(
+    addr: impl ToSocketAddrs + Clone,
+    scheduler: &Scheduler,
+    threads: usize,
     connect_window: Duration,
 ) -> Result<WorkerReport> {
     let deadline = Instant::now() + connect_window;
@@ -602,8 +773,6 @@ pub fn run_worker(
         }
     };
     let _ = stream.set_nodelay(true);
-    let threads = config.threads;
-    let scheduler = Scheduler::new(config)?;
 
     let mut hello = msg("hello");
     hello.set("protocol", Json::from(PROTOCOL));
@@ -621,9 +790,15 @@ pub fn run_worker(
                 .get("reason")
                 .and_then(Json::as_str)
                 .unwrap_or("unspecified");
-            return Err(Error::invalid(format!("coordinator rejected worker: {reason}")));
+            return Err(Error::invalid(format!(
+                "coordinator rejected worker: {reason}"
+            )));
         }
-        other => return Err(Error::invalid(format!("unexpected handshake reply {other:?}"))),
+        other => {
+            return Err(Error::invalid(format!(
+                "unexpected handshake reply {other:?}"
+            )))
+        }
     }
 
     let mut report = WorkerReport {
@@ -671,7 +846,9 @@ pub fn run_worker(
                     .get("reason")
                     .and_then(Json::as_str)
                     .unwrap_or("unspecified");
-                return Err(Error::invalid(format!("coordinator rejected worker: {reason}")));
+                return Err(Error::invalid(format!(
+                    "coordinator rejected worker: {reason}"
+                )));
             }
             other => return Err(Error::invalid(format!("unexpected reply {other:?}"))),
         }
@@ -795,6 +972,65 @@ mod tests {
         assert!(report.completed >= 1, "first result triggers the failure");
         let err = serve.join().unwrap().unwrap_err();
         assert!(err.to_string().contains("write"), "{err}");
+    }
+
+    #[test]
+    fn worker_jobs_multiplexes_leases_in_one_process() {
+        let coord = Coordinator::bind(
+            "127.0.0.1:0",
+            quick_config(),
+            &[FigureId::Fig1],
+            SizeClass::Small,
+            CoordOptions::default(),
+        )
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        let serve = std::thread::spawn(move || coord.serve());
+        // One process, two connections, split thread budgets.
+        let report = run_worker_jobs(addr, quick_config(), Duration::from_secs(5), 2).unwrap();
+        let outcome = serve.join().unwrap().unwrap();
+        assert_eq!(report.completed, outcome.planned);
+        assert_eq!(report.failed, 0);
+        assert_eq!(outcome.executed, outcome.planned);
+        // The coordinator sees each connection as a logical worker.
+        assert_eq!(outcome.workers, 2);
+    }
+
+    #[test]
+    fn expired_lease_is_reissued_and_the_holder_disconnected() {
+        let coord = Coordinator::bind(
+            "127.0.0.1:0",
+            quick_config(),
+            &[FigureId::Fig1],
+            SizeClass::Small,
+            CoordOptions::default().with_lease_timeout(Duration::from_millis(300)),
+        )
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        let fingerprint = config_fingerprint(coord.config());
+        let serve = std::thread::spawn(move || coord.serve());
+
+        // A "wedged" worker: takes a lease, then goes silent while keeping
+        // the connection open — the half-open-link shape EOF detection
+        // cannot see. The deadline reaper must revoke its lease and shut
+        // its socket down.
+        let wedged = std::thread::spawn(move || {
+            let mut stream = connect_handshake(addr, &fingerprint);
+            write_frame(&mut stream, &msg("request")).unwrap();
+            let reply = read_frame_opt(&mut stream).unwrap().unwrap();
+            assert_eq!(msg_type(&reply).unwrap(), "lease");
+            // Never report the result; block until the coordinator cuts us
+            // off (shutdown surfaces as EOF or an I/O error).
+            assert!(matches!(read_frame_opt(&mut stream), Ok(None) | Err(_)));
+        });
+
+        // A healthy worker drains the sweep, including the revoked cell.
+        let report = run_worker(addr, quick_config(), Duration::from_secs(5)).unwrap();
+        let outcome = serve.join().unwrap().unwrap();
+        wedged.join().unwrap();
+        assert_eq!(outcome.executed, outcome.planned, "every cell ran");
+        assert_eq!(report.completed, outcome.planned);
+        assert!(outcome.reissued >= 1, "the wedged lease was re-issued");
     }
 
     #[test]

@@ -8,11 +8,18 @@
 //! hold here by construction. Hadoop runs only the queries Mahout-era
 //! tooling could express: regression, covariance and statistics (no
 //! biclustering, no SVD).
+//!
+//! Physical lowering: every logical op becomes one or more MapReduce jobs
+//! (each paying the simulated launch latency), except the tiny driver-side
+//! steps (metadata filters, the sample draw). The tracer is attached to the
+//! job runtime's [`genbase_util::SimClock`], so each traced op carries the
+//! exact simulated nanoseconds its jobs charged.
 
 use crate::analytics;
-use crate::engine::{Engine, ExecContext, PhaseClock};
+use crate::engine::{Engine, ExecContext};
+use crate::plan::{self, Kernel, LogicalOp, OpKind, Phase, PhysicalBackend, Tracer};
 use crate::query::{Query, QueryOutput, QueryParams};
-use crate::report::{PhaseTimes, QueryReport};
+use crate::report::QueryReport;
 use genbase_datagen::Dataset;
 use genbase_linalg::{cholesky::Cholesky, Matrix};
 use genbase_mapreduce::hive::{Cell, HiveTable};
@@ -48,10 +55,7 @@ impl Hadoop {
             // A (nodes-1)/nodes fraction of every shuffled partition crosses
             // the network; model it by scaling the link bandwidth.
             let frac = (ctx.nodes - 1) as f64 / ctx.nodes as f64;
-            cfg.shuffle_net = Some((
-                ctx.net.latency_s,
-                ctx.net.bandwidth_bps / frac.max(1e-9),
-            ));
+            cfg.shuffle_net = Some((ctx.net.latency_s, ctx.net.bandwidth_bps / frac.max(1e-9)));
         }
         cfg
     }
@@ -95,14 +99,7 @@ fn rows_by_patient(
         .map(|(i, r)| (i as i64, r.clone()))
         .collect();
     let gene_index_ref = &gene_index;
-    let mut out = genbase_mapreduce::job::run_job::<
-        i64,
-        Vec<Cell>,
-        i64,
-        (i64, f64),
-        i64,
-        Vec<f64>,
-    >(
+    let mut out = genbase_mapreduce::job::run_job::<i64, Vec<Cell>, i64, (i64, f64), i64, Vec<f64>>(
         &input,
         &|_, row, e| {
             if let (Cell::I(g), Cell::I(p), Cell::F(v)) = (row[0], row[1], row[2]) {
@@ -154,150 +151,320 @@ impl Engine for Hadoop {
             return Err(Error::unsupported(self.name(), query.name()));
         }
         let cfg = self.job_config(ctx);
-        let triples = triples_table(data); // untimed HDFS residency
-        let mut phases = PhaseTimes::default();
         let sim = cfg.sim.clone();
+        let backend = MrBackend {
+            data,
+            params,
+            query,
+            db_budget: ctx.db_budget(),
+            triples: triples_table(data), // untimed HDFS residency
+            cfg,
+            gene_ids: Vec::new(),
+            filtered_genes: None,
+            joined: None,
+            rows: Vec::new(),
+            scores: Vec::new(),
+            cov: None,
+            output: None,
+        };
+        plan::run_plan(backend, query, Tracer::with_sim(sim))
+    }
+}
 
-        let output = match query {
-            Query::Regression => {
-                let clock = PhaseClock::start();
-                let genes = genes_table(data);
+/// Physical state of one Hadoop run: the HDFS-resident triple table plus
+/// whatever the executed prefix of the plan has produced so far.
+struct MrBackend<'a> {
+    data: &'a Dataset,
+    params: &'a QueryParams,
+    query: Query,
+    cfg: JobConfig,
+    db_budget: genbase_util::Budget,
+    triples: HiveTable,
+    gene_ids: Vec<i64>,
+    filtered_genes: Option<HiveTable>,
+    joined: Option<HiveTable>,
+    rows: mahout::RowMatrix,
+    scores: Vec<f64>,
+    cov: Option<(f64, Vec<(usize, usize, f64)>)>,
+    output: Option<QueryOutput>,
+}
+
+impl MrBackend<'_> {
+    fn joined(&self) -> Result<&HiveTable> {
+        self.joined
+            .as_ref()
+            .ok_or_else(|| Error::invalid("triple join did not run before this op"))
+    }
+}
+
+impl PhysicalBackend for MrBackend<'_> {
+    fn execute(&mut self, op: LogicalOp, tracer: &mut Tracer) -> Result<()> {
+        let data = self.data;
+        let params = self.params;
+        match op {
+            LogicalOp::FilterGenes => {
+                let cfg = &self.cfg;
                 let thr = params.function_threshold;
-                let filtered =
-                    genes.filter(move |r| matches!(r[1], Cell::I(f) if f < thr), &cfg)?;
-                let mut gene_ids: Vec<i64> = filtered
-                    .rows
-                    .iter()
-                    .filter_map(|r| r[0].as_int().ok())
-                    .collect();
-                gene_ids.sort_unstable();
+                let (filtered, gene_ids) = tracer.exec(
+                    OpKind::Filter,
+                    Phase::DataManagement,
+                    format!("MR job: filter genes table on function < {thr}"),
+                    || {
+                        let genes = genes_table(data);
+                        let filtered =
+                            genes.filter(move |r| matches!(r[1], Cell::I(f) if f < thr), cfg)?;
+                        let mut gene_ids: Vec<i64> = filtered
+                            .rows
+                            .iter()
+                            .filter_map(|r| r[0].as_int().ok())
+                            .collect();
+                        gene_ids.sort_unstable();
+                        Ok((filtered, gene_ids))
+                    },
+                )?;
                 if gene_ids.is_empty() {
                     return Err(Error::invalid("gene filter selected nothing"));
                 }
-                let joined = triples.join(0, &filtered, 0, &cfg)?;
-                let mut rows = rows_by_patient(&joined, &gene_ids, &cfg)?;
-                // Attach the target (driver-side small join with patients).
-                for (p, vec) in rows.iter_mut() {
-                    vec.push(data.patients[*p as usize].drug_response);
-                }
-                phases.data_management.wall_secs += clock.secs();
-                phases.data_management.sim_secs += sim.total_secs();
-                sim.reset();
-
-                let clock = PhaseClock::start();
-                let (xtx, xty) = mahout::xtx_xty(&rows, &cfg)?;
-                // The driver solves the small normal-equation system.
-                let d = xty.len();
-                let xtx_mat = Matrix::from_fn(d, d, |i, j| xtx[i][j]);
-                let beta = Cholesky::factor(&xtx_mat)?.solve(&xty)?;
-                // Driver-side R².
-                let m = rows.len() as f64;
-                let (mut ss_res, mut sum_y, mut sum_y2) = (0.0, 0.0, 0.0);
-                for (_, vec) in &rows {
-                    let (features, target) = vec.split_at(vec.len() - 1);
-                    let y = target[0];
-                    let pred = beta[0] + genbase_linalg::matrix::dot(features, &beta[1..]);
-                    ss_res += (y - pred) * (y - pred);
-                    sum_y += y;
-                    sum_y2 += y * y;
-                }
-                let ss_tot = sum_y2 - sum_y * sum_y / m;
-                let r_squared = if ss_tot <= 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-                phases.analytics.wall_secs += clock.secs();
-                phases.analytics.sim_secs += sim.total_secs();
-                QueryOutput::Regression {
-                    intercept: beta[0],
-                    coefficients: gene_ids
-                        .iter()
-                        .copied()
-                        .zip(beta[1..].iter().copied())
-                        .collect(),
-                    r_squared,
-                }
+                self.filtered_genes = Some(filtered);
+                self.gene_ids = gene_ids;
             }
-            Query::Covariance => {
-                let clock = PhaseClock::start();
-                let sel: Vec<i64> = data
-                    .patients
-                    .iter()
-                    .filter(|p| p.disease_id == params.disease_id)
-                    .map(|p| p.id as i64)
-                    .collect();
+            LogicalOp::FilterPatients => {
+                // Patient metadata is driver-resident (tiny); the filter is
+                // a driver-side scan feeding the semijoin below.
+                let sel = tracer.exec(
+                    OpKind::Filter,
+                    Phase::DataManagement,
+                    format!("driver-side filter: disease_id = {}", params.disease_id),
+                    || {
+                        Ok(data
+                            .patients
+                            .iter()
+                            .filter(|p| p.disease_id == params.disease_id)
+                            .map(|p| p.id as i64)
+                            .collect::<Vec<i64>>())
+                    },
+                )?;
                 if sel.len() < 2 {
                     return Err(Error::invalid("disease filter selected < 2 patients"));
                 }
-                let sel_set: HashSet<i64> = sel.iter().copied().collect();
-                let filtered = triples.filter(
-                    move |r| matches!(r[1], Cell::I(p) if sel_set.contains(&p)),
-                    &cfg,
-                )?;
-                let gene_ids: Vec<i64> = (0..data.n_genes() as i64).collect();
-                let rows = rows_by_patient(&filtered, &gene_ids, &cfg)?;
-                phases.data_management.wall_secs += clock.secs();
-                phases.data_management.sim_secs += sim.total_secs();
-                sim.reset();
-
-                let clock = PhaseClock::start();
-                let cov_rows = mahout::covariance_rows(&rows, &cfg)?;
-                let n = gene_ids.len();
-                let mut cov = Matrix::zeros(n, n);
-                for (j, row) in &cov_rows {
-                    cov.row_mut(*j as usize).copy_from_slice(row);
-                }
-                let (threshold, idx_pairs) =
-                    analytics::pairs_from_cov(&cov, params.top_pair_fraction);
-                phases.analytics.wall_secs += clock.secs();
-                phases.analytics.sim_secs += sim.total_secs();
-
-                let clock = PhaseClock::start();
-                let functions = data
-                    .genes
-                    .iter()
-                    .map(|g| (g.id as i64, g.function))
-                    .collect();
-                let pairs = super::sql_common::attach_gene_metadata(
-                    &idx_pairs,
-                    &gene_ids,
-                    &functions,
-                )?;
-                phases.data_management.wall_secs += clock.secs();
-                QueryOutput::Covariance { threshold, pairs }
+                self.rows = sel.into_iter().map(|p| (p, Vec::new())).collect();
             }
-            Query::Statistics => {
-                let clock = PhaseClock::start();
+            LogicalOp::SamplePatients => {
                 let count = params.sample_count(data.n_patients());
-                let sampled: HashSet<i64> =
-                    analytics::sample_patients(data.n_patients(), count, params.seed)
-                        .into_iter()
-                        .map(|p| p as i64)
-                        .collect();
-                let filtered = triples.filter(
-                    move |r| matches!(r[1], Cell::I(p) if sampled.contains(&p)),
-                    &cfg,
+                let sampled = tracer.exec(
+                    OpKind::Filter,
+                    Phase::DataManagement,
+                    format!("driver-side sample: {count} seeded patient ids"),
+                    || {
+                        Ok(
+                            analytics::sample_patients(data.n_patients(), count, params.seed)
+                                .into_iter()
+                                .map(|p| (p as i64, Vec::new()))
+                                .collect::<mahout::RowMatrix>(),
+                        )
+                    },
                 )?;
-                let groups = filtered.group_sum(0, 2, &cfg)?;
-                let mut scores = vec![0.0; data.n_genes()];
-                for (g, s, c) in groups {
-                    if (g as usize) < scores.len() && c > 0 {
-                        scores[g as usize] = s / c as f64;
-                    }
-                }
-                phases.data_management.wall_secs += clock.secs();
-                phases.data_management.sim_secs += sim.total_secs();
-                sim.reset();
-
-                let clock = PhaseClock::start();
-                let opts = genbase_linalg::ExecOpts::with_threads(1)
-                    .with_budget(ctx.db_budget());
-                let out =
-                    analytics::enrichment_output(&scores, &data.ontology.members, &opts)?;
-                phases.analytics.wall_secs += clock.secs();
-                phases.analytics.sim_secs += sim.total_secs();
-                out
+                self.rows = sampled;
             }
-            Query::Biclustering | Query::Svd => unreachable!("filtered by supports()"),
-        };
-        Ok(QueryReport { output, phases })
+            LogicalOp::JoinOnGenes => {
+                let cfg = &self.cfg;
+                let triples = &self.triples;
+                let filtered = self
+                    .filtered_genes
+                    .as_ref()
+                    .ok_or_else(|| Error::invalid("gene filter did not run before join"))?;
+                let joined = tracer.exec(
+                    OpKind::Join,
+                    Phase::DataManagement,
+                    "MR job: repartition join triples x filtered genes",
+                    || triples.join(0, filtered, 0, cfg),
+                )?;
+                self.joined = Some(joined);
+            }
+            LogicalOp::JoinOnPatients => {
+                let cfg = &self.cfg;
+                let triples = &self.triples;
+                let sel_set: HashSet<i64> = self.rows.iter().map(|&(p, _)| p).collect();
+                let joined = tracer.exec(
+                    OpKind::Join,
+                    Phase::DataManagement,
+                    format!(
+                        "MR job: semijoin triples x {} selected patients",
+                        sel_set.len()
+                    ),
+                    || {
+                        triples.filter(
+                            move |r| matches!(r[1], Cell::I(p) if sel_set.contains(&p)),
+                            cfg,
+                        )
+                    },
+                )?;
+                self.joined = Some(joined);
+            }
+            // GO memberships live on the driver (distributed cache idiom).
+            LogicalOp::JoinGoTerms => {}
+            LogicalOp::Restructure => {
+                let cfg = &self.cfg;
+                let joined = self.joined()?;
+                let gene_ids: Vec<i64> = if self.gene_ids.is_empty() {
+                    (0..data.n_genes() as i64).collect()
+                } else {
+                    self.gene_ids.clone()
+                };
+                let attach_y = self.query == Query::Regression;
+                let mut rows = tracer.exec(
+                    OpKind::Restructure,
+                    Phase::DataManagement,
+                    "MR job: group triples into per-patient dense vectors",
+                    || {
+                        let mut rows = rows_by_patient(joined, &gene_ids, cfg)?;
+                        if attach_y {
+                            // Attach the target (driver-side small join with
+                            // patients).
+                            for (p, vec) in rows.iter_mut() {
+                                vec.push(data.patients[*p as usize].drug_response);
+                            }
+                        }
+                        Ok(rows)
+                    },
+                )?;
+                std::mem::swap(&mut self.rows, &mut rows);
+                self.gene_ids = gene_ids;
+            }
+            LogicalOp::GroupAgg => {
+                let cfg = &self.cfg;
+                let joined = self.joined()?;
+                let n_genes = data.n_genes();
+                let scores = tracer.exec(
+                    OpKind::GroupAgg,
+                    Phase::DataManagement,
+                    "MR job: group-sum by gene over the sample",
+                    || {
+                        let groups = joined.group_sum(0, 2, cfg)?;
+                        let mut scores = vec![0.0; n_genes];
+                        for (g, s, c) in groups {
+                            if (g as usize) < scores.len() && c > 0 {
+                                scores[g as usize] = s / c as f64;
+                            }
+                        }
+                        Ok(scores)
+                    },
+                )?;
+                self.scores = scores;
+            }
+            LogicalOp::Analytics(kernel) => match kernel {
+                Kernel::Regression => {
+                    let cfg = &self.cfg;
+                    let rows = &self.rows;
+                    let gene_ids = &self.gene_ids;
+                    let out = tracer.exec(
+                        OpKind::Analytics,
+                        Phase::Analytics,
+                        "Mahout X'X/X'y jobs + driver Cholesky solve",
+                        || {
+                            let (xtx, xty) = mahout::xtx_xty(rows, cfg)?;
+                            // The driver solves the small normal-equation
+                            // system.
+                            let d = xty.len();
+                            let xtx_mat = Matrix::from_fn(d, d, |i, j| xtx[i][j]);
+                            let beta = Cholesky::factor(&xtx_mat)?.solve(&xty)?;
+                            // Driver-side R².
+                            let m = rows.len() as f64;
+                            let (mut ss_res, mut sum_y, mut sum_y2) = (0.0, 0.0, 0.0);
+                            for (_, vec) in rows {
+                                let (features, target) = vec.split_at(vec.len() - 1);
+                                let y = target[0];
+                                let pred =
+                                    beta[0] + genbase_linalg::matrix::dot(features, &beta[1..]);
+                                ss_res += (y - pred) * (y - pred);
+                                sum_y += y;
+                                sum_y2 += y * y;
+                            }
+                            let ss_tot = sum_y2 - sum_y * sum_y / m;
+                            let r_squared = if ss_tot <= 0.0 {
+                                1.0
+                            } else {
+                                1.0 - ss_res / ss_tot
+                            };
+                            Ok(QueryOutput::Regression {
+                                intercept: beta[0],
+                                coefficients: gene_ids
+                                    .iter()
+                                    .copied()
+                                    .zip(beta[1..].iter().copied())
+                                    .collect(),
+                                r_squared,
+                            })
+                        },
+                    )?;
+                    self.output = Some(out);
+                }
+                Kernel::Covariance => {
+                    let cfg = &self.cfg;
+                    let rows = &self.rows;
+                    let n = self.gene_ids.len();
+                    let cov = tracer.exec(
+                        OpKind::Analytics,
+                        Phase::Analytics,
+                        "Mahout covariance jobs + top-fraction threshold",
+                        || {
+                            let cov_rows = mahout::covariance_rows(rows, cfg)?;
+                            let mut cov = Matrix::zeros(n, n);
+                            for (j, row) in &cov_rows {
+                                cov.row_mut(*j as usize).copy_from_slice(row);
+                            }
+                            Ok(analytics::pairs_from_cov(&cov, params.top_pair_fraction))
+                        },
+                    )?;
+                    self.cov = Some(cov);
+                }
+                Kernel::Enrichment => {
+                    let scores = std::mem::take(&mut self.scores);
+                    let budget = self.db_budget.clone();
+                    let out = tracer.exec(
+                        OpKind::Analytics,
+                        Phase::Analytics,
+                        "driver-side per-GO-term Wilcoxon rank-sum",
+                        || {
+                            let opts =
+                                genbase_linalg::ExecOpts::with_threads(1).with_budget(budget);
+                            analytics::enrichment_output(&scores, &data.ontology.members, &opts)
+                        },
+                    )?;
+                    self.output = Some(out);
+                }
+                Kernel::Biclustering | Kernel::Svd => {
+                    unreachable!("filtered by supports()")
+                }
+            },
+            LogicalOp::JoinGeneMetadata => {
+                let (threshold, idx_pairs) = self.cov.take().ok_or_else(|| {
+                    Error::invalid("covariance kernel did not run before metadata join")
+                })?;
+                let gene_ids = &self.gene_ids;
+                let pairs = tracer.exec(
+                    OpKind::Join,
+                    Phase::DataManagement,
+                    "driver-side join: top pairs x gene function codes",
+                    || {
+                        let functions = data
+                            .genes
+                            .iter()
+                            .map(|g| (g.id as i64, g.function))
+                            .collect();
+                        super::sql_common::attach_gene_metadata(&idx_pairs, gene_ids, &functions)
+                    },
+                )?;
+                self.output = Some(QueryOutput::Covariance { threshold, pairs });
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<QueryOutput> {
+        self.output
+            .take()
+            .ok_or_else(|| Error::invalid("plan produced no output"))
     }
 }
 
@@ -347,12 +514,19 @@ mod tests {
         let report = Hadoop::new()
             .run(Query::Statistics, &data, &params, &ctx)
             .unwrap();
-        let sim_total =
-            report.phases.data_management.sim_secs + report.phases.analytics.sim_secs;
+        let sim_total = report.phases.data_management.sim_secs + report.phases.analytics.sim_secs;
         assert!(
             sim_total >= JOB_LAUNCH_SECS,
             "at least one job launch charged: {sim_total}"
         );
+        // Per-op accounting: the MR join op carries its own simulated cost.
+        let join = report
+            .trace
+            .ops
+            .iter()
+            .find(|op| op.label.contains("semijoin"))
+            .expect("join op traced");
+        assert!(join.cost.sim_nanos > 0, "join charges launch latency");
     }
 
     #[test]

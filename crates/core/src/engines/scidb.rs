@@ -6,17 +6,24 @@
 //! multithreaded (SciDB drives ScaLAPACK/custom code across instance
 //! processes). This is why the paper finds SciDB "very competitive on this
 //! benchmark".
+//!
+//! Physical lowering: coordinates *are* the join — the triple joins of the
+//! logical plan fold away because the filtered dimension lists index the
+//! array directly. With a coprocessor attached, the analytics op's measured
+//! host time is replaced by the roofline model's device estimate (recorded
+//! as a model-cost trace op; see `genbase-accel`).
 
 use super::mn::{run_multinode, MnFlavor};
 use crate::analytics;
-use crate::engine::{Engine, ExecContext, PhaseClock};
+use crate::engine::{Engine, ExecContext};
+use crate::plan::{self, Kernel, LogicalOp, OpCost, OpKind, Phase, PhysicalBackend, Tracer};
 use crate::query::{Query, QueryOutput, QueryParams};
-use crate::report::{PhaseTimes, QueryReport};
+use crate::report::QueryReport;
 use genbase_accel::{Coprocessor, OpProfile};
 use genbase_array::{Array2D, AttrArray1D};
 use genbase_datagen::Dataset;
-use genbase_linalg::ExecOpts;
-use genbase_util::{CostReport, Error, Result};
+use genbase_linalg::{ExecOpts, Matrix};
+use genbase_util::{Budget, Error, Result};
 use std::collections::HashMap;
 
 /// The SciDB configuration (single and multi node).
@@ -93,180 +100,340 @@ pub(crate) fn run_scidb_single(
     ctx: &ExecContext,
     phi: Option<&Coprocessor>,
 ) -> Result<QueryReport> {
+    if phi.is_some() && query == Query::Regression {
+        // MKL automatic offload of the regression path was not supported in
+        // the paper ("a work-in-progress"); same here.
+        return Err(Error::unsupported("SciDB + Xeon Phi", "regression offload"));
+    }
     let budget = ctx.db_budget();
-    let opts = ExecOpts::with_threads(ctx.threads).with_budget(budget.clone());
-    let arrays = ingest_arrays(data, &budget)?; // untimed ingest
-    let mut phases = PhaseTimes::default();
-
-    // Helper translating a measured analytics time through the Phi model.
-    // In deterministic-timing mode the measured input is zeroed, so the
-    // modeled device time depends only on the workload profile.
-    let finish_analytics =
-        |phases: &mut PhaseTimes, measured: f64, profile: Option<OpProfile>| match (phi, profile)
-        {
-            (Some(co), Some(p)) => {
-                let measured = if ctx.deterministic { 0.0 } else { measured };
-                phases.analytics = CostReport {
-                    wall_secs: 0.0,
-                    sim_secs: co.scale_measured(measured, &p),
-                    sim_bytes: p.transfer_bytes,
-                };
-            }
-            _ => phases.analytics.wall_secs += measured,
-        };
-
-    let output = match query {
-        Query::Regression => {
-            if phi.is_some() {
-                // MKL automatic offload of the regression path was not
-                // supported in the paper ("a work-in-progress"); same here.
-                return Err(Error::unsupported("SciDB + Xeon Phi", "regression offload"));
-            }
-            let clock = PhaseClock::start();
-            let cols = arrays
-                .genes
-                .filter_coords(|r| r.int("function") < params.function_threshold);
-            if cols.is_empty() {
-                return Err(Error::invalid("gene filter selected nothing"));
-            }
-            let rows: Vec<usize> = (0..data.n_patients()).collect();
-            let mat = arrays
-                .expression
-                .select_to_matrix_par(&rows, &cols, ctx.threads, &budget)?;
-            let y = arrays.patients.float_attr("drug_response")?.to_vec();
-            let gene_ids: Vec<i64> = cols.iter().map(|&c| c as i64).collect();
-            phases.data_management.wall_secs += clock.secs();
-            let clock = PhaseClock::start();
-            let out = analytics::fit_regression(
-                &mat,
-                &y,
-                &gene_ids,
-                genbase_linalg::RegressionMethod::Qr,
-                &opts,
-            )?;
-            finish_analytics(&mut phases, clock.secs(), None);
-            out
-        }
-        Query::Covariance => {
-            let clock = PhaseClock::start();
-            let rows = arrays
-                .patients
-                .filter_coords(|r| r.int("disease_id") == params.disease_id);
-            if rows.len() < 2 {
-                return Err(Error::invalid("disease filter selected < 2 patients"));
-            }
-            let cols: Vec<usize> = (0..data.n_genes()).collect();
-            let mat = arrays
-                .expression
-                .select_to_matrix_par(&rows, &cols, ctx.threads, &budget)?;
-            phases.data_management.wall_secs += clock.secs();
-
-            let clock = PhaseClock::start();
-            let (threshold, idx_pairs) =
-                analytics::covariance_pairs(&mat, params.top_pair_fraction, &opts)?;
-            finish_analytics(
-                &mut phases,
-                clock.secs(),
-                Some(OpProfile::covariance(rows.len(), data.n_genes())),
-            );
-
-            let clock = PhaseClock::start();
-            let gene_ids: Vec<i64> = cols.iter().map(|&c| c as i64).collect();
-            let functions: HashMap<i64, i64> = arrays
-                .genes
-                .int_attr("function")?
-                .iter()
-                .enumerate()
-                .map(|(g, &f)| (g as i64, f))
-                .collect();
-            let pairs =
-                super::sql_common::attach_gene_metadata(&idx_pairs, &gene_ids, &functions)?;
-            phases.data_management.wall_secs += clock.secs();
-            QueryOutput::Covariance { threshold, pairs }
-        }
-        Query::Biclustering => {
-            let clock = PhaseClock::start();
-            let rows = arrays
-                .patients
-                .filter_coords(|r| r.int("gender") == params.gender && r.int("age") < params.max_age);
-            if rows.len() < params.bicluster.min_rows {
-                return Err(Error::invalid("age/gender filter selected too few patients"));
-            }
-            let cols: Vec<usize> = (0..data.n_genes()).collect();
-            let mat = arrays
-                .expression
-                .select_to_matrix_par(&rows, &cols, ctx.threads, &budget)?;
-            let patient_ids: Vec<i64> = rows.iter().map(|&r| r as i64).collect();
-            let gene_ids: Vec<i64> = cols.iter().map(|&c| c as i64).collect();
-            phases.data_management.wall_secs += clock.secs();
-            let clock = PhaseClock::start();
-            let out = analytics::bicluster_output(
-                &mat,
-                &patient_ids,
-                &gene_ids,
-                &params.bicluster,
-                &opts,
-            )?;
-            finish_analytics(
-                &mut phases,
-                clock.secs(),
-                Some(OpProfile::biclustering(rows.len(), data.n_genes(), 40)),
-            );
-            out
-        }
-        Query::Svd => {
-            let clock = PhaseClock::start();
-            let cols = arrays
-                .genes
-                .filter_coords(|r| r.int("function") < params.function_threshold);
-            if cols.is_empty() {
-                return Err(Error::invalid("gene filter selected nothing"));
-            }
-            let rows: Vec<usize> = (0..data.n_patients()).collect();
-            let mat = arrays
-                .expression
-                .select_to_matrix_par(&rows, &cols, ctx.threads, &budget)?;
-            phases.data_management.wall_secs += clock.secs();
-            let clock = PhaseClock::start();
-            let out = analytics::svd_output(&mat, params.svd_k, params.seed, &opts)?;
-            finish_analytics(
-                &mut phases,
-                clock.secs(),
-                Some(OpProfile::svd_lanczos(
-                    data.n_patients(),
-                    cols.len(),
-                    params.svd_k.min(cols.len()),
-                )),
-            );
-            out
-        }
-        Query::Statistics => {
-            let clock = PhaseClock::start();
-            let count = params.sample_count(data.n_patients());
-            let sampled = analytics::sample_patients(data.n_patients(), count, params.seed);
-            let sums = arrays
-                .expression
-                .column_sums_over_rows_par(&sampled, ctx.threads, &budget)?;
-            let scores: Vec<f64> = sums
-                .iter()
-                .map(|s| s / sampled.len().max(1) as f64)
-                .collect();
-            phases.data_management.wall_secs += clock.secs();
-            let clock = PhaseClock::start();
-            let out = analytics::enrichment_output(&scores, &data.ontology.members, &opts)?;
-            finish_analytics(
-                &mut phases,
-                clock.secs(),
-                Some(OpProfile::statistics(
-                    sampled.len(),
-                    data.n_genes(),
-                    data.ontology.n_terms(),
-                )),
-            );
-            out
-        }
+    let backend = ArrayBackend {
+        data,
+        params,
+        query,
+        opts: ExecOpts::with_threads(ctx.threads).with_budget(budget.clone()),
+        arrays: ingest_arrays(data, &budget)?, // untimed ingest
+        budget,
+        threads: ctx.threads,
+        deterministic: ctx.deterministic,
+        phi,
+        rows: Vec::new(),
+        cols: Vec::new(),
+        patient_ids: Vec::new(),
+        mat: None,
+        scores: Vec::new(),
+        cov: None,
+        output: None,
     };
-    Ok(QueryReport { output, phases })
+    plan::run_plan(backend, query, Tracer::new())
+}
+
+/// Physical state of one SciDB run: the chunked arrays plus whatever the
+/// executed prefix of the plan has produced so far.
+struct ArrayBackend<'a> {
+    data: &'a Dataset,
+    params: &'a QueryParams,
+    query: Query,
+    opts: ExecOpts,
+    budget: Budget,
+    threads: usize,
+    deterministic: bool,
+    phi: Option<&'a Coprocessor>,
+    arrays: ArrayData,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    patient_ids: Vec<i64>,
+    mat: Option<Matrix>,
+    scores: Vec<f64>,
+    cov: Option<(f64, Vec<(usize, usize, f64)>)>,
+    output: Option<QueryOutput>,
+}
+
+impl ArrayBackend<'_> {
+    fn mat(&self) -> Result<&Matrix> {
+        self.mat
+            .as_ref()
+            .ok_or_else(|| Error::invalid("restructure did not run before analytics"))
+    }
+
+    /// Run one analytics kernel, translating its measured time through the
+    /// Phi model when a coprocessor is attached. In deterministic-timing
+    /// mode the measured input is zeroed, so the modeled device time
+    /// depends only on the workload profile.
+    fn kernel_op<T>(
+        &self,
+        tracer: &mut Tracer,
+        label: &str,
+        profile: Option<OpProfile>,
+        f: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        match (self.phi, profile) {
+            (Some(co), Some(p)) => {
+                let start = std::time::Instant::now();
+                let out = f()?;
+                let measured = if self.deterministic {
+                    0.0
+                } else {
+                    start.elapsed().as_secs_f64()
+                };
+                tracer.record(
+                    OpKind::Analytics,
+                    Phase::Analytics,
+                    format!("{label} [Xeon Phi offload model]"),
+                    OpCost {
+                        wall_secs: 0.0,
+                        sim_nanos: 0,
+                        model_secs: co.scale_measured(measured, &p),
+                        sim_bytes: p.transfer_bytes,
+                    },
+                );
+                Ok(out)
+            }
+            _ => tracer.exec(OpKind::Analytics, Phase::Analytics, label, f),
+        }
+    }
+}
+
+impl PhysicalBackend for ArrayBackend<'_> {
+    fn execute(&mut self, op: LogicalOp, tracer: &mut Tracer) -> Result<()> {
+        let data = self.data;
+        let params = self.params;
+        match op {
+            LogicalOp::FilterGenes => {
+                let arrays = &self.arrays;
+                let cols = tracer.exec(
+                    OpKind::Filter,
+                    Phase::DataManagement,
+                    format!(
+                        "dimension filter: gene coords with function < {}",
+                        params.function_threshold
+                    ),
+                    || {
+                        Ok(arrays
+                            .genes
+                            .filter_coords(|r| r.int("function") < params.function_threshold))
+                    },
+                )?;
+                if cols.is_empty() {
+                    return Err(Error::invalid("gene filter selected nothing"));
+                }
+                self.cols = cols;
+            }
+            LogicalOp::FilterPatients => {
+                let arrays = &self.arrays;
+                let query = self.query;
+                let label = match query {
+                    Query::Covariance => format!(
+                        "dimension filter: patient coords with disease_id = {}",
+                        params.disease_id
+                    ),
+                    _ => format!(
+                        "dimension filter: patient coords with gender = {}, age < {}",
+                        params.gender, params.max_age
+                    ),
+                };
+                let rows = tracer.exec(OpKind::Filter, Phase::DataManagement, label, || {
+                    Ok(match query {
+                        Query::Covariance => arrays
+                            .patients
+                            .filter_coords(|r| r.int("disease_id") == params.disease_id),
+                        _ => arrays.patients.filter_coords(|r| {
+                            r.int("gender") == params.gender && r.int("age") < params.max_age
+                        }),
+                    })
+                })?;
+                match self.query {
+                    Query::Covariance if rows.len() < 2 => {
+                        return Err(Error::invalid("disease filter selected < 2 patients"))
+                    }
+                    Query::Biclustering if rows.len() < params.bicluster.min_rows => {
+                        return Err(Error::invalid(
+                            "age/gender filter selected too few patients",
+                        ))
+                    }
+                    _ => {}
+                }
+                self.patient_ids = rows.iter().map(|&r| r as i64).collect();
+                self.rows = rows;
+            }
+            LogicalOp::SamplePatients => {
+                let count = params.sample_count(data.n_patients());
+                let sampled = tracer.exec(
+                    OpKind::Filter,
+                    Phase::DataManagement,
+                    format!("sample {count} patient coords (seeded)"),
+                    || {
+                        Ok(analytics::sample_patients(
+                            data.n_patients(),
+                            count,
+                            params.seed,
+                        ))
+                    },
+                )?;
+                self.rows = sampled;
+            }
+            // Coordinates are the join: the filtered dimension lists index
+            // the chunked array directly, so the triple joins fold away.
+            LogicalOp::JoinOnGenes | LogicalOp::JoinOnPatients | LogicalOp::JoinGoTerms => {}
+            LogicalOp::Restructure => {
+                match self.query {
+                    Query::Regression | Query::Svd => {
+                        self.rows = (0..data.n_patients()).collect();
+                    }
+                    _ => {
+                        self.cols = (0..data.n_genes()).collect();
+                    }
+                }
+                let arrays = &self.arrays;
+                let (rows, cols) = (&self.rows, &self.cols);
+                let (threads, budget) = (self.threads, &self.budget);
+                let mat = tracer.exec(
+                    OpKind::Restructure,
+                    Phase::DataManagement,
+                    format!("chunk gather: {}x{} submatrix", rows.len(), cols.len()),
+                    || {
+                        arrays
+                            .expression
+                            .select_to_matrix_par(rows, cols, threads, budget)
+                    },
+                )?;
+                self.mat = Some(mat);
+            }
+            LogicalOp::GroupAgg => {
+                let arrays = &self.arrays;
+                let rows = &self.rows;
+                let (threads, budget) = (self.threads, &self.budget);
+                let scores = tracer.exec(
+                    OpKind::GroupAgg,
+                    Phase::DataManagement,
+                    "per-chunk column sums over the sampled rows",
+                    || {
+                        let sums = arrays
+                            .expression
+                            .column_sums_over_rows_par(rows, threads, budget)?;
+                        Ok(sums
+                            .iter()
+                            .map(|s| s / rows.len().max(1) as f64)
+                            .collect::<Vec<f64>>())
+                    },
+                )?;
+                self.scores = scores;
+            }
+            LogicalOp::Analytics(kernel) => {
+                let opts = self.opts.clone();
+                match kernel {
+                    Kernel::Regression => {
+                        let y = self.arrays.patients.float_attr("drug_response")?.to_vec();
+                        let gene_ids: Vec<i64> = self.cols.iter().map(|&c| c as i64).collect();
+                        let mat = self.mat()?;
+                        let out =
+                            self.kernel_op(tracer, "ScaLAPACK QR least squares", None, || {
+                                analytics::fit_regression(
+                                    mat,
+                                    &y,
+                                    &gene_ids,
+                                    genbase_linalg::RegressionMethod::Qr,
+                                    &opts,
+                                )
+                            })?;
+                        self.output = Some(out);
+                    }
+                    Kernel::Covariance => {
+                        let mat = self.mat()?;
+                        let profile = OpProfile::covariance(self.rows.len(), data.n_genes());
+                        let cov = self.kernel_op(
+                            tracer,
+                            "blocked covariance + top-fraction threshold",
+                            Some(profile),
+                            || analytics::covariance_pairs(mat, params.top_pair_fraction, &opts),
+                        )?;
+                        self.cov = Some(cov);
+                    }
+                    Kernel::Biclustering => {
+                        let mat = self.mat()?;
+                        let gene_ids: Vec<i64> = self.cols.iter().map(|&c| c as i64).collect();
+                        let patient_ids = &self.patient_ids;
+                        let profile = OpProfile::biclustering(self.rows.len(), data.n_genes(), 40);
+                        let out = self.kernel_op(
+                            tracer,
+                            "Cheng-Church delta-biclustering",
+                            Some(profile),
+                            || {
+                                analytics::bicluster_output(
+                                    mat,
+                                    patient_ids,
+                                    &gene_ids,
+                                    &params.bicluster,
+                                    &opts,
+                                )
+                            },
+                        )?;
+                        self.output = Some(out);
+                    }
+                    Kernel::Svd => {
+                        let mat = self.mat()?;
+                        let profile = OpProfile::svd_lanczos(
+                            data.n_patients(),
+                            self.cols.len(),
+                            params.svd_k.min(self.cols.len()),
+                        );
+                        let out = self.kernel_op(
+                            tracer,
+                            "Lanczos top-k eigenpairs",
+                            Some(profile),
+                            || analytics::svd_output(mat, params.svd_k, params.seed, &opts),
+                        )?;
+                        self.output = Some(out);
+                    }
+                    Kernel::Enrichment => {
+                        let scores = std::mem::take(&mut self.scores);
+                        let profile = OpProfile::statistics(
+                            self.rows.len(),
+                            data.n_genes(),
+                            data.ontology.n_terms(),
+                        );
+                        let out = self.kernel_op(
+                            tracer,
+                            "per-GO-term Wilcoxon rank-sum",
+                            Some(profile),
+                            || analytics::enrichment_output(&scores, &data.ontology.members, &opts),
+                        )?;
+                        self.output = Some(out);
+                    }
+                }
+            }
+            LogicalOp::JoinGeneMetadata => {
+                let (threshold, idx_pairs) = self.cov.take().ok_or_else(|| {
+                    Error::invalid("covariance kernel did not run before metadata join")
+                })?;
+                let arrays = &self.arrays;
+                let cols = &self.cols;
+                let pairs = tracer.exec(
+                    OpKind::Join,
+                    Phase::DataManagement,
+                    "attribute lookup: function codes for top pairs",
+                    || {
+                        let gene_ids: Vec<i64> = cols.iter().map(|&c| c as i64).collect();
+                        let functions: HashMap<i64, i64> = arrays
+                            .genes
+                            .int_attr("function")?
+                            .iter()
+                            .enumerate()
+                            .map(|(g, &f)| (g as i64, f))
+                            .collect();
+                        super::sql_common::attach_gene_metadata(&idx_pairs, &gene_ids, &functions)
+                    },
+                )?;
+                self.output = Some(QueryOutput::Covariance { threshold, pairs });
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<QueryOutput> {
+        self.output
+            .take()
+            .ok_or_else(|| Error::invalid("plan produced no output"))
+    }
 }
 
 /// SciDB with the analytics offloaded to the modeled Intel Xeon Phi 5110P.
@@ -363,8 +530,20 @@ mod tests {
         assert!(!phi.supports(Query::Regression));
         assert!(phi.run(Query::Regression, &data, &params, &ctx).is_err());
         let report = phi.run(Query::Covariance, &data, &params, &ctx).unwrap();
-        assert!(report.phases.analytics.sim_secs > 0.0, "modeled device time");
+        assert!(
+            report.phases.analytics.sim_secs > 0.0,
+            "modeled device time"
+        );
         assert_eq!(report.phases.analytics.wall_secs, 0.0);
+        // The offload shows up as a model-cost analytics op in the trace.
+        let offload = report
+            .trace
+            .ops
+            .iter()
+            .find(|op| op.label.contains("offload model"))
+            .expect("offload op traced");
+        assert!(offload.cost.model_secs > 0.0);
+        assert!(offload.cost.sim_bytes > 0);
         // Output still verified against the plain SciDB run.
         let plain = SciDb::new()
             .run(Query::Covariance, &data, &params, &ctx)

@@ -17,14 +17,15 @@
 //!   triple representation (slow by construction, as the paper observes).
 
 use crate::analytics;
-use crate::engine::{ExecContext, PhaseClock};
+use crate::engine::ExecContext;
+use crate::plan::{self, Kernel, LogicalOp, OpKind, Phase, PhysicalBackend, Tracer};
 use crate::query::{Query, QueryOutput, QueryParams};
-use crate::report::{PhaseTimes, QueryReport};
+use crate::report::QueryReport;
 use genbase_datagen::Dataset;
 use genbase_linalg::{lanczos_topk, ExecOpts, LinearOp, Matrix, RegressionMethod};
 use genbase_relational::{
-    export_csv, import_matrix_csv, pivot_to_dense, ColumnData, ColumnTable, Pred, Relation,
-    RowTable, Schema, DataType, Value,
+    export_csv, import_matrix_csv, pivot_to_dense, ColumnData, ColumnTable, DataType, Pred,
+    Relation, RowTable, Schema, Value,
 };
 use genbase_util::{Budget, Error, Result};
 use std::collections::HashMap;
@@ -49,6 +50,19 @@ pub enum Bridge {
     /// Madlib: in-database aggregates and SQL-simulated matrix math.
     InDatabase,
 }
+
+/// Patient-table column names, in schema order (predicate labels).
+pub const PATIENT_COLS: [&str; 6] = [
+    "patient_id",
+    "age",
+    "gender",
+    "zipcode",
+    "disease_id",
+    "drug_response",
+];
+
+/// Gene-table column names, in schema order (predicate labels).
+pub const GENE_COLS: [&str; 5] = ["gene_id", "target", "position", "length", "function"];
 
 fn triple_schema() -> Schema {
     Schema::new(&[
@@ -226,12 +240,8 @@ impl SqlStore {
                         ColumnData::Ints(data.patients.iter().map(|p| p.age).collect()),
                         ColumnData::Ints(data.patients.iter().map(|p| p.gender).collect()),
                         ColumnData::Ints(data.patients.iter().map(|p| p.zipcode).collect()),
-                        ColumnData::Ints(
-                            data.patients.iter().map(|p| p.disease_id).collect(),
-                        ),
-                        ColumnData::Floats(
-                            data.patients.iter().map(|p| p.drug_response).collect(),
-                        ),
+                        ColumnData::Ints(data.patients.iter().map(|p| p.disease_id).collect()),
+                        ColumnData::Floats(data.patients.iter().map(|p| p.drug_response).collect()),
                     ],
                 )?;
                 let genes = ColumnTable::from_columns(
@@ -270,9 +280,9 @@ impl SqlStore {
     pub fn filter_gene_ids(&self, threshold: i64, budget: &Budget) -> Result<Vec<i64>> {
         let pred = Pred::IntLt(4, threshold);
         match self {
-            SqlStore::Row { genes, .. } =>
-
-                genes.filter_project(&pred, &[0], budget)?.distinct_ints(0),
+            SqlStore::Row { genes, .. } => {
+                genes.filter_project(&pred, &[0], budget)?.distinct_ints(0)
+            }
             SqlStore::Column { genes, .. } => {
                 let sel = genes.select(&pred, budget)?;
                 let mut ids: Vec<i64> = {
@@ -288,9 +298,9 @@ impl SqlStore {
     /// Patient ids matching a metadata predicate, ascending.
     pub fn filter_patient_ids(&self, pred: &Pred, budget: &Budget) -> Result<Vec<i64>> {
         match self {
-            SqlStore::Row { patients, .. } => {
-                patients.filter_project(pred, &[0], budget)?.distinct_ints(0)
-            }
+            SqlStore::Row { patients, .. } => patients
+                .filter_project(pred, &[0], budget)?
+                .distinct_ints(0),
             SqlStore::Column { patients, .. } => {
                 let sel = patients.select(pred, budget)?;
                 let mut ids: Vec<i64> = {
@@ -309,10 +319,8 @@ impl SqlStore {
         let key_schema = Schema::new(&[("gene_id", DataType::Int)]).expect("static schema");
         match self {
             SqlStore::Row { triples, .. } => {
-                let build = RowTable::from_rows(
-                    key_schema,
-                    gene_ids.iter().map(|&g| vec![Value::Int(g)]),
-                )?;
+                let build =
+                    RowTable::from_rows(key_schema, gene_ids.iter().map(|&g| vec![Value::Int(g)]))?;
                 let joined = triples.hash_join(0, &build, 0, budget)?;
                 Ok(TripleSet::Row(joined.project(&[0, 1, 2], budget)?))
             }
@@ -457,18 +465,20 @@ pub fn pivot(
     Matrix::from_vec(dense.rows, dense.cols, dense.data)
 }
 
-/// The export bridge: CSV-serialize the triple set (DBMS side), then parse
-/// and pivot it "in R" (single-threaded, against the R memory budget).
-pub fn export_and_pivot_in_r(
-    set: &TripleSet,
+/// DBMS half of the export bridge: serialize the triple set to CSV text.
+pub fn export_triples_csv(set: &TripleSet, db_budget: &Budget) -> Result<String> {
+    export_csv(set.as_relation(), db_budget)
+}
+
+/// R half of the export bridge: `read.csv` the exported text and pivot it
+/// into a dense matrix (single-threaded, against the R memory budget).
+pub fn pivot_csv_in_r(
+    text: &str,
     patient_ids: &[i64],
     gene_ids: &[i64],
-    db_budget: &Budget,
     r_budget: &Budget,
 ) -> Result<Matrix> {
-    let text = export_csv(set.as_relation(), db_budget)?;
-    // --- R side: read.csv + matrix assembly ---
-    let parsed = import_matrix_csv(&text, r_budget)?;
+    let parsed = import_matrix_csv(text, r_budget)?;
     if parsed.cols != 3 && parsed.rows != 0 {
         return Err(Error::invalid("exported triples must have 3 columns"));
     }
@@ -477,8 +487,11 @@ pub fn export_and_pivot_in_r(
         .enumerate()
         .map(|(i, &id)| (id, i))
         .collect();
-    let col_index: HashMap<i64, usize> =
-        gene_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let col_index: HashMap<i64, usize> = gene_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
     let mut mat = Matrix::zeros_budgeted(patient_ids.len(), gene_ids.len(), r_budget)?;
     for r in 0..parsed.rows {
         let g = parsed.data[r * 3] as i64;
@@ -490,6 +503,20 @@ pub fn export_and_pivot_in_r(
     }
     r_budget.free(mat.heap_bytes());
     Ok(mat)
+}
+
+/// The export bridge end to end: CSV-serialize the triple set (DBMS side),
+/// then parse and pivot it "in R". The plan executor traces the two halves
+/// as separate `Export` and `Restructure` ops.
+pub fn export_and_pivot_in_r(
+    set: &TripleSet,
+    patient_ids: &[i64],
+    gene_ids: &[i64],
+    db_budget: &Budget,
+    r_budget: &Budget,
+) -> Result<Matrix> {
+    let text = export_triples_csv(set, db_budget)?;
+    pivot_csv_in_r(&text, patient_ids, gene_ids, r_budget)
 }
 
 /// The UDF marshalling penalty observed by the paper on the biclustering
@@ -650,7 +677,8 @@ pub struct SqlEngineSpec {
 }
 
 impl SqlEngineSpec {
-    /// Run one query through the configured pipeline.
+    /// Run one query by lowering its logical plan onto the configured
+    /// store/bridge pair.
     pub fn run(
         &self,
         query: Query,
@@ -660,189 +688,400 @@ impl SqlEngineSpec {
     ) -> Result<QueryReport> {
         let db_budget = ctx.db_budget();
         let r_budget = ctx.r_budget();
-        // Analytics run in R (single-threaded) for every bridge; Madlib's
-        // C++ aggregate is also single-threaded inside one Postgres backend.
-        let r_opts = ExecOpts::with_threads(1).with_budget(r_budget.clone());
-        let store = SqlStore::ingest(self.kind, data)?; // untimed ingest
-
-        let mut phases = PhaseTimes::default();
-        let mut dm_secs = 0.0;
-        let output = match query {
-            Query::Regression => {
-                let clock = PhaseClock::start();
-                let gene_ids = store.filter_gene_ids(params.function_threshold, &db_budget)?;
-                if gene_ids.is_empty() {
-                    return Err(Error::invalid("gene filter selected nothing"));
-                }
-                let joined = store.join_triples_on_genes(&gene_ids, &db_budget)?;
-                let patient_ids: Vec<i64> = (0..data.n_patients() as i64).collect();
-                let y = store.drug_responses(&patient_ids)?;
-                let mat = self.bridge_matrix(&joined, &patient_ids, &gene_ids, &db_budget, &r_budget)?;
-                dm_secs += clock.secs();
-                let clock = PhaseClock::start();
-                let method = if self.bridge == Bridge::InDatabase {
-                    // Madlib linregr: one streaming normal-equation pass.
-                    RegressionMethod::NormalEquations
-                } else {
-                    RegressionMethod::Qr
-                };
-                let out = analytics::fit_regression(&mat, &y, &gene_ids, method, &r_opts)?;
-                phases.analytics.wall_secs += clock.secs();
-                out
-            }
-            Query::Covariance => {
-                let clock = PhaseClock::start();
-                let patient_ids =
-                    store.filter_patient_ids(&Pred::IntEq(4, params.disease_id), &db_budget)?;
-                if patient_ids.len() < 2 {
-                    return Err(Error::invalid("disease filter selected < 2 patients"));
-                }
-                let joined = store.join_triples_on_patients(&patient_ids, &db_budget)?;
-                let gene_ids: Vec<i64> = (0..data.n_genes() as i64).collect();
-                dm_secs += clock.secs();
-
-                let (threshold, idx_pairs) = if self.bridge == Bridge::InDatabase {
-                    let clock = PhaseClock::start();
-                    let cov = sql_sim_covariance(&joined, &patient_ids, &gene_ids, &db_budget)?;
-                    let out = analytics::pairs_from_cov(&cov, params.top_pair_fraction);
-                    phases.analytics.wall_secs += clock.secs();
-                    out
-                } else {
-                    // Restructure/export is data management; only the
-                    // covariance kernel itself is analytics.
-                    let clock = PhaseClock::start();
-                    let mat = self.bridge_matrix(
-                        &joined,
-                        &patient_ids,
-                        &gene_ids,
-                        &db_budget,
-                        &r_budget,
-                    )?;
-                    dm_secs += clock.secs();
-                    let clock = PhaseClock::start();
-                    let out =
-                        analytics::covariance_pairs(&mat, params.top_pair_fraction, &r_opts)?;
-                    phases.analytics.wall_secs += clock.secs();
-                    out
-                };
-
-                let clock = PhaseClock::start();
-                let functions = store.gene_functions()?;
-                let pairs = attach_gene_metadata(&idx_pairs, &gene_ids, &functions)?;
-                dm_secs += clock.secs();
-                QueryOutput::Covariance { threshold, pairs }
-            }
-            Query::Biclustering => {
-                let clock = PhaseClock::start();
-                let pred = Pred::IntEq(2, params.gender).and(Pred::IntLt(1, params.max_age));
-                let patient_ids = store.filter_patient_ids(&pred, &db_budget)?;
-                if patient_ids.len() < params.bicluster.min_rows {
-                    return Err(Error::invalid("age/gender filter selected too few patients"));
-                }
-                let joined = store.join_triples_on_patients(&patient_ids, &db_budget)?;
-                let gene_ids: Vec<i64> = (0..data.n_genes() as i64).collect();
-                let mut mat =
-                    self.bridge_matrix(&joined, &patient_ids, &gene_ids, &db_budget, &r_budget)?;
-                if self.udf_q3_penalty {
-                    mat = udf_row_marshal(&mat, &db_budget)?;
-                }
-                dm_secs += clock.secs();
-                let clock = PhaseClock::start();
-                let out = analytics::bicluster_output(
-                    &mat,
-                    &patient_ids,
-                    &gene_ids,
-                    &params.bicluster,
-                    &r_opts,
-                )?;
-                phases.analytics.wall_secs += clock.secs();
-                out
-            }
-            Query::Svd => {
-                let clock = PhaseClock::start();
-                let gene_ids = store.filter_gene_ids(params.function_threshold, &db_budget)?;
-                if gene_ids.is_empty() {
-                    return Err(Error::invalid("gene filter selected nothing"));
-                }
-                let joined = store.join_triples_on_genes(&gene_ids, &db_budget)?;
-                let patient_ids: Vec<i64> = (0..data.n_patients() as i64).collect();
-                dm_secs += clock.secs();
-                let out = if self.bridge == Bridge::InDatabase {
-                    // Madlib SVD: Lanczos whose matvec is simulated in SQL.
-                    let clock = PhaseClock::start();
-                    let op = SqlSimGramOp::new(&joined, &patient_ids, &gene_ids);
-                    let k = params.svd_k.min(gene_ids.len()).max(1);
-                    let res = lanczos_topk(&op, k, 0, params.seed, &r_opts)?;
-                    phases.analytics.wall_secs += clock.secs();
-                    QueryOutput::Svd {
-                        eigenvalues: res.eigenvalues,
-                    }
-                } else {
-                    let clock = PhaseClock::start();
-                    let mat = self.bridge_matrix(
-                        &joined,
-                        &patient_ids,
-                        &gene_ids,
-                        &db_budget,
-                        &r_budget,
-                    )?;
-                    dm_secs += clock.secs();
-                    let clock = PhaseClock::start();
-                    let out = analytics::svd_output(&mat, params.svd_k, params.seed, &r_opts)?;
-                    phases.analytics.wall_secs += clock.secs();
-                    out
-                };
-                out
-            }
-            Query::Statistics => {
-                let clock = PhaseClock::start();
-                let count = params.sample_count(data.n_patients());
-                let sampled: Vec<i64> =
-                    analytics::sample_patients(data.n_patients(), count, params.seed)
-                        .into_iter()
-                        .map(|p| p as i64)
-                        .collect();
-                let joined = store.join_triples_on_patients(&sampled, &db_budget)?;
-                let memberships = store.go_memberships(data.ontology.n_terms())?;
-                // SQL GROUP BY gene_id: per-gene aggregate of the sample.
-                let groups = store.group_sum_by_gene(&joined)?;
-                let mut scores = vec![0.0; data.n_genes()];
-                for (g, s, c) in groups {
-                    if (g as usize) < scores.len() && c > 0 {
-                        scores[g as usize] = s / c as f64;
-                    }
-                }
-                dm_secs += clock.secs();
-                let clock = PhaseClock::start();
-                let out = analytics::enrichment_output(&scores, &memberships, &r_opts)?;
-                phases.analytics.wall_secs += clock.secs();
-                out
-            }
+        let backend = SqlBackend {
+            spec: self,
+            data,
+            params,
+            query,
+            // Analytics run in R (single-threaded) for every bridge;
+            // Madlib's C++ aggregate is also single-threaded inside one
+            // Postgres backend.
+            r_opts: ExecOpts::with_threads(1).with_budget(r_budget.clone()),
+            store: SqlStore::ingest(self.kind, data)?, // untimed ingest
+            db_budget,
+            r_budget,
+            gene_ids: Vec::new(),
+            patient_ids: Vec::new(),
+            joined: None,
+            mat: None,
+            y: Vec::new(),
+            memberships: Vec::new(),
+            scores: Vec::new(),
+            cov: None,
+            output: None,
         };
-        phases.data_management.wall_secs += dm_secs;
-        Ok(QueryReport { output, phases })
+        plan::run_plan(backend, query, Tracer::new())
+    }
+}
+
+/// Physical state of one SQL-engine run: the ingested store plus whatever
+/// the executed prefix of the plan has produced so far.
+struct SqlBackend<'a> {
+    spec: &'a SqlEngineSpec,
+    data: &'a Dataset,
+    params: &'a QueryParams,
+    query: Query,
+    db_budget: Budget,
+    r_budget: Budget,
+    r_opts: ExecOpts,
+    store: SqlStore,
+    gene_ids: Vec<i64>,
+    patient_ids: Vec<i64>,
+    joined: Option<TripleSet>,
+    mat: Option<Matrix>,
+    y: Vec<f64>,
+    memberships: Vec<Vec<u32>>,
+    scores: Vec<f64>,
+    cov: Option<(f64, Vec<(usize, usize, f64)>)>,
+    output: Option<QueryOutput>,
+}
+
+impl SqlBackend<'_> {
+    fn joined(&self) -> Result<&TripleSet> {
+        self.joined
+            .as_ref()
+            .ok_or_else(|| Error::invalid("triple join did not run before this op"))
     }
 
-    /// Restructure a triple set into a dense matrix via the configured
-    /// bridge. Export/reformat cost lands on whoever calls it (engines time
-    /// it inside their DM phase, matching the paper's accounting of
-    /// "the cost of moving/reformatting data between systems").
-    fn bridge_matrix(
-        &self,
-        set: &TripleSet,
-        patient_ids: &[i64],
-        gene_ids: &[i64],
-        db_budget: &Budget,
-        r_budget: &Budget,
-    ) -> Result<Matrix> {
-        match self.bridge {
-            Bridge::ExportToR => {
-                export_and_pivot_in_r(set, patient_ids, gene_ids, db_budget, r_budget)
+    fn mat(&self) -> Result<&Matrix> {
+        self.mat
+            .as_ref()
+            .ok_or_else(|| Error::invalid("restructure did not run before analytics"))
+    }
+
+    /// In-database paths that never materialize a matrix: Madlib simulates
+    /// covariance and the SVD matvec directly over the triple table.
+    fn analytics_on_triples(&self) -> bool {
+        self.spec.bridge == Bridge::InDatabase
+            && matches!(self.query, Query::Covariance | Query::Svd)
+    }
+}
+
+impl PhysicalBackend for SqlBackend<'_> {
+    fn execute(&mut self, op: LogicalOp, tracer: &mut Tracer) -> Result<()> {
+        let data = self.data;
+        let params = self.params;
+        match op {
+            LogicalOp::FilterGenes => {
+                let pred = Pred::IntLt(4, params.function_threshold);
+                let store = &self.store;
+                let db_budget = &self.db_budget;
+                let gene_ids = tracer.exec(
+                    OpKind::Filter,
+                    Phase::DataManagement,
+                    format!("SELECT gene_id WHERE {}", pred.describe(&GENE_COLS)),
+                    || store.filter_gene_ids(params.function_threshold, db_budget),
+                )?;
+                if gene_ids.is_empty() {
+                    return Err(Error::invalid("gene filter selected nothing"));
+                }
+                self.gene_ids = gene_ids;
             }
-            Bridge::InProcess | Bridge::InDatabase => {
-                pivot(set, patient_ids, gene_ids, db_budget)
+            LogicalOp::FilterPatients => {
+                let pred = match self.query {
+                    Query::Covariance => Pred::IntEq(4, params.disease_id),
+                    _ => Pred::IntEq(2, params.gender).and(Pred::IntLt(1, params.max_age)),
+                };
+                let store = &self.store;
+                let db_budget = &self.db_budget;
+                let patient_ids = tracer.exec(
+                    OpKind::Filter,
+                    Phase::DataManagement,
+                    format!("SELECT patient_id WHERE {}", pred.describe(&PATIENT_COLS)),
+                    || store.filter_patient_ids(&pred, db_budget),
+                )?;
+                match self.query {
+                    Query::Covariance if patient_ids.len() < 2 => {
+                        return Err(Error::invalid("disease filter selected < 2 patients"))
+                    }
+                    Query::Biclustering if patient_ids.len() < params.bicluster.min_rows => {
+                        return Err(Error::invalid(
+                            "age/gender filter selected too few patients",
+                        ))
+                    }
+                    _ => {}
+                }
+                self.patient_ids = patient_ids;
+            }
+            LogicalOp::SamplePatients => {
+                let count = params.sample_count(data.n_patients());
+                let sampled = tracer.exec(
+                    OpKind::Filter,
+                    Phase::DataManagement,
+                    format!("TABLESAMPLE: {count} seeded patient ids"),
+                    || {
+                        Ok(
+                            analytics::sample_patients(data.n_patients(), count, params.seed)
+                                .into_iter()
+                                .map(|p| p as i64)
+                                .collect::<Vec<i64>>(),
+                        )
+                    },
+                )?;
+                self.patient_ids = sampled;
+            }
+            LogicalOp::JoinOnGenes => {
+                let store = &self.store;
+                let db_budget = &self.db_budget;
+                let gene_ids = &self.gene_ids;
+                let want_y = self.query == Query::Regression;
+                let patient_ids: Vec<i64> = (0..data.n_patients() as i64).collect();
+                let (joined, y) = tracer.exec(
+                    OpKind::Join,
+                    Phase::DataManagement,
+                    format!("hash join: triples x {} filtered genes", gene_ids.len()),
+                    || {
+                        let joined = store.join_triples_on_genes(gene_ids, db_budget)?;
+                        let y = if want_y {
+                            store.drug_responses(&patient_ids)?
+                        } else {
+                            Vec::new()
+                        };
+                        Ok((joined, y))
+                    },
+                )?;
+                self.joined = Some(joined);
+                self.patient_ids = patient_ids;
+                self.y = y;
+            }
+            LogicalOp::JoinOnPatients => {
+                let store = &self.store;
+                let db_budget = &self.db_budget;
+                let patient_ids = &self.patient_ids;
+                let joined = tracer.exec(
+                    OpKind::Join,
+                    Phase::DataManagement,
+                    format!(
+                        "hash join: triples x {} selected patients",
+                        patient_ids.len()
+                    ),
+                    || store.join_triples_on_patients(patient_ids, db_budget),
+                )?;
+                self.joined = Some(joined);
+                if self.gene_ids.is_empty() {
+                    self.gene_ids = (0..data.n_genes() as i64).collect();
+                }
+            }
+            LogicalOp::JoinGoTerms => {
+                let store = &self.store;
+                let memberships = tracer.exec(
+                    OpKind::Join,
+                    Phase::DataManagement,
+                    "join GO membership pairs into per-term gene lists",
+                    || store.go_memberships(data.ontology.n_terms()),
+                )?;
+                self.memberships = memberships;
+            }
+            LogicalOp::Restructure => {
+                if self.analytics_on_triples() {
+                    // Madlib covariance/SVD read the triple table directly:
+                    // the restructure lowers away (and that is precisely why
+                    // those paths are slow — no dense kernel ever runs).
+                    return Ok(());
+                }
+                let mut mat = match self.spec.bridge {
+                    Bridge::ExportToR => {
+                        let joined = self.joined()?;
+                        let db_budget = &self.db_budget;
+                        let text = tracer.exec(
+                            OpKind::Export,
+                            Phase::DataManagement,
+                            format!("COPY TO: {} triples as CSV text", joined.len()),
+                            || export_triples_csv(joined, db_budget),
+                        )?;
+                        let (patient_ids, gene_ids) = (&self.patient_ids, &self.gene_ids);
+                        let r_budget = &self.r_budget;
+                        tracer.exec(
+                            OpKind::Restructure,
+                            Phase::DataManagement,
+                            "R read.csv + pivot to matrix",
+                            || pivot_csv_in_r(&text, patient_ids, gene_ids, r_budget),
+                        )?
+                    }
+                    Bridge::InProcess | Bridge::InDatabase => {
+                        let joined = self.joined()?;
+                        let (patient_ids, gene_ids) = (&self.patient_ids, &self.gene_ids);
+                        let db_budget = &self.db_budget;
+                        tracer.exec(
+                            OpKind::Restructure,
+                            Phase::DataManagement,
+                            format!(
+                                "in-database pivot to {}x{} matrix",
+                                patient_ids.len(),
+                                gene_ids.len()
+                            ),
+                            || pivot(joined, patient_ids, gene_ids, db_budget),
+                        )?
+                    }
+                };
+                if self.spec.udf_q3_penalty && self.query == Query::Biclustering {
+                    let db_budget = &self.db_budget;
+                    mat = tracer.exec(
+                        OpKind::Marshal,
+                        Phase::DataManagement,
+                        "UDF interface: box every row as records",
+                        || udf_row_marshal(&mat, db_budget),
+                    )?;
+                }
+                self.mat = Some(mat);
+            }
+            LogicalOp::GroupAgg => {
+                let store = &self.store;
+                let joined = self.joined()?;
+                let n_genes = data.n_genes();
+                let scores = tracer.exec(
+                    OpKind::GroupAgg,
+                    Phase::DataManagement,
+                    "GROUP BY gene_id: per-gene mean of the sample",
+                    || {
+                        let groups = store.group_sum_by_gene(joined)?;
+                        let mut scores = vec![0.0; n_genes];
+                        for (g, s, c) in groups {
+                            if (g as usize) < scores.len() && c > 0 {
+                                scores[g as usize] = s / c as f64;
+                            }
+                        }
+                        Ok(scores)
+                    },
+                )?;
+                self.scores = scores;
+            }
+            LogicalOp::Analytics(kernel) => self.run_kernel(kernel, tracer)?,
+            LogicalOp::JoinGeneMetadata => {
+                let (threshold, idx_pairs) = self.cov.take().ok_or_else(|| {
+                    Error::invalid("covariance kernel did not run before metadata join")
+                })?;
+                let store = &self.store;
+                let gene_ids = &self.gene_ids;
+                let pairs = tracer.exec(
+                    OpKind::Join,
+                    Phase::DataManagement,
+                    "join top pairs back to gene function codes",
+                    || {
+                        let functions = store.gene_functions()?;
+                        attach_gene_metadata(&idx_pairs, gene_ids, &functions)
+                    },
+                )?;
+                self.output = Some(QueryOutput::Covariance { threshold, pairs });
             }
         }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<QueryOutput> {
+        self.output
+            .take()
+            .ok_or_else(|| Error::invalid("plan produced no output"))
+    }
+}
+
+impl SqlBackend<'_> {
+    fn run_kernel(&mut self, kernel: Kernel, tracer: &mut Tracer) -> Result<()> {
+        let params = self.params;
+        let r_opts = self.r_opts.clone();
+        match kernel {
+            Kernel::Regression => {
+                let (method, label) = if self.spec.bridge == Bridge::InDatabase {
+                    // Madlib linregr: one streaming normal-equation pass.
+                    (
+                        RegressionMethod::NormalEquations,
+                        "Madlib linregr: streaming normal equations",
+                    )
+                } else {
+                    (RegressionMethod::Qr, "R lm(): QR least squares")
+                };
+                let mat = self.mat()?;
+                let (y, gene_ids) = (&self.y, &self.gene_ids);
+                let out = tracer.exec(OpKind::Analytics, Phase::Analytics, label, || {
+                    analytics::fit_regression(mat, y, gene_ids, method, &r_opts)
+                })?;
+                self.output = Some(out);
+            }
+            Kernel::Covariance => {
+                let cov = if self.spec.bridge == Bridge::InDatabase {
+                    let joined = self.joined()?;
+                    let (patient_ids, gene_ids) = (&self.patient_ids, &self.gene_ids);
+                    let db_budget = &self.db_budget;
+                    tracer.exec(
+                        OpKind::Analytics,
+                        Phase::Analytics,
+                        "covariance simulated in SQL: pair-product hash aggregate",
+                        || {
+                            let cov = sql_sim_covariance(joined, patient_ids, gene_ids, db_budget)?;
+                            Ok(analytics::pairs_from_cov(&cov, params.top_pair_fraction))
+                        },
+                    )?
+                } else {
+                    let mat = self.mat()?;
+                    tracer.exec(
+                        OpKind::Analytics,
+                        Phase::Analytics,
+                        "R cov() + top-fraction threshold",
+                        || analytics::covariance_pairs(mat, params.top_pair_fraction, &r_opts),
+                    )?
+                };
+                self.cov = Some(cov);
+            }
+            Kernel::Biclustering => {
+                let mat = self.mat()?;
+                let (patient_ids, gene_ids) = (&self.patient_ids, &self.gene_ids);
+                let out = tracer.exec(
+                    OpKind::Analytics,
+                    Phase::Analytics,
+                    "Cheng-Church delta-biclustering (R UDF)",
+                    || {
+                        analytics::bicluster_output(
+                            mat,
+                            patient_ids,
+                            gene_ids,
+                            &params.bicluster,
+                            &r_opts,
+                        )
+                    },
+                )?;
+                self.output = Some(out);
+            }
+            Kernel::Svd => {
+                let out = if self.spec.bridge == Bridge::InDatabase {
+                    // Madlib SVD: Lanczos whose matvec is simulated in SQL.
+                    let joined = self.joined()?;
+                    let (patient_ids, gene_ids) = (&self.patient_ids, &self.gene_ids);
+                    tracer.exec(
+                        OpKind::Analytics,
+                        Phase::Analytics,
+                        "Lanczos with SQL-simulated matvec (two triple scans/iter)",
+                        || {
+                            let op = SqlSimGramOp::new(joined, patient_ids, gene_ids);
+                            let k = params.svd_k.min(gene_ids.len()).max(1);
+                            let res = lanczos_topk(&op, k, 0, params.seed, &r_opts)?;
+                            Ok(QueryOutput::Svd {
+                                eigenvalues: res.eigenvalues,
+                            })
+                        },
+                    )?
+                } else {
+                    let mat = self.mat()?;
+                    tracer.exec(
+                        OpKind::Analytics,
+                        Phase::Analytics,
+                        "R svd(): Lanczos top-k eigenpairs",
+                        || analytics::svd_output(mat, params.svd_k, params.seed, &r_opts),
+                    )?
+                };
+                self.output = Some(out);
+            }
+            Kernel::Enrichment => {
+                let (scores, memberships) = (&self.scores, &self.memberships);
+                let out = tracer.exec(
+                    OpKind::Analytics,
+                    Phase::Analytics,
+                    "per-GO-term wilcox.test",
+                    || analytics::enrichment_output(scores, memberships, &r_opts),
+                )?;
+                self.output = Some(out);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -921,8 +1160,7 @@ mod tests {
         let joined = store.join_triples_on_genes(&gene_ids, &b).unwrap();
         let patient_ids: Vec<i64> = (0..data.n_patients() as i64).collect();
         let direct = pivot(&joined, &patient_ids, &gene_ids, &b).unwrap();
-        let via_csv =
-            export_and_pivot_in_r(&joined, &patient_ids, &gene_ids, &b, &b).unwrap();
+        let via_csv = export_and_pivot_in_r(&joined, &patient_ids, &gene_ids, &b, &b).unwrap();
         assert!(direct.approx_eq(&via_csv, 0.0), "CSV round trip is exact");
     }
 

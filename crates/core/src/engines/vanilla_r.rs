@@ -8,14 +8,22 @@
 //! buffer, a persistent triple data frame, and the pivoted matrix — about
 //! 56 bytes/cell peak, which is exactly what pushes the Large dataset over
 //! the scaled 48 GB budget while Medium survives.
+//!
+//! Physical lowering: R holds the full pivoted matrix in memory, so the
+//! triple joins of the logical plan fold away entirely — `Filter` selects
+//! id lists against the metadata frames, and `Restructure` is an in-memory
+//! row/column subset. The `read.csv` load is traced as the first
+//! restructure op (it is part of the measured query in R, unlike the other
+//! engines' untimed ingest).
 
 use crate::analytics;
-use crate::engine::{Engine, ExecContext, PhaseClock};
+use crate::engine::{Engine, ExecContext};
+use crate::plan::{self, Kernel, LogicalOp, OpKind, Phase, PhysicalBackend, Tracer};
 use crate::query::{Query, QueryOutput, QueryParams};
-use crate::report::{PhaseTimes, QueryReport};
+use crate::report::QueryReport;
 use genbase_datagen::Dataset;
 use genbase_linalg::{ExecOpts, Matrix, RegressionMethod};
-use genbase_util::{budget::AllocGuard, Error, Result};
+use genbase_util::{budget::AllocGuard, Budget, Error, Result};
 
 /// The vanilla R configuration.
 #[derive(Debug, Default)]
@@ -41,167 +49,377 @@ impl Engine for VanillaR {
         ctx: &ExecContext,
     ) -> Result<QueryReport> {
         let budget = ctx.r_budget();
-        let opts = ExecOpts::with_threads(1).with_budget(budget.clone());
-        let mut phases = PhaseTimes::default();
-
-        // ---- load (data management) ---------------------------------------
-        let clock = PhaseClock::start();
-        let cells = (data.n_patients() * data.n_genes()) as u64;
-        // Transient read.csv buffer (3 numeric columns), freed after parse.
-        let read_buffer = AllocGuard::claim(&budget, cells * 24, cells)?;
-        // Persistent triple data frame: build real column vectors (this is
-        // genuine work, like R materializing the frame).
-        budget.alloc(cells * 24, cells)?;
-        let mut value_col: Vec<f64> = Vec::with_capacity(cells as usize);
-        for p in 0..data.n_patients() {
-            value_col.extend_from_slice(data.expression.row(p));
-        }
-        drop(read_buffer);
-        // Pivot to the working matrix (kept for all queries).
-        let mut matrix = Matrix::zeros_budgeted(data.n_patients(), data.n_genes(), &budget)?;
-        for p in 0..data.n_patients() {
-            matrix
-                .row_mut(p)
-                .copy_from_slice(&value_col[p * data.n_genes()..(p + 1) * data.n_genes()]);
-        }
-        drop(value_col);
-        budget.free(cells * 24);
-        phases.data_management.wall_secs += clock.secs();
-
-        // ---- query -----------------------------------------------------------
-        let output = match query {
-            Query::Regression => {
-                let clock = PhaseClock::start();
-                let gene_ids: Vec<i64> = data
-                    .genes
-                    .iter()
-                    .filter(|g| g.function < params.function_threshold)
-                    .map(|g| g.id as i64)
-                    .collect();
-                if gene_ids.is_empty() {
-                    return Err(Error::invalid("gene filter selected nothing"));
-                }
-                let cols: Vec<usize> = gene_ids.iter().map(|&g| g as usize).collect();
-                let sub_guard = AllocGuard::claim(
-                    &budget,
-                    (matrix.rows() * cols.len() * 8) as u64,
-                    (matrix.rows() * cols.len()) as u64,
-                )?;
-                let x = matrix.select_cols(&cols);
-                let y: Vec<f64> = data.patients.iter().map(|p| p.drug_response).collect();
-                phases.data_management.wall_secs += clock.secs();
-                let clock = PhaseClock::start();
-                let out =
-                    analytics::fit_regression(&x, &y, &gene_ids, RegressionMethod::Qr, &opts)?;
-                phases.analytics.wall_secs += clock.secs();
-                drop(sub_guard);
-                out
-            }
-            Query::Covariance => {
-                let clock = PhaseClock::start();
-                let rows: Vec<usize> = data
-                    .patients
-                    .iter()
-                    .filter(|p| p.disease_id == params.disease_id)
-                    .map(|p| p.id as usize)
-                    .collect();
-                if rows.len() < 2 {
-                    return Err(Error::invalid("disease filter selected < 2 patients"));
-                }
-                let sub = matrix.select_rows(&rows);
-                phases.data_management.wall_secs += clock.secs();
-                let clock = PhaseClock::start();
-                let (threshold, idx_pairs) =
-                    analytics::covariance_pairs(&sub, params.top_pair_fraction, &opts)?;
-                phases.analytics.wall_secs += clock.secs();
-                let clock = PhaseClock::start();
-                let gene_ids: Vec<i64> = (0..data.n_genes() as i64).collect();
-                let functions = data
-                    .genes
-                    .iter()
-                    .map(|g| (g.id as i64, g.function))
-                    .collect();
-                let pairs =
-                    super::sql_common::attach_gene_metadata(&idx_pairs, &gene_ids, &functions)?;
-                phases.data_management.wall_secs += clock.secs();
-                QueryOutput::Covariance { threshold, pairs }
-            }
-            Query::Biclustering => {
-                let clock = PhaseClock::start();
-                let patient_ids: Vec<i64> = data
-                    .patients
-                    .iter()
-                    .filter(|p| p.gender == params.gender && p.age < params.max_age)
-                    .map(|p| p.id as i64)
-                    .collect();
-                if patient_ids.len() < params.bicluster.min_rows {
-                    return Err(Error::invalid("age/gender filter selected too few patients"));
-                }
-                let rows: Vec<usize> = patient_ids.iter().map(|&p| p as usize).collect();
-                let sub = matrix.select_rows(&rows);
-                let gene_ids: Vec<i64> = (0..data.n_genes() as i64).collect();
-                phases.data_management.wall_secs += clock.secs();
-                let clock = PhaseClock::start();
-                let out = analytics::bicluster_output(
-                    &sub,
-                    &patient_ids,
-                    &gene_ids,
-                    &params.bicluster,
-                    &opts,
-                )?;
-                phases.analytics.wall_secs += clock.secs();
-                out
-            }
-            Query::Svd => {
-                let clock = PhaseClock::start();
-                let gene_ids: Vec<i64> = data
-                    .genes
-                    .iter()
-                    .filter(|g| g.function < params.function_threshold)
-                    .map(|g| g.id as i64)
-                    .collect();
-                if gene_ids.is_empty() {
-                    return Err(Error::invalid("gene filter selected nothing"));
-                }
-                let cols: Vec<usize> = gene_ids.iter().map(|&g| g as usize).collect();
-                let x = matrix.select_cols(&cols);
-                phases.data_management.wall_secs += clock.secs();
-                let clock = PhaseClock::start();
-                let out = analytics::svd_output(&x, params.svd_k, params.seed, &opts)?;
-                phases.analytics.wall_secs += clock.secs();
-                out
-            }
-            Query::Statistics => {
-                let clock = PhaseClock::start();
-                let count = params.sample_count(data.n_patients());
-                let sampled = analytics::sample_patients(data.n_patients(), count, params.seed);
-                let sub = matrix.select_rows(&sampled);
-                phases.data_management.wall_secs += clock.secs();
-                let clock = PhaseClock::start();
-                // colMeans over the sample, then per-term wilcox.test.
-                let mut scores = genbase_linalg::column_means(&sub);
-                if sub.rows() == 0 {
-                    scores = vec![0.0; data.n_genes()];
-                }
-                let out =
-                    analytics::enrichment_output(&scores, &data.ontology.members, &opts)?;
-                phases.analytics.wall_secs += clock.secs();
-                out
-            }
+        let backend = RBackend {
+            data,
+            params,
+            opts: ExecOpts::with_threads(1).with_budget(budget.clone()),
+            budget,
+            query,
+            matrix: None,
+            gene_ids: Vec::new(),
+            patient_ids: Vec::new(),
+            rows: Vec::new(),
+            sub: None,
+            sub_guard: None,
+            y: Vec::new(),
+            scores: Vec::new(),
+            cov: None,
+            output: None,
         };
-        budget.free(cells * 8); // the working matrix
-        Ok(QueryReport { output, phases })
+        plan::run_plan(backend, query, Tracer::new())
+    }
+}
+
+/// Physical state of one vanilla-R run: the loaded matrix plus whatever the
+/// executed prefix of the plan has produced so far.
+struct RBackend<'a> {
+    data: &'a Dataset,
+    params: &'a QueryParams,
+    opts: ExecOpts,
+    budget: Budget,
+    query: Query,
+    matrix: Option<Matrix>,
+    gene_ids: Vec<i64>,
+    patient_ids: Vec<i64>,
+    rows: Vec<usize>,
+    sub: Option<Matrix>,
+    sub_guard: Option<AllocGuard>,
+    y: Vec<f64>,
+    scores: Vec<f64>,
+    cov: Option<(f64, Vec<(usize, usize, f64)>)>,
+    output: Option<QueryOutput>,
+}
+
+impl RBackend<'_> {
+    fn sub(&self) -> Result<&Matrix> {
+        self.sub
+            .as_ref()
+            .ok_or_else(|| Error::invalid("restructure did not run before analytics"))
+    }
+}
+
+impl PhysicalBackend for RBackend<'_> {
+    /// R's load *is* measured work: read.csv buffer, triple data frame,
+    /// pivot to the working matrix — the ~56 B/cell peak that kills the
+    /// Large dataset.
+    fn prepare(&mut self, tracer: &mut Tracer) -> Result<()> {
+        let data = self.data;
+        let budget = self.budget.clone();
+        let cells = (data.n_patients() * data.n_genes()) as u64;
+        let matrix = tracer.exec(
+            OpKind::Restructure,
+            Phase::DataManagement,
+            "read.csv triples + data.frame + pivot to matrix",
+            || {
+                // Transient read.csv buffer (3 numeric columns), freed after
+                // parse.
+                let read_buffer = AllocGuard::claim(&budget, cells * 24, cells)?;
+                // Persistent triple data frame: build real column vectors
+                // (this is genuine work, like R materializing the frame).
+                budget.alloc(cells * 24, cells)?;
+                let mut value_col: Vec<f64> = Vec::with_capacity(cells as usize);
+                for p in 0..data.n_patients() {
+                    value_col.extend_from_slice(data.expression.row(p));
+                }
+                drop(read_buffer);
+                // Pivot to the working matrix (kept for all queries).
+                let mut matrix =
+                    Matrix::zeros_budgeted(data.n_patients(), data.n_genes(), &budget)?;
+                for p in 0..data.n_patients() {
+                    matrix
+                        .row_mut(p)
+                        .copy_from_slice(&value_col[p * data.n_genes()..(p + 1) * data.n_genes()]);
+                }
+                drop(value_col);
+                budget.free(cells * 24);
+                Ok(matrix)
+            },
+        )?;
+        self.matrix = Some(matrix);
+        Ok(())
+    }
+
+    fn execute(&mut self, op: LogicalOp, tracer: &mut Tracer) -> Result<()> {
+        let data = self.data;
+        let params = self.params;
+        match op {
+            LogicalOp::FilterGenes => {
+                let gene_ids = tracer.exec(
+                    OpKind::Filter,
+                    Phase::DataManagement,
+                    format!("genes[function < {}]", params.function_threshold),
+                    || {
+                        let ids: Vec<i64> = data
+                            .genes
+                            .iter()
+                            .filter(|g| g.function < params.function_threshold)
+                            .map(|g| g.id as i64)
+                            .collect();
+                        if ids.is_empty() {
+                            return Err(Error::invalid("gene filter selected nothing"));
+                        }
+                        Ok(ids)
+                    },
+                )?;
+                self.gene_ids = gene_ids;
+            }
+            LogicalOp::FilterPatients => {
+                let query = self.query;
+                let label = match query {
+                    Query::Covariance => {
+                        format!("patients[disease_id == {}]", params.disease_id)
+                    }
+                    _ => format!(
+                        "patients[gender == {} & age < {}]",
+                        params.gender, params.max_age
+                    ),
+                };
+                let ids = tracer.exec(OpKind::Filter, Phase::DataManagement, label, || {
+                    Ok(match query {
+                        Query::Covariance => data
+                            .patients
+                            .iter()
+                            .filter(|p| p.disease_id == params.disease_id)
+                            .map(|p| p.id as i64)
+                            .collect::<Vec<i64>>(),
+                        _ => data
+                            .patients
+                            .iter()
+                            .filter(|p| p.gender == params.gender && p.age < params.max_age)
+                            .map(|p| p.id as i64)
+                            .collect::<Vec<i64>>(),
+                    })
+                })?;
+                match self.query {
+                    Query::Covariance if ids.len() < 2 => {
+                        return Err(Error::invalid("disease filter selected < 2 patients"))
+                    }
+                    Query::Biclustering if ids.len() < params.bicluster.min_rows => {
+                        return Err(Error::invalid(
+                            "age/gender filter selected too few patients",
+                        ))
+                    }
+                    _ => {}
+                }
+                self.rows = ids.iter().map(|&p| p as usize).collect();
+                self.patient_ids = ids;
+            }
+            LogicalOp::SamplePatients => {
+                let count = params.sample_count(data.n_patients());
+                let sampled = tracer.exec(
+                    OpKind::Filter,
+                    Phase::DataManagement,
+                    format!("sample {count} patients (seeded)"),
+                    || {
+                        Ok(analytics::sample_patients(
+                            data.n_patients(),
+                            count,
+                            params.seed,
+                        ))
+                    },
+                )?;
+                self.patient_ids = sampled.iter().map(|&p| p as i64).collect();
+                self.rows = sampled;
+            }
+            // Query 5 has no restructure op (no pivot in the workflow), so
+            // R realizes the sample join as the matrix row subset here.
+            LogicalOp::JoinOnPatients if self.query == Query::Statistics => {
+                let rows = self.rows.clone();
+                let matrix = self.matrix.take().expect("loaded");
+                let sub = tracer.exec(
+                    OpKind::Restructure,
+                    Phase::DataManagement,
+                    format!("matrix[sampled {} patients, ]", rows.len()),
+                    || Ok(matrix.select_rows(&rows)),
+                )?;
+                self.matrix = Some(matrix);
+                self.sub = Some(sub);
+            }
+            // R already holds the pivoted matrix: the triple joins and the
+            // GO join fold away (subsetting happens in Restructure).
+            LogicalOp::JoinOnGenes | LogicalOp::JoinOnPatients | LogicalOp::JoinGoTerms => {}
+            LogicalOp::Restructure => match self.query {
+                Query::Regression | Query::Svd => {
+                    let cols: Vec<usize> = self.gene_ids.iter().map(|&g| g as usize).collect();
+                    let matrix = self.matrix.take().expect("loaded");
+                    let budget = self.budget.clone();
+                    let want_y = self.query == Query::Regression;
+                    let (sub, guard, y) = tracer.exec(
+                        OpKind::Restructure,
+                        Phase::DataManagement,
+                        format!("matrix[, selected {} genes]", cols.len()),
+                        || {
+                            let guard = AllocGuard::claim(
+                                &budget,
+                                (matrix.rows() * cols.len() * 8) as u64,
+                                (matrix.rows() * cols.len()) as u64,
+                            )?;
+                            let sub = matrix.select_cols(&cols);
+                            let y: Vec<f64> = if want_y {
+                                data.patients.iter().map(|p| p.drug_response).collect()
+                            } else {
+                                Vec::new()
+                            };
+                            Ok((sub, guard, y))
+                        },
+                    )?;
+                    self.matrix = Some(matrix);
+                    self.sub = Some(sub);
+                    self.sub_guard = Some(guard);
+                    self.y = y;
+                }
+                _ => {
+                    let rows = self.rows.clone();
+                    let matrix = self.matrix.take().expect("loaded");
+                    let sub = tracer.exec(
+                        OpKind::Restructure,
+                        Phase::DataManagement,
+                        format!("matrix[selected {} patients, ]", rows.len()),
+                        || Ok(matrix.select_rows(&rows)),
+                    )?;
+                    self.matrix = Some(matrix);
+                    self.sub = Some(sub);
+                }
+            },
+            LogicalOp::GroupAgg => {
+                // R's Query 5 script computes colMeans inside the analytics
+                // block; attribution follows the script (analytics phase).
+                let sub = self
+                    .sub
+                    .take()
+                    .ok_or_else(|| Error::invalid("restructure did not run before group-agg"))?;
+                let n_genes = data.n_genes();
+                let scores = tracer.exec(
+                    OpKind::GroupAgg,
+                    Phase::Analytics,
+                    "colMeans over the sampled rows",
+                    || {
+                        let mut scores = genbase_linalg::column_means(&sub);
+                        if sub.rows() == 0 {
+                            scores = vec![0.0; n_genes];
+                        }
+                        Ok(scores)
+                    },
+                )?;
+                self.sub = Some(sub);
+                self.scores = scores;
+            }
+            LogicalOp::Analytics(kernel) => {
+                let opts = self.opts.clone();
+                match kernel {
+                    Kernel::Regression => {
+                        let x = self.sub()?;
+                        let out = tracer.exec(
+                            OpKind::Analytics,
+                            Phase::Analytics,
+                            "lm(): QR least squares",
+                            || {
+                                analytics::fit_regression(
+                                    x,
+                                    &self.y,
+                                    &self.gene_ids,
+                                    RegressionMethod::Qr,
+                                    &opts,
+                                )
+                            },
+                        )?;
+                        self.sub_guard = None;
+                        self.output = Some(out);
+                    }
+                    Kernel::Covariance => {
+                        let sub = self.sub()?;
+                        let cov = tracer.exec(
+                            OpKind::Analytics,
+                            Phase::Analytics,
+                            "cov() + top-fraction threshold",
+                            || analytics::covariance_pairs(sub, params.top_pair_fraction, &opts),
+                        )?;
+                        self.cov = Some(cov);
+                    }
+                    Kernel::Biclustering => {
+                        let sub = self.sub()?;
+                        let gene_ids: Vec<i64> = (0..data.n_genes() as i64).collect();
+                        let out = tracer.exec(
+                            OpKind::Analytics,
+                            Phase::Analytics,
+                            "Cheng-Church delta-biclustering",
+                            || {
+                                analytics::bicluster_output(
+                                    sub,
+                                    &self.patient_ids,
+                                    &gene_ids,
+                                    &params.bicluster,
+                                    &opts,
+                                )
+                            },
+                        )?;
+                        self.output = Some(out);
+                    }
+                    Kernel::Svd => {
+                        let x = self.sub()?;
+                        let out = tracer.exec(
+                            OpKind::Analytics,
+                            Phase::Analytics,
+                            "Lanczos top-k eigenpairs",
+                            || analytics::svd_output(x, params.svd_k, params.seed, &opts),
+                        )?;
+                        self.output = Some(out);
+                    }
+                    Kernel::Enrichment => {
+                        let scores = std::mem::take(&mut self.scores);
+                        let out = tracer.exec(
+                            OpKind::Analytics,
+                            Phase::Analytics,
+                            "per-GO-term wilcox.test",
+                            || analytics::enrichment_output(&scores, &data.ontology.members, &opts),
+                        )?;
+                        self.output = Some(out);
+                    }
+                }
+            }
+            LogicalOp::JoinGeneMetadata => {
+                let (threshold, idx_pairs) = self.cov.take().ok_or_else(|| {
+                    Error::invalid("covariance kernel did not run before metadata join")
+                })?;
+                let pairs = tracer.exec(
+                    OpKind::Join,
+                    Phase::DataManagement,
+                    "merge(pairs, genes) for function codes",
+                    || {
+                        let gene_ids: Vec<i64> = (0..data.n_genes() as i64).collect();
+                        let functions = data
+                            .genes
+                            .iter()
+                            .map(|g| (g.id as i64, g.function))
+                            .collect();
+                        super::sql_common::attach_gene_metadata(&idx_pairs, &gene_ids, &functions)
+                    },
+                )?;
+                self.output = Some(QueryOutput::Covariance { threshold, pairs });
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<QueryOutput> {
+        let cells = (self.data.n_patients() * self.data.n_genes()) as u64;
+        self.budget.free(cells * 8); // the working matrix
+        self.output
+            .take()
+            .ok_or_else(|| Error::invalid("plan produced no output"))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use genbase_datagen::{generate, GeneratorConfig, SizeSpec};
 
     #[test]
     fn runs_all_queries_on_tiny_data() {
-        let data = generate(&GeneratorConfig::new(SizeSpec::tiny())).unwrap();
+        let data = genbase_datagen::generate(&genbase_datagen::GeneratorConfig::new(
+            genbase_datagen::SizeSpec::tiny(),
+        ))
+        .unwrap();
         let params = QueryParams::for_dataset(&data);
         let ctx = ExecContext::single_node();
         let engine = VanillaR::new();
@@ -209,12 +427,21 @@ mod tests {
             let report = engine.run(q, &data, &params, &ctx).unwrap();
             assert_eq!(report.output.query(), q, "query {q:?}");
             assert!(report.phases.total_secs() >= 0.0);
+            // The R load is part of the measured query.
+            assert!(
+                report.trace.ops[0].label.contains("read.csv"),
+                "{q:?}: {:?}",
+                report.trace.ops[0].label
+            );
         }
     }
 
     #[test]
     fn dies_when_memory_too_small() {
-        let data = generate(&GeneratorConfig::new(SizeSpec::tiny())).unwrap();
+        let data = genbase_datagen::generate(&genbase_datagen::GeneratorConfig::new(
+            genbase_datagen::SizeSpec::tiny(),
+        ))
+        .unwrap();
         let params = QueryParams::for_dataset(&data);
         let mut ctx = ExecContext::single_node();
         // Tiny dataset needs ~56 B/cell * 3000 cells ≈ 168 KB at load peak.
@@ -222,6 +449,9 @@ mod tests {
         let err = VanillaR::new()
             .run(Query::Regression, &data, &params, &ctx)
             .unwrap_err();
-        assert!(err.is_infinite_result(), "memory failure renders as infinite");
+        assert!(
+            err.is_infinite_result(),
+            "memory failure renders as infinite"
+        );
     }
 }

@@ -63,7 +63,13 @@ const TABLE1_QUERIES: [Query; 4] = [
     Query::Biclustering,
 ];
 
-fn cell(figure: FigureId, query: Query, size: SizeClass, nodes: usize, engine: &dyn Engine) -> CellKey {
+fn cell(
+    figure: FigureId,
+    query: Query,
+    size: SizeClass,
+    nodes: usize,
+    engine: &dyn Engine,
+) -> CellKey {
     CellKey {
         figure,
         query,
@@ -76,7 +82,11 @@ fn cell(figure: FigureId, query: Query, size: SizeClass, nodes: usize, engine: &
 /// Decompose one exhibit into its cell list, in the serial harness's
 /// historical execution order. `mn_size` selects the dataset for the
 /// multi-node exhibits (fig3/fig4/table1).
-pub fn plan(figure: FigureId, cfg: &crate::harness::HarnessConfig, mn_size: SizeClass) -> Vec<CellKey> {
+pub fn plan(
+    figure: FigureId,
+    cfg: &crate::harness::HarnessConfig,
+    mn_size: SizeClass,
+) -> Vec<CellKey> {
     let mut cells = Vec::new();
     match figure {
         FigureId::Fig1 => {
@@ -111,7 +121,13 @@ pub fn plan(figure: FigureId, cfg: &crate::harness::HarnessConfig, mn_size: Size
             let engines = engines::multi_node_engines();
             for &nodes in &cfg.node_counts {
                 for engine in &engines {
-                    cells.push(cell(figure, Query::Regression, mn_size, nodes, engine.as_ref()));
+                    cells.push(cell(
+                        figure,
+                        Query::Regression,
+                        mn_size,
+                        nodes,
+                        engine.as_ref(),
+                    ));
                 }
             }
         }
@@ -163,11 +179,7 @@ fn lookup<'g>(grid: &'g ReportGrid, key: &CellKey) -> Result<&'g CellOutcome> {
 
 fn outcome_columns(engines: &[Box<dyn Engine>]) -> Vec<(String, Align)> {
     let mut cols = vec![("dataset".to_string(), Align::Left)];
-    cols.extend(
-        engines
-            .iter()
-            .map(|e| (e.name().to_string(), Align::Right)),
-    );
+    cols.extend(engines.iter().map(|e| (e.name().to_string(), Align::Right)));
     cols
 }
 
@@ -178,18 +190,14 @@ fn table_with_columns(cols: &[(String, Align)]) -> TextTable {
 
 fn node_columns(engines: &[Box<dyn Engine>]) -> Vec<(String, Align)> {
     let mut cols = vec![("nodes".to_string(), Align::Left)];
-    cols.extend(
-        engines
-            .iter()
-            .map(|e| (e.name().to_string(), Align::Right)),
-    );
+    cols.extend(engines.iter().map(|e| (e.name().to_string(), Align::Right)));
     cols
 }
 
 /// Phase-split cell text pair (dm, an) — "inf"/"-" for failures.
 fn phase_cells(outcome: &CellOutcome) -> (String, String) {
     match outcome {
-        CellOutcome::Completed { dm, an } => {
+        CellOutcome::Completed { dm, an, .. } => {
             (fmt_secs(dm.total_secs()), fmt_secs(an.total_secs()))
         }
         CellOutcome::Infinite { .. } => ("inf".into(), "inf".into()),
@@ -243,7 +251,10 @@ fn render_fig2(harness: &Harness, grid: &ReportGrid) -> Result<Figure> {
     Ok(Figure {
         title: "Figure 2: Data management and analytics performance (regression)".into(),
         tables: vec![
-            ("Linear Regression Data Management Performance".into(), dm_table),
+            (
+                "Linear Regression Data Management Performance".into(),
+                dm_table,
+            ),
             ("Linear Regression Analytics Performance".into(), an_table),
         ],
     })
@@ -266,7 +277,11 @@ fn render_fig3(harness: &Harness, size: SizeClass, grid: &ReportGrid) -> Result<
             table.row(row);
         }
         tables.push((
-            format!("{} Query Performance, {} Dataset", query.title(), size.label()),
+            format!(
+                "{} Query Performance, {} Dataset",
+                query.title(),
+                size.label()
+            ),
             table,
         ));
     }
@@ -286,7 +301,13 @@ fn render_fig4(harness: &Harness, size: SizeClass, grid: &ReportGrid) -> Result<
         let mut dm_row = vec![nodes.to_string()];
         let mut an_row = vec![nodes.to_string()];
         for engine in &engines {
-            let key = cell(FigureId::Fig4, Query::Regression, size, nodes, engine.as_ref());
+            let key = cell(
+                FigureId::Fig4,
+                Query::Regression,
+                size,
+                nodes,
+                engine.as_ref(),
+            );
             let (dm, an) = phase_cells(lookup(grid, &key)?);
             dm_row.push(dm);
             an_row.push(an);
@@ -300,7 +321,10 @@ fn render_fig4(harness: &Harness, size: SizeClass, grid: &ReportGrid) -> Result<
             size.label()
         ),
         tables: vec![
-            ("Linear Regression Data Management Performance".into(), dm_table),
+            (
+                "Linear Regression Data Management Performance".into(),
+                dm_table,
+            ),
             ("Linear Regression Analytics Performance".into(), an_table),
         ],
     })
@@ -321,11 +345,7 @@ fn render_fig5(harness: &Harness, grid: &ReportGrid) -> Result<Figure> {
         for &size in &harness.config().sizes {
             let base = lookup(grid, &cell(FigureId::Fig5, query, size, 1, &scidb))?;
             let accel = lookup(grid, &cell(FigureId::Fig5, query, size, 1, &phi))?;
-            table.row(vec![
-                size.label().to_string(),
-                base.cell(),
-                accel.cell(),
-            ]);
+            table.row(vec![size.label().to_string(), base.cell(), accel.cell()]);
         }
         tables.push((
             format!(
@@ -429,7 +449,11 @@ fn render_table1(harness: &Harness, size: SizeClass, grid: &ReportGrid) -> Resul
 
 /// Plan one exhibit, run it serially (one cell at a time, full thread
 /// budget each — the classic path), and render.
-fn run_serial_and_render(harness: &Harness, figure: FigureId, mn_size: SizeClass) -> Result<Figure> {
+fn run_serial_and_render(
+    harness: &Harness,
+    figure: FigureId,
+    mn_size: SizeClass,
+) -> Result<Figure> {
     let cells = plan(figure, harness.config(), mn_size);
     let grid = run_cells_serial(harness, &engines::all_engines(), &cells)?;
     render(figure, harness, mn_size, &grid)
@@ -465,6 +489,74 @@ pub fn table1(harness: &Harness, size: SizeClass) -> Result<Figure> {
     run_serial_and_render(harness, FigureId::Table1, size)
 }
 
+/// Per-operator cost breakdown ("explain") for engine × query pairs: each
+/// pair runs once on the `size` dataset over `nodes` simulated nodes, and
+/// its plan trace renders as a table of physical operators with per-op
+/// costs — the finer-grained decomposition of the Figure 2/4 bars, since
+/// each phase is exactly the sum of its trace entries.
+///
+/// `engine_filter` / `query_filter` narrow the matrix (case-insensitive
+/// engine-name match); `None` runs every pair. Unsupported pairs render as
+/// a note instead of a table, mirroring the paper's missing bars.
+pub fn explain(
+    harness: &Harness,
+    size: SizeClass,
+    nodes: usize,
+    engine_filter: Option<&str>,
+    query_filter: Option<Query>,
+) -> Result<Figure> {
+    let engines: Vec<Box<dyn Engine>> = engines::all_engines()
+        .into_iter()
+        .filter(|e| match engine_filter {
+            Some(name) => e.name().eq_ignore_ascii_case(name),
+            None => true,
+        })
+        .collect();
+    if engines.is_empty() {
+        return Err(Error::invalid(format!(
+            "no engine matches {engine_filter:?} (names: {})",
+            engines::all_engines()
+                .iter()
+                .map(|e| format!("{:?}", e.name()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )));
+    }
+    let queries: Vec<Query> = match query_filter {
+        Some(q) => vec![q],
+        None => Query::ALL.to_vec(),
+    };
+    let mut tables = Vec::new();
+    for engine in &engines {
+        for &query in &queries {
+            let caption = format!("{} / {}", engine.name(), query.title());
+            let rec = harness.run_cell(engine.as_ref(), query, size, nodes)?;
+            let table = match &rec.outcome {
+                crate::report::RunOutcome::Completed(report) => report.trace.table(),
+                crate::report::RunOutcome::Infinite { reason } => {
+                    let mut t = TextTable::new(&[("outcome", Align::Left)]);
+                    t.row(vec![format!("infinite: {reason}")]);
+                    t
+                }
+                crate::report::RunOutcome::Unsupported => {
+                    let mut t = TextTable::new(&[("outcome", Align::Left)]);
+                    t.row(vec!["unsupported (no bar in the paper)".to_string()]);
+                    t
+                }
+            };
+            tables.push((caption, table));
+        }
+    }
+    Ok(Figure {
+        title: format!(
+            "Explain: per-operator plan cost, {} dataset, {nodes} node{}",
+            size.label(),
+            if nodes == 1 { "" } else { "s" }
+        ),
+        tables,
+    })
+}
+
 /// Weak-scaling experiment — the paper's stated future work ("in reality,
 /// the genomics data should scale in size with the number of nodes in the
 /// cluster (weak scaling). We intend to run our benchmarks on larger scale
@@ -482,15 +574,15 @@ pub fn weak_scaling(
     let cols = node_columns(&engines);
     let mut table = table_with_columns(&cols);
     for &nodes in node_counts {
-        let spec = SizeSpec::custom(
-            base_genes,
-            base_patients * nodes,
-            (base_genes / 12).max(8),
-        );
+        let spec = SizeSpec::custom(base_genes, base_patients * nodes, (base_genes / 12).max(8));
         let data = generate(&GeneratorConfig::new(spec))?;
         let params = crate::query::QueryParams::for_dataset(&data);
         let ctx = crate::engine::ExecContext::multi_node(nodes);
-        let mut row = vec![format!("{nodes} ({}x{} total)", base_genes, base_patients * nodes)];
+        let mut row = vec![format!(
+            "{nodes} ({}x{} total)",
+            base_genes,
+            base_patients * nodes
+        )];
         for engine in &engines {
             if !engine.supports(query) {
                 row.push("-".into());
@@ -588,6 +680,21 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), cells.len());
+    }
+
+    #[test]
+    fn explain_renders_per_op_tables() {
+        let h = micro_harness();
+        let fig = explain(&h, SizeClass::Small, 1, None, None).unwrap();
+        assert_eq!(fig.tables.len(), engines::all_engines().len() * 5);
+        let text = fig.render();
+        assert!(text.contains("physical step"));
+        assert!(text.contains("unsupported"), "Hadoop SVD renders as a note");
+        // Filters narrow the matrix; engine match is case-insensitive.
+        let one = explain(&h, SizeClass::Small, 1, Some("scidb"), Some(Query::Svd)).unwrap();
+        assert_eq!(one.tables.len(), 1);
+        assert!(one.tables[0].0.contains("SciDB"));
+        assert!(explain(&h, SizeClass::Small, 1, Some("no such engine"), None).is_err());
     }
 
     #[test]

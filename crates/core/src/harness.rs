@@ -204,6 +204,9 @@ impl Harness {
             match engine.run(query, &data, &params, &ctx) {
                 Ok(mut report) => {
                     if self.config.timing == TimingMode::SimOnly {
+                        // Zero the trace and the phase split together so
+                        // per-op costs still sum exactly to the phases.
+                        report.trace.zero_wall();
                         report.phases.data_management.wall_secs = 0.0;
                         report.phases.analytics.wall_secs = 0.0;
                     }

@@ -15,10 +15,14 @@
 //! 5. **Statistics (enrichment)** — sample patients, join GO, per-term
 //!    Wilcoxon rank-sum.
 //!
-//! The [`engines`] module provides the paper's system configurations (R,
-//! Postgres+Madlib, Postgres+R, column store ±R/UDFs, SciDB, Hadoop, pbdR,
-//! SciDB+Xeon Phi); [`harness`] runs the full matrix and [`figures`]
-//! regenerates every table and figure of the evaluation.
+//! Every query compiles to one engine-independent logical plan
+//! ([`plan::logical_plan`]); the [`engines`] module provides the paper's
+//! system configurations (R, Postgres+Madlib, Postgres+R, column store
+//! ±R/UDFs, SciDB, Hadoop, pbdR, SciDB+Xeon Phi), each a physical lowering
+//! of that plan onto its own storage primitives; [`harness`] runs the full
+//! matrix and [`figures`] regenerates every table and figure of the
+//! evaluation, with per-operator cost traces ([`plan::PlanTrace`]) behind
+//! every phase split.
 //!
 //! ```
 //! use genbase::prelude::*;
@@ -30,7 +34,11 @@
 //! let engine = engines::SciDb::new();
 //! let ctx = ExecContext::default();
 //! let report = engine.run(Query::Regression, &data, &params, &ctx).unwrap();
-//! assert!(report.phases.total_secs() >= 0.0);
+//! // The phase split is exactly the per-operator trace rollup.
+//! assert_eq!(
+//!     report.phases.total_secs().to_bits(),
+//!     report.trace.phase_times().total_secs().to_bits(),
+//! );
 //! ```
 
 #![warn(missing_docs)]
@@ -41,13 +49,15 @@ pub mod engine;
 pub mod engines;
 pub mod figures;
 pub mod harness;
+pub mod plan;
 pub mod query;
 pub mod report;
 pub mod sched;
 
-pub use coord::{run_worker, CoordOptions, CoordOutcome, Coordinator};
+pub use coord::{run_worker, run_worker_jobs, CoordOptions, CoordOutcome, Coordinator};
 pub use engine::{Engine, ExecContext};
 pub use harness::TimingMode;
+pub use plan::{logical_plan, LogicalOp, LogicalPlan, OpKind, OpTrace, Phase, PlanTrace};
 pub use query::{Query, QueryOutput, QueryParams};
 pub use report::{PhaseTimes, QueryReport, RunOutcome};
 pub use sched::{CellKey, CellOutcome, FigureId, ReportGrid, Scheduler, SweepOptions};
@@ -57,9 +67,8 @@ pub mod prelude {
     pub use crate::engine::{Engine, ExecContext};
     pub use crate::engines;
     pub use crate::harness::{Harness, HarnessConfig, TimingMode};
+    pub use crate::plan::{logical_plan, LogicalOp, OpKind, OpTrace, Phase, PlanTrace};
     pub use crate::query::{Query, QueryOutput, QueryParams};
     pub use crate::report::{PhaseTimes, QueryReport, RunOutcome};
-    pub use crate::sched::{
-        CellKey, CellOutcome, FigureId, ReportGrid, Scheduler, SweepOptions,
-    };
+    pub use crate::sched::{CellKey, CellOutcome, FigureId, ReportGrid, Scheduler, SweepOptions};
 }

@@ -205,7 +205,10 @@ impl QueryOutput {
             ),
             QueryOutput::Enrichment { per_term } => {
                 let significant = per_term.iter().filter(|&&(_, _, p)| p < 0.01).count();
-                format!("{} terms tested, {significant} with p < 0.01", per_term.len())
+                format!(
+                    "{} terms tested, {significant} with p < 0.01",
+                    per_term.len()
+                )
             }
         }
     }

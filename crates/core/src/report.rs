@@ -1,5 +1,6 @@
 //! Timing reports with the paper's data-management / analytics split.
 
+use crate::plan::PlanTrace;
 use crate::query::QueryOutput;
 use genbase_util::CostReport;
 
@@ -24,8 +25,23 @@ impl PhaseTimes {
 pub struct QueryReport {
     /// Typed output (verified for cross-engine consistency in tests).
     pub output: QueryOutput,
-    /// Phase timing split.
+    /// Phase timing split — always the rollup of `trace`
+    /// ([`PlanTrace::phase_times`]), kept materialized for renderers.
     pub phases: PhaseTimes,
+    /// Per-operator execution trace the phases roll up from.
+    pub trace: PlanTrace,
+}
+
+impl QueryReport {
+    /// Assemble a report from a plan trace: the phase split *is* the
+    /// trace's per-phase rollup, so per-op costs sum to the phases exactly.
+    pub fn from_trace(output: QueryOutput, trace: PlanTrace) -> QueryReport {
+        QueryReport {
+            output,
+            phases: trace.phase_times(),
+            trace,
+        }
+    }
 }
 
 /// Outcome of one harness cell, following the paper's conventions: cutoff
@@ -80,23 +96,34 @@ mod tests {
     use crate::query::QueryOutput;
 
     fn report(dm: f64, an: f64) -> QueryReport {
-        QueryReport {
-            output: QueryOutput::Svd {
+        use crate::plan::{OpCost, OpKind, OpTrace, Phase, PlanTrace};
+        let trace = PlanTrace {
+            ops: vec![
+                OpTrace {
+                    kind: OpKind::Restructure,
+                    phase: Phase::DataManagement,
+                    label: "pivot".into(),
+                    cost: OpCost::wall(dm),
+                },
+                OpTrace {
+                    kind: OpKind::Analytics,
+                    phase: Phase::Analytics,
+                    label: "kernel".into(),
+                    cost: OpCost {
+                        wall_secs: an,
+                        sim_nanos: 0,
+                        model_secs: 0.5,
+                        sim_bytes: 0,
+                    },
+                },
+            ],
+        };
+        QueryReport::from_trace(
+            QueryOutput::Svd {
                 eigenvalues: vec![1.0],
             },
-            phases: PhaseTimes {
-                data_management: CostReport {
-                    wall_secs: dm,
-                    sim_secs: 0.0,
-                    sim_bytes: 0,
-                },
-                analytics: CostReport {
-                    wall_secs: an,
-                    sim_secs: 0.5,
-                    sim_bytes: 0,
-                },
-            },
-        }
+            trace,
+        )
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::engine::Engine;
 use crate::engines;
 use crate::figures;
 use crate::harness::{Harness, HarnessConfig};
+use crate::plan::OpTrace;
 use crate::query::Query;
 use crate::report::{PhaseTimes, RunOutcome};
 use genbase_datagen::SizeClass;
@@ -156,6 +157,10 @@ pub enum CellOutcome {
         dm: CostReport,
         /// Analytics phase costs.
         an: CostReport,
+        /// Per-operator plan trace the phases roll up from — carried
+        /// through grid files and the coordinator wire protocol so
+        /// per-op breakdowns survive sharded and distributed sweeps.
+        trace: Vec<OpTrace>,
     },
     /// Cutoff or memory failure (the paper's "infinite" bars).
     Infinite {
@@ -173,6 +178,7 @@ impl CellOutcome {
             RunOutcome::Completed(r) => CellOutcome::Completed {
                 dm: r.phases.data_management,
                 an: r.phases.analytics,
+                trace: r.trace.ops.clone(),
             },
             RunOutcome::Infinite { reason } => CellOutcome::Infinite {
                 reason: reason.clone(),
@@ -184,10 +190,18 @@ impl CellOutcome {
     /// The phase split for completed cells.
     pub fn phases(&self) -> Option<PhaseTimes> {
         match self {
-            CellOutcome::Completed { dm, an } => Some(PhaseTimes {
+            CellOutcome::Completed { dm, an, .. } => Some(PhaseTimes {
                 data_management: *dm,
                 analytics: *an,
             }),
+            _ => None,
+        }
+    }
+
+    /// The per-operator trace for completed cells.
+    pub fn trace(&self) -> Option<&[OpTrace]> {
+        match self {
+            CellOutcome::Completed { trace, .. } => Some(trace),
             _ => None,
         }
     }
@@ -207,7 +221,7 @@ impl CellOutcome {
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj();
         match self {
-            CellOutcome::Completed { dm, an } => {
+            CellOutcome::Completed { dm, an, trace } => {
                 obj.set("status", Json::from("completed"));
                 for (name, cost) in [("dm", dm), ("an", an)] {
                     obj.set(
@@ -219,6 +233,10 @@ impl CellOutcome {
                         ]),
                     );
                 }
+                obj.set(
+                    "trace",
+                    Json::Arr(trace.iter().map(OpTrace::to_json).collect()),
+                );
             }
             CellOutcome::Infinite { reason } => {
                 obj.set("status", Json::from("infinite"));
@@ -254,9 +272,19 @@ impl CellOutcome {
                         sim_bytes: arr[2].as_u64().ok_or_else(bad)?,
                     })
                 };
+                // Absent in pre-trace grid files: those load as traceless
+                // cells (figures only need the phase split).
+                let trace = match value.get("trace").and_then(Json::as_arr) {
+                    Some(items) => items
+                        .iter()
+                        .map(OpTrace::from_json)
+                        .collect::<Result<Vec<OpTrace>>>()?,
+                    None => Vec::new(),
+                };
                 Ok(CellOutcome::Completed {
                     dm: cost("dm")?,
                     an: cost("an")?,
+                    trace,
                 })
             }
             "infinite" => Ok(CellOutcome::Infinite {
@@ -408,16 +436,14 @@ impl ReportGrid {
             }
         }
         let mut grid = ReportGrid::default();
-        grid.fingerprint = doc
-            .get("config")
-            .and_then(Json::as_str)
-            .map(str::to_string);
+        grid.fingerprint = doc.get("config").and_then(Json::as_str).map(str::to_string);
         let pairs = doc
             .get("cells")
             .and_then(Json::as_obj)
             .ok_or_else(|| Error::invalid("grid missing cells object"))?;
         for (id, value) in pairs {
-            grid.cells.insert(id.clone(), CellOutcome::from_json(value)?);
+            grid.cells
+                .insert(id.clone(), CellOutcome::from_json(value)?);
         }
         Ok(grid)
     }
@@ -569,9 +595,9 @@ impl Scheduler {
     /// Execute one cell under an explicit thread budget.
     pub fn run_cell(&self, key: &CellKey, threads: usize) -> Result<CellOutcome> {
         let engine = self.engine(&key.engine)?;
-        let rec = self.harness.run_cell_with_threads(
-            engine, key.query, key.size, key.nodes, threads,
-        )?;
+        let rec = self
+            .harness
+            .run_cell_with_threads(engine, key.query, key.size, key.nodes, threads)?;
         Ok(CellOutcome::from_run(&rec.outcome))
     }
 
@@ -761,6 +787,17 @@ mod tests {
                     sim_bytes: 1024,
                 },
                 an: CostReport::default(),
+                trace: vec![crate::plan::OpTrace {
+                    kind: crate::plan::OpKind::Restructure,
+                    phase: crate::plan::Phase::DataManagement,
+                    label: "chunk gather".into(),
+                    cost: crate::plan::OpCost {
+                        wall_secs: 0.125,
+                        sim_nanos: 500_000_000,
+                        model_secs: 0.0,
+                        sim_bytes: 1024,
+                    },
+                }],
             },
         );
         grid.insert(
@@ -769,7 +806,10 @@ mod tests {
                 reason: "cutoff after \"2h\"".into(),
             },
         );
-        grid.insert(&key(FigureId::Fig1, 1, "Vanilla R"), CellOutcome::Unsupported);
+        grid.insert(
+            &key(FigureId::Fig1, 1, "Vanilla R"),
+            CellOutcome::Unsupported,
+        );
         let text = grid.to_json();
         let back = ReportGrid::from_json(&text).unwrap();
         assert_eq!(back, grid);
@@ -785,12 +825,7 @@ mod tests {
         b.insert(&k, CellOutcome::Unsupported);
         assert!(a.clone().merge(b).is_ok());
         let mut c = ReportGrid::default();
-        c.insert(
-            &k,
-            CellOutcome::Infinite {
-                reason: "x".into(),
-            },
-        );
+        c.insert(&k, CellOutcome::Infinite { reason: "x".into() });
         assert!(a.merge(c).is_err());
     }
 

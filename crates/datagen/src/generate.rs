@@ -246,8 +246,7 @@ pub fn generate(config: &GeneratorConfig) -> Result<Dataset> {
     for (pi, &p) in bicluster_patients.iter().enumerate() {
         let row = expression.row_mut(p as usize);
         for (gi, &g) in bicluster_genes.iter().enumerate() {
-            row[g as usize] =
-                8.0 + row_shift[pi] + col_shift[gi] + expr_rng.normal() * 0.05;
+            row[g as usize] = 8.0 + row_shift[pi] + col_shift[gi] + expr_rng.normal() * 0.05;
         }
     }
 
@@ -452,11 +451,16 @@ mod tests {
                 || d.truth.causal_genes.iter().any(|&(c, _)| c == g)
                 || d.truth.bicluster_genes.contains(&g)
         };
-        let free: Vec<u32> = (0..d.n_genes() as u32).filter(|&g| !in_structure(g)).collect();
+        let free: Vec<u32> = (0..d.n_genes() as u32)
+            .filter(|&g| !in_structure(g))
+            .collect();
         let f0 = d.expression.col(free[0] as usize);
         let f1 = d.expression.col(free[1] as usize);
         let r_free = correlation(&f0, &f1).abs();
-        assert!(r_free < 0.4, "free genes should be ~uncorrelated, r = {r_free}");
+        assert!(
+            r_free < 0.4,
+            "free genes should be ~uncorrelated, r = {r_free}"
+        );
     }
 
     #[test]

@@ -142,10 +142,7 @@ mod tests {
         let s = pool.get(SizeClass::Small).unwrap();
         let m = pool.get(SizeClass::Medium).unwrap();
         assert!(s.n_genes() < m.n_genes());
-        assert_eq!(
-            pool.generated(),
-            vec![SizeClass::Small, SizeClass::Medium]
-        );
+        assert_eq!(pool.generated(), vec![SizeClass::Small, SizeClass::Medium]);
     }
 
     #[test]

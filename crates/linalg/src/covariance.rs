@@ -138,7 +138,11 @@ pub fn top_pairs_by_threshold(cov: &Matrix, threshold: f64) -> Vec<CovPair> {
         for j in (i + 1)..n {
             let v = cov.get(i, j);
             if v.abs() >= threshold {
-                out.push(CovPair { a: i, b: j, value: v });
+                out.push(CovPair {
+                    a: i,
+                    b: j,
+                    value: v,
+                });
             }
         }
     }

@@ -165,10 +165,7 @@ pub fn jacobi_eigen(a: &Matrix) -> Result<EigenPairs> {
     }
     let mut values: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
     sort_pairs_desc(&mut values, &mut v);
-    Ok(EigenPairs {
-        values,
-        vectors: v,
-    })
+    Ok(EigenPairs { values, vectors: v })
 }
 
 /// Sort eigenvalues descending, permuting eigenvector columns to match.

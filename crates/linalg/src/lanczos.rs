@@ -235,11 +235,7 @@ pub fn lanczos_singular_values(
 ) -> Result<Vec<f64>> {
     let op = GramOp::new(a).with_threads(opts.threads);
     let res = lanczos_topk(&op, k, 0, seed, opts)?;
-    Ok(res
-        .eigenvalues
-        .iter()
-        .map(|&l| l.max(0.0).sqrt())
-        .collect())
+    Ok(res.eigenvalues.iter().map(|&l| l.max(0.0).sqrt()).collect())
 }
 
 #[cfg(test)]
@@ -291,8 +287,8 @@ mod tests {
         let op = DenseSymOp::new(&g).unwrap();
         let res = lanczos_topk(&op, 5, 0, 7, &ExecOpts::serial()).unwrap();
         for i in 0..5 {
-            let rel = (res.eigenvalues[i] - reference.values[i]).abs()
-                / reference.values[i].max(1e-12);
+            let rel =
+                (res.eigenvalues[i] - reference.values[i]).abs() / reference.values[i].max(1e-12);
             assert!(rel < 1e-8, "eigenvalue {i}: rel err {rel}");
         }
     }
@@ -351,7 +347,12 @@ mod tests {
     #[test]
     fn low_rank_operator_restart_survives() {
         // Rank-2 PSD matrix; ask for more pairs than the rank.
-        let u = Matrix::from_vec(2, 6, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 2.0, 0.0, 2.0, 0.0, 2.0]).unwrap();
+        let u = Matrix::from_vec(
+            2,
+            6,
+            vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 2.0, 0.0, 2.0, 0.0, 2.0],
+        )
+        .unwrap();
         let g = gram(&u, &ExecOpts::serial()).unwrap(); // 6x6 rank 2
         let op = DenseSymOp::new(&g).unwrap();
         let res = lanczos_topk(&op, 4, 6, 1, &ExecOpts::serial()).unwrap();

@@ -26,8 +26,8 @@ pub use covariance::{
 pub use eigen::{jacobi_eigen, tridiag_eigen, EigenPairs};
 pub use lanczos::{lanczos_topk, DenseSymOp, GramOp, LanczosResult, LinearOp};
 pub use matmul::{
-    at_mul, gram, matmul, matmul_blocked, matmul_naive, matvec, matvec_par,
-    matvec_transposed, matvec_transposed_par,
+    at_mul, gram, matmul, matmul_blocked, matmul_naive, matvec, matvec_par, matvec_transposed,
+    matvec_transposed_par,
 };
 pub use matrix::Matrix;
 pub use qr::QrFactor;

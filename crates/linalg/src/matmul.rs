@@ -73,7 +73,15 @@ pub fn matmul_naive(a: &Matrix, b: &Matrix, opts: &ExecOpts) -> Result<Matrix> {
 pub fn matmul_blocked(a: &Matrix, b: &Matrix, opts: &ExecOpts) -> Result<Matrix> {
     check_dims(a, b)?;
     let mut out = Matrix::zeros(a.rows(), b.cols());
-    mm_block_into(a.data(), b.data(), out.data_mut(), a.rows(), a.cols(), b.cols(), opts)?;
+    mm_block_into(
+        a.data(),
+        b.data(),
+        out.data_mut(),
+        a.rows(),
+        a.cols(),
+        b.cols(),
+        opts,
+    )?;
     Ok(out)
 }
 
@@ -245,13 +253,7 @@ fn micro_4x4(
     let r3 = &a[(i + 3) * k + kb..(i + 3) * k + k_end];
     let panel_k = &panel[kb * NR..k_end * NR];
     let mut c = [[0.0f64; NR]; MR];
-    for ((((bv, &a0), &a1), &a2), &a3) in panel_k
-        .chunks_exact(NR)
-        .zip(r0)
-        .zip(r1)
-        .zip(r2)
-        .zip(r3)
-    {
+    for ((((bv, &a0), &a1), &a2), &a3) in panel_k.chunks_exact(NR).zip(r0).zip(r1).zip(r2).zip(r3) {
         let av = [a0, a1, a2, a3];
         for (cr, ar) in c.iter_mut().zip(av) {
             for (cl, bl) in cr.iter_mut().zip(bv) {
@@ -654,7 +656,11 @@ mod tests {
         let b = random_matrix(&mut rng, 2 * KC + 37, 60);
         let naive = matmul_naive(&a, &b, &ExecOpts::serial()).unwrap();
         let one = matmul(&a, &b, &ExecOpts::with_threads(1)).unwrap();
-        assert!(one.approx_eq(&naive, 1e-9), "drift {}", one.max_abs_diff(&naive));
+        assert!(
+            one.approx_eq(&naive, 1e-9),
+            "drift {}",
+            one.max_abs_diff(&naive)
+        );
         for threads in [2, 8] {
             let multi = matmul(&a, &b, &ExecOpts::with_threads(threads)).unwrap();
             assert!(multi.approx_eq(&one, 0.0), "threads={threads} changed bits");

@@ -161,12 +161,7 @@ pub fn least_squares(a: Matrix, b: &[f64], opts: &ExecOpts) -> Result<Vec<f64>> 
 /// Residual 2-norm `||A x - b||` (diagnostic helper).
 pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
     let ax = crate::matmul::matvec(a, x);
-    norm2(
-        &ax.iter()
-            .zip(b)
-            .map(|(p, q)| p - q)
-            .collect::<Vec<f64>>(),
-    )
+    norm2(&ax.iter().zip(b).map(|(p, q)| p - q).collect::<Vec<f64>>())
 }
 
 #[cfg(test)]
@@ -200,8 +195,7 @@ mod tests {
     #[test]
     fn solves_exact_system() {
         // Square, consistent system: solution should be exact.
-        let a = Matrix::from_vec(3, 3, vec![2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 4.0])
-            .unwrap();
+        let a = Matrix::from_vec(3, 3, vec![2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 4.0]).unwrap();
         let x_true = [1.0, -2.0, 3.0];
         let b = crate::matmul::matvec(&a, &x_true);
         let x = least_squares(a, &b, &ExecOpts::serial()).unwrap();

@@ -56,13 +56,8 @@ impl LinearRegression {
         let beta = match method {
             RegressionMethod::Qr => {
                 // Design matrix with a leading all-ones intercept column.
-                let design = Matrix::from_fn(m, n + 1, |r, c| {
-                    if c == 0 {
-                        1.0
-                    } else {
-                        x.get(r, c - 1)
-                    }
-                });
+                let design =
+                    Matrix::from_fn(m, n + 1, |r, c| if c == 0 { 1.0 } else { x.get(r, c - 1) });
                 opts.budget
                     .alloc(design.heap_bytes(), design.len() as u64)?;
                 let res = QrFactor::factor(design, opts)?.solve_ls(y);
@@ -162,11 +157,7 @@ mod tests {
         let n = coef.len();
         let x = Matrix::from_fn(m, n, |_, _| rng.normal());
         let y: Vec<f64> = (0..m)
-            .map(|r| {
-                intercept
-                    + crate::matrix::dot(x.row(r), coef)
-                    + noise * rng.normal()
-            })
+            .map(|r| intercept + crate::matrix::dot(x.row(r), coef) + noise * rng.normal())
             .collect();
         (x, y)
     }
@@ -176,8 +167,8 @@ mod tests {
         let mut rng = Pcg64::new(81);
         let coef = [2.0, -1.5, 0.5];
         let (x, y) = synthetic(&mut rng, 100, &coef, 3.0, 0.0);
-        let model = LinearRegression::fit(&x, &y, RegressionMethod::Qr, &ExecOpts::serial())
-            .unwrap();
+        let model =
+            LinearRegression::fit(&x, &y, RegressionMethod::Qr, &ExecOpts::serial()).unwrap();
         assert!((model.intercept - 3.0).abs() < 1e-9);
         for (c, t) in model.coefficients.iter().zip(&coef) {
             assert!((c - t).abs() < 1e-9);
@@ -190,8 +181,7 @@ mod tests {
         let mut rng = Pcg64::new(82);
         let coef = [1.0, 0.0, -2.0, 4.0];
         let (x, y) = synthetic(&mut rng, 200, &coef, -1.0, 0.3);
-        let qr =
-            LinearRegression::fit(&x, &y, RegressionMethod::Qr, &ExecOpts::serial()).unwrap();
+        let qr = LinearRegression::fit(&x, &y, RegressionMethod::Qr, &ExecOpts::serial()).unwrap();
         let ne = LinearRegression::fit(
             &x,
             &y,
@@ -225,15 +215,11 @@ mod tests {
     fn validates_inputs() {
         let x = Matrix::zeros(5, 3);
         let y = vec![0.0; 4];
-        assert!(
-            LinearRegression::fit(&x, &y, RegressionMethod::Qr, &ExecOpts::serial()).is_err()
-        );
+        assert!(LinearRegression::fit(&x, &y, RegressionMethod::Qr, &ExecOpts::serial()).is_err());
         // Too few rows for feature count.
         let x = Matrix::zeros(3, 5);
         let y = vec![0.0; 3];
-        assert!(
-            LinearRegression::fit(&x, &y, RegressionMethod::Qr, &ExecOpts::serial()).is_err()
-        );
+        assert!(LinearRegression::fit(&x, &y, RegressionMethod::Qr, &ExecOpts::serial()).is_err());
     }
 
     #[test]

@@ -47,11 +47,7 @@ impl RsvdConfig {
 
 /// Approximate top-`k` eigenvalues of `AᵀA` (descending) for a data matrix
 /// `A` (`m x n`), without materializing the Gram matrix.
-pub fn randomized_gram_eigen(
-    a: &Matrix,
-    config: &RsvdConfig,
-    opts: &ExecOpts,
-) -> Result<Vec<f64>> {
+pub fn randomized_gram_eigen(a: &Matrix, config: &RsvdConfig, opts: &ExecOpts) -> Result<Vec<f64>> {
     let (_m, n) = a.shape();
     if config.k == 0 {
         return Err(Error::invalid("k must be positive"));
@@ -79,7 +75,12 @@ pub fn randomized_gram_eigen(
     // small l x l problem B Bᵀ instead (same non-zero spectrum).
     let bbt = matmul(&b, &b.transpose(), opts)?;
     let pairs = jacobi_eigen(&bbt)?;
-    Ok(pairs.values.into_iter().take(k).map(|v| v.max(0.0)).collect())
+    Ok(pairs
+        .values
+        .into_iter()
+        .take(k)
+        .map(|v| v.max(0.0))
+        .collect())
 }
 
 /// Thin QR orthonormalization of the columns of `y`.
@@ -124,8 +125,7 @@ mod tests {
         let a = low_rank_plus_noise(80, 40, 161);
         let g = gram(&a, &ExecOpts::serial()).unwrap();
         let exact = jacobi_eigen(&g).unwrap();
-        let approx =
-            randomized_gram_eigen(&a, &RsvdConfig::new(4), &ExecOpts::serial()).unwrap();
+        let approx = randomized_gram_eigen(&a, &RsvdConfig::new(4), &ExecOpts::serial()).unwrap();
         for i in 0..4 {
             let rel = (approx[i] - exact.values[i]).abs() / exact.values[i];
             assert!(rel < 0.02, "eigenvalue {i}: rel err {rel}");
@@ -161,8 +161,7 @@ mod tests {
         let g = gram(&a, &ExecOpts::serial()).unwrap();
         let op = DenseSymOp::new(&g).unwrap();
         let lanczos = lanczos_topk(&op, 3, 0, 7, &ExecOpts::serial()).unwrap();
-        let approx =
-            randomized_gram_eigen(&a, &RsvdConfig::new(3), &ExecOpts::serial()).unwrap();
+        let approx = randomized_gram_eigen(&a, &RsvdConfig::new(3), &ExecOpts::serial()).unwrap();
         for i in 0..3 {
             let rel = (approx[i] - lanczos.eigenvalues[i]).abs() / lanczos.eigenvalues[i];
             assert!(rel < 0.02, "pair {i}: rel err {rel}");

@@ -119,7 +119,9 @@ impl HiveTable {
     pub fn project(&self, cols: &[usize], cfg: &JobConfig) -> Result<HiveTable> {
         for &c in cols {
             if self.rows.first().is_some_and(|r| c >= r.len()) {
-                return Err(Error::invalid(format!("projection column {c} out of range")));
+                return Err(Error::invalid(format!(
+                    "projection column {c} out of range"
+                )));
             }
         }
         let cols_owned = cols.to_vec();
@@ -206,9 +208,7 @@ impl HiveTable {
         let out = run_job::<i64, Vec<Cell>, i64, (f64, u64), i64, (f64, u64)>(
             &input,
             &|_, row, e| {
-                if let (Some(Cell::I(k)), Some(Cell::F(v))) =
-                    (row.get(key_col), row.get(val_col))
-                {
+                if let (Some(Cell::I(k)), Some(Cell::F(v))) = (row.get(key_col), row.get(val_col)) {
                     e.emit(k, &(*v, 1));
                 }
             },
@@ -224,8 +224,7 @@ impl HiveTable {
             },
             cfg,
         )?;
-        let mut rows: Vec<(i64, f64, u64)> =
-            out.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
+        let mut rows: Vec<(i64, f64, u64)> = out.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
         rows.sort_unstable_by_key(|&(k, _, _)| k);
         Ok(rows)
     }

@@ -247,10 +247,7 @@ fn parse_records<K: Writable, V: Writable>(buf: &[u8]) -> Result<Vec<(K, V)>> {
     Ok(out)
 }
 
-fn combine_buffer<K, V>(
-    buf: &[u8],
-    combiner: &(dyn Fn(&K, Vec<V>) -> V + Sync),
-) -> Result<Vec<u8>>
+fn combine_buffer<K, V>(buf: &[u8], combiner: &(dyn Fn(&K, Vec<V>) -> V + Sync)) -> Result<Vec<u8>>
 where
     K: Writable + Ord + Clone,
     V: Writable,
@@ -315,8 +312,7 @@ mod tests {
             emit(w, counts.iter().sum())
         };
         let mut plain =
-            run_job::<i64, i64, i64, i64, i64, i64>(&words, &mapper, None, &reducer, &cfg)
-                .unwrap();
+            run_job::<i64, i64, i64, i64, i64, i64>(&words, &mapper, None, &reducer, &cfg).unwrap();
         let combiner = |_: &i64, vs: Vec<i64>| vs.iter().sum::<i64>();
         let mut combined = run_job::<i64, i64, i64, i64, i64, i64>(
             &words,
@@ -372,8 +368,7 @@ mod tests {
     #[test]
     fn vector_values_shuffle_correctly() {
         // Mahout-style (index, row) records.
-        let input: Vec<(i64, Vec<f64>)> =
-            (0..20).map(|i| (i % 4, vec![i as f64, 1.0])).collect();
+        let input: Vec<(i64, Vec<f64>)> = (0..20).map(|i| (i % 4, vec![i as f64, 1.0])).collect();
         let cfg = JobConfig::local(2);
         let result = run_job::<i64, Vec<f64>, i64, Vec<f64>, i64, Vec<f64>>(
             &input,

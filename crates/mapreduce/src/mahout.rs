@@ -78,12 +78,7 @@ pub fn center_columns(rows: &RowMatrix, means: &[f64], cfg: &JobConfig) -> Resul
     let means = means.to_vec();
     run_map_only::<i64, Vec<f64>, i64, Vec<f64>>(
         rows,
-        &|&i, row, emit| {
-            emit(
-                i,
-                row.iter().zip(&means).map(|(v, m)| v - m).collect(),
-            )
-        },
+        &|&i, row, emit| emit(i, row.iter().zip(&means).map(|(v, m)| v - m).collect()),
         cfg,
     )
 }
@@ -320,10 +315,7 @@ mod tests {
         assert_eq!(g.len(), 6);
         for (j, grow) in &g {
             for c in 0..6 {
-                let expect: f64 = rows
-                    .iter()
-                    .map(|(_, r)| r[*j as usize] * r[c])
-                    .sum();
+                let expect: f64 = rows.iter().map(|(_, r)| r[*j as usize] * r[c]).sum();
                 assert!(
                     (grow[c] - expect).abs() < 1e-9,
                     "gram[{j}][{c}] = {} vs {expect}",

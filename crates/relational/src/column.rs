@@ -53,9 +53,7 @@ impl ColumnData {
 
     fn gather(&self, sel: &[u32]) -> ColumnData {
         match self {
-            ColumnData::Ints(v) => {
-                ColumnData::Ints(sel.iter().map(|&i| v[i as usize]).collect())
-            }
+            ColumnData::Ints(v) => ColumnData::Ints(sel.iter().map(|&i| v[i as usize]).collect()),
             ColumnData::Floats(v) => {
                 ColumnData::Floats(sel.iter().map(|&i| v[i as usize]).collect())
             }
@@ -211,7 +209,9 @@ impl ColumnTable {
     pub fn project(&self, cols: &[usize]) -> Result<ColumnTable> {
         for &c in cols {
             if c >= self.schema.arity() {
-                return Err(Error::invalid(format!("projection column {c} out of range")));
+                return Err(Error::invalid(format!(
+                    "projection column {c} out of range"
+                )));
             }
         }
         Ok(ColumnTable {
@@ -276,8 +276,7 @@ impl ColumnTable {
             e.0 += v;
             e.1 += 1;
         }
-        let mut out: Vec<(i64, f64, u64)> =
-            acc.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
+        let mut out: Vec<(i64, f64, u64)> = acc.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
         out.sort_unstable_by_key(|&(k, _, _)| k);
         Ok(out)
     }
@@ -358,7 +357,10 @@ mod tests {
         assert!(ok.is_ok());
         let ragged = ColumnTable::from_columns(
             s.clone(),
-            vec![ColumnData::Ints(vec![1]), ColumnData::Floats(vec![1.0, 2.0])],
+            vec![
+                ColumnData::Ints(vec![1]),
+                ColumnData::Floats(vec![1.0, 2.0]),
+            ],
         );
         assert!(ragged.is_err());
         let wrong_type = ColumnTable::from_columns(
@@ -390,8 +392,7 @@ mod tests {
     fn join_matches_row_store() {
         let n = 60;
         let probe_rows = sample_rows(n);
-        let build_schema =
-            Schema::new(&[("pid", DataType::Int), ("w", DataType::Float)]).unwrap();
+        let build_schema = Schema::new(&[("pid", DataType::Int), ("w", DataType::Float)]).unwrap();
         let build_rows: Vec<Vec<Value>> = (0..30)
             .map(|i| vec![Value::Int((i * 2) as i64), Value::Float(i as f64)])
             .collect();

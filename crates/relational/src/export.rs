@@ -157,16 +157,7 @@ mod tests {
     #[test]
     fn pivot_produces_dense_matrix() {
         let t = ColumnTable::from_rows(triple_schema(), triples()).unwrap();
-        let dense = pivot_to_dense(
-            &t,
-            0,
-            1,
-            2,
-            &[0, 1, 2],
-            &[0, 1],
-            &Budget::unlimited(),
-        )
-        .unwrap();
+        let dense = pivot_to_dense(&t, 0, 1, 2, &[0, 1, 2], &[0, 1], &Budget::unlimited()).unwrap();
         assert_eq!((dense.rows, dense.cols), (3, 2));
         assert_eq!(dense.data, vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
     }
@@ -175,16 +166,7 @@ mod tests {
     fn pivot_respects_id_ordering_and_filtering() {
         let t = RowTable::from_rows(triple_schema(), triples()).unwrap();
         // Reversed patient order, only gene 1.
-        let dense = pivot_to_dense(
-            &t,
-            0,
-            1,
-            2,
-            &[2, 0],
-            &[1],
-            &Budget::unlimited(),
-        )
-        .unwrap();
+        let dense = pivot_to_dense(&t, 0, 1, 2, &[2, 0], &[1], &Budget::unlimited()).unwrap();
         assert_eq!((dense.rows, dense.cols), (2, 1));
         assert_eq!(dense.data, vec![21.0, 1.0]);
     }
@@ -201,8 +183,7 @@ mod tests {
     fn pivot_memory_budget_enforced() {
         let t = RowTable::from_rows(triple_schema(), triples()).unwrap();
         let tight = Budget::new(None, 16, u64::MAX);
-        let err =
-            pivot_to_dense(&t, 0, 1, 2, &[0, 1, 2], &[0, 1], &tight).unwrap_err();
+        let err = pivot_to_dense(&t, 0, 1, 2, &[0, 1, 2], &[0, 1], &tight).unwrap_err();
         assert!(err.is_infinite_result());
     }
 

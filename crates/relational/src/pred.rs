@@ -62,6 +62,31 @@ impl Pred {
         }
     }
 
+    /// Human-readable rendering against a schema's column names, e.g.
+    /// `gender = 1 AND age < 40`. Columns beyond `cols` render as `col<i>`.
+    /// Used for query-plan trace labels, where the predicate *is* the
+    /// interesting part of a filter op.
+    pub fn describe(&self, cols: &[&str]) -> String {
+        let name = |c: usize| -> String {
+            cols.get(c)
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| format!("col{c}"))
+        };
+        match self {
+            Pred::True => "TRUE".to_string(),
+            Pred::IntLt(c, v) => format!("{} < {v}", name(*c)),
+            Pred::IntLe(c, v) => format!("{} <= {v}", name(*c)),
+            Pred::IntEq(c, v) => format!("{} = {v}", name(*c)),
+            Pred::IntGe(c, v) => format!("{} >= {v}", name(*c)),
+            Pred::IntGt(c, v) => format!("{} > {v}", name(*c)),
+            Pred::FloatLt(c, v) => format!("{} < {v}", name(*c)),
+            Pred::FloatGt(c, v) => format!("{} > {v}", name(*c)),
+            Pred::And(a, b) => format!("{} AND {}", a.describe(cols), b.describe(cols)),
+            Pred::Or(a, b) => format!("({} OR {})", a.describe(cols), b.describe(cols)),
+            Pred::Not(a) => format!("NOT ({})", a.describe(cols)),
+        }
+    }
+
     /// Columns referenced by the predicate (deduplicated, sorted).
     pub fn columns(&self) -> Vec<usize> {
         let mut out = Vec::new();
@@ -136,6 +161,20 @@ mod tests {
         // Int predicate over a float column: no panic, simply false.
         assert!(!Pred::IntEq(2, 1).eval(&row(1, 1, 1.0)));
         assert!(!Pred::FloatGt(0, 0.5).eval(&row(1, 1, 1.0)));
+    }
+
+    #[test]
+    fn describe_renders_readably() {
+        let cols = ["age", "gender", "drug_response"];
+        let p = Pred::IntEq(1, 1).and(Pred::IntLt(0, 40));
+        assert_eq!(p.describe(&cols), "gender = 1 AND age < 40");
+        let q = Pred::FloatGt(2, 1.5).or(Pred::Not(Box::new(Pred::True)));
+        assert_eq!(q.describe(&cols), "(drug_response > 1.5 OR NOT (TRUE))");
+        // Out-of-range columns fall back to positional names.
+        assert_eq!(Pred::IntGe(7, 3).describe(&cols), "col7 >= 3");
+        assert_eq!(Pred::IntLe(0, 2).describe(&cols), "age <= 2");
+        assert_eq!(Pred::IntGt(0, 2).describe(&cols), "age > 2");
+        assert_eq!(Pred::FloatLt(2, 0.5).describe(&cols), "drug_response < 0.5");
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl RowTable {
     /// Empty table with the given schema.
     pub fn new(schema: Schema) -> RowTable {
         let tuple_bytes = schema.arity() * 8;
-        assert!(tuple_bytes > 0 && tuple_bytes <= PAGE_SIZE, "tuple too wide");
+        assert!(
+            tuple_bytes > 0 && tuple_bytes <= PAGE_SIZE,
+            "tuple too wide"
+        );
         RowTable {
             schema,
             pages: Vec::new(),
@@ -140,15 +143,12 @@ impl RowTable {
     }
 
     /// Combined filter + projection in one pass.
-    pub fn filter_project(
-        &self,
-        pred: &Pred,
-        cols: &[usize],
-        budget: &Budget,
-    ) -> Result<RowTable> {
+    pub fn filter_project(&self, pred: &Pred, cols: &[usize], budget: &Budget) -> Result<RowTable> {
         for &c in cols {
             if c >= self.schema.arity() {
-                return Err(Error::invalid(format!("projection column {c} out of range")));
+                return Err(Error::invalid(format!(
+                    "projection column {c} out of range"
+                )));
             }
         }
         let mut out = RowTable::new(self.schema.project(cols));
@@ -232,21 +232,18 @@ impl RowTable {
     pub fn group_sum(&self, key_col: usize, val_col: usize) -> Result<Vec<(i64, f64, u64)>> {
         let mut acc: HashMap<i64, (f64, u64)> = HashMap::new();
         let mut bad = false;
-        self.for_each_row(|row| {
-            match (row[key_col], row[val_col]) {
-                (Value::Int(k), Value::Float(v)) => {
-                    let e = acc.entry(k).or_insert((0.0, 0));
-                    e.0 += v;
-                    e.1 += 1;
-                }
-                _ => bad = true,
+        self.for_each_row(|row| match (row[key_col], row[val_col]) {
+            (Value::Int(k), Value::Float(v)) => {
+                let e = acc.entry(k).or_insert((0.0, 0));
+                e.0 += v;
+                e.1 += 1;
             }
+            _ => bad = true,
         });
         if bad {
             return Err(Error::invalid("group_sum needs Int key and Float value"));
         }
-        let mut out: Vec<(i64, f64, u64)> =
-            acc.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
+        let mut out: Vec<(i64, f64, u64)> = acc.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
         out.sort_unstable_by_key(|&(k, _, _)| k);
         Ok(out)
     }

@@ -78,10 +78,7 @@ impl Schema {
             }
         }
         Ok(Schema {
-            fields: fields
-                .iter()
-                .map(|&(n, t)| (n.to_string(), t))
-                .collect(),
+            fields: fields.iter().map(|&(n, t)| (n.to_string(), t)).collect(),
         })
     }
 

@@ -63,8 +63,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
         });
     }
     let t = (ma - mb) / se2.sqrt();
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     Ok(TTestResult {
         t,
         df,
@@ -95,8 +94,7 @@ mod tests {
     fn welford_matches_two_pass() {
         let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 100.0).collect();
         let m = mean(&xs);
-        let two_pass =
-            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+        let two_pass = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((sample_variance(&xs) - two_pass).abs() < 1e-9);
     }
 

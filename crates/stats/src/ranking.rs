@@ -190,13 +190,19 @@ mod tests {
         let mut state = 0x1234_5678_u64;
         let values: Vec<f64> = (0..3 * super::SORT_CHUNK + 17)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) % 257) as f64 - 128.0
             })
             .collect();
         let serial = rank_sort_indices(&values);
         for threads in [1, 2, 8] {
-            assert_eq!(rank_sort_indices_par(&values, threads), serial, "threads={threads}");
+            assert_eq!(
+                rank_sort_indices_par(&values, threads),
+                serial,
+                "threads={threads}"
+            );
             assert_eq!(average_ranks_par(&values, threads), average_ranks(&values));
         }
     }

@@ -180,7 +180,15 @@ pub fn wilcoxon_exact_p(group1: &[f64], group2: &[f64]) -> Result<f64> {
         );
         chosen[start] = false;
         recurse(
-            ranks, chosen, start + 1, left, n1, mean_u, observed_dev, extreme, total,
+            ranks,
+            chosen,
+            start + 1,
+            left,
+            n1,
+            mean_u,
+            observed_dev,
+            extreme,
+            total,
         );
     }
     recurse(
@@ -276,7 +284,10 @@ mod tests {
         let g1 = [1.0, 1.0, 1.0, 2.0];
         let g2 = [1.0, 2.0, 2.0, 2.0];
         let r = wilcoxon_rank_sum(&g1, &g2).unwrap();
-        assert!(r.p_value > 0.05, "heavily tied small sample not significant");
+        assert!(
+            r.p_value > 0.05,
+            "heavily tied small sample not significant"
+        );
     }
 
     #[test]

@@ -100,13 +100,15 @@ pub fn parse_row(line: &str, float_mask: &[bool], out: &mut Vec<CsvField>) -> Re
         };
         let t = field.trim();
         if is_float {
-            out.push(CsvField::Float(t.parse().map_err(|_| {
-                Error::invalid(format!("bad float field {t:?}"))
-            })?));
+            out.push(CsvField::Float(
+                t.parse()
+                    .map_err(|_| Error::invalid(format!("bad float field {t:?}")))?,
+            ));
         } else {
-            out.push(CsvField::Int(t.parse().map_err(|_| {
-                Error::invalid(format!("bad int field {t:?}"))
-            })?));
+            out.push(CsvField::Int(
+                t.parse()
+                    .map_err(|_| Error::invalid(format!("bad int field {t:?}")))?,
+            ));
         }
         n += 1;
     }
@@ -231,9 +233,6 @@ mod tests {
                 CsvField::Int(i64::MAX),
             ],
         );
-        assert_eq!(
-            text.trim_end(),
-            format!("0,{},{}", i64::MIN + 1, i64::MAX)
-        );
+        assert_eq!(text.trim_end(), format!("0,{},{}", i64::MIN + 1, i64::MAX));
     }
 }

@@ -86,8 +86,8 @@ pub fn read_frame_opt(r: &mut impl Read) -> Result<Option<Json>> {
             Err(e) => return Err(Error::invalid(format!("read frame payload: {e}"))),
         }
     }
-    let text = std::str::from_utf8(&payload)
-        .map_err(|_| Error::invalid("frame payload is not UTF-8"))?;
+    let text =
+        std::str::from_utf8(&payload).map_err(|_| Error::invalid("frame payload is not UTF-8"))?;
     Json::parse(text).map(Some)
 }
 

@@ -252,8 +252,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos])
-        .map_err(|_| Error::invalid("non-UTF8 number"))?;
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::invalid("non-UTF8 number"))?;
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| Error::invalid(format!("bad number {text:?} at offset {start}")))
@@ -329,7 +329,12 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json> {
                 *pos += 1;
                 return Ok(Json::Arr(items));
             }
-            _ => return Err(Error::invalid(format!("expected , or ] at offset {}", *pos))),
+            _ => {
+                return Err(Error::invalid(format!(
+                    "expected , or ] at offset {}",
+                    *pos
+                )))
+            }
         }
     }
 }
@@ -356,7 +361,12 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json> {
                 *pos += 1;
                 return Ok(Json::Obj(pairs));
             }
-            _ => return Err(Error::invalid(format!("expected , or }} at offset {}", *pos))),
+            _ => {
+                return Err(Error::invalid(format!(
+                    "expected , or }} at offset {}",
+                    *pos
+                )))
+            }
         }
     }
 }
@@ -406,7 +416,15 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "{\"a\":1}x", "\"\\u12\""] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "{\"a\":1}x",
+            "\"\\u12\"",
+        ] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
         }
     }

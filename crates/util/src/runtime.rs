@@ -413,7 +413,10 @@ mod tests {
             rt.run(4, 64, &|i| {
                 total.fetch_add(i as u64 + round, Ordering::Relaxed);
             });
-            assert_eq!(total.load(Ordering::Relaxed), (0..64).sum::<u64>() + 64 * round);
+            assert_eq!(
+                total.load(Ordering::Relaxed),
+                (0..64).sum::<u64>() + 64 * round
+            );
         }
     }
 

@@ -57,6 +57,15 @@ impl SimClock {
         self.inner.nanos.load(Ordering::Relaxed) as f64 / 1e9
     }
 
+    /// Total simulated nanoseconds so far, as the raw integer counter.
+    ///
+    /// Per-operator cost tracing snapshots this before and after each op:
+    /// integer deltas sum exactly, so a trace's per-phase rollup reproduces
+    /// the phase total bit-for-bit (f64 deltas would not).
+    pub fn nanos(&self) -> u64 {
+        self.inner.nanos.load(Ordering::Relaxed)
+    }
+
     /// Total bytes charged through [`SimClock::charge_transfer`].
     pub fn bytes(&self) -> u64 {
         self.inner.bytes.load(Ordering::Relaxed)

@@ -11,8 +11,8 @@ use genbase::prelude::*;
 use genbase_datagen::{generate, GeneratorConfig, SizeSpec};
 
 fn main() {
-    let data = generate(&GeneratorConfig::new(SizeSpec::custom(480, 480, 40)))
-        .expect("generate dataset");
+    let data =
+        generate(&GeneratorConfig::new(SizeSpec::custom(480, 480, 40))).expect("generate dataset");
     let params = QueryParams::for_dataset(&data);
     let query = Query::Regression; // the one task all systems finished
 
@@ -36,10 +36,8 @@ fn main() {
             let report = engine
                 .run(query, &data, &params, &ctx)
                 .expect("bench-scale runs complete");
-            let wall = report.phases.data_management.wall_secs
-                + report.phases.analytics.wall_secs;
-            let sim = report.phases.data_management.sim_secs
-                + report.phases.analytics.sim_secs;
+            let wall = report.phases.data_management.wall_secs + report.phases.analytics.wall_secs;
+            let sim = report.phases.data_management.sim_secs + report.phases.analytics.sim_secs;
             println!(
                 "{:<22} {:>8} {:>12} {:>12} {:>12}",
                 engine.name(),

@@ -11,8 +11,8 @@ use genbase_datagen::{generate, GeneratorConfig, SizeSpec};
 use std::collections::HashSet;
 
 fn main() {
-    let data = generate(&GeneratorConfig::new(SizeSpec::custom(360, 320, 30)))
-        .expect("generate dataset");
+    let data =
+        generate(&GeneratorConfig::new(SizeSpec::custom(360, 320, 30))).expect("generate dataset");
     let params = QueryParams::for_dataset(&data);
     let ctx = ExecContext::single_node();
     let engine = engines::SciDb::new();

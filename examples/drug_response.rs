@@ -10,8 +10,8 @@ use genbase::prelude::*;
 use genbase_datagen::{generate, GeneratorConfig, SizeSpec};
 
 fn main() {
-    let data = generate(&GeneratorConfig::new(SizeSpec::custom(400, 300, 30)))
-        .expect("generate dataset");
+    let data =
+        generate(&GeneratorConfig::new(SizeSpec::custom(400, 300, 30))).expect("generate dataset");
     let params = QueryParams::for_dataset(&data);
     let ctx = ExecContext::single_node();
 

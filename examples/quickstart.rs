@@ -27,7 +27,10 @@ fn main() {
     let ctx = ExecContext::single_node();
 
     // 3. Run the five queries and print the paper's phase split.
-    println!("\n{:<14} {:>12} {:>12}  result", "query", "data mgmt", "analytics");
+    println!(
+        "\n{:<14} {:>12} {:>12}  result",
+        "query", "data mgmt", "analytics"
+    );
     for query in Query::ALL {
         let report = engine
             .run(query, &data, &params, &ctx)

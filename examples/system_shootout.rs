@@ -17,8 +17,8 @@ fn main() {
         Some("statistics") => Query::Statistics,
         _ => Query::Regression,
     };
-    let data = generate(&GeneratorConfig::new(SizeSpec::custom(360, 360, 30)))
-        .expect("generate dataset");
+    let data =
+        generate(&GeneratorConfig::new(SizeSpec::custom(360, 360, 30))).expect("generate dataset");
     let params = QueryParams::for_dataset(&data);
     let ctx = ExecContext::single_node();
 
@@ -31,7 +31,10 @@ fn main() {
     let mut results: Vec<(String, f64, f64, String)> = Vec::new();
     for engine in engines::single_node_engines() {
         if !engine.supports(query) {
-            println!("{:<22} (functionality missing — no bar, as in the paper)", engine.name());
+            println!(
+                "{:<22} (functionality missing — no bar, as in the paper)",
+                engine.name()
+            );
             continue;
         }
         let report = engine
@@ -45,7 +48,10 @@ fn main() {
         ));
     }
     results.sort_by(|a, b| (a.1 + a.2).partial_cmp(&(b.1 + b.2)).expect("finite"));
-    println!("\n{:<22} {:>11} {:>11} {:>11}", "system", "total", "data mgmt", "analytics");
+    println!(
+        "\n{:<22} {:>11} {:>11} {:>11}",
+        "system", "total", "data mgmt", "analytics"
+    );
     println!("{}", "-".repeat(60));
     for (name, dm, an, _) in &results {
         println!(

@@ -40,7 +40,13 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.to_string(), 10, Duration::from_millis(100), Duration::from_secs(1), &mut f);
+        run_one(
+            &id.to_string(),
+            10,
+            Duration::from_millis(100),
+            Duration::from_secs(1),
+            &mut f,
+        );
         self
     }
 }
@@ -79,7 +85,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id);
-        run_one(&label, self.sample_size, self.warm_up, self.measurement, &mut f);
+        run_one(
+            &label,
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            &mut f,
+        );
         self
     }
 

@@ -141,7 +141,11 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     type Value = (A::Value, B::Value, C::Value);
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
     }
 }
 
@@ -164,7 +168,10 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end }
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
         }
     }
 
@@ -187,7 +194,12 @@ pub mod collection {
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.max - self.size.min) as u64;
-            let len = self.size.min + if span > 0 { rng.below(span) as usize } else { 0 };
+            let len = self.size.min
+                + if span > 0 {
+                    rng.below(span) as usize
+                } else {
+                    0
+                };
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }

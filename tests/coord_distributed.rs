@@ -83,10 +83,8 @@ fn two_worker_coordinated_sweep_is_byte_identical_to_serial() {
 
 #[test]
 fn killed_worker_leases_are_reissued_and_the_sweep_completes() {
-    let ckpt = std::env::temp_dir().join(format!(
-        "genbase-coord-relase-{}.json",
-        std::process::id()
-    ));
+    let ckpt =
+        std::env::temp_dir().join(format!("genbase-coord-relase-{}.json", std::process::id()));
     let _ = std::fs::remove_file(&ckpt);
     let coordinator = Coordinator::bind(
         "127.0.0.1:0",
@@ -122,7 +120,10 @@ fn killed_worker_leases_are_reissued_and_the_sweep_completes() {
     let report = run_worker(addr, sim_config(), Duration::from_secs(10)).unwrap();
     let outcome = serve.join().unwrap().unwrap();
 
-    assert!(outcome.reissued >= 1, "dead worker's lease must be re-issued");
+    assert!(
+        outcome.reissued >= 1,
+        "dead worker's lease must be re-issued"
+    );
     assert_eq!(outcome.executed, outcome.planned);
     assert_eq!(report.completed, outcome.planned);
     assert!(

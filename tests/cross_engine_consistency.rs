@@ -77,7 +77,12 @@ fn regression_recovers_planted_signal() {
         .run(Query::Regression, &data, &params, &ctx)
         .unwrap()
         .output;
-    let QueryOutput::Regression { r_squared, coefficients, .. } = out else {
+    let QueryOutput::Regression {
+        r_squared,
+        coefficients,
+        ..
+    } = out
+    else {
         panic!("wrong output kind")
     };
     // The generator plants a strong linear model over causal genes that all
@@ -86,7 +91,12 @@ fn regression_recovers_planted_signal() {
     // Causal genes should carry the largest |coefficients|.
     let mut ranked = coefficients.clone();
     ranked.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
-    let causal: Vec<i64> = data.truth.causal_genes.iter().map(|&(g, _)| g as i64).collect();
+    let causal: Vec<i64> = data
+        .truth
+        .causal_genes
+        .iter()
+        .map(|&(g, _)| g as i64)
+        .collect();
     let top_hits = ranked
         .iter()
         .take(causal.len())

@@ -52,7 +52,10 @@ fn multi_node_cutoff_propagates_from_worker_threads() {
     let err = engine
         .run(Query::Covariance, &data, &params, &ctx)
         .unwrap_err();
-    assert!(err.is_infinite_result(), "worker timeout must surface: {err}");
+    assert!(
+        err.is_infinite_result(),
+        "worker timeout must surface: {err}"
+    );
 }
 
 #[test]
@@ -63,9 +66,7 @@ fn oom_during_r_load_is_clean_and_repeatable() {
     ctx.r_mem_bytes = Some(100_000); // far below the ~2.2 MB load peak
     let engine = engines::VanillaR::new();
     for _ in 0..3 {
-        let err = engine
-            .run(Query::Svd, &data, &params, &ctx)
-            .unwrap_err();
+        let err = engine.run(Query::Svd, &data, &params, &ctx).unwrap_err();
         assert!(err.is_infinite_result());
     }
     // Recovery: a sane budget succeeds afterwards (no leaked accounting).
@@ -85,7 +86,10 @@ fn oom_in_export_bridge_r_side() {
     let err = engines::PostgresR::new()
         .run(Query::Covariance, &data, &params, &ctx)
         .unwrap_err();
-    assert!(err.is_infinite_result(), "R-side OOM must be infinite: {err}");
+    assert!(
+        err.is_infinite_result(),
+        "R-side OOM must be infinite: {err}"
+    );
 }
 
 #[test]
@@ -106,10 +110,8 @@ fn killed_sweep_resumes_from_checkpoint_without_rerunning_cells() {
         }
         .sim_only()
     };
-    let ckpt = std::env::temp_dir().join(format!(
-        "genbase-sweep-resume-{}.json",
-        std::process::id()
-    ));
+    let ckpt =
+        std::env::temp_dir().join(format!("genbase-sweep-resume-{}.json", std::process::id()));
     let _ = std::fs::remove_file(&ckpt);
     let sweep = SweepOptions::default()
         .with_cells_in_flight(2)
@@ -145,7 +147,11 @@ fn killed_sweep_resumes_from_checkpoint_without_rerunning_cells() {
         .run_sweep(&[FigureId::Fig1], SizeClass::Small, &sweep)
         .unwrap();
     assert_eq!(resumed.planned, 35);
-    assert_eq!(resumed.skipped, partial.len(), "checkpointed cells must not rerun");
+    assert_eq!(
+        resumed.skipped,
+        partial.len(),
+        "checkpointed cells must not rerun"
+    );
     assert_eq!(resumed.executed, 35 - partial.len());
 
     // Across both runs, no cell executed twice and every cell executed once.

@@ -64,9 +64,7 @@ fn all_figures_and_tables_render() {
 fn run_matrix_covers_all_cells() {
     let h = micro_harness();
     let engines = genbase::engines::single_node_engines();
-    let records = h
-        .run_matrix(&engines, &genbase::Query::ALL)
-        .unwrap();
+    let records = h.run_matrix(&engines, &genbase::Query::ALL).unwrap();
     // 5 queries x 1 size x 7 engines.
     assert_eq!(records.len(), 35);
     let completed = records

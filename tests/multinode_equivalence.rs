@@ -47,12 +47,22 @@ fn network_time_appears_only_on_multi_node_runs() {
     let params = QueryParams::for_dataset(&data);
     let engine = engines::SciDb::new();
     let single = engine
-        .run(Query::Covariance, &data, &params, &ExecContext::single_node())
+        .run(
+            Query::Covariance,
+            &data,
+            &params,
+            &ExecContext::single_node(),
+        )
         .unwrap();
     let sim1 = single.phases.data_management.sim_secs + single.phases.analytics.sim_secs;
     assert_eq!(sim1, 0.0, "single node must not charge network time");
     let multi = engine
-        .run(Query::Covariance, &data, &params, &ExecContext::multi_node(4))
+        .run(
+            Query::Covariance,
+            &data,
+            &params,
+            &ExecContext::multi_node(4),
+        )
         .unwrap();
     let sim4 = multi.phases.data_management.sim_secs + multi.phases.analytics.sim_secs;
     assert!(sim4 > 0.0, "4 nodes must charge allreduce traffic");

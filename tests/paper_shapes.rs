@@ -189,8 +189,7 @@ fn phi_accelerates_compute_heavy_queries_not_biclustering() {
             .total_secs()
     };
     let cov_speedup = analytics(&scidb, Query::Covariance) / analytics(&phi, Query::Covariance);
-    let bic_speedup =
-        analytics(&scidb, Query::Biclustering) / analytics(&phi, Query::Biclustering);
+    let bic_speedup = analytics(&scidb, Query::Biclustering) / analytics(&phi, Query::Biclustering);
     assert!(
         cov_speedup > bic_speedup,
         "covariance must benefit more than biclustering: {cov_speedup:.2} vs {bic_speedup:.2}"

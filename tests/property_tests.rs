@@ -3,7 +3,7 @@
 
 use genbase_datagen::{DatasetPool, SizeClass};
 use genbase_linalg::{covariance, gram, matmul, ExecOpts, Matrix, QrFactor};
-use genbase_relational::{ColumnTable, Pred, RowTable, Schema, DataType, Value};
+use genbase_relational::{ColumnTable, DataType, Pred, RowTable, Schema, Value};
 use genbase_stats::{average_ranks, wilcoxon_rank_sum};
 use genbase_util::{csv, Budget};
 use proptest::prelude::*;

@@ -6,8 +6,8 @@
 //! seconds so completed cells are deterministic and whole-output equality
 //! is meaningful.
 
-use genbase::prelude::*;
 use genbase::figures;
+use genbase::prelude::*;
 use genbase_datagen::SizeClass;
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -123,7 +123,12 @@ fn every_figure_renders_identically_from_one_shared_sweep() {
         let got = figures::render(fig, sched.harness(), SizeClass::Small, &outcome.grid)
             .unwrap()
             .render();
-        assert_eq!(got, expect.render(), "{} drifted from the serial path", fig.name());
+        assert_eq!(
+            got,
+            expect.render(),
+            "{} drifted from the serial path",
+            fig.name()
+        );
     }
 }
 
