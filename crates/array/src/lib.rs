@@ -13,6 +13,11 @@
 //!   indexed by the dimension), whose filters yield coordinate lists;
 //! - subsetting a 2-D array by coordinate lists *is* the join in this model.
 
+// Index-based loops are the idiom throughout these numerical kernels:
+// explicit ranges keep the row/column structure of the math visible, and
+// iterator rewrites would obscure it without changing the generated code.
+#![allow(clippy::needless_range_loop)]
+
 pub mod attribute;
 pub mod chunked;
 

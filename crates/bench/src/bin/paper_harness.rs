@@ -17,6 +17,17 @@
 //!                                threads); for `work`: leased cells the
 //!                                worker multiplexes (default 1)
 //!               [--nodes N]      explain: simulated cluster size (default 1)
+//!               [--json]         explain: machine-readable per-op output
+//!                                (genbase-explain-v1, includes the memory
+//!                                columns)
+//!               [--per-op]       fig2/fig4: stacked per-operator breakdown
+//!                                (seconds + storage-layer bytes moved per
+//!                                operator class) instead of the phase split
+//!               [--mem-budget BYTES]  per-cell storage-layer working-set
+//!                                budget; exhaustion renders as an
+//!                                "infinite" cell, like a cutoff
+//!               [--auth-token T] coordinate/work: shared handshake token
+//!                                (falls back to GENBASE_COORD_TOKEN)
 //!               [--lease-timeout SECS]  coordinate: revoke and re-issue a
 //!                                cell leased longer than this (default:
 //!                                off, EOF-only death detection)
@@ -103,6 +114,10 @@ struct Args {
     bench_out: String,
     nodes: usize,
     lease_timeout_secs: u64,
+    mem_budget: Option<u64>,
+    auth_token: Option<String>,
+    json: bool,
+    per_op: bool,
     positionals: Vec<String>,
 }
 
@@ -130,6 +145,10 @@ fn parse_args() -> Args {
         bench_out: "BENCH_baseline.json".to_string(),
         nodes: 1,
         lease_timeout_secs: 0,
+        mem_budget: None,
+        auth_token: std::env::var("GENBASE_COORD_TOKEN").ok(),
+        json: false,
+        per_op: false,
         positionals: Vec::new(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -234,6 +253,16 @@ fn parse_args() -> Args {
                 i += 1;
                 args.lease_timeout_secs = argv[i].parse().expect("--lease-timeout takes seconds");
             }
+            "--mem-budget" => {
+                i += 1;
+                args.mem_budget = Some(argv[i].parse().expect("--mem-budget takes bytes"));
+            }
+            "--auth-token" => {
+                i += 1;
+                args.auth_token = Some(argv[i].clone());
+            }
+            "--json" => args.json = true,
+            "--per-op" => args.per_op = true,
             what => {
                 // A mistyped flag must not be silently swallowed as a
                 // subcommand argument (or the run proceeds with defaults).
@@ -279,6 +308,7 @@ fn harness_config(args: &Args) -> HarnessConfig {
     if args.sim_only {
         config.timing = TimingMode::SimOnly;
     }
+    config.mem_budget = args.mem_budget;
     config
 }
 
@@ -294,6 +324,7 @@ fn main() {
             config,
             Duration::from_secs(args.connect_window_secs),
             args.jobs.max(1),
+            args.auth_token.clone(),
         )
         .expect("worker");
         eprintln!(
@@ -363,8 +394,7 @@ fn main() {
         }
         let harness = Harness::new(config).expect("harness");
         for &fig in &figs {
-            let figure = figures::render(fig, &harness, args.mn_size, &grid)
-                .unwrap_or_else(|e| panic!("render {}: {e}", fig.name()));
+            let figure = render_figure(fig, &harness, &args, &grid);
             println!("{}", figure.render());
         }
         return;
@@ -409,9 +439,24 @@ fn main() {
         return;
     }
     for &fig in &figs {
-        let figure = figures::render(fig, scheduler.harness(), args.mn_size, &outcome.grid)
-            .unwrap_or_else(|e| panic!("render {}: {e}", fig.name()));
+        let figure = render_figure(fig, scheduler.harness(), &args, &outcome.grid);
         println!("{}", figure.render());
+    }
+}
+
+/// Render one exhibit from a grid, honoring `--per-op` for fig2/fig4.
+fn render_figure(
+    fig: FigureId,
+    harness: &Harness,
+    args: &Args,
+    grid: &ReportGrid,
+) -> figures::Figure {
+    if args.per_op && matches!(fig, FigureId::Fig2 | FigureId::Fig4) {
+        figures::render_per_op(fig, harness, args.mn_size, grid)
+            .unwrap_or_else(|e| panic!("render {} --per-op: {e}", fig.name()))
+    } else {
+        figures::render(fig, harness, args.mn_size, grid)
+            .unwrap_or_else(|e| panic!("render {}: {e}", fig.name()))
     }
 }
 
@@ -426,6 +471,18 @@ fn explain(args: &Args) {
             .unwrap_or_else(|| panic!("unknown query {name:?} (want one of regression/covariance/biclustering/svd/statistics)"))
     });
     let harness = Harness::new(config).expect("harness");
+    if args.json {
+        let json = figures::explain_json(
+            &harness,
+            size,
+            args.nodes.max(1),
+            engine_filter,
+            query_filter,
+        )
+        .expect("explain --json");
+        println!("{json}");
+        return;
+    }
     let figure = figures::explain(
         &harness,
         size,
@@ -451,6 +508,9 @@ fn coordinate(args: &Args) {
     }
     if args.lease_timeout_secs > 0 {
         options = options.with_lease_timeout(Duration::from_secs(args.lease_timeout_secs));
+    }
+    if let Some(token) = &args.auth_token {
+        options = options.with_auth_token(token.clone());
     }
     let coordinator = genbase::coord::Coordinator::bind(
         args.listen.as_str(),
@@ -481,8 +541,7 @@ fn coordinate(args: &Args) {
     }
     let harness = Harness::new(config).expect("harness");
     for &fig in &figs {
-        let figure = figures::render(fig, &harness, args.mn_size, &outcome.grid)
-            .unwrap_or_else(|e| panic!("render {}: {e}", fig.name()));
+        let figure = render_figure(fig, &harness, args, &outcome.grid);
         println!("{}", figure.render());
     }
 }

@@ -263,7 +263,7 @@ fn encode_f64s(data: &[f64]) -> Vec<u8> {
 }
 
 fn decode_f64s(bytes: &[u8]) -> Result<Vec<f64>> {
-    if bytes.len() % 8 != 0 {
+    if !bytes.len().is_multiple_of(8) {
         return Err(Error::invalid("float buffer not a multiple of 8 bytes"));
     }
     Ok(bytes

@@ -15,6 +15,10 @@ use genbase_linalg::{
 use genbase_stats::wilcoxon_rank_sum_par;
 use genbase_util::{Error, Pcg64, Result};
 
+/// Covariance-query intermediate: the threshold plus the qualifying
+/// `(row, col, covariance)` pairs as matrix-column indices.
+pub type CovPairs = (f64, Vec<(usize, usize, f64)>);
+
 /// Deterministic Query 5 patient sample: `count` distinct patient indices
 /// drawn from `0..n`, ascending. Identical on every engine and node.
 pub fn sample_patients(n: usize, count: usize, seed: u64) -> Vec<usize> {
@@ -48,11 +52,7 @@ pub fn fit_regression(
 
 /// Query 2 analytics: covariance matrix, top-fraction threshold, and the
 /// qualifying pairs as matrix-column indices (the caller joins metadata).
-pub fn covariance_pairs(
-    mat: &Matrix,
-    fraction: f64,
-    opts: &ExecOpts,
-) -> Result<(f64, Vec<(usize, usize, f64)>)> {
+pub fn covariance_pairs(mat: &Matrix, fraction: f64, opts: &ExecOpts) -> Result<CovPairs> {
     let cov = covariance(mat, opts)?;
     Ok(pairs_from_cov(&cov, fraction))
 }

@@ -30,8 +30,8 @@
 //!   requester. Completed cells are already in the grid (and in the
 //!   checkpoint file, when configured), so no work is lost and none
 //!   repeats. (A machine that vanishes *without* a TCP reset — power
-//!   loss, hard partition — is not detected until its connection errors;
-//!   per-lease deadlines are a ROADMAP item.)
+//!   loss, hard partition — is not detected until its connection errors
+//!   unless a `--lease-timeout` deadline is configured.)
 //! - **Checkpoint reuse:** the coordinator persists the grid through the
 //!   same `--checkpoint` JSON file as a local sweep, after every streamed
 //!   result. A killed coordinator restarts with only the missing cells
@@ -106,6 +106,13 @@ pub struct CoordOptions {
     /// healthy worker past the deadline loses its lease and its connection,
     /// and the cell runs again elsewhere.
     pub lease_timeout: Option<Duration>,
+    /// Shared auth token (`--auth-token` / `GENBASE_COORD_TOKEN`). When
+    /// set, every worker must present the same token in its `hello`;
+    /// a missing or different token is a clean protocol reject during the
+    /// config-fingerprint handshake. `None` disables the check (workers
+    /// presenting a token are then rejected too, so a mismatch is always
+    /// loud rather than silently ignored).
+    pub auth_token: Option<String>,
 }
 
 impl CoordOptions {
@@ -118,6 +125,12 @@ impl CoordOptions {
     /// Revoke and re-issue leases held longer than `timeout`.
     pub fn with_lease_timeout(mut self, timeout: Duration) -> CoordOptions {
         self.lease_timeout = Some(timeout);
+        self
+    }
+
+    /// Require workers to present `token` at the handshake.
+    pub fn with_auth_token(mut self, token: impl Into<String>) -> CoordOptions {
+        self.auth_token = Some(token.into());
         self
     }
 }
@@ -180,6 +193,8 @@ impl State {
 struct Shared {
     state: Mutex<State>,
     fingerprint: String,
+    /// Required worker auth token, when configured.
+    auth_token: Option<String>,
     checkpoint: Option<PathBuf>,
     /// Serializes checkpoint render+write+rename: a writer renders the
     /// grid *inside* this lock, so renames land in render order and a
@@ -292,6 +307,7 @@ impl Coordinator {
                 reissue_counts: HashMap::new(),
             }),
             fingerprint: self.fingerprint.clone(),
+            auth_token: self.options.auth_token.clone(),
             checkpoint: self.options.checkpoint.clone(),
             checkpoint_io: Mutex::new(()),
             lease_timeout: self.options.lease_timeout,
@@ -537,6 +553,24 @@ fn handshake(stream: &mut TcpStream, worker: u64, shared: &Shared) -> Result<()>
             )
         }
     }
+    // Auth runs *before* the fingerprint comparison: an unauthenticated
+    // peer must learn nothing about the sweep configuration (the
+    // fingerprint reject below echoes scale/seed/budget details). Both
+    // sides must agree on the token, including on its absence — a worker
+    // waving a token at an auth-less coordinator is as misconfigured as
+    // the reverse. The token itself never echoes back in the reason.
+    let presented = hello.get("token").and_then(Json::as_str);
+    if presented != shared.auth_token.as_deref() {
+        let reason = if shared.auth_token.is_some() {
+            "auth token mismatch; start the worker with the coordinator's \
+             --auth-token (or GENBASE_COORD_TOKEN)"
+        } else {
+            "auth token mismatch: this coordinator has no --auth-token \
+             configured; unset the worker's --auth-token / \
+             GENBASE_COORD_TOKEN (or start the coordinator with one)"
+        };
+        return reject(stream, reason.to_string());
+    }
     match hello.get("config").and_then(Json::as_str) {
         Some(have) if have == shared.fingerprint => {}
         have => {
@@ -693,7 +727,7 @@ pub fn run_worker(
     config: HarnessConfig,
     connect_window: Duration,
 ) -> Result<WorkerReport> {
-    run_worker_jobs(addr, config, connect_window, 1)
+    run_worker_jobs(addr, config, connect_window, 1, None)
 }
 
 /// [`run_worker`] with `jobs` cells in flight: one worker process opens
@@ -710,19 +744,23 @@ pub fn run_worker_jobs(
     config: HarnessConfig,
     connect_window: Duration,
     jobs: usize,
+    auth_token: Option<String>,
 ) -> Result<WorkerReport> {
     let jobs = jobs.max(1);
     let threads = (config.threads / jobs).max(1);
     let scheduler = Scheduler::new(config)?;
+    let auth = auth_token.as_deref();
     if jobs == 1 {
-        return worker_connection(addr, &scheduler, threads, connect_window);
+        return worker_connection(addr, &scheduler, threads, connect_window, auth);
     }
     let scheduler = &scheduler;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 let addr = addr.clone();
-                scope.spawn(move || worker_connection(addr, scheduler, threads, connect_window))
+                scope.spawn(move || {
+                    worker_connection(addr, scheduler, threads, connect_window, auth)
+                })
             })
             .collect();
         let mut report = WorkerReport {
@@ -755,6 +793,7 @@ fn worker_connection(
     scheduler: &Scheduler,
     threads: usize,
     connect_window: Duration,
+    auth_token: Option<&str>,
 ) -> Result<WorkerReport> {
     let deadline = Instant::now() + connect_window;
     let mut stream = loop {
@@ -780,6 +819,9 @@ fn worker_connection(
         "config",
         Json::from(config_fingerprint(scheduler.harness().config()).as_str()),
     );
+    if let Some(token) = auth_token {
+        hello.set("token", Json::from(token));
+    }
     write_frame(&mut stream, &hello)?;
     let welcome = read_frame_opt(&mut stream)?
         .ok_or_else(|| Error::invalid("coordinator closed during handshake"))?;
@@ -987,7 +1029,8 @@ mod tests {
         let addr = coord.local_addr().unwrap();
         let serve = std::thread::spawn(move || coord.serve());
         // One process, two connections, split thread budgets.
-        let report = run_worker_jobs(addr, quick_config(), Duration::from_secs(5), 2).unwrap();
+        let report =
+            run_worker_jobs(addr, quick_config(), Duration::from_secs(5), 2, None).unwrap();
         let outcome = serve.join().unwrap().unwrap();
         assert_eq!(report.completed, outcome.planned);
         assert_eq!(report.failed, 0);
@@ -1031,6 +1074,72 @@ mod tests {
         assert_eq!(outcome.executed, outcome.planned, "every cell ran");
         assert_eq!(report.completed, outcome.planned);
         assert!(outcome.reissued >= 1, "the wedged lease was re-issued");
+    }
+
+    #[test]
+    fn auth_token_checked_at_handshake() {
+        let coord = Coordinator::bind(
+            "127.0.0.1:0",
+            quick_config(),
+            &[FigureId::Fig1],
+            SizeClass::Small,
+            CoordOptions::default().with_auth_token("sweep-secret"),
+        )
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        let serve = std::thread::spawn(move || coord.serve());
+
+        // No token: clean protocol reject, not a hang or a socket error.
+        let err = run_worker(addr, quick_config(), Duration::from_secs(5)).unwrap_err();
+        assert!(err.to_string().contains("auth token mismatch"), "{err}");
+
+        // Wrong token: same clean reject.
+        let err = run_worker_jobs(
+            addr,
+            quick_config(),
+            Duration::from_secs(5),
+            1,
+            Some("wrong".into()),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("auth token mismatch"), "{err}");
+
+        // Matching token drains the sweep.
+        let report = run_worker_jobs(
+            addr,
+            quick_config(),
+            Duration::from_secs(5),
+            1,
+            Some("sweep-secret".into()),
+        )
+        .unwrap();
+        let outcome = serve.join().unwrap().unwrap();
+        assert_eq!(report.completed, outcome.planned);
+    }
+
+    #[test]
+    fn tokenless_coordinator_rejects_token_waving_worker() {
+        let coord = Coordinator::bind(
+            "127.0.0.1:0",
+            quick_config(),
+            &[FigureId::Fig1],
+            SizeClass::Small,
+            CoordOptions::default(),
+        )
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        let serve = std::thread::spawn(move || coord.serve());
+        let err = run_worker_jobs(
+            addr,
+            quick_config(),
+            Duration::from_secs(5),
+            1,
+            Some("unexpected".into()),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("auth token mismatch"), "{err}");
+        run_worker(addr, quick_config(), Duration::from_secs(5)).unwrap();
+        serve.join().unwrap().unwrap();
     }
 
     #[test]

@@ -27,6 +27,12 @@ pub struct ExecContext {
     /// the R side of export bridges). `None` = unlimited. Disk-backed
     /// engines ignore it. Scaled from the paper's 48 GB machines.
     pub r_mem_bytes: Option<u64>,
+    /// Storage-layer working-set budget per cell (`--mem-budget`), enforced
+    /// by the [`genbase_storage::MemTracker`] every engine registers its
+    /// working sets with. `None` = unlimited. Exhaustion is a traced
+    /// "infinite" cell outcome, not an abort. Distinct from `r_mem_bytes`,
+    /// which models the *simulated machine's* R heap.
+    pub mem_budget: Option<u64>,
     /// Inter-node network model.
     pub net: NetModel,
     /// Deterministic-timing mode (the harness's `TimingMode::SimOnly`):
@@ -51,9 +57,16 @@ impl ExecContext {
             nodes: 1,
             cutoff: None,
             r_mem_bytes: None,
+            mem_budget: None,
             net: NetModel::gigabit(),
             deterministic: false,
         }
+    }
+
+    /// The storage-layer allocation tracker for one run under this context
+    /// (fresh per run; carries the `--mem-budget` limit when set).
+    pub fn mem_tracker(&self) -> genbase_storage::MemTracker {
+        genbase_storage::MemTracker::new(self.mem_budget)
     }
 
     /// Multi-node context over `nodes` simulated machines.

@@ -25,6 +25,7 @@ use genbase_linalg::{cholesky::Cholesky, Matrix};
 use genbase_mapreduce::hive::{Cell, HiveTable};
 use genbase_mapreduce::job::JobConfig;
 use genbase_mapreduce::mahout;
+use genbase_storage::MemTracker;
 use genbase_util::{Error, Result};
 use std::collections::HashSet;
 
@@ -59,6 +60,13 @@ impl Hadoop {
         }
         cfg
     }
+}
+
+/// Modeled bytes of a Hive split: every field is a boxed 16-byte [`Cell`]
+/// record (tag + payload), which is exactly the storage profile the
+/// tracker accounts MapReduce working sets at.
+fn hive_bytes(t: &HiveTable) -> u64 {
+    t.rows.iter().map(|r| (r.len() * 16) as u64).sum()
 }
 
 fn triples_table(data: &Dataset) -> HiveTable {
@@ -152,12 +160,16 @@ impl Engine for Hadoop {
         }
         let cfg = self.job_config(ctx);
         let sim = cfg.sim.clone();
+        let mem = ctx.mem_tracker();
+        let triples = triples_table(data); // untimed HDFS residency
+        mem.charge(hive_bytes(&triples))?; // split residency under the tracker
         let backend = MrBackend {
             data,
             params,
             query,
             db_budget: ctx.db_budget(),
-            triples: triples_table(data), // untimed HDFS residency
+            mem: mem.clone(),
+            triples,
             cfg,
             gene_ids: Vec::new(),
             filtered_genes: None,
@@ -167,7 +179,7 @@ impl Engine for Hadoop {
             cov: None,
             output: None,
         };
-        plan::run_plan(backend, query, Tracer::with_sim(sim))
+        plan::run_plan(backend, query, Tracer::with_sim(sim).with_mem(mem))
     }
 }
 
@@ -179,13 +191,14 @@ struct MrBackend<'a> {
     query: Query,
     cfg: JobConfig,
     db_budget: genbase_util::Budget,
+    mem: MemTracker,
     triples: HiveTable,
     gene_ids: Vec<i64>,
     filtered_genes: Option<HiveTable>,
     joined: Option<HiveTable>,
     rows: mahout::RowMatrix,
     scores: Vec<f64>,
-    cov: Option<(f64, Vec<(usize, usize, f64)>)>,
+    cov: Option<analytics::CovPairs>,
     output: Option<QueryOutput>,
 }
 
@@ -204,6 +217,7 @@ impl PhysicalBackend for MrBackend<'_> {
         match op {
             LogicalOp::FilterGenes => {
                 let cfg = &self.cfg;
+                let mem = &self.mem;
                 let thr = params.function_threshold;
                 let (filtered, gene_ids) = tracer.exec(
                     OpKind::Filter,
@@ -211,8 +225,14 @@ impl PhysicalBackend for MrBackend<'_> {
                     format!("MR job: filter genes table on function < {thr}"),
                     || {
                         let genes = genes_table(data);
+                        mem.note_input(hive_bytes(&genes));
                         let filtered =
                             genes.filter(move |r| matches!(r[1], Cell::I(f) if f < thr), cfg)?;
+                        // Intermediate splits stay resident for the run:
+                        // charge them like any other working set (released
+                        // with the run's tracker).
+                        mem.charge(hive_bytes(&filtered))?;
+                        mem.note_output(hive_bytes(&filtered), filtered.rows.len() as u64);
                         let mut gene_ids: Vec<i64> = filtered
                             .rows
                             .iter()
@@ -268,6 +288,7 @@ impl PhysicalBackend for MrBackend<'_> {
             }
             LogicalOp::JoinOnGenes => {
                 let cfg = &self.cfg;
+                let mem = &self.mem;
                 let triples = &self.triples;
                 let filtered = self
                     .filtered_genes
@@ -277,12 +298,19 @@ impl PhysicalBackend for MrBackend<'_> {
                     OpKind::Join,
                     Phase::DataManagement,
                     "MR job: repartition join triples x filtered genes",
-                    || triples.join(0, filtered, 0, cfg),
+                    || {
+                        mem.note_input(hive_bytes(triples) + hive_bytes(filtered));
+                        let joined = triples.join(0, filtered, 0, cfg)?;
+                        mem.charge(hive_bytes(&joined))?;
+                        mem.note_output(hive_bytes(&joined), joined.rows.len() as u64);
+                        Ok(joined)
+                    },
                 )?;
                 self.joined = Some(joined);
             }
             LogicalOp::JoinOnPatients => {
                 let cfg = &self.cfg;
+                let mem = &self.mem;
                 let triples = &self.triples;
                 let sel_set: HashSet<i64> = self.rows.iter().map(|&(p, _)| p).collect();
                 let joined = tracer.exec(
@@ -293,10 +321,14 @@ impl PhysicalBackend for MrBackend<'_> {
                         sel_set.len()
                     ),
                     || {
-                        triples.filter(
+                        mem.note_input(hive_bytes(triples));
+                        let joined = triples.filter(
                             move |r| matches!(r[1], Cell::I(p) if sel_set.contains(&p)),
                             cfg,
-                        )
+                        )?;
+                        mem.charge(hive_bytes(&joined))?;
+                        mem.note_output(hive_bytes(&joined), joined.rows.len() as u64);
+                        Ok(joined)
                     },
                 )?;
                 self.joined = Some(joined);
@@ -305,6 +337,7 @@ impl PhysicalBackend for MrBackend<'_> {
             LogicalOp::JoinGoTerms => {}
             LogicalOp::Restructure => {
                 let cfg = &self.cfg;
+                let mem = &self.mem;
                 let joined = self.joined()?;
                 let gene_ids: Vec<i64> = if self.gene_ids.is_empty() {
                     (0..data.n_genes() as i64).collect()
@@ -317,6 +350,7 @@ impl PhysicalBackend for MrBackend<'_> {
                     Phase::DataManagement,
                     "MR job: group triples into per-patient dense vectors",
                     || {
+                        mem.note_input(hive_bytes(joined));
                         let mut rows = rows_by_patient(joined, &gene_ids, cfg)?;
                         if attach_y {
                             // Attach the target (driver-side small join with
@@ -325,6 +359,10 @@ impl PhysicalBackend for MrBackend<'_> {
                                 vec.push(data.patients[*p as usize].drug_response);
                             }
                         }
+                        let out_bytes: u64 =
+                            rows.iter().map(|(_, v)| (v.len() * 8 + 8) as u64).sum();
+                        mem.charge(out_bytes)?;
+                        mem.note_output(out_bytes, rows.len() as u64);
                         Ok(rows)
                     },
                 )?;
@@ -333,6 +371,7 @@ impl PhysicalBackend for MrBackend<'_> {
             }
             LogicalOp::GroupAgg => {
                 let cfg = &self.cfg;
+                let mem = &self.mem;
                 let joined = self.joined()?;
                 let n_genes = data.n_genes();
                 let scores = tracer.exec(
@@ -340,6 +379,8 @@ impl PhysicalBackend for MrBackend<'_> {
                     Phase::DataManagement,
                     "MR job: group-sum by gene over the sample",
                     || {
+                        mem.note_input(hive_bytes(joined));
+                        mem.note_output((n_genes * 8) as u64, n_genes as u64);
                         let groups = joined.group_sum(0, 2, cfg)?;
                         let mut scores = vec![0.0; n_genes];
                         for (g, s, c) in groups {

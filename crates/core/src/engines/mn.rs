@@ -32,7 +32,8 @@ use genbase_cluster::{
 };
 use genbase_datagen::Dataset;
 use genbase_linalg::{lanczos_topk, ExecOpts, Matrix};
-use genbase_relational::{ColumnData, ColumnTable, DataType, Schema};
+use genbase_relational::{DataType, Schema};
+use genbase_storage::{self as storage, Column, ColumnarTable, MemDelta, MemTracker};
 use genbase_util::{csv, Budget, Error, Result};
 
 /// Which multi-node configuration is running.
@@ -48,11 +49,14 @@ pub enum MnFlavor {
     Pbdr,
 }
 
-/// Per-node storage in the flavor's native format.
+/// Per-node storage, held in the unified storage layer: a dense band
+/// (pbdR), a chunked band (SciDB), or a columnar triple band (the column
+/// stores). Every representation registers with the node's [`MemTracker`],
+/// and the selects below go through the shared conversion kernels.
 enum LocalStore {
     Pbdr { mat: Matrix },
     SciDb { arr: Array2D },
-    Column { triples: ColumnTable },
+    Column { triples: ColumnarTable },
 }
 
 impl LocalStore {
@@ -61,16 +65,19 @@ impl LocalStore {
         data: &Dataset,
         band: std::ops::Range<usize>,
         budget: &Budget,
+        mem: &MemTracker,
     ) -> Result<LocalStore> {
         let rows: Vec<usize> = band.clone().collect();
         match flavor {
-            MnFlavor::Pbdr => Ok(LocalStore::Pbdr {
-                mat: data.expression.select_rows(&rows),
-            }),
+            MnFlavor::Pbdr => {
+                let mat = data.expression.select_rows(&rows);
+                mem.charge(mat.heap_bytes())?;
+                Ok(LocalStore::Pbdr { mat })
+            }
             MnFlavor::SciDb => {
                 let band_mat = data.expression.select_rows(&rows);
                 Ok(LocalStore::SciDb {
-                    arr: Array2D::from_matrix(&band_mat, budget)?,
+                    arr: storage::chunked_from_dense(mem, &band_mat, budget)?,
                 })
             }
             MnFlavor::ColumnUdf | MnFlavor::ColumnPbdr => {
@@ -92,12 +99,13 @@ impl LocalStore {
                     ("value", DataType::Float),
                 ])?;
                 Ok(LocalStore::Column {
-                    triples: ColumnTable::from_columns(
+                    triples: ColumnarTable::from_columns(
+                        mem,
                         schema,
                         vec![
-                            ColumnData::Ints(gene_col),
-                            ColumnData::Ints(patient_col),
-                            ColumnData::Floats(value_col),
+                            Column::Ints(gene_col),
+                            Column::Ints(patient_col),
+                            Column::Floats(value_col),
                         ],
                     )?,
                 })
@@ -106,40 +114,41 @@ impl LocalStore {
     }
 
     /// Local band restricted to the given gene columns (Query 1/4 DM).
+    /// The columnar flavor pivots its triple band straight through the
+    /// storage layer's dense kernel: the id maps *are* the semijoin.
     fn select_cols(
         &self,
         cols: &[usize],
         band: &std::ops::Range<usize>,
         threads: usize,
         budget: &Budget,
+        mem: &MemTracker,
     ) -> Result<Matrix> {
-        match self {
-            LocalStore::Pbdr { mat } => Ok(mat.select_cols(cols)),
+        let local = match self {
+            LocalStore::Pbdr { mat } => storage::select_cols_tracked(mem, mat, cols),
             LocalStore::SciDb { arr } => {
                 let rows: Vec<usize> = (0..arr.rows()).collect();
-                arr.select_to_matrix_par(&rows, cols, threads, budget)
+                storage::gather_chunked(arr, &rows, cols, threads, mem, budget)?
             }
             LocalStore::Column { triples } => {
                 let gene_ids: Vec<i64> = cols.iter().map(|&c| c as i64).collect();
-                let key_schema = Schema::new(&[("gene_id", DataType::Int)])?;
-                let build = ColumnTable::from_columns(
-                    key_schema,
-                    vec![ColumnData::Ints(gene_ids.clone())],
-                )?;
-                let joined = triples.hash_join(0, &build, 0, budget)?;
                 let patient_ids: Vec<i64> = band.clone().map(|p| p as i64).collect();
-                let dense = genbase_relational::pivot_to_dense(
-                    &joined,
-                    1,
-                    0,
-                    2,
+                storage::pivot_dense(
+                    &triples.view(),
+                    (1, 0, 2),
                     &patient_ids,
                     &gene_ids,
+                    threads,
+                    mem,
                     budget,
-                )?;
-                Matrix::from_vec(dense.rows, dense.cols, dense.data)
+                )?
             }
-        }
+        };
+        // The local working set stays resident through the distributed
+        // kernel: charge it like the single-node engines' DenseHandles
+        // (released with the node's tracker).
+        mem.charge(local.heap_bytes())?;
+        Ok(local)
     }
 
     /// Local band restricted to the given *local* row positions over all
@@ -151,52 +160,63 @@ impl LocalStore {
         n_genes: usize,
         threads: usize,
         budget: &Budget,
+        mem: &MemTracker,
     ) -> Result<Matrix> {
-        match self {
-            LocalStore::Pbdr { mat } => Ok(mat.select_rows(local_rows)),
+        let local = match self {
+            LocalStore::Pbdr { mat } => storage::select_rows_tracked(mem, mat, local_rows),
             LocalStore::SciDb { arr } => {
                 let cols: Vec<usize> = (0..n_genes).collect();
-                arr.select_to_matrix_par(local_rows, &cols, threads, budget)
+                storage::gather_chunked(arr, local_rows, &cols, threads, mem, budget)?
             }
             LocalStore::Column { triples } => {
                 let patient_ids: Vec<i64> = local_rows
                     .iter()
                     .map(|&r| (band.start + r) as i64)
                     .collect();
-                let key_schema = Schema::new(&[("patient_id", DataType::Int)])?;
-                let build = ColumnTable::from_columns(
-                    key_schema,
-                    vec![ColumnData::Ints(patient_ids.clone())],
-                )?;
-                let joined = triples.hash_join(1, &build, 0, budget)?;
                 let gene_ids: Vec<i64> = (0..n_genes as i64).collect();
-                let dense = genbase_relational::pivot_to_dense(
-                    &joined,
-                    1,
-                    0,
-                    2,
+                storage::pivot_dense(
+                    &triples.view(),
+                    (1, 0, 2),
                     &patient_ids,
                     &gene_ids,
+                    threads,
+                    mem,
                     budget,
-                )?;
-                Matrix::from_vec(dense.rows, dense.cols, dense.data)
+                )?
             }
-        }
+        };
+        // See select_cols: the local band selection is kernel-resident.
+        mem.charge(local.heap_bytes())?;
+        Ok(local)
     }
 }
 
 /// Column store + pbdR exports each node's filtered matrix as CSV text into
 /// the R runtime; this is that round trip (bit-exact, but not free).
-fn maybe_export_to_r(flavor: MnFlavor, mat: Matrix, budget: &Budget) -> Result<Matrix> {
+fn maybe_export_to_r(
+    flavor: MnFlavor,
+    mat: Matrix,
+    budget: &Budget,
+    mem: &MemTracker,
+) -> Result<Matrix> {
     if flavor != MnFlavor::ColumnPbdr || mat.rows() == 0 {
         // Nothing to export on an empty local selection (and CSV text
         // cannot carry the column count of a zero-row matrix).
         return Ok(mat);
     }
     budget.check("pbdR export")?;
+    mem.note_input(mat.heap_bytes());
     let text = csv::write_matrix(mat.data(), mat.rows(), mat.cols());
+    mem.note_output(text.len() as u64, mat.rows() as u64);
     let (data, rows, cols) = csv::parse_matrix(&text)?;
-    Matrix::from_vec(rows, cols, data)
+    mem.note_input(text.len() as u64);
+    let out = Matrix::from_vec(rows, cols, data)?;
+    // The parsed copy replaces the exported matrix (same shape): swap the
+    // residency charge rather than double-counting.
+    mem.release(mat.heap_bytes());
+    mem.charge(out.heap_bytes())?;
+    mem.note_output(out.heap_bytes(), out.rows() as u64);
+    Ok(out)
 }
 
 struct NodeOut {
@@ -204,6 +224,7 @@ struct NodeOut {
     dm_sim: f64,
     an_wall: f64,
     an_sim: f64,
+    dm_mem: MemDelta,
     output: Option<QueryOutput>,
 }
 
@@ -223,14 +244,20 @@ pub fn run_multinode(
     let (results, _) = cluster.run(|nctx: &mut NodeCtx| -> Result<NodeOut> {
         let band = bands_ref[nctx.rank()].clone();
         let budget = ctx.db_budget();
+        // Each simulated node holds its working sets under its own
+        // storage-layer tracker (per-node `--mem-budget`); the critical-path
+        // trace reports the per-node maximum, matching the time combination.
+        let mem = MemTracker::new(ctx.mem_budget);
         let opts = ExecOpts::with_threads(threads).with_budget(budget.clone());
-        let store = LocalStore::build(flavor, data, band.clone(), &budget)?; // untimed
+        let store = LocalStore::build(flavor, data, band.clone(), &budget, &mem)?; // untimed
+        let dm_scope = mem.op_begin();
         let root = nctx.rank() == 0;
         let mut out = NodeOut {
             dm_wall: 0.0,
             dm_sim: 0.0,
             an_wall: 0.0,
             an_sim: 0.0,
+            dm_mem: MemDelta::default(),
             output: None,
         };
         let sim = nctx.sim.clone();
@@ -246,8 +273,8 @@ pub fn run_multinode(
                 if cols.is_empty() {
                     return Err(Error::invalid("gene filter selected nothing"));
                 }
-                let local_x = store.select_cols(&cols, &band, threads, &budget)?;
-                let local_x = maybe_export_to_r(flavor, local_x, &budget)?;
+                let local_x = store.select_cols(&cols, &band, threads, &budget, &mem)?;
+                let local_x = maybe_export_to_r(flavor, local_x, &budget, &mem)?;
                 let local_y: Vec<f64> = band
                     .clone()
                     .map(|p| data.patients[p].drug_response)
@@ -302,9 +329,15 @@ pub fn run_multinode(
                     .filter(|&p| data.patients[p].disease_id == params.disease_id)
                     .map(|p| p - band.start)
                     .collect();
-                let local_sel =
-                    store.select_rows(&local_rows, &band, data.n_genes(), threads, &budget)?;
-                let local_sel = maybe_export_to_r(flavor, local_sel, &budget)?;
+                let local_sel = store.select_rows(
+                    &local_rows,
+                    &band,
+                    data.n_genes(),
+                    threads,
+                    &budget,
+                    &mem,
+                )?;
+                let local_sel = maybe_export_to_r(flavor, local_sel, &budget, &mem)?;
                 out.dm_wall = clock.secs();
                 out.dm_sim = sim.total_secs();
 
@@ -345,9 +378,15 @@ pub fn run_multinode(
                     })
                     .map(|p| p - band.start)
                     .collect();
-                let local_sel =
-                    store.select_rows(&local_rows, &band, data.n_genes(), threads, &budget)?;
-                let local_sel = maybe_export_to_r(flavor, local_sel, &budget)?;
+                let local_sel = store.select_rows(
+                    &local_rows,
+                    &band,
+                    data.n_genes(),
+                    threads,
+                    &budget,
+                    &mem,
+                )?;
+                let local_sel = maybe_export_to_r(flavor, local_sel, &budget, &mem)?;
                 // Gather the filtered submatrix to the root (with the ids).
                 let ids_f64: Vec<f64> = local_rows
                     .iter()
@@ -395,8 +434,8 @@ pub fn run_multinode(
                 if cols.is_empty() {
                     return Err(Error::invalid("gene filter selected nothing"));
                 }
-                let local_x = store.select_cols(&cols, &band, threads, &budget)?;
-                let local_x = maybe_export_to_r(flavor, local_x, &budget)?;
+                let local_x = store.select_cols(&cols, &band, threads, &budget, &mem)?;
+                let local_x = maybe_export_to_r(flavor, local_x, &budget, &mem)?;
                 out.dm_wall = clock.secs();
                 out.dm_sim = sim.total_secs();
 
@@ -421,9 +460,15 @@ pub fn run_multinode(
                     .filter(|&&p| band.contains(&p))
                     .map(|&p| p - band.start)
                     .collect();
-                let local_sel =
-                    store.select_rows(&local_rows, &band, data.n_genes(), threads, &budget)?;
-                let local_sel = maybe_export_to_r(flavor, local_sel, &budget)?;
+                let local_sel = store.select_rows(
+                    &local_rows,
+                    &band,
+                    data.n_genes(),
+                    threads,
+                    &budget,
+                    &mem,
+                )?;
+                let local_sel = maybe_export_to_r(flavor, local_sel, &budget, &mem)?;
                 out.dm_wall = clock.secs();
                 out.dm_sim = sim.total_secs();
 
@@ -445,18 +490,24 @@ pub fn run_multinode(
                 out.an_sim = sim.total_secs() - out.dm_sim;
             }
         }
+        out.dm_mem = mem.op_delta(dm_scope);
         Ok(out)
     })?;
 
     // Critical-path combination: max across nodes per phase; output from
     // the root.
     let (mut dm_wall, mut dm_sim, mut an_wall, mut an_sim) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut dm_mem = MemDelta::default();
     let mut output = None;
     for node in results {
         dm_wall = dm_wall.max(node.dm_wall);
         dm_sim = dm_sim.max(node.dm_sim);
         an_wall = an_wall.max(node.an_wall);
         an_sim = an_sim.max(node.an_sim);
+        dm_mem.bytes_in = dm_mem.bytes_in.max(node.dm_mem.bytes_in);
+        dm_mem.bytes_out = dm_mem.bytes_out.max(node.dm_mem.bytes_out);
+        dm_mem.peak_alloc_bytes = dm_mem.peak_alloc_bytes.max(node.dm_mem.peak_alloc_bytes);
+        dm_mem.rows_materialized = dm_mem.rows_materialized.max(node.dm_mem.rows_materialized);
         if node.output.is_some() {
             output = node.output;
         }
@@ -464,11 +515,13 @@ pub fn run_multinode(
     let output = output.ok_or_else(|| Error::invalid("no node produced output"))?;
     Ok(QueryReport::from_trace(
         output,
-        critical_path_trace(flavor, ctx.nodes, dm_wall, dm_sim, an_wall, an_sim),
+        critical_path_trace(flavor, ctx.nodes, dm_wall, dm_sim, an_wall, an_sim, dm_mem),
     ))
 }
 
 /// The two-op critical-path trace of a multi-node run (see module docs).
+/// The memory dimension follows the same combination: the data-management
+/// op carries the per-node *maximum* of each storage-layer counter.
 fn critical_path_trace(
     flavor: MnFlavor,
     nodes: usize,
@@ -476,6 +529,7 @@ fn critical_path_trace(
     dm_sim: f64,
     an_wall: f64,
     an_sim: f64,
+    dm_mem: MemDelta,
 ) -> PlanTrace {
     let mut tracer = Tracer::new();
     tracer.record(
@@ -487,7 +541,9 @@ fn critical_path_trace(
             sim_nanos: 0,
             model_secs: dm_sim,
             sim_bytes: 0,
-        },
+            ..OpCost::default()
+        }
+        .with_mem(dm_mem),
     );
     tracer.record(
         OpKind::Analytics,
@@ -498,6 +554,7 @@ fn critical_path_trace(
             sim_nanos: 0,
             model_secs: an_sim,
             sim_bytes: 0,
+            ..OpCost::default()
         },
     );
     tracer.finish()

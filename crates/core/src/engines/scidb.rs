@@ -23,6 +23,7 @@ use genbase_accel::{Coprocessor, OpProfile};
 use genbase_array::{Array2D, AttrArray1D};
 use genbase_datagen::Dataset;
 use genbase_linalg::{ExecOpts, Matrix};
+use genbase_storage::{self as storage, DenseHandle, MemTracker};
 use genbase_util::{Budget, Error, Result};
 use std::collections::HashMap;
 
@@ -44,8 +45,12 @@ pub(crate) struct ArrayData {
     pub genes: AttrArray1D,
 }
 
-pub(crate) fn ingest_arrays(data: &Dataset, budget: &genbase_util::Budget) -> Result<ArrayData> {
-    let expression = Array2D::from_matrix(&data.expression, budget)?;
+pub(crate) fn ingest_arrays(
+    data: &Dataset,
+    budget: &genbase_util::Budget,
+    mem: &MemTracker,
+) -> Result<ArrayData> {
+    let expression = storage::chunked_from_dense(mem, &data.expression, budget)?;
     let patients = AttrArray1D::new(data.n_patients())
         .with_int_attr("age", data.patients.iter().map(|p| p.age).collect())?
         .with_int_attr("gender", data.patients.iter().map(|p| p.gender).collect())?
@@ -106,13 +111,15 @@ pub(crate) fn run_scidb_single(
         return Err(Error::unsupported("SciDB + Xeon Phi", "regression offload"));
     }
     let budget = ctx.db_budget();
+    let mem = ctx.mem_tracker();
     let backend = ArrayBackend {
         data,
         params,
         query,
         opts: ExecOpts::with_threads(ctx.threads).with_budget(budget.clone()),
-        arrays: ingest_arrays(data, &budget)?, // untimed ingest
+        arrays: ingest_arrays(data, &budget, &mem)?, // untimed ingest
         budget,
+        mem: mem.clone(),
         threads: ctx.threads,
         deterministic: ctx.deterministic,
         phi,
@@ -124,7 +131,7 @@ pub(crate) fn run_scidb_single(
         cov: None,
         output: None,
     };
-    plan::run_plan(backend, query, Tracer::new())
+    plan::run_plan(backend, query, Tracer::new().with_mem(mem))
 }
 
 /// Physical state of one SciDB run: the chunked arrays plus whatever the
@@ -135,6 +142,7 @@ struct ArrayBackend<'a> {
     query: Query,
     opts: ExecOpts,
     budget: Budget,
+    mem: MemTracker,
     threads: usize,
     deterministic: bool,
     phi: Option<&'a Coprocessor>,
@@ -142,9 +150,9 @@ struct ArrayBackend<'a> {
     rows: Vec<usize>,
     cols: Vec<usize>,
     patient_ids: Vec<i64>,
-    mat: Option<Matrix>,
+    mat: Option<DenseHandle>,
     scores: Vec<f64>,
-    cov: Option<(f64, Vec<(usize, usize, f64)>)>,
+    cov: Option<analytics::CovPairs>,
     output: Option<QueryOutput>,
 }
 
@@ -152,6 +160,7 @@ impl ArrayBackend<'_> {
     fn mat(&self) -> Result<&Matrix> {
         self.mat
             .as_ref()
+            .map(DenseHandle::matrix)
             .ok_or_else(|| Error::invalid("restructure did not run before analytics"))
     }
 
@@ -184,6 +193,15 @@ impl ArrayBackend<'_> {
                         sim_nanos: 0,
                         model_secs: co.scale_measured(measured, &p),
                         sim_bytes: p.transfer_bytes,
+                        // The profile's modeled PCIe round trip is the
+                        // op's data movement, charged as bytes read from
+                        // host storage; the peak is whatever the gathered
+                        // working set holds resident while the kernel runs
+                        // (a recorded op bypasses the tracer's scope, so
+                        // it reports the tracker's live bytes directly).
+                        bytes_in: p.transfer_bytes,
+                        peak_alloc_bytes: self.mem.current(),
+                        ..OpCost::default()
                     },
                 );
                 Ok(out)
@@ -286,14 +304,21 @@ impl PhysicalBackend for ArrayBackend<'_> {
                 let arrays = &self.arrays;
                 let (rows, cols) = (&self.rows, &self.cols);
                 let (threads, budget) = (self.threads, &self.budget);
+                let mem = &self.mem;
                 let mat = tracer.exec(
                     OpKind::Restructure,
                     Phase::DataManagement,
                     format!("chunk gather: {}x{} submatrix", rows.len(), cols.len()),
                     || {
-                        arrays
-                            .expression
-                            .select_to_matrix_par(rows, cols, threads, budget)
+                        let mat = storage::gather_chunked(
+                            &arrays.expression,
+                            rows,
+                            cols,
+                            threads,
+                            mem,
+                            budget,
+                        )?;
+                        DenseHandle::new(mem, mat)
                     },
                 )?;
                 self.mat = Some(mat);
@@ -302,14 +327,18 @@ impl PhysicalBackend for ArrayBackend<'_> {
                 let arrays = &self.arrays;
                 let rows = &self.rows;
                 let (threads, budget) = (self.threads, &self.budget);
+                let mem = &self.mem;
+                let n_genes = data.n_genes();
                 let scores = tracer.exec(
                     OpKind::GroupAgg,
                     Phase::DataManagement,
                     "per-chunk column sums over the sampled rows",
                     || {
+                        mem.note_input((rows.len() * n_genes * 8) as u64);
                         let sums = arrays
                             .expression
                             .column_sums_over_rows_par(rows, threads, budget)?;
+                        mem.note_output((sums.len() * 8) as u64, sums.len() as u64);
                         Ok(sums
                             .iter()
                             .map(|s| s / rows.len().max(1) as f64)

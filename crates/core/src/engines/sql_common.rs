@@ -24,9 +24,9 @@ use crate::report::QueryReport;
 use genbase_datagen::Dataset;
 use genbase_linalg::{lanczos_topk, ExecOpts, LinearOp, Matrix, RegressionMethod};
 use genbase_relational::{
-    export_csv, import_matrix_csv, pivot_to_dense, ColumnData, ColumnTable, DataType, Pred,
-    Relation, RowTable, Schema, Value,
+    ColumnData, ColumnTable, DataType, Pred, Relation, RowTable, Schema, Value,
 };
+use genbase_storage::{self as storage, ColumnarTable, DenseHandle, MemTracker};
 use genbase_util::{Budget, Error, Result};
 use std::collections::HashMap;
 
@@ -127,35 +127,13 @@ pub enum SqlStore {
     },
 }
 
-/// A filtered/joined triple table, same kind as its parent store.
-pub enum TripleSet {
-    /// Row-store result.
-    Row(RowTable),
-    /// Column-store result.
-    Column(ColumnTable),
-}
-
-impl TripleSet {
-    /// Number of triples.
-    pub fn len(&self) -> usize {
-        match self {
-            TripleSet::Row(t) => t.n_rows(),
-            TripleSet::Column(t) => t.n_rows(),
-        }
-    }
-
-    /// True when no triples survived the filter.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    fn as_relation(&self) -> &dyn Relation {
-        match self {
-            TripleSet::Row(t) => t,
-            TripleSet::Column(t) => t,
-        }
-    }
-}
+/// A filtered/joined triple working set. Regardless of which store
+/// produced it, it is held in the unified storage layer's columnar form —
+/// the row-store path pays an instrumented row→column pivot to get there,
+/// the column-store path adopts its columns without copying. Downstream
+/// consumers (pivot, export, the Madlib SQL-simulation paths) are written
+/// once against this one representation.
+pub type TripleSet = ColumnarTable;
 
 impl SqlStore {
     /// Load a dataset into the store (untimed ingest).
@@ -313,24 +291,57 @@ impl SqlStore {
         }
     }
 
+    /// Resident heap bytes of the ingested base tables (storage-layer
+    /// residency, charged against the run's tracker at ingest).
+    pub fn heap_bytes(&self) -> u64 {
+        match self {
+            SqlStore::Row {
+                triples,
+                patients,
+                genes,
+                go,
+            } => {
+                triples.heap_bytes() + patients.heap_bytes() + genes.heap_bytes() + go.heap_bytes()
+            }
+            SqlStore::Column {
+                triples,
+                patients,
+                genes,
+                go,
+            } => {
+                triples.heap_bytes() + patients.heap_bytes() + genes.heap_bytes() + go.heap_bytes()
+            }
+        }
+    }
+
     /// Join the microarray triples against a set of gene ids, projecting
-    /// `(gene_id, patient_id, value)`.
-    pub fn join_triples_on_genes(&self, gene_ids: &[i64], budget: &Budget) -> Result<TripleSet> {
+    /// `(gene_id, patient_id, value)` into the unified columnar working set.
+    pub fn join_triples_on_genes(
+        &self,
+        gene_ids: &[i64],
+        budget: &Budget,
+        mem: &MemTracker,
+    ) -> Result<TripleSet> {
         let key_schema = Schema::new(&[("gene_id", DataType::Int)]).expect("static schema");
         match self {
             SqlStore::Row { triples, .. } => {
+                mem.note_input(triples.heap_bytes());
                 let build =
                     RowTable::from_rows(key_schema, gene_ids.iter().map(|&g| vec![Value::Int(g)]))?;
                 let joined = triples.hash_join(0, &build, 0, budget)?;
-                Ok(TripleSet::Row(joined.project(&[0, 1, 2], budget)?))
+                let projected = joined.project(&[0, 1, 2], budget)?;
+                // Row store output leaves the pages through a row→column
+                // pivot (genuine reformatting work, and measured as such).
+                storage::columnar_from_relation(mem, &projected)
             }
             SqlStore::Column { triples, .. } => {
+                mem.note_input(triples.heap_bytes());
                 let build = ColumnTable::from_columns(
                     key_schema,
                     vec![ColumnData::Ints(gene_ids.to_vec())],
                 )?;
                 let joined = triples.hash_join(0, &build, 0, budget)?;
-                Ok(TripleSet::Column(joined.project(&[0, 1, 2])?))
+                storage::columnar_from_column_table(mem, joined.project(&[0, 1, 2])?)
             }
         }
     }
@@ -340,24 +351,28 @@ impl SqlStore {
         &self,
         patient_ids: &[i64],
         budget: &Budget,
+        mem: &MemTracker,
     ) -> Result<TripleSet> {
         let key_schema = Schema::new(&[("patient_id", DataType::Int)]).expect("static schema");
         match self {
             SqlStore::Row { triples, .. } => {
+                mem.note_input(triples.heap_bytes());
                 let build = RowTable::from_rows(
                     key_schema,
                     patient_ids.iter().map(|&p| vec![Value::Int(p)]),
                 )?;
                 let joined = triples.hash_join(1, &build, 0, budget)?;
-                Ok(TripleSet::Row(joined.project(&[0, 1, 2], budget)?))
+                let projected = joined.project(&[0, 1, 2], budget)?;
+                storage::columnar_from_relation(mem, &projected)
             }
             SqlStore::Column { triples, .. } => {
+                mem.note_input(triples.heap_bytes());
                 let build = ColumnTable::from_columns(
                     key_schema,
                     vec![ColumnData::Ints(patient_ids.to_vec())],
                 )?;
                 let joined = triples.hash_join(1, &build, 0, budget)?;
-                Ok(TripleSet::Column(joined.project(&[0, 1, 2])?))
+                storage::columnar_from_column_table(mem, joined.project(&[0, 1, 2])?)
             }
         }
     }
@@ -447,27 +462,34 @@ impl SqlStore {
     /// Per-gene `(sum, count)` of expression values in a triple set (SQL
     /// GROUP BY gene_id).
     pub fn group_sum_by_gene(&self, set: &TripleSet) -> Result<Vec<(i64, f64, u64)>> {
-        match set {
-            TripleSet::Row(t) => t.group_sum(0, 2),
-            TripleSet::Column(t) => t.group_sum(0, 2),
-        }
+        set.group_sum(0, 2)
     }
 }
 
-/// In-database restructure: pivot a triple set into a dense matrix.
+/// In-database restructure: pivot a triple set into a dense matrix through
+/// the storage layer's one pivot kernel (single-threaded here — the pivot
+/// runs inside one Postgres/column-store backend process).
 pub fn pivot(
     set: &TripleSet,
     patient_ids: &[i64],
     gene_ids: &[i64],
     budget: &Budget,
+    mem: &MemTracker,
 ) -> Result<Matrix> {
-    let dense = pivot_to_dense(set.as_relation(), 1, 0, 2, patient_ids, gene_ids, budget)?;
-    Matrix::from_vec(dense.rows, dense.cols, dense.data)
+    storage::pivot_dense(
+        &set.view(),
+        (1, 0, 2),
+        patient_ids,
+        gene_ids,
+        1,
+        mem,
+        budget,
+    )
 }
 
 /// DBMS half of the export bridge: serialize the triple set to CSV text.
-pub fn export_triples_csv(set: &TripleSet, db_budget: &Budget) -> Result<String> {
-    export_csv(set.as_relation(), db_budget)
+pub fn export_triples_csv(set: &TripleSet, db_budget: &Budget, mem: &MemTracker) -> Result<String> {
+    storage::export_csv_tracked(set, mem, db_budget)
 }
 
 /// R half of the export bridge: `read.csv` the exported text and pivot it
@@ -477,32 +499,9 @@ pub fn pivot_csv_in_r(
     patient_ids: &[i64],
     gene_ids: &[i64],
     r_budget: &Budget,
+    mem: &MemTracker,
 ) -> Result<Matrix> {
-    let parsed = import_matrix_csv(text, r_budget)?;
-    if parsed.cols != 3 && parsed.rows != 0 {
-        return Err(Error::invalid("exported triples must have 3 columns"));
-    }
-    let row_index: HashMap<i64, usize> = patient_ids
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, i))
-        .collect();
-    let col_index: HashMap<i64, usize> = gene_ids
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, i))
-        .collect();
-    let mut mat = Matrix::zeros_budgeted(patient_ids.len(), gene_ids.len(), r_budget)?;
-    for r in 0..parsed.rows {
-        let g = parsed.data[r * 3] as i64;
-        let p = parsed.data[r * 3 + 1] as i64;
-        let v = parsed.data[r * 3 + 2];
-        if let (Some(&ri), Some(&ci)) = (row_index.get(&p), col_index.get(&g)) {
-            mat.set(ri, ci, v);
-        }
-    }
-    r_budget.free(mat.heap_bytes());
-    Ok(mat)
+    storage::pivot_csv_tracked(text, patient_ids, gene_ids, mem, r_budget)
 }
 
 /// The export bridge end to end: CSV-serialize the triple set (DBMS side),
@@ -514,9 +513,10 @@ pub fn export_and_pivot_in_r(
     gene_ids: &[i64],
     db_budget: &Budget,
     r_budget: &Budget,
+    mem: &MemTracker,
 ) -> Result<Matrix> {
-    let text = export_triples_csv(set, db_budget)?;
-    pivot_csv_in_r(&text, patient_ids, gene_ids, r_budget)
+    let text = export_triples_csv(set, db_budget, mem)?;
+    pivot_csv_in_r(&text, patient_ids, gene_ids, r_budget, mem)
 }
 
 /// The UDF marshalling penalty observed by the paper on the biclustering
@@ -524,7 +524,8 @@ pub fn export_and_pivot_in_r(
 /// row-at-a-time through boxed records rather than as one block. We
 /// reproduce the mechanism: every row is converted to a `Vec<Value>` and
 /// back (allocation + boxing per cell).
-pub fn udf_row_marshal(mat: &Matrix, budget: &Budget) -> Result<Matrix> {
+pub fn udf_row_marshal(mat: &Matrix, budget: &Budget, mem: &MemTracker) -> Result<Matrix> {
+    mem.note_input(mat.heap_bytes());
     let mut out = Matrix::zeros(mat.rows(), mat.cols());
     for r in 0..mat.rows() {
         if r % 256 == 0 {
@@ -535,6 +536,7 @@ pub fn udf_row_marshal(mat: &Matrix, budget: &Budget) -> Result<Matrix> {
             out.set(r, c, v.as_float()?);
         }
     }
+    mem.note_output(out.heap_bytes(), out.rows() as u64);
     Ok(out)
 }
 
@@ -562,7 +564,7 @@ pub fn sql_sim_covariance(
         .collect();
     // Pass 1 (SQL GROUP BY gene): means.
     let mut means = vec![0.0; n];
-    set.as_relation().for_each(&mut |row: &[Value]| {
+    set.for_each(&mut |row: &[Value]| {
         if let (Value::Int(g), Value::Float(v)) = (row[0], row[2]) {
             if let Some(&gi) = gene_index.get(&g) {
                 means[gi] += v;
@@ -575,7 +577,7 @@ pub fn sql_sim_covariance(
     // Pass 2: assemble per-patient centered vectors (array_agg), then the
     // pair-product hash aggregate.
     let mut per_patient: Vec<Vec<f64>> = vec![vec![0.0; n]; m];
-    set.as_relation().for_each(&mut |row: &[Value]| {
+    set.for_each(&mut |row: &[Value]| {
         if let (Value::Int(g), Value::Int(p), Value::Float(v)) = (row[0], row[1], row[2]) {
             if let (Some(&gi), Some(&pi)) = (gene_index.get(&g), patient_index.get(&p)) {
                 per_patient[pi][gi] = v - means[gi];
@@ -592,8 +594,8 @@ pub fn sql_sim_covariance(
             if vi == 0.0 {
                 continue;
             }
-            for j in i..n {
-                *acc.entry((i as u32, j as u32)).or_insert(0.0) += vi * vec[j];
+            for (j, &vj) in vec.iter().enumerate().skip(i) {
+                *acc.entry((i as u32, j as u32)).or_insert(0.0) += vi * vj;
             }
         }
     }
@@ -640,7 +642,7 @@ impl LinearOp for SqlSimGramOp<'_> {
 
     fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
         let mut u = vec![0.0; self.n_patients];
-        self.set.as_relation().for_each(&mut |row: &[Value]| {
+        self.set.for_each(&mut |row: &[Value]| {
             if let (Value::Int(g), Value::Int(p), Value::Float(v)) = (row[0], row[1], row[2]) {
                 if let (Some(&gi), Some(&pi)) =
                     (self.gene_index.get(&g), self.patient_index.get(&p))
@@ -650,7 +652,7 @@ impl LinearOp for SqlSimGramOp<'_> {
             }
         });
         y.iter_mut().for_each(|v| *v = 0.0);
-        self.set.as_relation().for_each(&mut |row: &[Value]| {
+        self.set.for_each(&mut |row: &[Value]| {
             if let (Value::Int(g), Value::Int(p), Value::Float(v)) = (row[0], row[1], row[2]) {
                 if let (Some(&gi), Some(&pi)) =
                     (self.gene_index.get(&g), self.patient_index.get(&p))
@@ -688,6 +690,9 @@ impl SqlEngineSpec {
     ) -> Result<QueryReport> {
         let db_budget = ctx.db_budget();
         let r_budget = ctx.r_budget();
+        let mem = ctx.mem_tracker();
+        let store = SqlStore::ingest(self.kind, data)?; // untimed ingest
+        mem.charge(store.heap_bytes())?; // store residency under the tracker
         let backend = SqlBackend {
             spec: self,
             data,
@@ -697,9 +702,10 @@ impl SqlEngineSpec {
             // Madlib's C++ aggregate is also single-threaded inside one
             // Postgres backend.
             r_opts: ExecOpts::with_threads(1).with_budget(r_budget.clone()),
-            store: SqlStore::ingest(self.kind, data)?, // untimed ingest
+            store,
             db_budget,
             r_budget,
+            mem: mem.clone(),
             gene_ids: Vec::new(),
             patient_ids: Vec::new(),
             joined: None,
@@ -710,7 +716,7 @@ impl SqlEngineSpec {
             cov: None,
             output: None,
         };
-        plan::run_plan(backend, query, Tracer::new())
+        plan::run_plan(backend, query, Tracer::new().with_mem(mem))
     }
 }
 
@@ -723,16 +729,17 @@ struct SqlBackend<'a> {
     query: Query,
     db_budget: Budget,
     r_budget: Budget,
+    mem: MemTracker,
     r_opts: ExecOpts,
     store: SqlStore,
     gene_ids: Vec<i64>,
     patient_ids: Vec<i64>,
     joined: Option<TripleSet>,
-    mat: Option<Matrix>,
+    mat: Option<DenseHandle>,
     y: Vec<f64>,
     memberships: Vec<Vec<u32>>,
     scores: Vec<f64>,
-    cov: Option<(f64, Vec<(usize, usize, f64)>)>,
+    cov: Option<analytics::CovPairs>,
     output: Option<QueryOutput>,
 }
 
@@ -746,6 +753,7 @@ impl SqlBackend<'_> {
     fn mat(&self) -> Result<&Matrix> {
         self.mat
             .as_ref()
+            .map(DenseHandle::matrix)
             .ok_or_else(|| Error::invalid("restructure did not run before analytics"))
     }
 
@@ -823,6 +831,7 @@ impl PhysicalBackend for SqlBackend<'_> {
             LogicalOp::JoinOnGenes => {
                 let store = &self.store;
                 let db_budget = &self.db_budget;
+                let mem = &self.mem;
                 let gene_ids = &self.gene_ids;
                 let want_y = self.query == Query::Regression;
                 let patient_ids: Vec<i64> = (0..data.n_patients() as i64).collect();
@@ -831,7 +840,7 @@ impl PhysicalBackend for SqlBackend<'_> {
                     Phase::DataManagement,
                     format!("hash join: triples x {} filtered genes", gene_ids.len()),
                     || {
-                        let joined = store.join_triples_on_genes(gene_ids, db_budget)?;
+                        let joined = store.join_triples_on_genes(gene_ids, db_budget, mem)?;
                         let y = if want_y {
                             store.drug_responses(&patient_ids)?
                         } else {
@@ -847,6 +856,7 @@ impl PhysicalBackend for SqlBackend<'_> {
             LogicalOp::JoinOnPatients => {
                 let store = &self.store;
                 let db_budget = &self.db_budget;
+                let mem = &self.mem;
                 let patient_ids = &self.patient_ids;
                 let joined = tracer.exec(
                     OpKind::Join,
@@ -855,7 +865,7 @@ impl PhysicalBackend for SqlBackend<'_> {
                         "hash join: triples x {} selected patients",
                         patient_ids.len()
                     ),
-                    || store.join_triples_on_patients(patient_ids, db_budget),
+                    || store.join_triples_on_patients(patient_ids, db_budget, mem),
                 )?;
                 self.joined = Some(joined);
                 if self.gene_ids.is_empty() {
@@ -879,6 +889,7 @@ impl PhysicalBackend for SqlBackend<'_> {
                     // those paths are slow — no dense kernel ever runs).
                     return Ok(());
                 }
+                let mem = &self.mem;
                 let mut mat = match self.spec.bridge {
                     Bridge::ExportToR => {
                         let joined = self.joined()?;
@@ -886,8 +897,8 @@ impl PhysicalBackend for SqlBackend<'_> {
                         let text = tracer.exec(
                             OpKind::Export,
                             Phase::DataManagement,
-                            format!("COPY TO: {} triples as CSV text", joined.len()),
-                            || export_triples_csv(joined, db_budget),
+                            format!("COPY TO: {} triples as CSV text", joined.n_rows()),
+                            || export_triples_csv(joined, db_budget, mem),
                         )?;
                         let (patient_ids, gene_ids) = (&self.patient_ids, &self.gene_ids);
                         let r_budget = &self.r_budget;
@@ -895,7 +906,11 @@ impl PhysicalBackend for SqlBackend<'_> {
                             OpKind::Restructure,
                             Phase::DataManagement,
                             "R read.csv + pivot to matrix",
-                            || pivot_csv_in_r(&text, patient_ids, gene_ids, r_budget),
+                            || {
+                                let mat =
+                                    pivot_csv_in_r(&text, patient_ids, gene_ids, r_budget, mem)?;
+                                DenseHandle::new(mem, mat)
+                            },
                         )?
                     }
                     Bridge::InProcess | Bridge::InDatabase => {
@@ -910,7 +925,10 @@ impl PhysicalBackend for SqlBackend<'_> {
                                 patient_ids.len(),
                                 gene_ids.len()
                             ),
-                            || pivot(joined, patient_ids, gene_ids, db_budget),
+                            || {
+                                let mat = pivot(joined, patient_ids, gene_ids, db_budget, mem)?;
+                                DenseHandle::new(mem, mat)
+                            },
                         )?
                     }
                 };
@@ -920,7 +938,10 @@ impl PhysicalBackend for SqlBackend<'_> {
                         OpKind::Marshal,
                         Phase::DataManagement,
                         "UDF interface: box every row as records",
-                        || udf_row_marshal(&mat, db_budget),
+                        || {
+                            let boxed = udf_row_marshal(&mat, db_budget, mem)?;
+                            DenseHandle::new(mem, boxed)
+                        },
                     )?;
                 }
                 self.mat = Some(mat);
@@ -928,12 +949,15 @@ impl PhysicalBackend for SqlBackend<'_> {
             LogicalOp::GroupAgg => {
                 let store = &self.store;
                 let joined = self.joined()?;
+                let mem = &self.mem;
                 let n_genes = data.n_genes();
                 let scores = tracer.exec(
                     OpKind::GroupAgg,
                     Phase::DataManagement,
                     "GROUP BY gene_id: per-gene mean of the sample",
                     || {
+                        mem.note_input(joined.heap_bytes());
+                        mem.note_output((n_genes * 8) as u64, n_genes as u64);
                         let groups = store.group_sum_by_gene(joined)?;
                         let mut scores = vec![0.0; n_genes];
                         for (g, s, c) in groups {
@@ -1085,12 +1109,15 @@ impl SqlBackend<'_> {
     }
 }
 
+/// One covariance output row: `(gene_a, gene_b, cov, function_a, function_b)`.
+pub type CovRow = (i64, i64, f64, i64, i64);
+
 /// Join covariance pairs back to gene metadata (function codes).
 pub fn attach_gene_metadata(
     idx_pairs: &[(usize, usize, f64)],
     gene_ids: &[i64],
     functions: &HashMap<i64, i64>,
-) -> Result<Vec<(i64, i64, f64, i64, i64)>> {
+) -> Result<Vec<CovRow>> {
     idx_pairs
         .iter()
         .map(|&(a, b, v)| {
@@ -1111,6 +1138,10 @@ pub fn attach_gene_metadata(
 mod tests {
     use super::*;
     use genbase_datagen::{generate, GeneratorConfig, SizeSpec};
+
+    fn mem() -> MemTracker {
+        MemTracker::unlimited()
+    }
 
     fn tiny() -> Dataset {
         generate(&GeneratorConfig::new(SizeSpec::tiny())).unwrap()
@@ -1139,10 +1170,10 @@ mod tests {
         let store = SqlStore::ingest(StoreKind::Column, &data).unwrap();
         let b = Budget::unlimited();
         let gene_ids = store.filter_gene_ids(250, &b).unwrap();
-        let joined = store.join_triples_on_genes(&gene_ids, &b).unwrap();
-        assert_eq!(joined.len(), gene_ids.len() * data.n_patients());
+        let joined = store.join_triples_on_genes(&gene_ids, &b, &mem()).unwrap();
+        assert_eq!(joined.n_rows(), gene_ids.len() * data.n_patients());
         let patient_ids: Vec<i64> = (0..data.n_patients() as i64).collect();
-        let mat = pivot(&joined, &patient_ids, &gene_ids, &b).unwrap();
+        let mat = pivot(&joined, &patient_ids, &gene_ids, &b, &mem()).unwrap();
         assert_eq!(mat.shape(), (data.n_patients(), gene_ids.len()));
         for (ci, &g) in gene_ids.iter().enumerate() {
             for p in 0..data.n_patients() {
@@ -1157,17 +1188,18 @@ mod tests {
         let store = SqlStore::ingest(StoreKind::Row, &data).unwrap();
         let b = Budget::unlimited();
         let gene_ids = store.filter_gene_ids(250, &b).unwrap();
-        let joined = store.join_triples_on_genes(&gene_ids, &b).unwrap();
+        let joined = store.join_triples_on_genes(&gene_ids, &b, &mem()).unwrap();
         let patient_ids: Vec<i64> = (0..data.n_patients() as i64).collect();
-        let direct = pivot(&joined, &patient_ids, &gene_ids, &b).unwrap();
-        let via_csv = export_and_pivot_in_r(&joined, &patient_ids, &gene_ids, &b, &b).unwrap();
+        let direct = pivot(&joined, &patient_ids, &gene_ids, &b, &mem()).unwrap();
+        let via_csv =
+            export_and_pivot_in_r(&joined, &patient_ids, &gene_ids, &b, &b, &mem()).unwrap();
         assert!(direct.approx_eq(&via_csv, 0.0), "CSV round trip is exact");
     }
 
     #[test]
     fn udf_marshal_is_identity_on_values() {
         let mat = Matrix::from_fn(10, 7, |r, c| (r * 7 + c) as f64);
-        let out = udf_row_marshal(&mat, &Budget::unlimited()).unwrap();
+        let out = udf_row_marshal(&mat, &Budget::unlimited(), &mem()).unwrap();
         assert_eq!(mat, out);
     }
 
@@ -1177,10 +1209,12 @@ mod tests {
         let store = SqlStore::ingest(StoreKind::Row, &data).unwrap();
         let b = Budget::unlimited();
         let patient_ids: Vec<i64> = (0..20).collect();
-        let joined = store.join_triples_on_patients(&patient_ids, &b).unwrap();
+        let joined = store
+            .join_triples_on_patients(&patient_ids, &b, &mem())
+            .unwrap();
         let gene_ids: Vec<i64> = (0..data.n_genes() as i64).collect();
         let slow = sql_sim_covariance(&joined, &patient_ids, &gene_ids, &b).unwrap();
-        let mat = pivot(&joined, &patient_ids, &gene_ids, &b).unwrap();
+        let mat = pivot(&joined, &patient_ids, &gene_ids, &b, &mem()).unwrap();
         let fast = genbase_linalg::covariance(&mat, &ExecOpts::serial()).unwrap();
         assert!(slow.approx_eq(&fast, 1e-9));
     }
@@ -1191,10 +1225,10 @@ mod tests {
         let store = SqlStore::ingest(StoreKind::Column, &data).unwrap();
         let b = Budget::unlimited();
         let gene_ids = store.filter_gene_ids(250, &b).unwrap();
-        let joined = store.join_triples_on_genes(&gene_ids, &b).unwrap();
+        let joined = store.join_triples_on_genes(&gene_ids, &b, &mem()).unwrap();
         let patient_ids: Vec<i64> = (0..data.n_patients() as i64).collect();
         let op = SqlSimGramOp::new(&joined, &patient_ids, &gene_ids);
-        let mat = pivot(&joined, &patient_ids, &gene_ids, &b).unwrap();
+        let mat = pivot(&joined, &patient_ids, &gene_ids, &b, &mem()).unwrap();
         let x: Vec<f64> = (0..gene_ids.len()).map(|i| (i % 5) as f64 - 2.0).collect();
         let mut y = vec![0.0; gene_ids.len()];
         op.apply(&x, &mut y).unwrap();

@@ -23,6 +23,7 @@ use crate::query::{Query, QueryOutput, QueryParams};
 use crate::report::QueryReport;
 use genbase_datagen::Dataset;
 use genbase_linalg::{ExecOpts, Matrix, RegressionMethod};
+use genbase_storage::{self as storage, DenseHandle, MemTracker};
 use genbase_util::{budget::AllocGuard, Budget, Error, Result};
 
 /// The vanilla R configuration.
@@ -49,11 +50,13 @@ impl Engine for VanillaR {
         ctx: &ExecContext,
     ) -> Result<QueryReport> {
         let budget = ctx.r_budget();
+        let mem = ctx.mem_tracker();
         let backend = RBackend {
             data,
             params,
             opts: ExecOpts::with_threads(1).with_budget(budget.clone()),
             budget,
+            mem: mem.clone(),
             query,
             matrix: None,
             gene_ids: Vec::new(),
@@ -66,7 +69,7 @@ impl Engine for VanillaR {
             cov: None,
             output: None,
         };
-        plan::run_plan(backend, query, Tracer::new())
+        plan::run_plan(backend, query, Tracer::new().with_mem(mem))
     }
 }
 
@@ -77,16 +80,17 @@ struct RBackend<'a> {
     params: &'a QueryParams,
     opts: ExecOpts,
     budget: Budget,
+    mem: MemTracker,
     query: Query,
-    matrix: Option<Matrix>,
+    matrix: Option<DenseHandle>,
     gene_ids: Vec<i64>,
     patient_ids: Vec<i64>,
     rows: Vec<usize>,
-    sub: Option<Matrix>,
+    sub: Option<DenseHandle>,
     sub_guard: Option<AllocGuard>,
     y: Vec<f64>,
     scores: Vec<f64>,
-    cov: Option<(f64, Vec<(usize, usize, f64)>)>,
+    cov: Option<analytics::CovPairs>,
     output: Option<QueryOutput>,
 }
 
@@ -94,6 +98,7 @@ impl RBackend<'_> {
     fn sub(&self) -> Result<&Matrix> {
         self.sub
             .as_ref()
+            .map(DenseHandle::matrix)
             .ok_or_else(|| Error::invalid("restructure did not run before analytics"))
     }
 }
@@ -105,6 +110,7 @@ impl PhysicalBackend for RBackend<'_> {
     fn prepare(&mut self, tracer: &mut Tracer) -> Result<()> {
         let data = self.data;
         let budget = self.budget.clone();
+        let mem = self.mem.clone();
         let cells = (data.n_patients() * data.n_genes()) as u64;
         let matrix = tracer.exec(
             OpKind::Restructure,
@@ -113,15 +119,19 @@ impl PhysicalBackend for RBackend<'_> {
             || {
                 // Transient read.csv buffer (3 numeric columns), freed after
                 // parse.
+                mem.note_input(cells * 24);
                 let read_buffer = AllocGuard::claim(&budget, cells * 24, cells)?;
+                mem.charge(cells * 24)?;
                 // Persistent triple data frame: build real column vectors
                 // (this is genuine work, like R materializing the frame).
                 budget.alloc(cells * 24, cells)?;
+                mem.charge(cells * 24)?;
                 let mut value_col: Vec<f64> = Vec::with_capacity(cells as usize);
                 for p in 0..data.n_patients() {
                     value_col.extend_from_slice(data.expression.row(p));
                 }
                 drop(read_buffer);
+                mem.release(cells * 24);
                 // Pivot to the working matrix (kept for all queries).
                 let mut matrix =
                     Matrix::zeros_budgeted(data.n_patients(), data.n_genes(), &budget)?;
@@ -132,7 +142,9 @@ impl PhysicalBackend for RBackend<'_> {
                 }
                 drop(value_col);
                 budget.free(cells * 24);
-                Ok(matrix)
+                mem.release(cells * 24);
+                mem.note_output(matrix.heap_bytes(), matrix.rows() as u64);
+                DenseHandle::new(&mem, matrix)
             },
         )?;
         self.matrix = Some(matrix);
@@ -226,11 +238,12 @@ impl PhysicalBackend for RBackend<'_> {
             LogicalOp::JoinOnPatients if self.query == Query::Statistics => {
                 let rows = self.rows.clone();
                 let matrix = self.matrix.take().expect("loaded");
+                let mem = self.mem.clone();
                 let sub = tracer.exec(
                     OpKind::Restructure,
                     Phase::DataManagement,
                     format!("matrix[sampled {} patients, ]", rows.len()),
-                    || Ok(matrix.select_rows(&rows)),
+                    || DenseHandle::new(&mem, storage::select_rows_tracked(&mem, &matrix, &rows)),
                 )?;
                 self.matrix = Some(matrix);
                 self.sub = Some(sub);
@@ -244,6 +257,7 @@ impl PhysicalBackend for RBackend<'_> {
                     let matrix = self.matrix.take().expect("loaded");
                     let budget = self.budget.clone();
                     let want_y = self.query == Query::Regression;
+                    let mem = self.mem.clone();
                     let (sub, guard, y) = tracer.exec(
                         OpKind::Restructure,
                         Phase::DataManagement,
@@ -254,7 +268,10 @@ impl PhysicalBackend for RBackend<'_> {
                                 (matrix.rows() * cols.len() * 8) as u64,
                                 (matrix.rows() * cols.len()) as u64,
                             )?;
-                            let sub = matrix.select_cols(&cols);
+                            let sub = DenseHandle::new(
+                                &mem,
+                                storage::select_cols_tracked(&mem, &matrix, &cols),
+                            )?;
                             let y: Vec<f64> = if want_y {
                                 data.patients.iter().map(|p| p.drug_response).collect()
                             } else {
@@ -271,11 +288,17 @@ impl PhysicalBackend for RBackend<'_> {
                 _ => {
                     let rows = self.rows.clone();
                     let matrix = self.matrix.take().expect("loaded");
+                    let mem = self.mem.clone();
                     let sub = tracer.exec(
                         OpKind::Restructure,
                         Phase::DataManagement,
                         format!("matrix[selected {} patients, ]", rows.len()),
-                        || Ok(matrix.select_rows(&rows)),
+                        || {
+                            DenseHandle::new(
+                                &mem,
+                                storage::select_rows_tracked(&mem, &matrix, &rows),
+                            )
+                        },
                     )?;
                     self.matrix = Some(matrix);
                     self.sub = Some(sub);

@@ -505,6 +505,100 @@ pub fn explain(
     engine_filter: Option<&str>,
     query_filter: Option<Query>,
 ) -> Result<Figure> {
+    let mut tables = Vec::new();
+    for (engine, query, rec) in explain_matrix(harness, size, nodes, engine_filter, query_filter)? {
+        let caption = format!("{engine} / {}", query.title());
+        let table = match &rec.outcome {
+            crate::report::RunOutcome::Completed(report) => report.trace.table(),
+            crate::report::RunOutcome::Infinite { reason } => {
+                let mut t = TextTable::new(&[("outcome", Align::Left)]);
+                t.row(vec![format!("infinite: {reason}")]);
+                t
+            }
+            crate::report::RunOutcome::Unsupported => {
+                let mut t = TextTable::new(&[("outcome", Align::Left)]);
+                t.row(vec!["unsupported (no bar in the paper)".to_string()]);
+                t
+            }
+        };
+        tables.push((caption, table));
+    }
+    Ok(Figure {
+        title: format!(
+            "Explain: per-operator plan cost, {} dataset, {nodes} node{}",
+            size.label(),
+            if nodes == 1 { "" } else { "s" }
+        ),
+        tables,
+    })
+}
+
+/// Machine-readable `explain` (the CLI's `explain --json`): the same
+/// engine × query matrix as [`explain`], serialized through the shared
+/// [`genbase_util::Json`] writer with the per-op memory columns and the
+/// whole-run memory rollup. Deterministic under `--sim-only --threads N`
+/// (pinned by the committed `tests/golden/explain_small.json`).
+pub fn explain_json(
+    harness: &Harness,
+    size: SizeClass,
+    nodes: usize,
+    engine_filter: Option<&str>,
+    query_filter: Option<Query>,
+) -> Result<String> {
+    use genbase_util::Json;
+    let mut pairs = Vec::new();
+    for (engine, query, rec) in explain_matrix(harness, size, nodes, engine_filter, query_filter)? {
+        let mut pair = Json::obj();
+        pair.set("engine", Json::from(engine.as_str()));
+        pair.set("query", Json::from(query.name()));
+        match &rec.outcome {
+            crate::report::RunOutcome::Completed(report) => {
+                pair.set("status", Json::from("completed"));
+                let mem = report.memory();
+                let mut rollup = Json::obj();
+                rollup.set("bytes_in", Json::from(mem.bytes_in));
+                rollup.set("bytes_out", Json::from(mem.bytes_out));
+                rollup.set("peak_alloc", Json::from(mem.peak_alloc_bytes));
+                rollup.set("rows", Json::from(mem.rows_materialized));
+                pair.set("memory", rollup);
+                pair.set(
+                    "ops",
+                    Json::Arr(
+                        report
+                            .trace
+                            .ops
+                            .iter()
+                            .map(crate::plan::OpTrace::to_json)
+                            .collect(),
+                    ),
+                );
+            }
+            crate::report::RunOutcome::Infinite { reason } => {
+                pair.set("status", Json::from("infinite"));
+                pair.set("reason", Json::from(reason.as_str()));
+            }
+            crate::report::RunOutcome::Unsupported => {
+                pair.set("status", Json::from("unsupported"));
+            }
+        }
+        pairs.push(pair);
+    }
+    let mut doc = Json::obj();
+    doc.set("schema", Json::from("genbase-explain-v1"));
+    doc.set("size", Json::from(size.slug()));
+    doc.set("nodes", Json::from(nodes));
+    doc.set("pairs", Json::Arr(pairs));
+    Ok(doc.render())
+}
+
+/// Shared engine×query matrix runner behind [`explain`] / [`explain_json`].
+fn explain_matrix(
+    harness: &Harness,
+    size: SizeClass,
+    nodes: usize,
+    engine_filter: Option<&str>,
+    query_filter: Option<Query>,
+) -> Result<Vec<(String, Query, crate::harness::RunRecord)>> {
     let engines: Vec<Box<dyn Engine>> = engines::all_engines()
         .into_iter()
         .filter(|e| match engine_filter {
@@ -526,35 +620,119 @@ pub fn explain(
         Some(q) => vec![q],
         None => Query::ALL.to_vec(),
     };
-    let mut tables = Vec::new();
+    let mut out = Vec::new();
     for engine in &engines {
         for &query in &queries {
-            let caption = format!("{} / {}", engine.name(), query.title());
             let rec = harness.run_cell(engine.as_ref(), query, size, nodes)?;
-            let table = match &rec.outcome {
-                crate::report::RunOutcome::Completed(report) => report.trace.table(),
-                crate::report::RunOutcome::Infinite { reason } => {
-                    let mut t = TextTable::new(&[("outcome", Align::Left)]);
-                    t.row(vec![format!("infinite: {reason}")]);
-                    t
-                }
-                crate::report::RunOutcome::Unsupported => {
-                    let mut t = TextTable::new(&[("outcome", Align::Left)]);
-                    t.row(vec!["unsupported (no bar in the paper)".to_string()]);
-                    t
-                }
-            };
-            tables.push((caption, table));
+            out.push((engine.name().to_string(), query, rec));
         }
     }
-    Ok(Figure {
-        title: format!(
-            "Explain: per-operator plan cost, {} dataset, {nodes} node{}",
-            size.label(),
-            if nodes == 1 { "" } else { "s" }
+    Ok(out)
+}
+
+/// Stacked per-operator breakdown of Figure 2 or Figure 4: the same grid
+/// cells, but each engine's data-management/analytics bar decomposed by
+/// physical operator class (filter/join/restructure/export/group-agg/
+/// marshal/analytics), with a second table showing storage-layer bytes
+/// moved per class — the paper's headline cost, rendered from the traces
+/// the grid already carries.
+pub fn render_per_op(
+    figure: FigureId,
+    harness: &Harness,
+    mn_size: SizeClass,
+    grid: &ReportGrid,
+) -> Result<Figure> {
+    use crate::plan::OpKind;
+    const KINDS: [OpKind; 7] = [
+        OpKind::Filter,
+        OpKind::Join,
+        OpKind::Restructure,
+        OpKind::Export,
+        OpKind::GroupAgg,
+        OpKind::Marshal,
+        OpKind::Analytics,
+    ];
+    let (engines, title) = match figure {
+        FigureId::Fig2 => (
+            engines::single_node_engines(),
+            "Figure 2 (per-op): regression cost by physical operator".to_string(),
         ),
-        tables,
-    })
+        FigureId::Fig4 => (
+            engines::multi_node_engines(),
+            format!(
+                "Figure 4 (per-op): multi-node regression cost by physical operator, {} dataset",
+                mn_size.label()
+            ),
+        ),
+        other => {
+            return Err(Error::invalid(format!(
+                "--per-op renders fig2 or fig4, not {}",
+                other.name()
+            )))
+        }
+    };
+    let mut cols = vec![("op".to_string(), Align::Left)];
+    cols.extend(engines.iter().map(|e| (e.name().to_string(), Align::Right)));
+    let mut tables = Vec::new();
+    let row_keys: Vec<(SizeClass, usize, String)> = match figure {
+        FigureId::Fig2 => harness
+            .config()
+            .sizes
+            .iter()
+            .map(|&s| (s, 1, format!("{} dataset", s.label())))
+            .collect(),
+        _ => harness
+            .config()
+            .node_counts
+            .iter()
+            .map(|&n| {
+                (
+                    mn_size,
+                    n,
+                    format!("{n} node{}", if n == 1 { "" } else { "s" }),
+                )
+            })
+            .collect(),
+    };
+    for (size, nodes, caption) in row_keys {
+        let mut time_table = table_with_columns(&cols);
+        let mut bytes_table = table_with_columns(&cols);
+        for kind in KINDS {
+            let mut time_row = vec![kind.name().to_string()];
+            let mut bytes_row = vec![kind.name().to_string()];
+            for engine in &engines {
+                let key = cell(figure, Query::Regression, size, nodes, engine.as_ref());
+                match lookup(grid, &key)? {
+                    CellOutcome::Completed { trace, .. } => {
+                        let ops = trace.iter().filter(|op| op.kind == kind);
+                        let (mut secs, mut bytes) = (0.0f64, 0u64);
+                        for op in ops {
+                            secs += op.cost.total_secs();
+                            bytes += op.cost.bytes_moved();
+                        }
+                        time_row.push(fmt_secs(secs));
+                        bytes_row.push(genbase_util::fmt_bytes(bytes));
+                    }
+                    CellOutcome::Infinite { .. } => {
+                        time_row.push("inf".into());
+                        bytes_row.push("inf".into());
+                    }
+                    CellOutcome::Unsupported => {
+                        time_row.push("-".into());
+                        bytes_row.push("-".into());
+                    }
+                }
+            }
+            time_table.row(time_row);
+            bytes_table.row(bytes_row);
+        }
+        tables.push((format!("{caption}: seconds per operator class"), time_table));
+        tables.push((
+            format!("{caption}: storage-layer bytes moved per operator class"),
+            bytes_table,
+        ));
+    }
+    Ok(Figure { title, tables })
 }
 
 /// Weak-scaling experiment — the paper's stated future work ("in reality,

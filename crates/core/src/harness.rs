@@ -52,6 +52,14 @@ pub struct HarnessConfig {
     pub node_counts: Vec<usize>,
     /// Timing mode for completed cells.
     pub timing: TimingMode,
+    /// Storage-layer working-set budget in bytes (`--mem-budget`),
+    /// enforced by each run's [`genbase_storage::MemTracker`]. `None` =
+    /// unlimited. A cell that exhausts it renders as the paper's
+    /// "infinite" bar, exactly like a cutoff. On multi-node cells the
+    /// budget applies per *simulated node* (each node is its own machine
+    /// with its own tracker; the critical-path trace reports the per-node
+    /// maximum).
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for HarnessConfig {
@@ -70,6 +78,7 @@ impl Default for HarnessConfig {
             seed: 0x9e6b,
             node_counts: vec![1, 2, 4],
             timing: TimingMode::Measured,
+            mem_budget: None,
         }
     }
 }
@@ -169,6 +178,7 @@ impl Harness {
             TimingMode::SimOnly => None,
         };
         ctx.r_mem_bytes = Some(self.config.r_mem_bytes);
+        ctx.mem_budget = self.config.mem_budget;
         ctx.deterministic = self.config.timing == TimingMode::SimOnly;
         ctx
     }

@@ -34,6 +34,7 @@
 
 use crate::query::{Query, QueryOutput};
 use crate::report::{PhaseTimes, QueryReport};
+use genbase_storage::{MemDelta, MemTracker};
 use genbase_util::{table::Align, table::TextTable, CostReport, Error, Json, Result, SimClock};
 
 /// Which side of the paper's Figure 2/4 split an operator's cost lands on.
@@ -224,6 +225,15 @@ pub struct OpCost {
     pub model_secs: f64,
     /// Bytes moved over simulated links during the op.
     pub sim_bytes: u64,
+    /// Storage-layer bytes the op read (the memory dimension; see
+    /// [`genbase_storage::MemTracker`]).
+    pub bytes_in: u64,
+    /// Storage-layer bytes the op materialized as output.
+    pub bytes_out: u64,
+    /// Peak live storage-layer bytes while the op ran.
+    pub peak_alloc_bytes: u64,
+    /// Rows the op materialized.
+    pub rows_materialized: u64,
 }
 
 impl OpCost {
@@ -238,6 +248,21 @@ impl OpCost {
     /// Simulated seconds (clock- plus model-sourced).
     pub fn sim_secs(&self) -> f64 {
         self.sim_nanos as f64 / 1e9 + self.model_secs
+    }
+
+    /// Attach storage-layer memory deltas.
+    pub fn with_mem(mut self, mem: MemDelta) -> OpCost {
+        self.bytes_in = mem.bytes_in;
+        self.bytes_out = mem.bytes_out;
+        self.peak_alloc_bytes = mem.peak_alloc_bytes;
+        self.rows_materialized = mem.rows_materialized;
+        self
+    }
+
+    /// Total storage-layer bytes the op moved (read + materialized) — the
+    /// paper's headline cost dimension.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_in + self.bytes_out
     }
 
     /// Total reported seconds for this op.
@@ -272,6 +297,10 @@ impl OpTrace {
         obj.set("sim_nanos", Json::from(self.cost.sim_nanos));
         obj.set("model", Json::Num(self.cost.model_secs));
         obj.set("bytes", Json::from(self.cost.sim_bytes));
+        obj.set("mem_in", Json::from(self.cost.bytes_in));
+        obj.set("mem_out", Json::from(self.cost.bytes_out));
+        obj.set("mem_peak", Json::from(self.cost.peak_alloc_bytes));
+        obj.set("rows", Json::from(self.cost.rows_materialized));
         obj
     }
 
@@ -295,6 +324,9 @@ impl OpTrace {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| Error::invalid(format!("trace op missing integer {name}")))
         };
+        // Memory columns are absent in pre-storage-layer artifacts; those
+        // load as zero-memory ops (figures only need the time split).
+        let mem = |name: &str| value.get(name).and_then(Json::as_u64).unwrap_or(0);
         Ok(OpTrace {
             kind: OpKind::from_name(field("op")?)
                 .ok_or_else(|| Error::invalid("trace op: unknown kind"))?,
@@ -306,6 +338,10 @@ impl OpTrace {
                 sim_nanos: int("sim_nanos")?,
                 model_secs: num("model")?,
                 sim_bytes: int("bytes")?,
+                bytes_in: mem("mem_in"),
+                bytes_out: mem("mem_out"),
+                peak_alloc_bytes: mem("mem_peak"),
+                rows_materialized: mem("rows"),
             },
         })
     }
@@ -359,6 +395,20 @@ impl PlanTrace {
         }
     }
 
+    /// Roll the memory dimension up over the whole trace: bytes/rows sum,
+    /// peaks take the maximum (an op's peak already includes working sets
+    /// carried from earlier ops, so the max is the run's resident peak).
+    pub fn memory(&self) -> MemRollup {
+        let mut roll = MemRollup::default();
+        for op in &self.ops {
+            roll.bytes_in += op.cost.bytes_in;
+            roll.bytes_out += op.cost.bytes_out;
+            roll.peak_alloc_bytes = roll.peak_alloc_bytes.max(op.cost.peak_alloc_bytes);
+            roll.rows_materialized += op.cost.rows_materialized;
+        }
+        roll
+    }
+
     /// Render the per-operator cost table behind `paper_harness explain`.
     pub fn table(&self) -> TextTable {
         let mut table = TextTable::new(&[
@@ -369,6 +419,10 @@ impl PlanTrace {
             ("sim", Align::Right),
             ("total", Align::Right),
             ("bytes", Align::Right),
+            ("mem in", Align::Right),
+            ("mem out", Align::Right),
+            ("mem peak", Align::Right),
+            ("rows", Align::Right),
         ]);
         for op in &self.ops {
             table.row(vec![
@@ -379,10 +433,28 @@ impl PlanTrace {
                 genbase_util::fmt_secs(op.cost.sim_secs()),
                 genbase_util::fmt_secs(op.cost.total_secs()),
                 genbase_util::fmt_bytes(op.cost.sim_bytes),
+                genbase_util::fmt_bytes(op.cost.bytes_in),
+                genbase_util::fmt_bytes(op.cost.bytes_out),
+                genbase_util::fmt_bytes(op.cost.peak_alloc_bytes),
+                op.cost.rows_materialized.to_string(),
             ]);
         }
         table
     }
+}
+
+/// Whole-run rollup of the trace's memory dimension (see
+/// [`PlanTrace::memory`]); surfaced through `QueryReport::memory`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemRollup {
+    /// Total storage-layer bytes read across all ops.
+    pub bytes_in: u64,
+    /// Total storage-layer bytes materialized across all ops.
+    pub bytes_out: u64,
+    /// Peak live storage-layer bytes across the run.
+    pub peak_alloc_bytes: u64,
+    /// Total rows materialized across all ops.
+    pub rows_materialized: u64,
 }
 
 /// Records physical operators as a backend lowers and executes the plan.
@@ -394,6 +466,7 @@ impl PlanTrace {
 pub struct Tracer {
     ops: Vec<OpTrace>,
     sim: Option<SimClock>,
+    mem: Option<MemTracker>,
 }
 
 impl Tracer {
@@ -407,11 +480,21 @@ impl Tracer {
         Tracer {
             ops: Vec::new(),
             sim: Some(sim),
+            mem: None,
         }
     }
 
+    /// Attach the storage layer's allocation tracker: every traced op then
+    /// carries the `bytes_in`/`bytes_out`/`peak_alloc_bytes`/`rows` deltas
+    /// its closure charged or noted.
+    pub fn with_mem(mut self, mem: MemTracker) -> Tracer {
+        self.mem = Some(mem);
+        self
+    }
+
     /// Execute `f` as one traced physical operator: wall seconds plus (when
-    /// a clock is attached) the simulated nanosecond/byte delta it charged.
+    /// a clock is attached) the simulated nanosecond/byte delta it charged,
+    /// plus (when a tracker is attached) the memory deltas it accounted.
     pub fn exec<T>(
         &mut self,
         kind: OpKind,
@@ -420,12 +503,17 @@ impl Tracer {
         f: impl FnOnce() -> Result<T>,
     ) -> Result<T> {
         let snap = self.sim.as_ref().map(|s| (s.nanos(), s.bytes()));
+        let scope = self.mem.as_ref().map(|m| m.op_begin());
         let start = std::time::Instant::now();
         let out = f()?;
         let wall_secs = start.elapsed().as_secs_f64();
         let (sim_nanos, sim_bytes) = match (&self.sim, snap) {
             (Some(s), Some((n0, b0))) => (s.nanos() - n0, s.bytes() - b0),
             _ => (0, 0),
+        };
+        let mem = match (&self.mem, scope) {
+            (Some(m), Some(scope)) => m.op_delta(scope),
+            _ => MemDelta::default(),
         };
         self.ops.push(OpTrace {
             kind,
@@ -436,7 +524,9 @@ impl Tracer {
                 sim_nanos,
                 model_secs: 0.0,
                 sim_bytes,
-            },
+                ..OpCost::default()
+            }
+            .with_mem(mem),
         });
         Ok(out)
     }
@@ -553,6 +643,7 @@ mod tests {
                     sim_nanos: n,
                     model_secs: 0.0,
                     sim_bytes: 7,
+                    ..OpCost::default()
                 },
             });
         }
@@ -594,6 +685,7 @@ mod tests {
                 sim_nanos: 42,
                 model_secs: 0.5,
                 sim_bytes: 1024,
+                ..OpCost::default()
             },
         };
         let back = OpTrace::from_json(&op.to_json()).unwrap();
@@ -613,6 +705,7 @@ mod tests {
                     sim_nanos: 500,
                     model_secs: 0.25,
                     sim_bytes: 9,
+                    ..OpCost::default()
                 },
             }],
         };

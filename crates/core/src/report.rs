@@ -42,6 +42,13 @@ impl QueryReport {
             trace,
         }
     }
+
+    /// Whole-run memory rollup of the trace (bytes read/materialized sum,
+    /// peak resident bytes take the max) — the storage layer's counterpart
+    /// of the time-phase split.
+    pub fn memory(&self) -> crate::plan::MemRollup {
+        self.trace.memory()
+    }
 }
 
 /// Outcome of one harness cell, following the paper's conventions: cutoff
@@ -114,6 +121,7 @@ mod tests {
                         sim_nanos: 0,
                         model_secs: 0.5,
                         sim_bytes: 0,
+                        ..OpCost::default()
                     },
                 },
             ],

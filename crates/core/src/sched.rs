@@ -329,8 +329,16 @@ pub fn config_fingerprint(config: &HarnessConfig) -> String {
         crate::harness::TimingMode::Measured => format!("{}", config.cutoff.as_secs_f64()),
         crate::harness::TimingMode::SimOnly => "off".to_string(),
     };
+    // `--mem-budget` changes cell outcomes, so a set budget is part of the
+    // fingerprint — but only when set: the unlimited default keeps the
+    // pre-memory-accounting fingerprint string, so existing checkpoint and
+    // grid files still load.
+    let mem_budget = match config.mem_budget {
+        Some(bytes) => format!(";membudget={bytes}"),
+        None => String::new(),
+    };
     format!(
-        "scale={};seed={};timing={:?};rmem={};cutoff={cutoff};simthreads={}",
+        "scale={};seed={};timing={:?};rmem={};cutoff={cutoff};simthreads={}{mem_budget}",
         config.scale,
         config.seed,
         config.timing,
@@ -435,8 +443,10 @@ impl ReportGrid {
                 )))
             }
         }
-        let mut grid = ReportGrid::default();
-        grid.fingerprint = doc.get("config").and_then(Json::as_str).map(str::to_string);
+        let mut grid = ReportGrid {
+            fingerprint: doc.get("config").and_then(Json::as_str).map(str::to_string),
+            ..ReportGrid::default()
+        };
         let pairs = doc
             .get("cells")
             .and_then(Json::as_obj)
@@ -796,6 +806,7 @@ mod tests {
                         sim_nanos: 500_000_000,
                         model_secs: 0.0,
                         sim_bytes: 1024,
+                        ..crate::plan::OpCost::default()
                     },
                 }],
             },

@@ -17,6 +17,11 @@
 //!
 //! Everything is deterministic in the [`GeneratorConfig::seed`].
 
+// Index-based loops are the idiom throughout these numerical kernels:
+// explicit ranges keep the row/column structure of the math visible, and
+// iterator rewrites would obscure it without changing the generated code.
+#![allow(clippy::needless_range_loop)]
+
 pub mod generate;
 pub mod pool;
 pub mod spec;

@@ -253,7 +253,7 @@ mod tests {
         });
         let f = QrFactor::factor(a, &ExecOpts::serial()).unwrap();
         assert!(!f.is_full_rank());
-        assert!(f.solve_ls(&vec![1.0; 10]).is_err());
+        assert!(f.solve_ls(&[1.0; 10]).is_err());
     }
 
     #[test]

@@ -149,7 +149,7 @@ where
             let mut groups = 0usize;
             while let Some((key, first)) = iter.next() {
                 groups += 1;
-                if groups % 1024 == 0 {
+                if groups.is_multiple_of(1024) {
                     config.budget.check("mapreduce reduce")?;
                 }
                 let mut values = vec![first];
@@ -175,11 +175,14 @@ where
     Ok(out)
 }
 
+/// A map-only mapper: `(key, value, emit)` with a direct emit callback.
+pub type MapOnlyFn<'a, KI, VI, KO, VO> = dyn Fn(&KI, &VI, &mut dyn FnMut(KO, VO)) + Sync + 'a;
+
 /// Map-only job (Hadoop with zero reducers): no shuffle, no sort; output
 /// records still round-trip through bytes.
 pub fn run_map_only<KI, VI, KO, VO>(
     input: &[(KI, VI)],
-    mapper: &(dyn Fn(&KI, &VI, &mut dyn FnMut(KO, VO)) + Sync),
+    mapper: &MapOnlyFn<'_, KI, VI, KO, VO>,
     config: &JobConfig,
 ) -> Result<Vec<(KO, VO)>>
 where

@@ -18,6 +18,11 @@
 //!   in-process runtime cannot measure honestly; default is zero so all
 //!   measured numbers stay pure unless the harness opts in).
 
+// Index-based loops are the idiom throughout these numerical kernels:
+// explicit ranges keep the row/column structure of the math visible, and
+// iterator rewrites would obscure it without changing the generated code.
+#![allow(clippy::needless_range_loop)]
+
 pub mod hive;
 pub mod job;
 pub mod mahout;

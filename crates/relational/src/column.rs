@@ -281,6 +281,12 @@ impl ColumnTable {
         Ok(out)
     }
 
+    /// Decompose into the schema and owned columns (no copy) — the handoff
+    /// into the unified storage layer's columnar representation.
+    pub fn into_columns(self) -> (Schema, Vec<ColumnData>) {
+        (self.schema, self.cols)
+    }
+
     /// Distinct values of an integer column, ascending.
     pub fn distinct_ints(&self, col: usize) -> Result<Vec<i64>> {
         let mut vals = self.int_col(col)?.to_vec();

@@ -160,7 +160,7 @@ impl RowTable {
                 return;
             }
             counter += 1;
-            if counter % 8192 == 0 {
+            if counter.is_multiple_of(8192) {
                 if let Err(e) = budget.check("row-store scan") {
                     err = Some(e);
                     return;
@@ -205,7 +205,7 @@ impl RowTable {
                 return;
             }
             counter += 1;
-            if counter % 8192 == 0 {
+            if counter.is_multiple_of(8192) {
                 if let Err(e) = budget.check("row-store hash join") {
                     err = Some(e);
                     return;
@@ -323,7 +323,7 @@ mod tests {
         let t = sample_table(1000);
         // 4 fields * 8B = 32B per tuple; 8192/32 = 256 tuples per page.
         assert_eq!(t.tuples_per_page, 256);
-        assert_eq!(t.pages.len(), (1000 + 255) / 256);
+        assert_eq!(t.pages.len(), 1000_usize.div_ceil(256));
     }
 
     #[test]

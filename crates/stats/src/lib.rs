@@ -7,6 +7,11 @@
 //! distribution functions backing its p-values, and a few descriptive
 //! statistics used elsewhere in the suite.
 
+// Index-based loops are the idiom throughout these numerical kernels:
+// explicit ranges keep the row/column structure of the math visible, and
+// iterator rewrites would obscure it without changing the generated code.
+#![allow(clippy::needless_range_loop)]
+
 pub mod describe;
 pub mod normal;
 pub mod ranking;

@@ -37,7 +37,7 @@ pub fn erfc(x: f64) -> f64 {
 
 /// Maclaurin series for `erf(x)`, accurate to machine precision for |x| < 1.
 fn erf_small(x: f64) -> f64 {
-    const TWO_OVER_SQRT_PI: f64 = 1.128_379_167_095_512_6;
+    const TWO_OVER_SQRT_PI: f64 = std::f64::consts::FRAC_2_SQRT_PI;
     let mut term = x;
     let mut sum = x;
     for n in 1..60 {

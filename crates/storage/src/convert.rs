@@ -1,0 +1,413 @@
+//! The conversion kernels: dense ↔ triples ↔ chunked, row ↔ column.
+//!
+//! These are the restructuring paths GenBase measures — implemented once,
+//! instrumented against the [`MemTracker`] (bytes read, bytes/rows
+//! materialized), and parallelized on the shared `genbase_util::runtime`
+//! pool where the operation admits a deterministic parallel schedule.
+//! Each kernel is bit-identical to the representation-specific code it
+//! replaced (pinned by `tests/storage_layer.rs`).
+//!
+//! Accounting convention: constructors ([`ColumnarTable::from_columns`],
+//! [`crate::DenseHandle::new`]) *charge* live bytes; kernels *note* the bytes they
+//! read and the bytes/rows they materialize. The plan tracer's operator
+//! scopes turn those notes into per-op `bytes_in`/`bytes_out`/`rows`
+//! columns. [`genbase_util::Budget`] stays what it always was — the
+//! *simulated machine's* memory semantics (R's heap, the paper's 48 GB
+//! boxes) — while the tracker observes the storage layer's actual working
+//! sets and enforces the per-cell `--mem-budget`.
+
+use crate::table::{Column, ColumnarTable, TableView};
+use crate::tracker::MemTracker;
+use genbase_array::Array2D;
+use genbase_linalg::Matrix;
+use genbase_relational::{ColumnTable, DataType, Relation, Schema, Value};
+use genbase_util::{runtime, Budget, Error, Result};
+use std::collections::HashMap;
+
+/// Triples per parallel index-computation task in [`pivot_dense`]. Fixed
+/// (not derived from the thread count) so task boundaries — and with them
+/// any duplicate-key resolution — are identical at every thread count.
+const PIVOT_TASK: usize = 64 * 1024;
+
+/// Row → column pivot: materialize any [`Relation`] (row store output,
+/// column store output, a Hive split) as a [`ColumnarTable`], preserving
+/// row order. This is the unified replacement for the per-engine
+/// "TripleSet" representations.
+pub fn columnar_from_relation(tracker: &MemTracker, rel: &dyn Relation) -> Result<ColumnarTable> {
+    let schema = rel.schema().clone();
+    let n_rows = rel.n_rows();
+    tracker.note_input((n_rows * schema.arity() * 8) as u64);
+    let mut cols: Vec<Column> = schema
+        .fields()
+        .iter()
+        .map(|(_, t)| match t {
+            DataType::Int => Column::Ints(Vec::with_capacity(n_rows)),
+            DataType::Float => Column::Floats(Vec::with_capacity(n_rows)),
+        })
+        .collect();
+    rel.for_each(&mut |row: &[Value]| {
+        for (c, v) in cols.iter_mut().zip(row) {
+            match (c, v) {
+                (Column::Ints(vec), Value::Int(x)) => vec.push(*x),
+                (Column::Floats(vec), Value::Float(x)) => vec.push(*x),
+                _ => unreachable!("schema-checked row"),
+            }
+        }
+    });
+    let table = ColumnarTable::from_columns(tracker, schema, cols)?;
+    tracker.note_output(table.heap_bytes(), table.n_rows() as u64);
+    Ok(table)
+}
+
+/// Column → column adoption: take a relational [`ColumnTable`]'s columns
+/// into the storage layer without copying (column moves). The
+/// materialization happened in whatever operator produced the table, so
+/// the bytes are noted as that operator's output.
+pub fn columnar_from_column_table(
+    tracker: &MemTracker,
+    table: ColumnTable,
+) -> Result<ColumnarTable> {
+    let (schema, cols) = table.into_columns();
+    let cols: Vec<Column> = cols.into_iter().map(Column::from).collect();
+    let out = ColumnarTable::from_columns(tracker, schema, cols)?;
+    tracker.note_output(out.heap_bytes(), out.n_rows() as u64);
+    Ok(out)
+}
+
+/// Dense → triples: explode a dense `patients x genes` matrix into a
+/// `(gene_id, patient_id, value)` table (the relational engines' microarray
+/// representation).
+pub fn triples_from_dense(
+    tracker: &MemTracker,
+    dense: &Matrix,
+    schema: Schema,
+) -> Result<ColumnarTable> {
+    if schema.arity() != 3
+        || schema.col_type(0) != DataType::Int
+        || schema.col_type(1) != DataType::Int
+        || schema.col_type(2) != DataType::Float
+    {
+        return Err(Error::invalid("triple schema must be (Int, Int, Float)"));
+    }
+    tracker.note_input(dense.heap_bytes());
+    let n = dense.rows() * dense.cols();
+    let mut gene_col = Vec::with_capacity(n);
+    let mut patient_col = Vec::with_capacity(n);
+    let mut value_col = Vec::with_capacity(n);
+    for p in 0..dense.rows() {
+        let row = dense.row(p);
+        for (g, &v) in row.iter().enumerate() {
+            gene_col.push(g as i64);
+            patient_col.push(p as i64);
+            value_col.push(v);
+        }
+    }
+    let table = ColumnarTable::from_columns(
+        tracker,
+        schema,
+        vec![
+            Column::Ints(gene_col),
+            Column::Ints(patient_col),
+            Column::Floats(value_col),
+        ],
+    )?;
+    tracker.note_output(table.heap_bytes(), table.n_rows() as u64);
+    Ok(table)
+}
+
+/// Triples → dense: pivot a `(row_id, col_id, value)` view into a dense
+/// matrix with `row_ids`/`col_ids` giving the output ordering. Ids absent
+/// from the maps are ignored; unassigned cells stay 0.0; duplicate
+/// assignments keep the last value in view order — identical semantics to
+/// the relational `pivot_to_dense` this replaces.
+///
+/// The expensive part — hashing every triple's ids to output coordinates —
+/// runs in parallel over fixed-size triple ranges; the final scatter is a
+/// single serial pass in view order, so results are bit-identical at every
+/// thread count.
+pub fn pivot_dense(
+    view: &TableView<'_>,
+    (row_col, col_col, val_col): (usize, usize, usize),
+    row_ids: &[i64],
+    col_ids: &[i64],
+    threads: usize,
+    tracker: &MemTracker,
+    budget: &Budget,
+) -> Result<Matrix> {
+    budget.check("pivot")?;
+    tracker.note_input(view.span_bytes());
+    let rows = row_ids.len();
+    let cols = col_ids.len();
+    let row_index: HashMap<i64, usize> =
+        row_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let col_index: HashMap<i64, usize> =
+        col_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let rv = view.int_col(row_col)?;
+    let cv = view.int_col(col_col)?;
+    let vv = view.float_col(val_col)?;
+    let n = rv.len();
+
+    budget.alloc((rows * cols * 8) as u64, (rows * cols) as u64)?;
+    let mut data = vec![0.0; rows * cols];
+    let tasks = n.div_ceil(PIVOT_TASK).max(1);
+    if threads <= 1 || tasks == 1 {
+        // Serial path (the one-process DBMS pivots): scatter directly in
+        // view order — duplicates keep the last value — with no
+        // intermediate buffer, exactly like the relational pivot this
+        // kernel replaced.
+        for i in 0..n {
+            if let (Some(&ri), Some(&ci)) = (row_index.get(&rv[i]), col_index.get(&cv[i])) {
+                data[ri * cols + ci] = vv[i];
+            }
+        }
+    } else {
+        // Parallel path, two passes. Pass 1 computes per-triple output
+        // offsets (u64::MAX = filtered out) over fixed-size ranges — the
+        // hash lookups are the expensive part. The transient index buffer
+        // is charged against both accountants for its lifetime. Pass 2 is
+        // a single serial scatter in view order, so duplicate resolution —
+        // and therefore the result — is identical to the serial path at
+        // every thread count.
+        let index_bytes = (n * 8) as u64;
+        budget.alloc(index_bytes, n as u64)?;
+        tracker.charge(index_bytes)?;
+        let mut targets = vec![u64::MAX; n];
+        {
+            let slots = runtime::SharedSlice::new(&mut targets);
+            runtime::parallel_for(threads, tasks, |t| {
+                let lo = t * PIVOT_TASK;
+                let hi = (lo + PIVOT_TASK).min(n);
+                // SAFETY: tasks cover disjoint `lo..hi` ranges.
+                let out = unsafe { slots.slice_mut(lo, hi - lo) };
+                for (k, slot) in out.iter_mut().enumerate() {
+                    let i = lo + k;
+                    if let (Some(&ri), Some(&ci)) = (row_index.get(&rv[i]), col_index.get(&cv[i])) {
+                        *slot = (ri * cols + ci) as u64;
+                    }
+                }
+            });
+        }
+        for (i, &t) in targets.iter().enumerate() {
+            if t != u64::MAX {
+                data[t as usize] = vv[i];
+            }
+        }
+        drop(targets);
+        budget.free(index_bytes);
+        tracker.release(index_bytes);
+    }
+    budget.free((rows * cols * 8) as u64);
+    let mat = Matrix::from_vec(rows, cols, data)?;
+    tracker.note_output(mat.heap_bytes(), mat.rows() as u64);
+    Ok(mat)
+}
+
+/// Dense → chunked: ingest a matrix into the chunked array representation,
+/// charging the tracker for the resident chunk storage (released when the
+/// run's tracker drops with the store).
+pub fn chunked_from_dense(
+    tracker: &MemTracker,
+    dense: &Matrix,
+    budget: &Budget,
+) -> Result<Array2D> {
+    tracker.note_input(dense.heap_bytes());
+    let arr = Array2D::from_matrix(dense, budget)?;
+    let bytes = (arr.rows() * arr.cols() * 8) as u64;
+    tracker.charge(bytes)?;
+    tracker.note_output(bytes, arr.rows() as u64);
+    Ok(arr)
+}
+
+/// Chunked → dense: gather a coordinate-selected submatrix out of the
+/// chunked store (the SciDB "restructure"), delegating to the chunk-walking
+/// gather so results stay bit-identical to the pre-storage-layer path.
+pub fn gather_chunked(
+    arr: &Array2D,
+    rows: &[usize],
+    cols: &[usize],
+    threads: usize,
+    tracker: &MemTracker,
+    budget: &Budget,
+) -> Result<Matrix> {
+    tracker.note_input((rows.len() * cols.len() * 8) as u64);
+    let mat = arr.select_to_matrix_par(rows, cols, threads, budget)?;
+    tracker.note_output(mat.heap_bytes(), mat.rows() as u64);
+    Ok(mat)
+}
+
+/// Dense row subset with accounting (vanilla R's `matrix[rows, ]`).
+pub fn select_rows_tracked(tracker: &MemTracker, mat: &Matrix, idx: &[usize]) -> Matrix {
+    let sub = mat.select_rows(idx);
+    tracker.note_input(sub.heap_bytes());
+    tracker.note_output(sub.heap_bytes(), sub.rows() as u64);
+    sub
+}
+
+/// Dense column subset with accounting (vanilla R's `matrix[, cols]`).
+pub fn select_cols_tracked(tracker: &MemTracker, mat: &Matrix, idx: &[usize]) -> Matrix {
+    let sub = mat.select_cols(idx);
+    tracker.note_input(sub.heap_bytes());
+    tracker.note_output(sub.heap_bytes(), sub.rows() as u64);
+    sub
+}
+
+/// Columnar → CSV text: the "export data from the DBMS" half of the
+/// paper's copy-and-reformat bridge, with the serialized bytes accounted.
+pub fn export_csv_tracked(
+    rel: &dyn Relation,
+    tracker: &MemTracker,
+    budget: &Budget,
+) -> Result<String> {
+    tracker.note_input((rel.n_rows() * rel.schema().arity() * 8) as u64);
+    let text = genbase_relational::export_csv(rel, budget)?;
+    tracker.note_output(text.len() as u64, rel.n_rows() as u64);
+    Ok(text)
+}
+
+/// CSV text → dense: the "re-parse and pivot in R" half of the export
+/// bridge (single-threaded, against the R memory budget — R is the
+/// simulated machine here, so `r_budget` keeps its pre-storage-layer
+/// accounting bit-for-bit).
+pub fn pivot_csv_tracked(
+    text: &str,
+    row_ids: &[i64],
+    col_ids: &[i64],
+    tracker: &MemTracker,
+    r_budget: &Budget,
+) -> Result<Matrix> {
+    tracker.note_input(text.len() as u64);
+    let parsed = genbase_relational::import_matrix_csv(text, r_budget)?;
+    if parsed.cols != 3 && parsed.rows != 0 {
+        return Err(Error::invalid("exported triples must have 3 columns"));
+    }
+    let row_index: HashMap<i64, usize> =
+        row_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let col_index: HashMap<i64, usize> =
+        col_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let mut mat = Matrix::zeros_budgeted(row_ids.len(), col_ids.len(), r_budget)?;
+    for r in 0..parsed.rows {
+        let g = parsed.data[r * 3] as i64;
+        let p = parsed.data[r * 3 + 1] as i64;
+        let v = parsed.data[r * 3 + 2];
+        if let (Some(&ri), Some(&ci)) = (row_index.get(&p), col_index.get(&g)) {
+            mat.set(ri, ci, v);
+        }
+    }
+    r_budget.free(mat.heap_bytes());
+    tracker.note_output(mat.heap_bytes(), mat.rows() as u64);
+    Ok(mat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genbase_relational::RowTable;
+
+    fn triple_schema() -> Schema {
+        Schema::new(&[
+            ("gene_id", DataType::Int),
+            ("patient_id", DataType::Int),
+            ("value", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    fn dense() -> Matrix {
+        Matrix::from_fn(5, 7, |r, c| (r * 7 + c) as f64 * 0.5)
+    }
+
+    #[test]
+    fn dense_triples_round_trip() {
+        let t = MemTracker::unlimited();
+        let m = dense();
+        let triples = triples_from_dense(&t, &m, triple_schema()).unwrap();
+        assert_eq!(triples.n_rows(), 35);
+        let patient_ids: Vec<i64> = (0..5).collect();
+        let gene_ids: Vec<i64> = (0..7).collect();
+        let back = pivot_dense(
+            &triples.view(),
+            (1, 0, 2),
+            &patient_ids,
+            &gene_ids,
+            2,
+            &t,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(back, m, "dense -> triples -> dense is exact");
+    }
+
+    #[test]
+    fn pivot_matches_relational_reference_any_thread_count() {
+        let t = MemTracker::unlimited();
+        let rows: Vec<Vec<Value>> = (0..200)
+            .map(|i| {
+                vec![
+                    Value::Int((i * 7) % 13),
+                    Value::Int((i * 3) % 11),
+                    Value::Float(i as f64 * 0.25),
+                ]
+            })
+            .collect();
+        let rt = RowTable::from_rows(triple_schema(), rows).unwrap();
+        let table = columnar_from_relation(&t, &rt).unwrap();
+        let row_ids: Vec<i64> = (0..11).rev().collect();
+        let col_ids: Vec<i64> = (0..13).collect();
+        let reference = genbase_relational::pivot_to_dense(
+            &rt,
+            1,
+            0,
+            2,
+            &row_ids,
+            &col_ids,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        for threads in [1usize, 2, 8] {
+            let got = pivot_dense(
+                &table.view(),
+                (1, 0, 2),
+                &row_ids,
+                &col_ids,
+                threads,
+                &t,
+                &Budget::unlimited(),
+            )
+            .unwrap();
+            assert_eq!(got.data(), &reference.data[..], "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn row_to_columnar_preserves_order_and_accounts() {
+        let t = MemTracker::unlimited();
+        let rows: Vec<Vec<Value>> = (0..16)
+            .map(|i| vec![Value::Int(i % 3), Value::Int(i), Value::Float(i as f64)])
+            .collect();
+        let rt = RowTable::from_rows(triple_schema(), rows.clone()).unwrap();
+        let table = columnar_from_relation(&t, &rt).unwrap();
+        let mut got = Vec::new();
+        table.for_each(&mut |r: &[Value]| got.push(r.to_vec()));
+        assert_eq!(got, rows, "row order preserved");
+        assert_eq!(t.current(), table.heap_bytes());
+    }
+
+    #[test]
+    fn chunked_round_trip_and_export_bridge() {
+        let t = MemTracker::unlimited();
+        let m = dense();
+        let arr = chunked_from_dense(&t, &m, &Budget::unlimited()).unwrap();
+        let rows: Vec<usize> = (0..5).collect();
+        let cols: Vec<usize> = vec![0, 2, 4];
+        let got = gather_chunked(&arr, &rows, &cols, 2, &t, &Budget::unlimited()).unwrap();
+        assert_eq!(got, m.select_cols(&cols));
+
+        let triples = triples_from_dense(&t, &m, triple_schema()).unwrap();
+        let text = export_csv_tracked(&triples, &t, &Budget::unlimited()).unwrap();
+        let patient_ids: Vec<i64> = (0..5).collect();
+        let gene_ids: Vec<i64> = (0..7).collect();
+        let back =
+            pivot_csv_tracked(&text, &patient_ids, &gene_ids, &t, &Budget::unlimited()).unwrap();
+        assert_eq!(back, m, "CSV bridge round trip is exact");
+    }
+}

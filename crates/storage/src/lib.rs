@@ -1,0 +1,45 @@
+//! Unified columnar storage layer with per-operator memory accounting.
+//!
+//! GenBase's central finding is that data *movement and restructuring*
+//! between the storage layer and the analytics layer — not the analytics
+//! kernels — dominates end-to-end cost. Before this crate, each engine
+//! family owned an ad-hoc working-set representation (row/column triple
+//! tables in the SQL engines, dense matrices in vanilla R, chunked arrays
+//! in SciDB, record splits in Hadoop) and every cross-representation
+//! conversion was bespoke, unmeasured code. This crate makes the paper's
+//! core cost dimension first-class:
+//!
+//! - [`ColumnarTable`] / [`Column`] / [`TableView`]: the shared columnar
+//!   working-set representation every engine's lowering materializes
+//!   filtered/joined data into. Tables are registered against a
+//!   [`MemTracker`] on construction and release their bytes on drop, so
+//!   resident working-set size is observable at any instant.
+//! - [`convert`]: the conversion kernels — dense↔triples↔chunked and the
+//!   row↔column pivot — implemented once, instrumented (bytes in, bytes
+//!   out, rows materialized), and parallelized on the shared
+//!   `genbase_util::runtime` pool.
+//! - [`MemTracker`]: the allocation tracker behind per-operator memory
+//!   traces (`bytes_in` / `bytes_out` / `peak_alloc_bytes` /
+//!   `rows_materialized`) and the per-cell `--mem-budget` enforcement.
+//!   Exhausting the budget surfaces as [`genbase_util::Error::OutOfMemory`]
+//!   — a traced "infinite" cell outcome, never an abort.
+//!
+//! The dense representation of this layer *is* [`genbase_linalg::Matrix`]
+//! (held through the RAII [`DenseHandle`]) and the chunked representation
+//! is [`genbase_array::Array2D`]; the conversion kernels bridge them so the
+//! per-engine code paths they replaced stay bit-identical (pinned by the
+//! storage property tests).
+
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod table;
+pub mod tracker;
+
+pub use convert::{
+    chunked_from_dense, columnar_from_column_table, columnar_from_relation, export_csv_tracked,
+    gather_chunked, pivot_csv_tracked, pivot_dense, select_cols_tracked, select_rows_tracked,
+    triples_from_dense,
+};
+pub use table::{Column, ColumnarTable, TableView};
+pub use tracker::{DenseHandle, MemDelta, MemTracker, OpScope};

@@ -394,7 +394,7 @@ mod tests {
 
     #[test]
     fn floats_round_trip_exactly() {
-        for v in [0.0, -0.0, 1.5e-300, 0.1 + 0.2, 123456789.123456789, 1e18] {
+        for v in [0.0, -0.0, 1.5e-300, 0.1 + 0.2, 123_456_789.123_456_79, 1e18] {
             let j = Json::Num(v).render();
             let back = Json::parse(&j).unwrap().as_f64().unwrap();
             assert_eq!(back.to_bits(), v.to_bits(), "value {v}");

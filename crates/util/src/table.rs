@@ -69,11 +69,11 @@ impl TextTable {
                     Align::Left => {
                         out.push_str(cell);
                         if i + 1 < ncols {
-                            out.extend(std::iter::repeat(' ').take(pad));
+                            out.extend(std::iter::repeat_n(' ', pad));
                         }
                     }
                     Align::Right => {
-                        out.extend(std::iter::repeat(' ').take(pad));
+                        out.extend(std::iter::repeat_n(' ', pad));
                         out.push_str(cell);
                     }
                 }
@@ -82,7 +82,7 @@ impl TextTable {
         };
         emit(&mut out, &self.header, &widths, &self.aligns);
         let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
-        out.extend(std::iter::repeat('-').take(total));
+        out.extend(std::iter::repeat_n('-', total));
         out.push('\n');
         for row in &self.rows {
             emit(&mut out, row, &widths, &self.aligns);

@@ -337,6 +337,7 @@ macro_rules! __proptest_impl {
                     accepted,
                 );
                 $(let $arg = ($strat).generate(&mut rng);)+
+                #[allow(clippy::redundant_closure_call)]
                 let outcome: ::std::result::Result<(), $crate::Reject> = (move || {
                     $body
                     Ok(())

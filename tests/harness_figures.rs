@@ -79,3 +79,80 @@ fn run_matrix_covers_all_cells() {
     assert_eq!(unsupported, 3);
     assert_eq!(completed, 32);
 }
+
+/// Configuration identical to the CI golden-snapshot runs
+/// (`--scale 0.012 --sizes small --sim-only --threads 4`): output must be
+/// deterministic across machines, so the committed goldens pin it.
+fn golden_harness() -> Harness {
+    let scale = 0.012f64;
+    let cfg = HarnessConfig {
+        scale,
+        sizes: vec![SizeClass::Small],
+        r_mem_bytes: (48e9 * scale * scale) as u64,
+        threads: 4,
+        ..HarnessConfig::default()
+    }
+    .sim_only();
+    Harness::new(cfg).unwrap()
+}
+
+/// The per-op Figure 2 variant renders byte-identically to the committed
+/// golden (regenerate with
+/// `paper_harness fig2 --scale 0.012 --sizes small --sim-only --threads 4
+/// --per-op > tests/golden/fig2_per_op.txt`).
+#[test]
+fn fig2_per_op_matches_golden() {
+    use genbase::engines;
+    use genbase::sched::{run_cells_serial, FigureId};
+    let h = golden_harness();
+    let cells = figures::plan(FigureId::Fig2, h.config(), SizeClass::Small);
+    let grid = run_cells_serial(&h, &engines::all_engines(), &cells).unwrap();
+    let fig = figures::render_per_op(FigureId::Fig2, &h, SizeClass::Small, &grid).unwrap();
+    let got = format!("{}\n", fig.render());
+    let want = std::fs::read_to_string("tests/golden/fig2_per_op.txt").unwrap();
+    assert_eq!(got, want, "fig2 --per-op drifted from the golden snapshot");
+    // The breakdown carries the memory dimension: some operator class
+    // moves storage-layer bytes for every completing engine.
+    assert!(got.contains("bytes moved per operator class"));
+    assert!(got.contains("KiB"));
+}
+
+/// `explain --json` (the machine-readable trace surface) matches its
+/// committed golden, parses as JSON, and carries the memory columns.
+#[test]
+fn explain_json_matches_golden() {
+    let h = golden_harness();
+    let got = format!(
+        "{}\n",
+        figures::explain_json(&h, SizeClass::Small, 1, None, None).unwrap()
+    );
+    let want = std::fs::read_to_string("tests/golden/explain_small.json").unwrap();
+    assert_eq!(got, want, "explain --json drifted from the golden snapshot");
+    let doc = genbase_util::Json::parse(want.trim()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(genbase_util::Json::as_str),
+        Some("genbase-explain-v1")
+    );
+    let pairs = doc
+        .get("pairs")
+        .and_then(genbase_util::Json::as_arr)
+        .unwrap();
+    assert_eq!(pairs.len(), genbase::engines::all_engines().len() * 5);
+    // Every completed pair reports the memory rollup and per-op columns.
+    for pair in pairs {
+        if pair.get("status").and_then(genbase_util::Json::as_str) == Some("completed") {
+            let mem = pair.get("memory").expect("memory rollup");
+            assert!(
+                mem.get("peak_alloc")
+                    .and_then(genbase_util::Json::as_u64)
+                    .unwrap()
+                    > 0
+            );
+            let ops = pair
+                .get("ops")
+                .and_then(genbase_util::Json::as_arr)
+                .unwrap();
+            assert!(ops.iter().all(|op| op.get("mem_peak").is_some()));
+        }
+    }
+}

@@ -154,8 +154,9 @@ fn sim_only_zeroes_trace_walls_and_keeps_rollup_exact() {
 fn physical_lowering_sequences_are_pinned() {
     use genbase::plan::Phase::{Analytics as An, DataManagement as Dm};
     use OpKind::*;
+    type Lowering = &'static [(OpKind, genbase::plan::Phase)];
     let h = Harness::new(config().sim_only()).unwrap();
-    let expect: [(&str, Query, &[(OpKind, genbase::plan::Phase)]); 6] = [
+    let expect: [(&str, Query, Lowering); 6] = [
         (
             // Export bridge: the paper's copy-and-reformat path.
             "Postgres + R",
@@ -227,6 +228,91 @@ fn physical_lowering_sequences_are_pinned() {
             .collect();
         assert_eq!(got, want, "{engine_name} / {query:?} lowering changed");
     }
+}
+
+/// The memory dimension: every engine × query × nodes cell reports sane
+/// storage-layer counters, and the ops that *are* the paper's headline
+/// cost — restructure, export, marshal — always show bytes moved.
+#[test]
+fn memory_columns_cover_every_cell_and_restructure_ops_move_bytes() {
+    use genbase::plan::Phase;
+    let h = Harness::new(config().sim_only()).unwrap();
+    let cells = completed_cells(&h);
+    assert!(cells.len() > 50, "got {} completed cells", cells.len());
+    for (engine, query, nodes, report) in &cells {
+        let tag = format!("{engine} / {query:?} / n{nodes}");
+        let mut peak_max = 0u64;
+        for op in &report.trace.ops {
+            let c = &op.cost;
+            // u64 counters are non-negative by type; pin the structural
+            // relations instead: a peak can never be below the bytes the
+            // op held... nothing resident can exceed the run peak.
+            peak_max = peak_max.max(c.peak_alloc_bytes);
+            if matches!(
+                op.kind,
+                OpKind::Restructure | OpKind::Export | OpKind::Marshal
+            ) && op.phase == Phase::DataManagement
+            {
+                assert!(
+                    c.bytes_moved() > 0,
+                    "{tag} op {:?}: restructure-class op moved no bytes",
+                    op.label
+                );
+                assert!(c.bytes_in > 0 || c.bytes_out > 0, "{tag} op {:?}", op.label);
+            }
+        }
+        let roll = report.memory();
+        assert_eq!(
+            roll.peak_alloc_bytes, peak_max,
+            "{tag}: rollup peak is the max over op peaks"
+        );
+        assert!(
+            roll.bytes_in > 0 && roll.bytes_out > 0,
+            "{tag}: every cell moves storage-layer bytes somewhere"
+        );
+        assert!(
+            roll.peak_alloc_bytes > 0,
+            "{tag}: resident working sets must register"
+        );
+    }
+}
+
+/// A cell that exhausts `--mem-budget` renders as the paper's "infinite"
+/// bar — a surfaced failure, never a hard error or abort — and the budget
+/// value is part of the config fingerprint only when set.
+#[test]
+fn mem_budget_exhaustion_renders_infinite() {
+    let mut cfg = config().sim_only();
+    cfg.mem_budget = Some(10_000); // chunked store alone needs ~28.8 KB
+    let with_budget = genbase::sched::config_fingerprint(&cfg);
+    assert!(with_budget.contains("membudget=10000"));
+    let mut unlimited = cfg.clone();
+    unlimited.mem_budget = None;
+    assert!(
+        !genbase::sched::config_fingerprint(&unlimited).contains("membudget"),
+        "unlimited default keeps the pre-memory fingerprint (old checkpoints load)"
+    );
+
+    let h = Harness::new(cfg).unwrap();
+    let scidb = engines::SciDb::new();
+    let rec = h
+        .run_cell(&scidb, Query::Covariance, SizeClass::Small, 1)
+        .unwrap();
+    match rec.outcome {
+        RunOutcome::Infinite { reason } => {
+            assert!(
+                reason.contains("memory"),
+                "reason names the failure: {reason}"
+            )
+        }
+        other => panic!("expected Infinite, got {other:?}"),
+    }
+    // Same engine, same data, unlimited budget: completes.
+    let h = Harness::new(unlimited).unwrap();
+    let rec = h
+        .run_cell(&scidb, Query::Covariance, SizeClass::Small, 1)
+        .unwrap();
+    assert!(matches!(rec.outcome, RunOutcome::Completed(_)));
 }
 
 /// Traces survive the grid/wire serialization round trip bit-for-bit
