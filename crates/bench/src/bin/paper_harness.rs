@@ -5,7 +5,7 @@
 //! ```text
 //! paper_harness [fig1|fig2|fig3|fig4|fig5|table1|weak|bench|all]
 //!               [explain [ENGINE] [QUERY]]  per-operator plan cost tables
-//!               [coordinate|work]  distributed sweep roles (see below)
+//!               [coordinate|work|status]  distributed sweep roles (see below)
 //!               [--scale F]      per-side scale vs paper sizes (default 0.048)
 //!               [--sizes LIST]   size classes, e.g. small,medium (default all)
 //!               [--cutoff SECS]  per-run cutoff (default 60)
@@ -31,6 +31,14 @@
 //!               [--lease-timeout SECS]  coordinate: revoke and re-issue a
 //!                                cell leased longer than this (default:
 //!                                off, EOF-only death detection)
+//!               [--rebalance-after SECS]  coordinate: once idle workers
+//!                                outnumber pending cells, steal the
+//!                                longest lease older than this and hand
+//!                                it to an idle worker (default: off)
+//!               [--faults SPEC]  install a fault-injection plan (same
+//!                                grammar as GENBASE_FAULTS, overrides it):
+//!                                site@N=action[;...], actions err:<kind>/
+//!                                delay:<ms>/torn:<bytes>/abort
 //!               [--shards N] [--shard-id I]  run the I-th of N cell partitions
 //!               [--checkpoint P] resume file: completed cells skip on rerun
 //!               [--grid-out P]   write the result grid as JSON
@@ -55,6 +63,14 @@
 //! re-leases cells whose worker died, and renders the figures when the
 //! grid is complete — no shared filesystem required. `work --connect HOST:PORT`
 //! must be started with the same configuration flags as the coordinator.
+//! Workers are elastic: SIGTERM makes a worker finish in-flight sends,
+//! hand back any lease with `leave` (uncharged against the re-issue cap),
+//! and exit; a worker that loses its connection reconnects with backoff
+//! and re-submits its finished result instead of recomputing. `status
+//! --connect HOST:PORT` polls a serving coordinator for a live snapshot
+//! (pending/leased/done cells, per-worker throughput, re-issue counts) as
+//! a table, or as JSON with `--json`; it authenticates like a worker but
+//! needs no configuration flags.
 //!
 //! At the default scale the size ladder is Small 240x240, Medium 720x960,
 //! Large 1440x1920 (paper ÷ ~20.8 per side), and the cutoff plays the role
@@ -114,6 +130,8 @@ struct Args {
     bench_out: String,
     nodes: usize,
     lease_timeout_secs: u64,
+    rebalance_after_secs: u64,
+    faults: Option<String>,
     mem_budget: Option<u64>,
     auth_token: Option<String>,
     json: bool,
@@ -145,6 +163,8 @@ fn parse_args() -> Args {
         bench_out: "BENCH_baseline.json".to_string(),
         nodes: 1,
         lease_timeout_secs: 0,
+        rebalance_after_secs: 0,
+        faults: None,
         mem_budget: None,
         auth_token: std::env::var("GENBASE_COORD_TOKEN").ok(),
         json: false,
@@ -253,6 +273,15 @@ fn parse_args() -> Args {
                 i += 1;
                 args.lease_timeout_secs = argv[i].parse().expect("--lease-timeout takes seconds");
             }
+            "--rebalance-after" => {
+                i += 1;
+                args.rebalance_after_secs =
+                    argv[i].parse().expect("--rebalance-after takes seconds");
+            }
+            "--faults" => {
+                i += 1;
+                args.faults = Some(argv[i].clone());
+            }
             "--mem-budget" => {
                 i += 1;
                 args.mem_budget = Some(argv[i].parse().expect("--mem-budget takes bytes"));
@@ -314,24 +343,47 @@ fn harness_config(args: &Args) -> HarnessConfig {
 
 fn main() {
     let args = parse_args();
+    if let Some(spec) = &args.faults {
+        // An explicit --faults overrides any GENBASE_FAULTS in the
+        // environment (install replaces the plan either way).
+        let plan = genbase_util::faults::FaultPlan::parse(spec)
+            .unwrap_or_else(|e| panic!("--faults: {e}"));
+        genbase_util::faults::install(plan);
+        eprintln!("fault plan installed: {spec}");
+    }
     if args.what == "coordinate" {
         return coordinate(&args);
     }
     if args.what == "work" {
+        // SIGTERM departs cleanly: the worker hands back its lease with
+        // `leave` (uncharged against the re-issue cap) and exits.
+        genbase_util::shutdown::install_sigterm_handler();
         let config = harness_config(&args);
-        let report = genbase::coord::run_worker_jobs(
+        let report = genbase::coord::run_worker_with(
             args.connect.as_str(),
             config,
             Duration::from_secs(args.connect_window_secs),
-            args.jobs.max(1),
-            args.auth_token.clone(),
+            genbase::coord::WorkerOptions {
+                jobs: args.jobs.max(1),
+                auth_token: args.auth_token.clone(),
+                stop: None,
+            },
         )
         .expect("worker");
         eprintln!(
-            "worker done: {} cells completed, {} failed",
-            report.completed, report.failed
+            "worker done: {} cells completed, {} failed{}",
+            report.completed,
+            report.failed,
+            if genbase_util::shutdown::requested() {
+                " (departed on SIGTERM)"
+            } else {
+                ""
+            }
         );
         return;
+    }
+    if args.what == "status" {
+        return status(&args);
     }
     if args.what == "explain" {
         return explain(&args);
@@ -420,6 +472,9 @@ fn main() {
     let outcome = scheduler
         .run_sweep(&figs, args.mn_size, &sweep)
         .expect("sweep");
+    if let Some(note) = &outcome.recovered {
+        eprintln!("checkpoint recovery: {note}");
+    }
     eprintln!(
         "sweep: {} cells ({} executed, {} from checkpoint) in {:.2}s",
         outcome.planned, outcome.executed, outcome.skipped, outcome.wall_secs
@@ -494,6 +549,75 @@ fn explain(args: &Args) {
     println!("{}", figure.render());
 }
 
+/// The `status` role: poll a serving coordinator for a live sweep
+/// snapshot and print it as a table (or raw JSON with `--json`).
+fn status(args: &Args) {
+    use genbase_util::Json;
+    let snap = genbase::coord::fetch_status(
+        args.connect.as_str(),
+        args.auth_token.as_deref(),
+        Duration::from_secs(args.connect_window_secs),
+    )
+    .expect("status poll");
+    if args.json {
+        println!("{}", snap.render());
+        return;
+    }
+    let count = |key: &str| snap.get(key).and_then(Json::as_u64).unwrap_or(0);
+    println!("coordinated sweep @ {}", args.connect);
+    println!(
+        "  cells    {:>5} planned  {:>5} done  {:>5} pending  {:>5} leased  {:>5} failed",
+        count("planned"),
+        count("done"),
+        count("pending"),
+        count("leased"),
+        count("failed"),
+    );
+    println!(
+        "  history  {:>5} executed  {:>5} restored  {:>5} reissued  {:>5} resumed  \
+         {:>5} rebalanced  {:>5} departed",
+        count("executed"),
+        count("restored"),
+        count("reissued"),
+        count("resumed"),
+        count("rebalanced"),
+        count("departed"),
+    );
+    println!("  workers  {:>5} connections", count("workers"));
+    if let Some(leases) = snap.get("leases").and_then(Json::as_arr) {
+        if !leases.is_empty() {
+            println!("  leases:");
+            println!("    {:>8}  {:>10}  cell", "worker", "held");
+            for lease in leases {
+                println!(
+                    "    {:>8}  {:>9.1}s  {}",
+                    lease.get("worker").and_then(Json::as_u64).unwrap_or(0),
+                    lease.get("held_secs").and_then(Json::as_f64).unwrap_or(0.0),
+                    lease.get("cell").and_then(Json::as_str).unwrap_or("?"),
+                );
+            }
+        }
+    }
+    if let Some(throughput) = snap.get("throughput").and_then(Json::as_arr) {
+        if !throughput.is_empty() {
+            println!("  throughput:");
+            println!(
+                "    {:>8}  {:>9}  {:>6}  {:>10}",
+                "worker", "completed", "failed", "cells/s"
+            );
+            for t in throughput {
+                println!(
+                    "    {:>8}  {:>9}  {:>6}  {:>10.3}",
+                    t.get("worker").and_then(Json::as_u64).unwrap_or(0),
+                    t.get("completed").and_then(Json::as_u64).unwrap_or(0),
+                    t.get("failed").and_then(Json::as_u64).unwrap_or(0),
+                    t.get("cells_per_sec").and_then(Json::as_f64).unwrap_or(0.0),
+                );
+            }
+        }
+    }
+}
+
 /// The `coordinate` role: serve leases over TCP until the grid is
 /// complete, then render the figures exactly as a local sweep would.
 fn coordinate(args: &Args) {
@@ -508,6 +632,9 @@ fn coordinate(args: &Args) {
     }
     if args.lease_timeout_secs > 0 {
         options = options.with_lease_timeout(Duration::from_secs(args.lease_timeout_secs));
+    }
+    if args.rebalance_after_secs > 0 {
+        options = options.with_rebalance_after(Duration::from_secs(args.rebalance_after_secs));
     }
     if let Some(token) = &args.auth_token {
         options = options.with_auth_token(token.clone());
@@ -527,10 +654,21 @@ fn coordinate(args: &Args) {
         genbase::sched::config_fingerprint(&config),
     );
     let outcome = coordinator.serve().expect("coordinated sweep");
+    if let Some(note) = &outcome.recovered {
+        eprintln!("checkpoint recovery: {note}");
+    }
     eprintln!(
         "coordinated sweep: {} cells ({} executed by {} workers, {} from \
-         checkpoint, {} leases re-issued)",
-        outcome.planned, outcome.executed, outcome.workers, outcome.restored, outcome.reissued
+         checkpoint, {} leases re-issued, {} resumed, {} rebalanced, \
+         {} clean departures)",
+        outcome.planned,
+        outcome.executed,
+        outcome.workers,
+        outcome.restored,
+        outcome.reissued,
+        outcome.resumed,
+        outcome.rebalanced,
+        outcome.departed,
     );
     if let Some(path) = &args.grid_out {
         outcome

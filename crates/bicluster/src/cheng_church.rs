@@ -14,7 +14,11 @@
 
 use crate::msr::SubmatrixStats;
 use genbase_linalg::{ExecOpts, Matrix};
-use genbase_util::{Error, Pcg64, Result};
+use genbase_util::progress::{f64s_from_hex, f64s_to_hex};
+use genbase_util::{Error, Json, Pcg64, Result};
+
+/// Kernel name Cheng–Church snapshots are filed under in a progress sink.
+pub const CHENG_CHURCH_KERNEL: &str = "cheng_church";
 
 /// One discovered bicluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,8 +92,28 @@ pub fn find_biclusters(
     let mut rng = Pcg64::new(config.seed);
     // Mask noise spans the observed data range, as in the original paper.
     let (lo, hi) = data_range(data);
-    let mut found = Vec::with_capacity(config.max_biclusters);
-    for _ in 0..config.max_biclusters {
+    let mut found: Vec<Bicluster> = Vec::with_capacity(config.max_biclusters);
+
+    // Resume: the RNG is consumed *only* by masking, in discovery order, so
+    // replaying the saved bicluster list over a fresh matrix and RNG lands
+    // both in exactly the state an uninterrupted run would have reached.
+    if let Some(saved) = opts
+        .progress
+        .as_ref()
+        .and_then(|p| p.restore(CHENG_CHURCH_KERNEL))
+        .and_then(|s| restore_cc_state(&s, m, n, config.max_biclusters))
+    {
+        for bc in saved {
+            for &r in &bc.rows {
+                for &c in &bc.cols {
+                    work.set(r, c, rng.range_f64(lo, hi));
+                }
+            }
+            found.push(bc);
+        }
+    }
+
+    for _ in found.len()..config.max_biclusters {
         opts.budget.check("biclustering")?;
         let bc = single_bicluster(&work, data, config, opts)?;
         if bc.rows.len() <= config.min_rows && bc.cols.len() <= config.min_cols && !found.is_empty()
@@ -104,8 +128,66 @@ pub fn find_biclusters(
             }
         }
         found.push(bc);
+        if let Some(progress) = &opts.progress {
+            progress.save(CHENG_CHURCH_KERNEL, &snapshot_cc_state(m, n, &found))?;
+        }
     }
     Ok(found)
+}
+
+fn snapshot_cc_state(m: usize, n: usize, found: &[Bicluster]) -> Json {
+    let indices = |v: &[usize]| Json::Arr(v.iter().map(|&i| Json::from(i)).collect());
+    let mut state = Json::obj();
+    state.set("rows", Json::from(m));
+    state.set("cols", Json::from(n));
+    state.set(
+        "found",
+        Json::Arr(
+            found
+                .iter()
+                .map(|bc| {
+                    let mut o = Json::obj();
+                    o.set("rows", indices(&bc.rows));
+                    o.set("cols", indices(&bc.cols));
+                    o.set("inverted", indices(&bc.inverted_rows));
+                    o.set("msr", Json::from(f64s_to_hex(&[bc.msr])));
+                    o
+                })
+                .collect(),
+        ),
+    );
+    state
+}
+
+/// Decode and validate a snapshot; `None` (fresh start) on any mismatch.
+fn restore_cc_state(state: &Json, m: usize, n: usize, max: usize) -> Option<Vec<Bicluster>> {
+    if state.get("rows").and_then(Json::as_u64) != Some(m as u64)
+        || state.get("cols").and_then(Json::as_u64) != Some(n as u64)
+    {
+        return None;
+    }
+    let indices = |v: &Json, bound: usize| -> Option<Vec<usize>> {
+        v.as_arr()?
+            .iter()
+            .map(|i| i.as_u64().map(|i| i as usize).filter(|&i| i < bound))
+            .collect()
+    };
+    let found: Vec<Bicluster> = state
+        .get("found")
+        .and_then(Json::as_arr)?
+        .iter()
+        .map(|bc| {
+            Some(Bicluster {
+                rows: indices(bc.get("rows")?, m)?,
+                cols: indices(bc.get("cols")?, n)?,
+                msr: *f64s_from_hex(bc.get("msr").and_then(Json::as_str)?)
+                    .ok()?
+                    .first()?,
+                inverted_rows: indices(bc.get("inverted")?, m)?,
+            })
+        })
+        .collect::<Option<_>>()?;
+    (found.len() <= max).then_some(found)
 }
 
 /// One full deletion + addition pass on the (masked) working matrix.
@@ -362,6 +444,60 @@ mod tests {
         let a = find_biclusters(&data, &config, &ExecOpts::serial()).unwrap();
         let b = find_biclusters(&data, &config, &ExecOpts::serial()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resume_replays_masks_bit_identically() {
+        use genbase_util::progress::MemoryProgress;
+        use genbase_util::ProgressHandle;
+        use std::sync::Arc;
+
+        let mut data = planted(40, 40, &[0, 1, 2, 3, 4, 5, 6, 7], &[0, 1, 2, 3, 4, 5], 113);
+        for r in 20..28 {
+            for c in 20..27 {
+                data.set(r, c, -6.0);
+            }
+        }
+        let config = ChengChurchConfig {
+            delta: 0.05,
+            max_biclusters: 2,
+            ..Default::default()
+        };
+        let reference = find_biclusters(&data, &config, &ExecOpts::serial()).unwrap();
+        assert_eq!(reference.len(), 2);
+
+        // Snapshot the state after the first bicluster (a run capped at 1
+        // leaves exactly that state behind), then resume the 2-bicluster
+        // run from it: the second discovery must match bit for bit.
+        let sink = Arc::new(MemoryProgress::new());
+        let opts = ExecOpts::serial().with_progress(Some(ProgressHandle::new(sink.clone())));
+        let one = ChengChurchConfig {
+            max_biclusters: 1,
+            ..config.clone()
+        };
+        let first = find_biclusters(&data, &one, &opts).unwrap();
+        assert_eq!(first.as_slice(), &reference[..1]);
+        assert_eq!(sink.saves(), 1);
+
+        let resumed_sink = Arc::new(MemoryProgress::with_state(
+            CHENG_CHURCH_KERNEL,
+            sink.latest(CHENG_CHURCH_KERNEL).unwrap(),
+        ));
+        let opts = ExecOpts::serial().with_progress(Some(ProgressHandle::new(resumed_sink)));
+        let resumed = find_biclusters(&data, &config, &opts).unwrap();
+        assert_eq!(resumed, reference);
+
+        // A snapshot for a different matrix shape is ignored, not resumed.
+        let mismatched = Arc::new(MemoryProgress::with_state(
+            CHENG_CHURCH_KERNEL,
+            sink.latest(CHENG_CHURCH_KERNEL).unwrap(),
+        ));
+        let small = planted(25, 25, &[3, 6, 9, 12], &[2, 4, 8, 16], 114);
+        let opts = ExecOpts::serial().with_progress(Some(ProgressHandle::new(mismatched)));
+        let got = find_biclusters(&small, &ChengChurchConfig::default(), &opts).unwrap();
+        let want =
+            find_biclusters(&small, &ChengChurchConfig::default(), &ExecOpts::serial()).unwrap();
+        assert_eq!(got, want);
     }
 
     #[test]

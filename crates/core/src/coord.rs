@@ -16,8 +16,10 @@
 //! Every message is one frame: a 4-byte big-endian length prefix followed
 //! by compact JSON (see `ARCHITECTURE.md` for the full schema). After a
 //! `hello`/`welcome` handshake, the worker strictly alternates: it sends
-//! `request`, `result`, or `failed`, and reads exactly one reply (`lease`,
-//! `idle`, or `done`).
+//! `request`, `result`, `failed`, `progress`, or `leave`, and reads exactly
+//! one reply (`lease`, `idle`, `done`, `ack`, or `bye`). A `hello` carrying
+//! `role: "status"` opens a read-only monitoring connection instead, which
+//! exchanges `status` snapshots (see [`fetch_status`]).
 //!
 //! - The handshake carries the worker's **config fingerprint**
 //!   ([`config_fingerprint`]); a worker built from mismatched flags is
@@ -32,6 +34,24 @@
 //!   repeats. (A machine that vanishes *without* a TCP reset — power
 //!   loss, hard partition — is not detected until its connection errors
 //!   unless a `--lease-timeout` deadline is configured.)
+//! - **Workers are elastic.** A worker told to stop (SIGTERM, or a
+//!   [`WorkerOptions::stop`] flag) departs cleanly: it sends `leave`, the
+//!   coordinator re-queues any held cell *without* charging the re-issue
+//!   cap, and replies `bye`. A worker that loses its connection mid-cell
+//!   (link flap, coordinator restart) reconnects with capped exponential
+//!   backoff and re-submits its finished result flagged `resume: true`
+//!   rather than recomputing it. When idle workers outnumber pending cells
+//!   the coordinator may *rebalance*: the longest-held lease past
+//!   [`CoordOptions::rebalance_after`] is revoked and handed to an idle
+//!   worker; the original holder's eventual result still lands through the
+//!   resume path, and whichever copy arrives first wins (they are
+//!   identical under `SimOnly`).
+//! - **Intra-cell checkpoints:** long iterative kernels (Lanczos SVD,
+//!   Cheng–Church) periodically stream a `progress` snapshot through the
+//!   worker's connection; the coordinator stores it in the grid's progress
+//!   map (riding the checkpoint file) and delivers it with the next lease
+//!   of the same cell, so a re-issued cell resumes mid-iteration
+//!   bit-identically instead of starting over.
 //! - **Checkpoint reuse:** the coordinator persists the grid through the
 //!   same `--checkpoint` JSON file as a local sweep, after every streamed
 //!   result. A killed coordinator restarts with only the missing cells
@@ -56,10 +76,12 @@ use crate::sched::{
 };
 use genbase_datagen::SizeClass;
 use genbase_util::frame::{read_frame_opt, write_frame};
-use genbase_util::{Error, Json, Result};
-use std::collections::{HashMap, VecDeque};
+use genbase_util::retry::{transient_connect_error, Backoff};
+use genbase_util::{faults, shutdown, CellProgress, Error, Json, ProgressHandle, Result};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -113,6 +135,13 @@ pub struct CoordOptions {
     /// presenting a token are then rejected too, so a mismatch is always
     /// loud rather than silently ignored).
     pub auth_token: Option<String>,
+    /// Work-stealing deadline. When idle workers outnumber pending cells
+    /// and the longest-held lease is older than this, that lease is
+    /// revoked (without charging the re-issue cap — the holder did nothing
+    /// wrong) and handed to an idle worker; the original holder's
+    /// connection is cut, and its eventual result arrives through the
+    /// reconnect/resume path. `None` (default) disables rebalancing.
+    pub rebalance_after: Option<Duration>,
 }
 
 impl CoordOptions {
@@ -133,6 +162,13 @@ impl CoordOptions {
         self.auth_token = Some(token.into());
         self
     }
+
+    /// Steal the longest-held lease once idle workers outnumber pending
+    /// cells and the lease is older than `after`.
+    pub fn with_rebalance_after(mut self, after: Duration) -> CoordOptions {
+        self.rebalance_after = Some(after);
+        self
+    }
 }
 
 /// What a coordinated sweep did, plus the grid to render from.
@@ -150,12 +186,29 @@ pub struct CoordOutcome {
     pub reissued: usize,
     /// Distinct worker connections that completed the handshake.
     pub workers: usize,
+    /// Workers that departed cleanly via `leave` (their handed-back cells
+    /// are not charged against the re-issue cap).
+    pub departed: usize,
+    /// Leases revoked by work-stealing rebalance.
+    pub rebalanced: usize,
+    /// Results accepted through the reconnect/resume path.
+    pub resumed: usize,
+    /// Human-readable note when the checkpoint was recovered from its
+    /// `.bak` after a torn primary, `None` for a clean load.
+    pub recovered: Option<String>,
 }
 
 /// One outstanding lease: the cell and when it was handed out.
 struct Lease {
     cell: CellKey,
     since: Instant,
+}
+
+/// Per-worker throughput counters for the `status` snapshot.
+struct WorkerStats {
+    completed: usize,
+    failed: usize,
+    connected: Instant,
 }
 
 /// Shared lease-scheduler state behind the connection handlers.
@@ -178,6 +231,17 @@ struct State {
     /// Per-cell re-issue counts (worker deaths while holding the lease),
     /// for the [`MAX_REISSUES_PER_CELL`] cap.
     reissue_counts: HashMap<String, usize>,
+    /// Workers currently parked on an `idle` reply — the population the
+    /// rebalancer weighs against the pending queue.
+    idle: HashSet<u64>,
+    /// Clean `leave` departures.
+    departed: usize,
+    /// Leases revoked by the rebalancer.
+    rebalanced: usize,
+    /// Results accepted through the resume path.
+    resumed: usize,
+    /// Per-worker completion counters for the status snapshot.
+    worker_stats: HashMap<u64, WorkerStats>,
 }
 
 impl State {
@@ -203,6 +267,12 @@ struct Shared {
     checkpoint_io: Mutex<()>,
     /// Per-lease deadline, if configured.
     lease_timeout: Option<Duration>,
+    /// Work-stealing deadline, if configured.
+    rebalance_after: Option<Duration>,
+    /// Cells in the full plan (for status snapshots).
+    planned: usize,
+    /// Cells restored from the checkpoint at startup.
+    restored: usize,
     /// Live connections by worker id (`try_clone` handles), so the deadline
     /// reaper can shut down the holder of an expired lease — unblocking its
     /// handler thread even on a half-open link.
@@ -268,9 +338,11 @@ impl Coordinator {
     /// returned once no work remains, and the checkpoint keeps everything
     /// that did complete.
     pub fn serve(&self) -> Result<CoordOutcome> {
+        let mut recovered = None;
         let mut base = match &self.options.checkpoint {
             Some(path) if path.exists() => {
-                let grid = ReportGrid::load(path)?;
+                let (grid, note) = ReportGrid::load_with_recovery(path)?;
+                recovered = note;
                 if let Some(have) = grid.fingerprint() {
                     if have != self.fingerprint {
                         return Err(Error::invalid(format!(
@@ -305,12 +377,20 @@ impl Coordinator {
                 failed: 0,
                 fatal: None,
                 reissue_counts: HashMap::new(),
+                idle: HashSet::new(),
+                departed: 0,
+                rebalanced: 0,
+                resumed: 0,
+                worker_stats: HashMap::new(),
             }),
             fingerprint: self.fingerprint.clone(),
             auth_token: self.options.auth_token.clone(),
             checkpoint: self.options.checkpoint.clone(),
             checkpoint_io: Mutex::new(()),
             lease_timeout: self.options.lease_timeout,
+            rebalance_after: self.options.rebalance_after,
+            planned: self.plan.len(),
+            restored,
             streams: Mutex::new(HashMap::new()),
         });
 
@@ -318,8 +398,15 @@ impl Coordinator {
         let mut handlers = Vec::new();
         while !shared.state.lock().expect("coord state").complete() {
             reap_expired_leases(&shared);
+            rebalance_leases(&shared);
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    if faults::hit("coord.accept").is_err() {
+                        // Injected accept failure: the connection is
+                        // dropped before a handler exists; the worker
+                        // sees EOF and reconnects.
+                        continue;
+                    }
                     next_worker += 1;
                     let worker = next_worker;
                     match stream.try_clone() {
@@ -400,6 +487,10 @@ impl Coordinator {
             restored,
             reissued: state.reissued,
             workers: state.workers,
+            departed: state.departed,
+            rebalanced: state.rebalanced,
+            resumed: state.resumed,
+            recovered,
         })
     }
 }
@@ -430,8 +521,46 @@ fn requeue_or_abandon(s: &mut State, cell: CellKey, why: &str) {
 /// Return a dead worker's outstanding lease to the head of the queue.
 fn release_lease(worker: u64, shared: &Shared) {
     let mut s = shared.state.lock().expect("coord state");
+    s.idle.remove(&worker);
     if let Some(lease) = s.leased.remove(&worker) {
         requeue_or_abandon(&mut s, lease.cell, "worker connection ended");
+    }
+}
+
+/// Work-stealing sweep: when idle workers outnumber pending cells, revoke
+/// the longest-held lease past [`CoordOptions::rebalance_after`], re-queue
+/// its cell for an idle worker, and cut the holder's connection. The cell
+/// is *not* charged against the re-issue cap — its holder is healthy, just
+/// slow or over-committed — and the holder's finished result can still
+/// land later through the reconnect/resume path (first copy wins).
+fn rebalance_leases(shared: &Shared) {
+    let Some(after) = shared.rebalance_after else {
+        return;
+    };
+    let now = Instant::now();
+    let victim = {
+        let mut s = shared.state.lock().expect("coord state");
+        if s.fatal.is_some() || s.idle.len() <= s.pending.len() {
+            return;
+        }
+        let longest = s
+            .leased
+            .iter()
+            .max_by_key(|(_, lease)| now.duration_since(lease.since))
+            .filter(|(_, lease)| now.duration_since(lease.since) > after)
+            .map(|(&worker, _)| worker);
+        match longest {
+            Some(worker) => {
+                let lease = s.leased.remove(&worker).expect("present under lock");
+                s.pending.push_front(lease.cell);
+                s.rebalanced += 1;
+                worker
+            }
+            None => return,
+        }
+    };
+    if let Some(stream) = shared.streams.lock().expect("streams").remove(&victim) {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -492,13 +621,23 @@ const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
 /// EOF/reset, and re-leasing is the recovery path).
 const IDLE_READ_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// What a connection authenticated as.
+#[derive(PartialEq, Eq)]
+enum Role {
+    /// A cell-executing worker (the default).
+    Worker,
+    /// A read-only monitor: may only exchange `status` frames.
+    Status,
+}
+
 /// One worker connection: handshake, then the lease/result loop. Any I/O
 /// or protocol error ends the connection and re-queues the lease.
 fn handle_worker(mut stream: TcpStream, worker: u64, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
-    if let Err(_e) = handshake(&mut stream, worker, shared) {
-        return; // reject already sent where possible; nothing leased yet
-    }
+    let role = match handshake(&mut stream, worker, shared) {
+        Ok(role) => role,
+        Err(_e) => return, // reject already sent where possible; nothing leased yet
+    };
     loop {
         let leased = shared
             .state
@@ -511,13 +650,25 @@ fn handle_worker(mut stream: TcpStream, worker: u64, shared: &Shared) {
         } else {
             Some(IDLE_READ_TIMEOUT)
         });
-        let frame = match read_frame_opt(&mut stream) {
+        let frame = match faults::hit("coord.read")
+            .map_err(|e| Error::invalid(format!("read frame: {e}")))
+            .and_then(|_| read_frame_opt(&mut stream))
+        {
             Ok(Some(frame)) => frame,
             // EOF (worker finished or died), I/O error, or idle timeout:
             // re-queue whatever it held (nothing, for idle timeouts).
             Ok(None) | Err(_) => return release_lease(worker, shared),
         };
-        let reply = match apply_frame(&frame, worker, shared) {
+        let applied = match role {
+            Role::Worker => apply_frame(&frame, worker, shared),
+            // Monitors never touch lease state; anything but a status
+            // poll is a protocol error.
+            Role::Status => match msg_type(&frame) {
+                Ok("status") => Ok(status_snapshot(shared)),
+                _ => Err(Error::invalid("status connections may only poll status")),
+            },
+        };
+        let reply = match applied {
             Ok(reply) => reply,
             Err(e) => {
                 let mut reject = msg("reject");
@@ -526,16 +677,22 @@ fn handle_worker(mut stream: TcpStream, worker: u64, shared: &Shared) {
                 return release_lease(worker, shared);
             }
         };
-        if write_frame(&mut stream, &reply).is_err() {
+        let closing = matches!(msg_type(&reply), Ok("bye"));
+        if faults::hit("coord.write").is_err() || write_frame(&mut stream, &reply).is_err() {
             return release_lease(worker, shared);
+        }
+        if closing {
+            // `leave` already re-queued (or never charged) the lease;
+            // nothing left to release.
+            return;
         }
     }
 }
 
 /// Validate `hello` and send `welcome`/`reject`.
-fn handshake(stream: &mut TcpStream, worker: u64, shared: &Shared) -> Result<()> {
+fn handshake(stream: &mut TcpStream, worker: u64, shared: &Shared) -> Result<Role> {
     let hello = read_frame_opt(stream)?.ok_or_else(|| Error::invalid("closed before hello"))?;
-    let reject = |stream: &mut TcpStream, reason: String| -> Result<()> {
+    let reject = |stream: &mut TcpStream, reason: String| -> Result<Role> {
         let mut m = msg("reject");
         m.set("reason", Json::from(reason.as_str()));
         let _ = write_frame(stream, &m);
@@ -571,29 +728,50 @@ fn handshake(stream: &mut TcpStream, worker: u64, shared: &Shared) -> Result<()>
         };
         return reject(stream, reason.to_string());
     }
-    match hello.get("config").and_then(Json::as_str) {
-        Some(have) if have == shared.fingerprint => {}
-        have => {
-            return reject(
-                stream,
-                format!(
-                    "config fingerprint mismatch ({} vs {}); \
-                     start the worker with the coordinator's flags",
-                    have.unwrap_or("<missing>"),
-                    shared.fingerprint
-                ),
-            )
+    // Monitors authenticate but skip the fingerprint: a status poll needs
+    // no planning flags and must work from hosts that never built a
+    // matching config. They are not counted as workers either.
+    let role = match hello.get("role").and_then(Json::as_str) {
+        None | Some("worker") => Role::Worker,
+        Some("status") => Role::Status,
+        Some(other) => return reject(stream, format!("unknown hello role {other:?}")),
+    };
+    if role == Role::Worker {
+        match hello.get("config").and_then(Json::as_str) {
+            Some(have) if have == shared.fingerprint => {}
+            have => {
+                return reject(
+                    stream,
+                    format!(
+                        "config fingerprint mismatch ({} vs {}); \
+                         start the worker with the coordinator's flags",
+                        have.unwrap_or("<missing>"),
+                        shared.fingerprint
+                    ),
+                )
+            }
         }
     }
     let remaining = {
         let mut s = shared.state.lock().expect("coord state");
-        s.workers += 1;
+        if role == Role::Worker {
+            s.workers += 1;
+            s.worker_stats.insert(
+                worker,
+                WorkerStats {
+                    completed: 0,
+                    failed: 0,
+                    connected: Instant::now(),
+                },
+            );
+        }
         s.pending.len() + s.leased.len()
     };
     let mut welcome = msg("welcome");
     welcome.set("worker", Json::from(worker));
     welcome.set("remaining", Json::from(remaining));
-    write_frame(stream, &welcome)
+    write_frame(stream, &welcome)?;
+    Ok(role)
 }
 
 /// Process one post-handshake worker frame and produce the single reply.
@@ -606,17 +784,51 @@ fn apply_frame(frame: &Json, worker: u64, shared: &Shared) -> Result<Json> {
                 .get("cell")
                 .ok_or_else(|| Error::invalid("result missing cell"))?,
         )?;
+        let resume = matches!(frame.get("resume"), Some(&Json::Bool(true)));
         let mut s = shared.state.lock().expect("coord state");
-        match s.leased.get(&worker) {
+        let held = match s.leased.get(&worker) {
             Some(have) if have.cell.id() == cell.id() => {
                 s.leased.remove(&worker);
+                true
             }
-            _ => {
+            _ => false,
+        };
+        if !held {
+            // Without a `resume` flag, an unleased report is a forged (or
+            // hopelessly confused) message and stays a protocol error.
+            if !resume {
                 return Err(Error::invalid(format!(
                     "worker {worker} reported cell {} it does not hold",
                     cell.id()
-                )))
+                )));
             }
+            // A resumed report: the worker finished a cell whose lease it
+            // lost to a reconnect, rebalance, or deadline. Reconcile
+            // against where the cell is now.
+            if s.grid.contains(&cell) {
+                // Someone already settled it (identical under SimOnly);
+                // drop the duplicate and move on.
+                drop(s);
+                return next_assignment(worker, shared);
+            }
+            if let Some(i) = s.pending.iter().position(|c| c.id() == cell.id()) {
+                s.pending.remove(i);
+            } else if s.leased.values().any(|l| l.cell.id() == cell.id()) {
+                // Leased to another worker. A finished result beats an
+                // in-flight recompute, so accept it (the other copy
+                // dedups when it lands); a resumed *failure* must not
+                // pre-empt a run that may yet succeed, so drop it.
+                if kind == "failed" {
+                    drop(s);
+                    return next_assignment(worker, shared);
+                }
+            } else {
+                return Err(Error::invalid(format!(
+                    "worker {worker} resumed cell {} unknown to this sweep",
+                    cell.id()
+                )));
+            }
+            s.resumed += 1;
         }
         if kind == "failed" {
             let reason = frame
@@ -624,6 +836,9 @@ fn apply_frame(frame: &Json, worker: u64, shared: &Shared) -> Result<Json> {
                 .and_then(Json::as_str)
                 .unwrap_or("unknown worker error");
             s.failed += 1;
+            if let Some(stats) = s.worker_stats.get_mut(&worker) {
+                stats.failed += 1;
+            }
             let err = Error::invalid(format!("cell {}: {reason}", cell.id()));
             s.first_error.get_or_insert(err);
             drop(s);
@@ -633,8 +848,15 @@ fn apply_frame(frame: &Json, worker: u64, shared: &Shared) -> Result<Json> {
                     .get("outcome")
                     .ok_or_else(|| Error::invalid("result missing outcome"))?,
             )?;
+            // A rebalanced cell can land twice; only the first (distinct)
+            // copy counts as executed.
+            if !s.grid.contains(&cell) {
+                s.executed += 1;
+            }
             s.grid.insert(&cell, outcome);
-            s.executed += 1;
+            if let Some(stats) = s.worker_stats.get_mut(&worker) {
+                stats.completed += 1;
+            }
             let skip_checkpoint = s.fatal.is_some();
             drop(s);
             if let (Some(path), false) = (&shared.checkpoint, skip_checkpoint) {
@@ -650,10 +872,122 @@ fn apply_frame(frame: &Json, worker: u64, shared: &Shared) -> Result<Json> {
         }
         return next_assignment(worker, shared);
     }
+    if kind == "progress" {
+        // An intra-cell snapshot from the lease holder: store it in the
+        // grid's progress map (riding the checkpoint), so a re-issue of
+        // this cell resumes mid-iteration.
+        let cell = CellKey::from_json(
+            frame
+                .get("cell")
+                .ok_or_else(|| Error::invalid("progress missing cell"))?,
+        )?;
+        let kernel = frame
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::invalid("progress missing kernel"))?
+            .to_string();
+        let state = frame
+            .get("state")
+            .ok_or_else(|| Error::invalid("progress missing state"))?
+            .clone();
+        let mut s = shared.state.lock().expect("coord state");
+        match s.leased.get(&worker) {
+            Some(have) if have.cell.id() == cell.id() => {}
+            _ => {
+                return Err(Error::invalid(format!(
+                    "worker {worker} sent progress for cell {} it does not hold",
+                    cell.id()
+                )))
+            }
+        }
+        s.grid.set_progress(&cell.id(), &kernel, state);
+        let skip_checkpoint = s.fatal.is_some();
+        drop(s);
+        if let (Some(path), false) = (&shared.checkpoint, skip_checkpoint) {
+            if let Err(e) = write_checkpoint(path, worker, shared) {
+                let mut s = shared.state.lock().expect("coord state");
+                s.fatal.get_or_insert(e);
+            }
+        }
+        return Ok(msg("ack"));
+    }
+    if kind == "leave" {
+        // Clean departure: hand back any held cell at the front of the
+        // queue without charging the re-issue cap — the worker is healthy,
+        // it was *asked* to stop.
+        let mut s = shared.state.lock().expect("coord state");
+        s.idle.remove(&worker);
+        s.departed += 1;
+        if let Some(lease) = s.leased.remove(&worker) {
+            s.pending.push_front(lease.cell);
+        }
+        return Ok(msg("bye"));
+    }
+    if kind == "status" {
+        return Ok(status_snapshot(shared));
+    }
     if kind != "request" {
         return Err(Error::invalid(format!("unexpected frame type {kind:?}")));
     }
     next_assignment(worker, shared)
+}
+
+/// Render the live sweep state as a `status` frame.
+fn status_snapshot(shared: &Shared) -> Json {
+    let s = shared.state.lock().expect("coord state");
+    let mut m = msg("status");
+    m.set("planned", Json::from(shared.planned));
+    m.set("restored", Json::from(shared.restored));
+    m.set("pending", Json::from(s.pending.len()));
+    m.set("leased", Json::from(s.leased.len()));
+    m.set("done", Json::from(s.grid.len()));
+    m.set("failed", Json::from(s.failed));
+    m.set("executed", Json::from(s.executed));
+    m.set("reissued", Json::from(s.reissued));
+    m.set("departed", Json::from(s.departed));
+    m.set("rebalanced", Json::from(s.rebalanced));
+    m.set("resumed", Json::from(s.resumed));
+    m.set("workers", Json::from(s.workers));
+    let now = Instant::now();
+    let mut by_worker: Vec<(&u64, &Lease)> = s.leased.iter().collect();
+    by_worker.sort_by_key(|(&worker, _)| worker);
+    let leases: Vec<Json> = by_worker
+        .into_iter()
+        .map(|(&worker, lease)| {
+            let mut l = Json::obj();
+            l.set("worker", Json::from(worker));
+            l.set("cell", Json::from(lease.cell.id().as_str()));
+            l.set(
+                "held_secs",
+                Json::from(now.duration_since(lease.since).as_secs_f64()),
+            );
+            l
+        })
+        .collect();
+    m.set("leases", Json::Arr(leases));
+    let mut by_worker: Vec<(&u64, &WorkerStats)> = s.worker_stats.iter().collect();
+    by_worker.sort_by_key(|(&worker, _)| worker);
+    let throughput: Vec<Json> = by_worker
+        .into_iter()
+        .map(|(&worker, stats)| {
+            let mut t = Json::obj();
+            t.set("worker", Json::from(worker));
+            t.set("completed", Json::from(stats.completed));
+            t.set("failed", Json::from(stats.failed));
+            let secs = now.duration_since(stats.connected).as_secs_f64();
+            t.set(
+                "cells_per_sec",
+                Json::from(if secs > 0.0 {
+                    stats.completed as f64 / secs
+                } else {
+                    0.0
+                }),
+            );
+            t
+        })
+        .collect();
+    m.set("throughput", Json::Arr(throughput));
+    m
 }
 
 /// Persist the grid. Render-and-rename runs under `checkpoint_io`, so
@@ -683,8 +1017,14 @@ fn next_assignment(worker: u64, shared: &Shared) -> Result<Json> {
         )));
     }
     if let Some(cell) = s.pending.pop_front() {
+        s.idle.remove(&worker);
         let mut lease = msg("lease");
         lease.set("cell", cell.to_json());
+        // Ship any intra-cell snapshot a previous holder streamed, so the
+        // new holder resumes mid-iteration instead of starting over.
+        if let Some(progress) = s.grid.progress_for(&cell.id()) {
+            lease.set("progress", progress.clone());
+        }
         s.leased.insert(
             worker,
             Lease {
@@ -694,9 +1034,13 @@ fn next_assignment(worker: u64, shared: &Shared) -> Result<Json> {
         );
         Ok(lease)
     } else if s.leased.is_empty() {
+        s.idle.remove(&worker);
         Ok(msg("done"))
     } else {
         // Another worker's lease may yet fail and re-queue; poll back.
+        // Parking in the idle set makes this worker visible to the
+        // rebalancer as spare capacity.
+        s.idle.insert(worker);
         let mut idle = msg("idle");
         idle.set("backoff_ms", Json::from(IDLE_BACKOFF_MS));
         Ok(idle)
@@ -713,9 +1057,33 @@ pub struct WorkerReport {
     pub failed: usize,
 }
 
-/// Connect to `addr` (retrying `ConnectionRefused` until `connect_window`
-/// elapses, so workers may start before the coordinator) and execute
-/// leases until the coordinator says `done`.
+/// How a worker behaves beyond the config it computes under.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Cells in flight (coordinator connections) within this process;
+    /// `0` is treated as `1`.
+    pub jobs: usize,
+    /// Auth token presented in the handshake.
+    pub auth_token: Option<String>,
+    /// Cooperative stop flag. When it (or the process-wide SIGTERM flag,
+    /// [`genbase_util::shutdown::requested`]) turns true, the worker leases
+    /// nothing new: it hands back any fresh lease with `leave` — which the
+    /// coordinator re-queues without charging the re-issue cap — and
+    /// returns cleanly after `bye`.
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+/// How many times one connection may be rebuilt after a mid-session I/O
+/// failure before the worker gives up. Each reconnect re-presents the
+/// handshake and re-submits any computed-but-unacknowledged result with
+/// `resume: true`, so no compute is wasted on a link flap or coordinator
+/// restart.
+const RECONNECT_ATTEMPTS: u32 = 5;
+
+/// Connect to `addr` (retrying transient connect errors — refused, reset,
+/// timed out, interrupted — until `connect_window` elapses, so workers may
+/// start before the coordinator) and execute leases until the coordinator
+/// says `done`.
 ///
 /// The worker runs one cell at a time under the full `config.threads`
 /// kernel budget. `config` must match the coordinator's flags: the
@@ -746,12 +1114,33 @@ pub fn run_worker_jobs(
     jobs: usize,
     auth_token: Option<String>,
 ) -> Result<WorkerReport> {
-    let jobs = jobs.max(1);
+    run_worker_with(
+        addr,
+        config,
+        connect_window,
+        WorkerOptions {
+            jobs,
+            auth_token,
+            stop: None,
+        },
+    )
+}
+
+/// [`run_worker`] with full [`WorkerOptions`] (job multiplexing, auth,
+/// cooperative stop).
+pub fn run_worker_with(
+    addr: impl ToSocketAddrs + Clone + Send,
+    config: HarnessConfig,
+    connect_window: Duration,
+    options: WorkerOptions,
+) -> Result<WorkerReport> {
+    let jobs = options.jobs.max(1);
     let threads = (config.threads / jobs).max(1);
     let scheduler = Scheduler::new(config)?;
-    let auth = auth_token.as_deref();
+    let auth = options.auth_token.as_deref();
+    let stop = options.stop.as_ref();
     if jobs == 1 {
-        return worker_connection(addr, &scheduler, threads, connect_window, auth);
+        return worker_connection(addr, &scheduler, threads, connect_window, auth, stop);
     }
     let scheduler = &scheduler;
     std::thread::scope(|scope| {
@@ -759,7 +1148,7 @@ pub fn run_worker_jobs(
             .map(|_| {
                 let addr = addr.clone();
                 scope.spawn(move || {
-                    worker_connection(addr, scheduler, threads, connect_window, auth)
+                    worker_connection(addr, scheduler, threads, connect_window, auth, stop)
                 })
             })
             .collect();
@@ -786,33 +1175,106 @@ pub fn run_worker_jobs(
     })
 }
 
-/// One coordinator connection: handshake, then lease/execute/report until
-/// `done`. Cells run through the shared scheduler under `threads` kernels.
+/// Whether the worker was asked to wind down (explicit flag or SIGTERM).
+fn stop_requested(stop: Option<&Arc<AtomicBool>>) -> bool {
+    shutdown::requested() || stop.is_some_and(|flag| flag.load(Ordering::Relaxed))
+}
+
+/// How one session (connection lifetime) ended, when not cleanly.
+enum SessionEnd {
+    /// Protocol-level failure (reject, malformed reply) or simulated
+    /// worker death: give up, do not reconnect.
+    Fatal(Error),
+    /// Transport failure: reconnect and resume.
+    Io(Error),
+}
+
+/// One logical worker: a reconnecting session loop around
+/// [`worker_session`]. A session that dies on transport I/O is rebuilt
+/// (capped attempts, exponential backoff with jitter) and the in-flight
+/// result — compute already paid for — is re-submitted with
+/// `resume: true` instead of recomputed.
 fn worker_connection(
     addr: impl ToSocketAddrs + Clone,
     scheduler: &Scheduler,
     threads: usize,
     connect_window: Duration,
     auth_token: Option<&str>,
+    stop: Option<&Arc<AtomicBool>>,
 ) -> Result<WorkerReport> {
+    let mut report = WorkerReport {
+        completed: 0,
+        failed: 0,
+    };
+    let mut backoff = Backoff::new(100, 5_000, faults::plan_seed().unwrap_or(0x57ee1));
+    let mut reconnects: u32 = 0;
+    // A computed `result`/`failed` whose acknowledgement never arrived.
+    let mut pending_send: Option<Json> = None;
+    loop {
+        let mut stream = connect_once(addr.clone(), connect_window, &mut backoff)?;
+        match worker_session(
+            &mut stream,
+            scheduler,
+            threads,
+            auth_token,
+            stop,
+            &mut report,
+            &mut pending_send,
+        ) {
+            Ok(()) => return Ok(report),
+            Err(SessionEnd::Fatal(e)) => return Err(e),
+            Err(SessionEnd::Io(_)) if reconnects < RECONNECT_ATTEMPTS => {
+                reconnects += 1;
+                std::thread::sleep(backoff.delay(reconnects - 1));
+            }
+            Err(SessionEnd::Io(e)) => return Err(e),
+        }
+    }
+}
+
+/// Dial the coordinator, retrying transient connect errors (refused —
+/// the coordinator has not bound yet — reset, timed out, interrupted)
+/// until `connect_window` elapses. Anything else (DNS failure, unroutable
+/// address) is permanent: fail fast.
+fn connect_once(
+    addr: impl ToSocketAddrs + Clone,
+    connect_window: Duration,
+    backoff: &mut Backoff,
+) -> Result<TcpStream> {
     let deadline = Instant::now() + connect_window;
-    let mut stream = loop {
-        match TcpStream::connect(addr.clone()) {
-            Ok(stream) => break stream,
-            // Refused means the coordinator has not bound yet — the one
-            // transient error worth waiting out. Anything else (DNS
-            // failure, unroutable address) is permanent: fail fast.
-            Err(e)
-                if e.kind() == std::io::ErrorKind::ConnectionRefused
-                    && Instant::now() < deadline =>
-            {
-                std::thread::sleep(Duration::from_millis(100));
+    let mut attempt: u32 = 0;
+    loop {
+        let dialed = match faults::hit("worker.connect") {
+            Ok(()) => TcpStream::connect(addr.clone()),
+            Err(e) => Err(e),
+        };
+        match dialed {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) if transient_connect_error(&e) && Instant::now() < deadline => {
+                std::thread::sleep(backoff.delay(attempt));
+                attempt += 1;
             }
             Err(e) => return Err(Error::invalid(format!("worker connect: {e}"))),
         }
-    };
-    let _ = stream.set_nodelay(true);
+    }
+}
 
+/// Handshake on a fresh connection, then the strict request/reply
+/// alternation until `done` (Ok), a clean `bye`, or a session-ending
+/// error. `pending_send` carries an unacknowledged report across
+/// reconnects.
+fn worker_session(
+    stream: &mut TcpStream,
+    scheduler: &Scheduler,
+    threads: usize,
+    auth_token: Option<&str>,
+    stop: Option<&Arc<AtomicBool>>,
+    report: &mut WorkerReport,
+    pending_send: &mut Option<Json>,
+) -> std::result::Result<(), SessionEnd> {
     let mut hello = msg("hello");
     hello.set("protocol", Json::from(PROTOCOL));
     hello.set(
@@ -822,38 +1284,83 @@ fn worker_connection(
     if let Some(token) = auth_token {
         hello.set("token", Json::from(token));
     }
-    write_frame(&mut stream, &hello)?;
-    let welcome = read_frame_opt(&mut stream)?
-        .ok_or_else(|| Error::invalid("coordinator closed during handshake"))?;
-    match msg_type(&welcome)? {
+    // Handshake failures are fatal: a rejecting coordinator will reject
+    // the retry too, and a coordinator that dies this early has nothing
+    // of ours worth resuming.
+    write_frame(stream, &hello).map_err(SessionEnd::Fatal)?;
+    let welcome = read_frame_opt(stream)
+        .map_err(SessionEnd::Fatal)?
+        .ok_or_else(|| SessionEnd::Fatal(Error::invalid("coordinator closed during handshake")))?;
+    match msg_type(&welcome).map_err(SessionEnd::Fatal)? {
         "welcome" => {}
         "reject" => {
             let reason = welcome
                 .get("reason")
                 .and_then(Json::as_str)
                 .unwrap_or("unspecified");
-            return Err(Error::invalid(format!(
+            return Err(SessionEnd::Fatal(Error::invalid(format!(
                 "coordinator rejected worker: {reason}"
-            )));
+            ))));
         }
         other => {
-            return Err(Error::invalid(format!(
+            return Err(SessionEnd::Fatal(Error::invalid(format!(
                 "unexpected handshake reply {other:?}"
-            )))
+            ))))
         }
     }
 
-    let mut report = WorkerReport {
-        completed: 0,
-        failed: 0,
+    let mut outbound = match pending_send.take() {
+        // Re-submit the report that was in flight when the last session
+        // died. The flag tells the coordinator this settles compute from
+        // a lease the reconnect invalidated.
+        Some(mut report) => {
+            report.set("resume", Json::Bool(true));
+            report
+        }
+        None => msg("request"),
     };
-    let mut outbound = msg("request");
     loop {
-        write_frame(&mut stream, &outbound)?;
-        let reply = read_frame_opt(&mut stream)?
-            .ok_or_else(|| Error::invalid("coordinator hung up mid-sweep"))?;
-        match msg_type(&reply)? {
-            "done" => return Ok(report),
+        let is_report = matches!(msg_type(&outbound), Ok("result") | Ok("failed"));
+        if stop_requested(stop) && !is_report {
+            outbound = msg("leave");
+        }
+        let wrote = match faults::hit("worker.write") {
+            Ok(()) if is_report => match faults::hit("worker.result") {
+                Ok(()) => write_frame(stream, &outbound),
+                Err(e) => Err(Error::invalid(format!("write frame: {e}"))),
+            },
+            Ok(()) => write_frame(stream, &outbound),
+            Err(e) => Err(Error::invalid(format!("write frame: {e}"))),
+        };
+        if let Err(e) = wrote {
+            if is_report {
+                *pending_send = Some(outbound);
+            }
+            return Err(SessionEnd::Io(e));
+        }
+        let reply = match faults::hit("worker.read")
+            .map_err(|e| Error::invalid(format!("read frame: {e}")))
+            .and_then(|_| read_frame_opt(stream))
+        {
+            Ok(Some(reply)) => reply,
+            Ok(None) => {
+                if is_report {
+                    *pending_send = Some(outbound);
+                }
+                return Err(SessionEnd::Io(Error::invalid(
+                    "coordinator hung up mid-sweep",
+                )));
+            }
+            Err(e) => {
+                if is_report {
+                    *pending_send = Some(outbound);
+                }
+                return Err(SessionEnd::Io(e));
+            }
+        };
+        match msg_type(&reply).map_err(SessionEnd::Fatal)? {
+            "done" => return Ok(()),
+            "bye" => return Ok(()),
             "idle" => {
                 let ms = reply
                     .get("backoff_ms")
@@ -866,14 +1373,45 @@ fn worker_connection(
                 let cell = CellKey::from_json(
                     reply
                         .get("cell")
-                        .ok_or_else(|| Error::invalid("lease missing cell"))?,
-                )?;
-                match scheduler.run_cell(&cell, threads) {
+                        .ok_or_else(|| Error::invalid("lease missing cell"))
+                        .map_err(SessionEnd::Fatal)?,
+                )
+                .map_err(SessionEnd::Fatal)?;
+                if stop_requested(stop) {
+                    // Wind down: hand the fresh lease straight back.
+                    outbound = msg("leave");
+                    continue;
+                }
+                if let Err(e) = faults::hit("worker.cell") {
+                    // Simulated crash between lease and compute; the
+                    // coordinator re-issues through the EOF path.
+                    return Err(SessionEnd::Fatal(Error::invalid(format!(
+                        "worker crash: {e}"
+                    ))));
+                }
+                let progress = Arc::new(CoordProgress::new(
+                    stream
+                        .try_clone()
+                        .map_err(|e| SessionEnd::Fatal(Error::invalid(format!("clone: {e}"))))?,
+                    cell.to_json(),
+                    reply.get("progress").cloned(),
+                ));
+                let handle = ProgressHandle::new(progress.clone());
+                match scheduler.run_cell_with_progress(&cell, threads, Some(handle)) {
                     Ok(outcome) => {
                         report.completed += 1;
                         outbound = msg("result");
                         outbound.set("cell", cell.to_json());
                         outbound.set("outcome", outcome.to_json());
+                    }
+                    Err(_) if progress.killed() => {
+                        // An injected `worker.progress` fault killed this
+                        // logical worker mid-cell: die like one — no
+                        // failure report, no reconnect. The coordinator
+                        // sees EOF and re-issues the cell.
+                        return Err(SessionEnd::Fatal(Error::invalid(
+                            "worker killed by injected fault mid-cell",
+                        )));
                     }
                     Err(e) => {
                         report.failed += 1;
@@ -888,12 +1426,133 @@ fn worker_connection(
                     .get("reason")
                     .and_then(Json::as_str)
                     .unwrap_or("unspecified");
-                return Err(Error::invalid(format!(
+                return Err(SessionEnd::Fatal(Error::invalid(format!(
                     "coordinator rejected worker: {reason}"
-                )));
+                ))));
             }
-            other => return Err(Error::invalid(format!("unexpected reply {other:?}"))),
+            other => {
+                return Err(SessionEnd::Fatal(Error::invalid(format!(
+                    "unexpected reply {other:?}"
+                ))))
+            }
         }
+    }
+}
+
+/// Worker-side [`CellProgress`] sink: streams kernel snapshots to the
+/// coordinator as `progress` frames over the session's socket (safe
+/// because the kernel runs on the session thread — saves happen strictly
+/// between the lease reply and the result send). Serving `restore` replays
+/// the snapshot the coordinator shipped with the lease.
+struct CoordProgress {
+    stream: Mutex<TcpStream>,
+    cell: Json,
+    /// The `{kernel → state}` object delivered with the lease, if any.
+    restored: Option<Json>,
+    /// The link died mid-save; further saves are skipped (best-effort) and
+    /// the result send will trigger the reconnect/resume path.
+    dead: AtomicBool,
+    /// An injected `worker.progress` fault fired: this logical worker is
+    /// simulating death, and the session must not report or reconnect.
+    killed: AtomicBool,
+}
+
+impl CoordProgress {
+    fn new(stream: TcpStream, cell: Json, restored: Option<Json>) -> CoordProgress {
+        CoordProgress {
+            stream: Mutex::new(stream),
+            cell,
+            restored,
+            dead: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
+        }
+    }
+
+    fn killed(&self) -> bool {
+        self.killed.load(Ordering::Relaxed)
+    }
+}
+
+impl CellProgress for CoordProgress {
+    fn restore(&self, kernel: &str) -> Option<Json> {
+        self.restored.as_ref().and_then(|r| r.get(kernel)).cloned()
+    }
+
+    fn save(&self, kernel: &str, state: &Json) -> Result<()> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        if let Err(e) = faults::hit("worker.progress") {
+            // Simulated worker death mid-cell: abort the kernel (the save
+            // error propagates) and cut the socket so the coordinator
+            // sees EOF and re-issues the cell with this very snapshot.
+            self.killed.store(true, Ordering::Relaxed);
+            let _ = self
+                .stream
+                .lock()
+                .expect("progress stream")
+                .shutdown(std::net::Shutdown::Both);
+            return Err(Error::invalid(format!("progress: {e}")));
+        }
+        let mut frame = msg("progress");
+        frame.set("cell", self.cell.clone());
+        frame.set("kernel", Json::from(kernel));
+        frame.set("state", state.clone());
+        let mut stream = self.stream.lock().expect("progress stream");
+        let acked = write_frame(&mut *stream, &frame)
+            .and_then(|_| read_frame_opt(&mut *stream))
+            .map(|reply| matches!(reply.as_ref().map(msg_type), Some(Ok("ack"))));
+        if !matches!(acked, Ok(true)) {
+            // Best-effort: checkpointing must never fail a healthy cell.
+            // Remember the link is gone so later saves stop trying.
+            self.dead.store(true, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+}
+
+/// Fetch a live status snapshot from a serving coordinator: connect
+/// (retrying transient errors until `connect_window` elapses), handshake
+/// with `role: "status"`, poll once, and return the snapshot object.
+pub fn fetch_status(
+    addr: impl ToSocketAddrs + Clone,
+    auth_token: Option<&str>,
+    connect_window: Duration,
+) -> Result<Json> {
+    let mut backoff = Backoff::new(100, 5_000, faults::plan_seed().unwrap_or(0x57a7));
+    let mut stream = connect_once(addr, connect_window, &mut backoff)?;
+    let mut hello = msg("hello");
+    hello.set("protocol", Json::from(PROTOCOL));
+    hello.set("role", Json::from("status"));
+    if let Some(token) = auth_token {
+        hello.set("token", Json::from(token));
+    }
+    write_frame(&mut stream, &hello)?;
+    let welcome = read_frame_opt(&mut stream)?
+        .ok_or_else(|| Error::invalid("coordinator closed during handshake"))?;
+    match msg_type(&welcome)? {
+        "welcome" => {}
+        "reject" => {
+            let reason = welcome
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified");
+            return Err(Error::invalid(format!(
+                "coordinator rejected status poll: {reason}"
+            )));
+        }
+        other => {
+            return Err(Error::invalid(format!(
+                "unexpected handshake reply {other:?}"
+            )))
+        }
+    }
+    write_frame(&mut stream, &msg("status"))?;
+    let reply = read_frame_opt(&mut stream)?
+        .ok_or_else(|| Error::invalid("coordinator closed before status reply"))?;
+    match msg_type(&reply)? {
+        "status" => Ok(reply),
+        other => Err(Error::invalid(format!("unexpected status reply {other:?}"))),
     }
 }
 
@@ -1140,6 +1799,185 @@ mod tests {
         assert!(err.to_string().contains("auth token mismatch"), "{err}");
         run_worker(addr, quick_config(), Duration::from_secs(5)).unwrap();
         serve.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn clean_leave_hands_back_lease_without_charging_the_cap() {
+        let coord = Coordinator::bind(
+            "127.0.0.1:0",
+            quick_config(),
+            &[FigureId::Fig1],
+            SizeClass::Small,
+            CoordOptions::default(),
+        )
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        let fingerprint = config_fingerprint(coord.config());
+        let serve = std::thread::spawn(move || coord.serve());
+
+        // A worker that takes a lease, is asked to stop, and departs via
+        // `leave`: the cell goes back to the queue uncharged.
+        let mut stream = connect_handshake(addr, &fingerprint);
+        write_frame(&mut stream, &msg("request")).unwrap();
+        let reply = read_frame_opt(&mut stream).unwrap().unwrap();
+        assert_eq!(msg_type(&reply).unwrap(), "lease");
+        write_frame(&mut stream, &msg("leave")).unwrap();
+        let reply = read_frame_opt(&mut stream).unwrap().unwrap();
+        assert_eq!(msg_type(&reply).unwrap(), "bye");
+        drop(stream);
+
+        // A worker whose stop flag is already set departs before leasing.
+        let stopped = Arc::new(AtomicBool::new(true));
+        let report = run_worker_with(
+            addr,
+            quick_config(),
+            Duration::from_secs(5),
+            WorkerOptions {
+                jobs: 1,
+                auth_token: None,
+                stop: Some(Arc::clone(&stopped)),
+            },
+        )
+        .unwrap();
+        assert_eq!(report.completed, 0);
+
+        let healthy = run_worker(addr, quick_config(), Duration::from_secs(5)).unwrap();
+        let outcome = serve.join().unwrap().unwrap();
+        assert_eq!(outcome.departed, 2, "both wind-downs were clean");
+        assert_eq!(outcome.reissued, 0, "leave never charges the cap");
+        assert_eq!(outcome.executed, outcome.planned);
+        assert_eq!(healthy.completed, outcome.planned);
+    }
+
+    #[test]
+    fn rebalance_steals_longest_held_lease_for_idle_workers() {
+        let coord = Coordinator::bind(
+            "127.0.0.1:0",
+            quick_config(),
+            &[FigureId::Fig1],
+            SizeClass::Small,
+            CoordOptions::default().with_rebalance_after(Duration::from_millis(300)),
+        )
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        let fingerprint = config_fingerprint(coord.config());
+        let serve = std::thread::spawn(move || coord.serve());
+
+        // A slow worker: takes a lease and sits on it. Once the healthy
+        // worker has drained the rest of the queue and idles, the
+        // rebalancer must steal this lease (cutting the connection) so the
+        // sweep finishes without waiting on the straggler.
+        let slow = std::thread::spawn(move || {
+            let mut stream = connect_handshake(addr, &fingerprint);
+            write_frame(&mut stream, &msg("request")).unwrap();
+            let reply = read_frame_opt(&mut stream).unwrap().unwrap();
+            assert_eq!(msg_type(&reply).unwrap(), "lease");
+            assert!(matches!(read_frame_opt(&mut stream), Ok(None) | Err(_)));
+        });
+
+        let report = run_worker(addr, quick_config(), Duration::from_secs(10)).unwrap();
+        let outcome = serve.join().unwrap().unwrap();
+        slow.join().unwrap();
+        assert_eq!(outcome.executed, outcome.planned, "every cell ran");
+        assert_eq!(report.completed, outcome.planned);
+        assert!(outcome.rebalanced >= 1, "the straggler's lease was stolen");
+        assert_eq!(outcome.reissued, 0, "rebalance never charges the cap");
+    }
+
+    #[test]
+    fn resumed_result_lands_after_reconnect() {
+        let coord = Coordinator::bind(
+            "127.0.0.1:0",
+            quick_config(),
+            &[FigureId::Fig1],
+            SizeClass::Small,
+            CoordOptions::default(),
+        )
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        let fingerprint = config_fingerprint(coord.config());
+        let serve = std::thread::spawn(move || coord.serve());
+
+        // Session one: lease a cell, then lose the connection mid-cell.
+        let mut stream = connect_handshake(addr, &fingerprint);
+        write_frame(&mut stream, &msg("request")).unwrap();
+        let reply = read_frame_opt(&mut stream).unwrap().unwrap();
+        assert_eq!(msg_type(&reply).unwrap(), "lease");
+        let cell = CellKey::from_json(reply.get("cell").unwrap()).unwrap();
+        drop(stream);
+
+        // Session two: the same logical worker reconnects and re-submits
+        // the result it computed under the lost lease, flagged `resume`.
+        // It must be accepted, not rejected as a forgery.
+        let mut stream = connect_handshake(addr, &fingerprint);
+        let mut result = msg("result");
+        result.set("cell", cell.to_json());
+        result.set("outcome", CellOutcome::Unsupported.to_json());
+        result.set("resume", Json::Bool(true));
+        write_frame(&mut stream, &result).unwrap();
+        let reply = read_frame_opt(&mut stream).unwrap().unwrap();
+        assert_ne!(
+            msg_type(&reply).unwrap(),
+            "reject",
+            "resume-flagged result must settle: {reply:?}"
+        );
+        // Hand back whatever the reply leased so nothing is charged.
+        if msg_type(&reply).unwrap() == "lease" {
+            write_frame(&mut stream, &msg("leave")).unwrap();
+            let bye = read_frame_opt(&mut stream).unwrap().unwrap();
+            assert_eq!(msg_type(&bye).unwrap(), "bye");
+        }
+        drop(stream);
+
+        run_worker(addr, quick_config(), Duration::from_secs(5)).unwrap();
+        let outcome = serve.join().unwrap().unwrap();
+        assert_eq!(outcome.resumed, 1, "the reconnect resume was counted");
+        assert_eq!(outcome.executed, outcome.planned, "no double counting");
+    }
+
+    #[test]
+    fn status_snapshot_reports_sweep_state() {
+        let coord = Coordinator::bind(
+            "127.0.0.1:0",
+            quick_config(),
+            &[FigureId::Fig1],
+            SizeClass::Small,
+            CoordOptions::default().with_auth_token("sweep-secret"),
+        )
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        let planned = coord.plan.len();
+        let serve = std::thread::spawn(move || coord.serve());
+
+        // Status polls authenticate like workers...
+        let err = fetch_status(addr, None, Duration::from_secs(5)).unwrap_err();
+        assert!(err.to_string().contains("auth token mismatch"), "{err}");
+        // ...but skip the config fingerprint: monitoring needs no flags.
+        let snap = fetch_status(addr, Some("sweep-secret"), Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            snap.get("planned").and_then(Json::as_u64),
+            Some(planned as u64)
+        );
+        assert_eq!(
+            snap.get("pending").and_then(Json::as_u64),
+            Some(planned as u64)
+        );
+        assert_eq!(snap.get("done").and_then(Json::as_u64), Some(0));
+        assert_eq!(snap.get("workers").and_then(Json::as_u64), Some(0));
+        assert!(snap.get("leases").and_then(Json::as_arr).is_some());
+        assert!(snap.get("throughput").and_then(Json::as_arr).is_some());
+
+        let report = run_worker_jobs(
+            addr,
+            quick_config(),
+            Duration::from_secs(5),
+            1,
+            Some("sweep-secret".into()),
+        )
+        .unwrap();
+        let outcome = serve.join().unwrap().unwrap();
+        assert_eq!(report.completed, outcome.planned);
+        assert_eq!(outcome.workers, 1, "the status poll is not a worker");
     }
 
     #[test]

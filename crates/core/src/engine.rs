@@ -40,6 +40,12 @@ pub struct ExecContext {
     /// use zero measured time instead, so simulated costs depend only on
     /// the workload, never the host.
     pub deterministic: bool,
+    /// Intra-cell checkpoint sink for long iterative kernels. Single-node
+    /// in-memory engines and SciDB thread it into their kernel `ExecOpts`;
+    /// engines that run the same kernel concurrently per node (MadlibNest,
+    /// Hadoop) leave it unused — interleaved same-key saves would corrupt
+    /// the snapshot stream.
+    pub progress: Option<genbase_util::ProgressHandle>,
 }
 
 /// R's per-object allocation limit: 2^31 - 1 cells.
@@ -60,6 +66,7 @@ impl ExecContext {
             mem_budget: None,
             net: NetModel::gigabit(),
             deterministic: false,
+            progress: None,
         }
     }
 

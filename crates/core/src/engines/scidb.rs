@@ -116,7 +116,9 @@ pub(crate) fn run_scidb_single(
         data,
         params,
         query,
-        opts: ExecOpts::with_threads(ctx.threads).with_budget(budget.clone()),
+        opts: ExecOpts::with_threads(ctx.threads)
+            .with_budget(budget.clone())
+            .with_progress(ctx.progress.clone()),
         arrays: ingest_arrays(data, &budget, &mem)?, // untimed ingest
         budget,
         mem: mem.clone(),

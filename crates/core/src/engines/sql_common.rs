@@ -701,7 +701,9 @@ impl SqlEngineSpec {
             // Analytics run in R (single-threaded) for every bridge;
             // Madlib's C++ aggregate is also single-threaded inside one
             // Postgres backend.
-            r_opts: ExecOpts::with_threads(1).with_budget(r_budget.clone()),
+            r_opts: ExecOpts::with_threads(1)
+                .with_budget(r_budget.clone())
+                .with_progress(ctx.progress.clone()),
             store,
             db_budget,
             r_budget,

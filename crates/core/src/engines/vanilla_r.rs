@@ -54,7 +54,9 @@ impl Engine for VanillaR {
         let backend = RBackend {
             data,
             params,
-            opts: ExecOpts::with_threads(1).with_budget(budget.clone()),
+            opts: ExecOpts::with_threads(1)
+                .with_budget(budget.clone())
+                .with_progress(ctx.progress.clone()),
             budget,
             mem: mem.clone(),
             query,

@@ -205,12 +205,29 @@ impl Harness {
         nodes: usize,
         threads: usize,
     ) -> Result<RunRecord> {
+        self.run_cell_with_progress(engine, query, size, nodes, threads, None)
+    }
+
+    /// [`Harness::run_cell_with_threads`] with an optional intra-cell
+    /// progress sink threaded into the engine's kernels, so long iterative
+    /// cells (Lanczos SVD, Cheng–Church) checkpoint mid-run and a re-issued
+    /// cell resumes bit-identically.
+    pub fn run_cell_with_progress(
+        &self,
+        engine: &dyn Engine,
+        query: Query,
+        size: SizeClass,
+        nodes: usize,
+        threads: usize,
+        progress: Option<genbase_util::ProgressHandle>,
+    ) -> Result<RunRecord> {
         let outcome = if !engine.supports(query) || nodes > engine.max_nodes() {
             RunOutcome::Unsupported
         } else {
             let data = self.dataset(size)?;
             let params = self.params(size)?;
-            let ctx = self.context_with_threads(nodes, threads);
+            let mut ctx = self.context_with_threads(nodes, threads);
+            ctx.progress = progress;
             match engine.run(query, &data, &params, &ctx) {
                 Ok(mut report) => {
                     if self.config.timing == TimingMode::SimOnly {

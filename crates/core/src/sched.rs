@@ -310,6 +310,11 @@ impl CellOutcome {
 pub struct ReportGrid {
     cells: BTreeMap<String, CellOutcome>,
     fingerprint: Option<String>,
+    /// Intra-cell progress snapshots (cell id → {kernel → state}), carried
+    /// by coordinator checkpoints so a re-issued cell resumes mid-iteration.
+    /// Cleared per cell on [`ReportGrid::insert`]; never serialized once
+    /// empty, so finished grids are byte-identical to pre-progress ones.
+    progress: BTreeMap<String, Json>,
 }
 
 /// The configuration facets that change cell outcomes: anything differing
@@ -361,9 +366,25 @@ impl ReportGrid {
         self.cells.is_empty()
     }
 
-    /// Record a cell outcome.
+    /// Record a cell outcome (and drop any intra-cell progress for it —
+    /// a completed cell needs no resume state).
     pub fn insert(&mut self, key: &CellKey, outcome: CellOutcome) {
-        self.cells.insert(key.id(), outcome);
+        let id = key.id();
+        self.progress.remove(&id);
+        self.cells.insert(id, outcome);
+    }
+
+    /// Record an intra-cell progress snapshot for one kernel of `cell_id`.
+    pub fn set_progress(&mut self, cell_id: &str, kernel: &str, state: Json) {
+        self.progress
+            .entry(cell_id.to_string())
+            .or_insert_with(Json::obj)
+            .set(kernel, state);
+    }
+
+    /// The saved progress object ({kernel → state}) for a cell, if any.
+    pub fn progress_for(&self, cell_id: &str) -> Option<&Json> {
+        self.progress.get(cell_id)
     }
 
     /// Look up a cell.
@@ -429,6 +450,13 @@ impl ReportGrid {
             doc.set("config", Json::from(fp.as_str()));
         }
         doc.set("cells", cells);
+        if !self.progress.is_empty() {
+            let mut progress = Json::obj();
+            for (id, state) in &self.progress {
+                progress.set(id, state.clone());
+            }
+            doc.set("progress", progress);
+        }
         doc.render()
     }
 
@@ -455,14 +483,51 @@ impl ReportGrid {
             grid.cells
                 .insert(id.clone(), CellOutcome::from_json(value)?);
         }
+        if let Some(pairs) = doc.get("progress").and_then(Json::as_obj) {
+            for (id, state) in pairs {
+                grid.progress.insert(id.clone(), state.clone());
+            }
+        }
         Ok(grid)
     }
 
     /// Load a grid file.
     pub fn load(path: &Path) -> Result<ReportGrid> {
+        genbase_util::faults::hit("checkpoint.load")
+            .map_err(|e| Error::invalid(format!("read {}: {e}", path.display())))?;
         let text = std::fs::read_to_string(path)
             .map_err(|e| Error::invalid(format!("read {}: {e}", path.display())))?;
         ReportGrid::from_json(&text)
+    }
+
+    /// Load a grid file, falling back to the last-good `.bak` rotated by
+    /// `save_text` when the primary is torn or truncated (a writer died
+    /// mid-write). Returns the grid plus a human-readable note when
+    /// recovery happened.
+    pub fn load_with_recovery(path: &Path) -> Result<(ReportGrid, Option<String>)> {
+        let primary = ReportGrid::load(path);
+        match primary {
+            Ok(grid) => Ok((grid, None)),
+            Err(first) => {
+                let bak = path.with_extension("bak");
+                if !bak.exists() {
+                    return Err(first);
+                }
+                let grid = ReportGrid::load(&bak).map_err(|second| {
+                    Error::invalid(format!(
+                        "checkpoint {} unreadable ({first}) and so is its backup ({second})",
+                        path.display()
+                    ))
+                })?;
+                let note = format!(
+                    "checkpoint {} was torn ({first}); recovered {} cells from {}",
+                    path.display(),
+                    grid.len(),
+                    bak.display()
+                );
+                Ok((grid, Some(note)))
+            }
+        }
     }
 
     /// Persist atomically (write temp file, then rename), so a sweep killed
@@ -473,11 +538,35 @@ impl ReportGrid {
 }
 
 /// Atomic file write: temp file (tagged, so concurrent writers never share
-/// one) then rename over the target.
+/// one) then rename over the target, rotating the previous file to `.bak`
+/// first so a reader always has one last-good generation to fall back on.
 pub(crate) fn save_text(path: &Path, text: &str, tag: usize) -> Result<()> {
+    // Fault site: a `torn:<n>` rule here clobbers the target with a prefix
+    // of the new content and fails, exactly like a writer crashing mid-way
+    // through a non-atomic write. Recovery must come from the `.bak`.
+    match genbase_util::faults::write_action("checkpoint.write") {
+        Ok(None) => {}
+        Ok(Some(n)) => {
+            let torn = &text[..n.min(text.len())];
+            let _ = std::fs::write(path, torn);
+            return Err(Error::invalid(format!(
+                "write {}: injected torn write after {n} bytes",
+                path.display()
+            )));
+        }
+        Err(e) => {
+            return Err(Error::invalid(format!("write {}: {e}", path.display())));
+        }
+    }
     let tmp = path.with_extension(format!("tmp{tag}"));
     std::fs::write(&tmp, text)
         .map_err(|e| Error::invalid(format!("write {}: {e}", tmp.display())))?;
+    // Rotate the current generation to `.bak` before replacing it.
+    // Best-effort: parallel local sweeps have concurrent writers racing on
+    // the same target, and a missing backup only weakens recovery.
+    if path.exists() {
+        let _ = std::fs::rename(path, path.with_extension("bak"));
+    }
     std::fs::rename(&tmp, path)
         .map_err(|e| Error::invalid(format!("rename {}: {e}", path.display())))?;
     Ok(())
@@ -553,6 +642,9 @@ pub struct SweepOutcome {
     pub skipped: usize,
     /// Sweep wall-clock seconds (dataset generation + all cells).
     pub wall_secs: f64,
+    /// Human-readable note when the checkpoint was recovered from its
+    /// `.bak` (torn primary file).
+    pub recovered: Option<String>,
 }
 
 /// Observer/failure hook invoked before each cell executes. Returning an
@@ -604,10 +696,21 @@ impl Scheduler {
 
     /// Execute one cell under an explicit thread budget.
     pub fn run_cell(&self, key: &CellKey, threads: usize) -> Result<CellOutcome> {
+        self.run_cell_with_progress(key, threads, None)
+    }
+
+    /// Execute one cell with an optional intra-cell progress sink (resume
+    /// state flows kernel ← sink ← coordinator lease).
+    pub fn run_cell_with_progress(
+        &self,
+        key: &CellKey,
+        threads: usize,
+        progress: Option<genbase_util::ProgressHandle>,
+    ) -> Result<CellOutcome> {
         let engine = self.engine(&key.engine)?;
         let rec = self
             .harness
-            .run_cell_with_threads(engine, key.query, key.size, key.nodes, threads)?;
+            .run_cell_with_progress(engine, key.query, key.size, key.nodes, threads, progress)?;
         Ok(CellOutcome::from_run(&rec.outcome))
     }
 
@@ -641,9 +744,11 @@ impl Scheduler {
             .collect();
 
         let fingerprint = config_fingerprint(self.harness.config());
+        let mut recovered = None;
         let mut base = match &sweep.checkpoint {
             Some(path) if path.exists() => {
-                let grid = ReportGrid::load(path)?;
+                let (grid, note) = ReportGrid::load_with_recovery(path)?;
+                recovered = note;
                 if let Some(have) = grid.fingerprint() {
                     if have != fingerprint {
                         return Err(Error::invalid(format!(
@@ -717,6 +822,7 @@ impl Scheduler {
             skipped,
             grid,
             wall_secs: start.elapsed().as_secs_f64(),
+            recovered,
         })
     }
 

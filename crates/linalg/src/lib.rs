@@ -29,7 +29,7 @@ pub use covariance::{
     center_columns, center_columns_par, column_means, column_means_par, covariance,
 };
 pub use eigen::{jacobi_eigen, tridiag_eigen, EigenPairs};
-pub use lanczos::{lanczos_topk, DenseSymOp, GramOp, LanczosResult, LinearOp};
+pub use lanczos::{lanczos_topk, DenseSymOp, GramOp, LanczosResult, LinearOp, LANCZOS_KERNEL};
 pub use matmul::{
     at_mul, gram, matmul, matmul_blocked, matmul_naive, matvec, matvec_par, matvec_transposed,
     matvec_transposed_par,
@@ -39,7 +39,7 @@ pub use qr::QrFactor;
 pub use regression::{LinearRegression, RegressionMethod};
 pub use rsvd::{randomized_gram_eigen, RsvdConfig};
 
-use genbase_util::Budget;
+use genbase_util::{Budget, ProgressHandle};
 
 /// Execution options threaded through every expensive kernel.
 #[derive(Debug, Clone)]
@@ -48,6 +48,9 @@ pub struct ExecOpts {
     pub threads: usize,
     /// Cooperative cutoff / memory budget.
     pub budget: Budget,
+    /// Optional intra-cell checkpoint sink for long iterative kernels
+    /// (Lanczos, biclustering); `None` disables mid-kernel checkpointing.
+    pub progress: Option<ProgressHandle>,
 }
 
 impl ExecOpts {
@@ -56,6 +59,7 @@ impl ExecOpts {
         ExecOpts {
             threads: 1,
             budget: Budget::unlimited(),
+            progress: None,
         }
     }
 
@@ -66,6 +70,7 @@ impl ExecOpts {
                 .map(|n| n.get())
                 .unwrap_or(1),
             budget: Budget::unlimited(),
+            progress: None,
         }
     }
 
@@ -74,12 +79,19 @@ impl ExecOpts {
         ExecOpts {
             threads: threads.max(1),
             budget: Budget::unlimited(),
+            progress: None,
         }
     }
 
     /// Replace the budget, keeping the thread count.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Attach (or detach) an intra-cell progress sink.
+    pub fn with_progress(mut self, progress: Option<ProgressHandle>) -> Self {
+        self.progress = progress;
         self
     }
 }

@@ -41,6 +41,7 @@ pub fn encode_frame(msg: &Json) -> Result<Vec<u8>> {
 /// Write one framed message.
 pub fn write_frame(w: &mut impl Write, msg: &Json) -> Result<()> {
     let frame = encode_frame(msg)?;
+    crate::faults::hit("frame.write").map_err(|e| Error::invalid(format!("write frame: {e}")))?;
     w.write_all(&frame)
         .and_then(|_| w.flush())
         .map_err(|e| Error::invalid(format!("write frame: {e}")))
@@ -55,6 +56,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Json> {
 /// Read one framed message, or `None` on a clean end-of-stream (EOF exactly
 /// at a frame boundary). EOF *inside* a frame is a truncation error.
 pub fn read_frame_opt(r: &mut impl Read) -> Result<Option<Json>> {
+    crate::faults::hit("frame.read").map_err(|e| Error::invalid(format!("read frame: {e}")))?;
     let mut prefix = [0u8; 4];
     let mut got = 0;
     while got < prefix.len() {

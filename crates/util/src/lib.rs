@@ -14,11 +14,15 @@
 pub mod budget;
 pub mod csv;
 pub mod error;
+pub mod faults;
 pub mod frame;
 pub mod json;
+pub mod progress;
+pub mod retry;
 pub mod rng;
 pub mod runtime;
 pub mod scratch;
+pub mod shutdown;
 pub mod sim;
 pub mod table;
 
@@ -26,6 +30,7 @@ pub use budget::Budget;
 pub use error::{Error, Result};
 pub use frame::{encode_frame, read_frame, read_frame_opt, write_frame, MAX_FRAME_BYTES};
 pub use json::Json;
+pub use progress::{CellProgress, ProgressHandle};
 pub use rng::Pcg64;
 pub use runtime::{parallel_for, parallel_map, try_parallel_for, SharedSlice};
 pub use sim::{CostReport, SimClock};

@@ -1,0 +1,103 @@
+//! Capped exponential backoff with deterministic jitter, plus the
+//! classification of transient connect errors shared by the worker's
+//! connect and reconnect paths.
+
+use crate::rng::Pcg64;
+use std::io;
+use std::time::Duration;
+
+/// Capped exponential backoff with seeded jitter.
+///
+/// `delay(attempt)` for attempt 0, 1, 2… returns a uniformly jittered
+/// duration in `[exp/2, exp]` where `exp = min(cap_ms, base_ms << attempt)`.
+/// The jitter draws from a private [`Pcg64`], so a fixed seed yields a
+/// reproducible delay sequence (chaos tests pin the seed through the fault
+/// plan's `seed=N` entry).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    rng: Pcg64,
+}
+
+impl Backoff {
+    /// A backoff schedule from `base_ms` doubling up to `cap_ms`, with
+    /// jitter drawn from the given seed.
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Backoff {
+        Backoff {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(1),
+            rng: Pcg64::with_stream(seed, 0xb0ff_0ff5),
+        }
+    }
+
+    /// The jittered delay for the given 0-based attempt number.
+    pub fn delay(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .base_ms
+            .checked_shl(attempt.min(20))
+            .unwrap_or(self.cap_ms)
+            .min(self.cap_ms)
+            .max(1);
+        let ms = self.rng.range_f64((exp / 2) as f64, exp as f64);
+        Duration::from_millis(ms as u64)
+    }
+}
+
+/// Whether a connect/reconnect error is transient — worth retrying with
+/// backoff — as opposed to a configuration error (DNS failure, unroutable
+/// address) that should fail fast.
+pub fn transient_connect_error(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::Interrupted
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_cap_with_jitter_in_range() {
+        let mut b = Backoff::new(100, 5_000, 7);
+        for attempt in 0..12 {
+            let exp = (100u64 << attempt.min(20)).min(5_000);
+            let d = b.delay(attempt).as_millis() as u64;
+            assert!(
+                d >= exp / 2 && d <= exp,
+                "attempt {attempt}: {d} not in [{}, {exp}]",
+                exp / 2
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = Backoff::new(50, 1_000, 99);
+        let mut b = Backoff::new(50, 1_000, 99);
+        for attempt in 0..8 {
+            assert_eq!(a.delay(attempt), b.delay(attempt));
+        }
+    }
+
+    #[test]
+    fn transient_classification() {
+        use io::ErrorKind::*;
+        for kind in [ConnectionRefused, ConnectionReset, TimedOut, Interrupted] {
+            assert!(
+                transient_connect_error(&io::Error::new(kind, "x")),
+                "{kind:?}"
+            );
+        }
+        for kind in [NotFound, AddrNotAvailable, PermissionDenied, BrokenPipe] {
+            assert!(
+                !transient_connect_error(&io::Error::new(kind, "x")),
+                "{kind:?}"
+            );
+        }
+    }
+}

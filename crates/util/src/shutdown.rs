@@ -1,0 +1,62 @@
+//! Cooperative shutdown on `SIGTERM`.
+//!
+//! Workers install a minimal async-signal-safe handler that sets one
+//! atomic flag; the worker loop polls [`requested`] between cells and
+//! leaves the sweep cleanly (handing its lease back) instead of dying
+//! mid-cell. Std-only: the handler goes through `libc`'s `signal(2)`
+//! directly rather than pulling in a signal crate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// Whether a `SIGTERM` has been received since the handler was installed.
+pub fn requested() -> bool {
+    TERM.load(Ordering::SeqCst)
+}
+
+/// Reset the shutdown flag (tests only; real processes exit instead).
+pub fn reset() {
+    TERM.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" fn on_sigterm(_sig: i32) {
+    // Only async-signal-safe work here: a single atomic store.
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Install the `SIGTERM` handler. Safe to call more than once; a no-op on
+/// non-Unix platforms.
+pub fn install_sigterm_handler() {
+    #[cfg(unix)]
+    {
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        unsafe {
+            signal(SIGTERM, on_sigterm as *const () as usize);
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigterm_sets_the_flag() {
+        extern "C" {
+            fn raise(sig: i32) -> i32;
+        }
+        install_sigterm_handler();
+        reset();
+        assert!(!requested());
+        unsafe {
+            raise(15);
+        }
+        assert!(requested());
+        reset();
+    }
+}

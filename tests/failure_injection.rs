@@ -3,6 +3,11 @@
 //! outcomes from every engine family, never as panics or wrong answers.
 //! Plus scheduler-level failures: a sweep killed mid-run must resume from
 //! its checkpoint without re-running completed cells.
+//!
+//! The chaos tier at the bottom drives the *coordinated* sweep through
+//! `genbase_util::faults` plans — worker death mid-cell, torn checkpoint
+//! writes, connection resets — and asserts the final grid is byte-identical
+//! to an undisturbed serial run every time.
 
 use genbase::prelude::*;
 use genbase_datagen::{generate, GeneratorConfig, SizeSpec};
@@ -99,6 +104,9 @@ fn killed_sweep_resumes_from_checkpoint_without_rerunning_cells() {
     use std::collections::HashMap;
     use std::sync::{Arc, Mutex};
 
+    // This test's checkpoint writes pass through the `checkpoint.write`
+    // fault site; hold the lock so a chaos test's plan cannot fire on them.
+    let _guard = fault_lock();
     let config = || {
         HarnessConfig {
             scale: 0.012,
@@ -186,6 +194,289 @@ fn killed_sweep_resumes_from_checkpoint_without_rerunning_cells() {
     .render();
     assert_eq!(rendered_resumed, rendered_clean);
     let _ = std::fs::remove_file(&ckpt);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos tier: deterministic fault plans against the coordinated sweep.
+//
+// Fault plans are process-global and the test harness runs tests on
+// parallel threads, so every test that installs a plan — or performs I/O
+// through a named injection site another test's plan could fire on —
+// serializes on `fault_lock` and clears the plan before releasing it.
+
+/// Serialize tests that interact with the process-global fault plan.
+fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    // A poisoned lock only means an earlier chaos test failed; its plan
+    // state is still well-defined (we install/clear ourselves), so proceed.
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn chaos_config() -> HarnessConfig {
+    HarnessConfig {
+        scale: 0.012,
+        sizes: vec![genbase_datagen::SizeClass::Small],
+        r_mem_bytes: u64::MAX,
+        ..HarnessConfig::quick()
+    }
+    .sim_only()
+}
+
+/// The undisturbed serial run every chaos outcome must match byte for
+/// byte: the grid JSON and the rendered Fig. 1. Computed once (it is
+/// pure — `--sim-only` — and touches no fault sites).
+fn chaos_golden() -> &'static (String, String) {
+    use genbase_datagen::SizeClass;
+    static GOLDEN: std::sync::OnceLock<(String, String)> = std::sync::OnceLock::new();
+    GOLDEN.get_or_init(|| {
+        let sched = Scheduler::new(chaos_config()).unwrap();
+        let out = sched
+            .run_sweep(&[FigureId::Fig1], SizeClass::Small, &SweepOptions::serial())
+            .unwrap();
+        let rendered =
+            genbase::figures::render(FigureId::Fig1, sched.harness(), SizeClass::Small, &out.grid)
+                .unwrap()
+                .render();
+        (out.grid.to_json(), rendered)
+    })
+}
+
+fn chaos_render(grid: &ReportGrid) -> String {
+    use genbase_datagen::SizeClass;
+    let harness = Harness::new(chaos_config()).unwrap();
+    genbase::figures::render(FigureId::Fig1, &harness, SizeClass::Small, grid)
+        .unwrap()
+        .render()
+}
+
+/// A worker killed by an injected fault at its second intra-cell snapshot
+/// save dies mid-kernel; the re-issued lease carries the first snapshot,
+/// and the healthy worker's resumed computation is bit-identical.
+#[test]
+fn chaos_worker_killed_mid_cell_resumes_from_streamed_progress() {
+    use genbase::coord::{run_worker, CoordOptions, Coordinator};
+    use genbase_datagen::SizeClass;
+    use genbase_util::faults::{self, FaultPlan};
+    use genbase_util::progress::MemoryProgress;
+    use genbase_util::ProgressHandle;
+    use std::sync::Arc;
+
+    let _guard = fault_lock();
+
+    // Probe (no plan installed): the plan must produce at least two
+    // snapshot saves overall, or `worker.progress@2` could never fire. A
+    // single worker leases cells in plan order, so the serial probe visits
+    // the site in exactly the order the doomed worker will.
+    let sched = Scheduler::new(chaos_config()).unwrap();
+    let mut saves = 0;
+    for cell in sched.plan(&[FigureId::Fig1], SizeClass::Small) {
+        let sink = Arc::new(MemoryProgress::new());
+        sched
+            .run_cell_with_progress(&cell, 1, Some(ProgressHandle::new(sink.clone())))
+            .expect("probe cell");
+        saves += sink.saves();
+    }
+    assert!(
+        saves >= 2,
+        "the Fig. 1 plan must checkpoint intra-cell at least twice (got {saves}); \
+         the kill below would never fire"
+    );
+
+    faults::install(FaultPlan::parse("worker.progress@2=err:other").unwrap());
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        chaos_config(),
+        &[FigureId::Fig1],
+        SizeClass::Small,
+        CoordOptions::default(),
+    )
+    .unwrap();
+    let addr = coordinator.local_addr().unwrap();
+    let serve = std::thread::spawn(move || coordinator.serve());
+
+    // The doomed worker runs alone and dies at the second snapshot: the
+    // injected fault aborts the kernel and cuts the socket, exactly like a
+    // crashed process. No result, no failure report, no reconnect.
+    let doomed =
+        std::thread::spawn(move || run_worker(addr, chaos_config(), Duration::from_secs(10)));
+    let err = doomed.join().unwrap().unwrap_err();
+    assert!(
+        err.to_string().contains("killed by injected fault"),
+        "doomed worker must die the injected death, got: {err}"
+    );
+
+    // A healthy worker drains the rest; the re-issued cell resumes from
+    // the snapshot the doomed worker streamed before dying.
+    let report = run_worker(addr, chaos_config(), Duration::from_secs(10)).unwrap();
+    let outcome = serve.join().unwrap().unwrap();
+    faults::clear();
+
+    assert!(
+        outcome.reissued >= 1,
+        "the killed worker's lease must be re-issued"
+    );
+    assert_eq!(outcome.executed, outcome.planned);
+    assert!(report.completed >= 1);
+    let (grid_json, rendered) = chaos_golden();
+    assert_eq!(&outcome.grid.to_json(), grid_json);
+    assert_eq!(&chaos_render(&outcome.grid), rendered);
+}
+
+/// A checkpoint write torn mid-file kills the coordinator; a restarted
+/// coordinator on the same path recovers the last-good `.bak` generation,
+/// reports the recovery, and finishes the sweep byte-identically.
+#[test]
+fn chaos_torn_coordinator_checkpoint_recovers_from_bak_after_restart() {
+    use genbase::coord::{run_worker, CoordOptions, Coordinator};
+    use genbase_datagen::SizeClass;
+    use genbase_util::faults::{self, FaultPlan};
+
+    let _guard = fault_lock();
+    let ckpt = std::env::temp_dir().join(format!("genbase-chaos-torn-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(ckpt.with_extension("bak"));
+
+    // The third checkpoint write tears after 64 bytes, like a writer
+    // crashing mid-write. Writes one and two succeeded, so the `.bak`
+    // rotation holds a complete earlier generation.
+    faults::install(FaultPlan::parse("checkpoint.write@3=torn:64").unwrap());
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        chaos_config(),
+        &[FigureId::Fig1],
+        SizeClass::Small,
+        CoordOptions::default().with_checkpoint(&ckpt),
+    )
+    .unwrap();
+    let addr = coordinator.local_addr().unwrap();
+    let serve = std::thread::spawn(move || coordinator.serve());
+    // The worker is drained cleanly (`done`): a checkpoint failure is the
+    // coordinator's fault, never blamed on the worker.
+    let first = run_worker(addr, chaos_config(), Duration::from_secs(10)).unwrap();
+    let err = serve.join().unwrap().unwrap_err();
+    assert!(
+        err.to_string().contains("torn write"),
+        "coordinator must die on the torn checkpoint, got: {err}"
+    );
+    assert!(first.completed >= 1);
+    assert!(
+        ReportGrid::load(&ckpt).is_err(),
+        "the primary checkpoint must be unreadable after the tear"
+    );
+
+    // Restart on the same path: load falls back to the `.bak`, says so,
+    // and the sweep completes from where the backup left off.
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        chaos_config(),
+        &[FigureId::Fig1],
+        SizeClass::Small,
+        CoordOptions::default().with_checkpoint(&ckpt),
+    )
+    .unwrap();
+    let addr = coordinator.local_addr().unwrap();
+    let serve = std::thread::spawn(move || coordinator.serve());
+    run_worker(addr, chaos_config(), Duration::from_secs(10)).unwrap();
+    let outcome = serve.join().unwrap().unwrap();
+    faults::clear();
+
+    let note = outcome
+        .recovered
+        .expect("restart must report the .bak recovery");
+    assert!(note.contains("recovered"), "unexpected note: {note}");
+    let (grid_json, rendered) = chaos_golden();
+    assert_eq!(&outcome.grid.to_json(), grid_json);
+    assert_eq!(&chaos_render(&outcome.grid), rendered);
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(ckpt.with_extension("bak"));
+}
+
+/// A connection reset while sending a result must not cost the computed
+/// cell: the worker reconnects with backoff and re-submits the in-flight
+/// report with `resume: true`, which the coordinator reconciles.
+#[test]
+fn chaos_worker_reconnects_after_reset_and_resumes_its_result() {
+    use genbase::coord::{run_worker, CoordOptions, Coordinator};
+    use genbase_datagen::SizeClass;
+    use genbase_util::faults::{self, FaultPlan};
+
+    let _guard = fault_lock();
+    faults::install(FaultPlan::parse("worker.result@2=err:reset; seed=7").unwrap());
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        chaos_config(),
+        &[FigureId::Fig1],
+        SizeClass::Small,
+        CoordOptions::default(),
+    )
+    .unwrap();
+    let addr = coordinator.local_addr().unwrap();
+    let serve = std::thread::spawn(move || coordinator.serve());
+
+    // One worker drains the sweep despite the reset on its second report.
+    let report = run_worker(addr, chaos_config(), Duration::from_secs(10)).unwrap();
+    let outcome = serve.join().unwrap().unwrap();
+    faults::clear();
+
+    assert_eq!(
+        outcome.resumed, 1,
+        "the in-flight result must land through the resume path"
+    );
+    assert_eq!(outcome.executed, outcome.planned);
+    // The reconnected session is a second logical worker connection.
+    assert!(outcome.workers >= 2);
+    // The interrupted cell was computed once up front; only if the EOF
+    // re-queue raced ahead of the resume does it run a second time.
+    assert!(report.completed >= outcome.planned);
+    let (grid_json, rendered) = chaos_golden();
+    assert_eq!(&outcome.grid.to_json(), grid_json);
+    assert_eq!(&chaos_render(&outcome.grid), rendered);
+}
+
+/// A truncated (torn) local checkpoint falls back to its `.bak` on the
+/// next run: the resumed sweep reports the recovery, re-runs only what the
+/// backup was missing, and matches the clean run byte for byte.
+#[test]
+fn torn_local_checkpoint_recovers_from_bak() {
+    use genbase_datagen::SizeClass;
+
+    let _guard = fault_lock();
+    let ckpt = std::env::temp_dir().join(format!("genbase-local-torn-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(ckpt.with_extension("bak"));
+    let sweep = SweepOptions::default().with_checkpoint(&ckpt);
+
+    // Run 1: a clean sweep leaves the final grid in the primary and the
+    // previous generation in `.bak`.
+    let sched = Scheduler::new(chaos_config()).unwrap();
+    let clean = sched
+        .run_sweep(&[FigureId::Fig1], SizeClass::Small, &sweep)
+        .unwrap();
+    assert!(
+        ckpt.with_extension("bak").exists(),
+        "rotation must leave a .bak"
+    );
+
+    // Tear the primary the way a crashed writer would: truncate mid-JSON.
+    let text = std::fs::read_to_string(&ckpt).unwrap();
+    std::fs::write(&ckpt, &text[..text.len() / 2]).unwrap();
+    assert!(ReportGrid::load(&ckpt).is_err());
+
+    // Run 2: recovery from `.bak`, re-running only the missing tail.
+    let resumed = sched
+        .run_sweep(&[FigureId::Fig1], SizeClass::Small, &sweep)
+        .unwrap();
+    let note = resumed.recovered.expect("resume must report the recovery");
+    assert!(note.contains(".bak") || note.contains("recovered"));
+    assert!(
+        resumed.skipped > 0,
+        "the recovered generation must spare most of the sweep"
+    );
+    assert!(resumed.executed < resumed.planned);
+    assert_eq!(resumed.grid.to_json(), clean.grid.to_json());
+    assert_eq!(chaos_render(&resumed.grid), chaos_render(&clean.grid));
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(ckpt.with_extension("bak"));
 }
 
 #[test]
