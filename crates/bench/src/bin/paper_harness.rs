@@ -6,6 +6,10 @@
 //! paper_harness [fig1|fig2|fig3|fig4|fig5|table1|weak|bench|all]
 //!               [explain [ENGINE] [QUERY]]  per-operator plan cost tables
 //!               [coordinate|work|status]  distributed sweep roles (see below)
+//!               [serve]          resident benchmark server: framed + HTTP
+//!                                listeners, /status /metrics /query
+//!               [query ENGINE QUERY]  submit one query to a running server
+//!                                over the framed protocol
 //!               [--scale F]      per-side scale vs paper sizes (default 0.048)
 //!               [--sizes LIST]   size classes, e.g. small,medium (default all)
 //!               [--cutoff SECS]  per-run cutoff (default 60)
@@ -45,8 +49,15 @@
 //!               [--grid-in P]    render from grid file(s) instead of running
 //!                                (repeatable; shards merge)
 //!               [--sim-only]     deterministic timing (simulated costs only)
-//!               [--listen ADDR]  coordinate: bind address (default 127.0.0.1:7717)
-//!               [--connect ADDR] work: coordinator address (default 127.0.0.1:7717)
+//!               [--listen ADDR]  coordinate/serve: framed bind address
+//!                                (default 127.0.0.1:7717)
+//!               [--listen-http ADDR]  serve: HTTP bind address
+//!                                (default 127.0.0.1:7718)
+//!               [--queue-depth N]  serve: bounded admission queue — how
+//!                                many over-budget requests may wait for
+//!                                memory before rejection (default 16)
+//!               [--connect ADDR] work/query/status: server address
+//!                                (default 127.0.0.1:7717)
 //!               [--connect-window SECS]  work: retry window while the
 //!                                coordinator starts (default 30)
 //!               [--figures LIST] coordinate: exhibits to sweep, e.g.
@@ -100,11 +111,24 @@
 //! sharded, and writes `BENCH_baseline.json` (`op, size, threads, ns/iter`)
 //! so later PRs have a perf trajectory to regress against (see the CI
 //! bench job).
+//!
+//! `serve` keeps the dataset pool, compiled plans and engine registry
+//! resident and answers query/explain/status requests from concurrent
+//! clients: the framed `genbase-coord-v1` protocol on `--listen` and HTTP
+//! (`GET /status`, `GET /metrics`, `POST /query`) on `--listen-http`. In
+//! serve mode `--mem-budget` is the *admission* budget: a request whose
+//! working-set estimate does not fit waits in a `--queue-depth`-bounded
+//! queue and overflow is rejected cleanly (HTTP 429 / a `busy` frame)
+//! instead of OOMing. SIGTERM drains in-flight queries before exit.
+//! `query ENGINE QUERY --connect HOST:PORT` submits one request over the
+//! framed protocol and prints the reply JSON — byte-identical under
+//! `--sim-only` to the same cell of a batch sweep grid.
 
 use genbase::figures;
 use genbase::harness::{Harness, HarnessConfig, TimingMode};
 use genbase::sched::{FigureId, ReportGrid, Scheduler, SweepOptions};
 use genbase_datagen::SizeClass;
+use genbase_util::{Error, Result};
 use std::time::Duration;
 
 struct Args {
@@ -122,6 +146,8 @@ struct Args {
     grid_in: Vec<String>,
     sim_only: bool,
     listen: String,
+    listen_http: String,
+    queue_depth: usize,
     connect: String,
     connect_window_secs: u64,
     figures: Option<Vec<FigureId>>,
@@ -139,7 +165,17 @@ struct Args {
     positionals: Vec<String>,
 }
 
-fn parse_args() -> Args {
+/// A malformed command line: printed to stderr, exit code 2. The message
+/// always names the offending flag.
+struct UsageError(String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn parse_args(argv: &[String]) -> std::result::Result<Args, UsageError> {
     let mut args = Args {
         what: "all".to_string(),
         scale: 0.048,
@@ -155,6 +191,8 @@ fn parse_args() -> Args {
         grid_in: Vec::new(),
         sim_only: false,
         listen: "127.0.0.1:7717".to_string(),
+        listen_http: "127.0.0.1:7718".to_string(),
+        queue_depth: 16,
         connect: "127.0.0.1:7717".to_string(),
         connect_window_secs: 30,
         figures: None,
@@ -171,153 +209,130 @@ fn parse_args() -> Args {
         per_op: false,
         positionals: Vec::new(),
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // The raw string value following a flag; a flag at the end of the
+    // command line is a usage error naming that flag.
+    let value = |i: &mut usize, flag: &str| -> std::result::Result<String, UsageError> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| UsageError(format!("{flag} needs a value")))
+    };
+    // A parsed value; a malformed one is a usage error naming the flag and
+    // what it wanted (`--scale takes a float, got "abc"`).
+    macro_rules! parsed {
+        ($i:expr, $flag:expr, $wants:expr) => {{
+            let raw = value($i, $flag)?;
+            raw.parse()
+                .map_err(|_| UsageError(format!("{} takes {}, got {raw:?}", $flag, $wants)))?
+        }};
+    }
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
-            "--scale" => {
-                i += 1;
-                args.scale = argv[i].parse().expect("--scale takes a float");
-            }
+            "--scale" => args.scale = parsed!(&mut i, "--scale", "a float"),
             "--sizes" => {
-                i += 1;
-                args.sizes = Some(
-                    argv[i]
-                        .split(',')
-                        .map(|s| {
-                            SizeClass::from_slug(s.trim())
-                                .unwrap_or_else(|| panic!("unknown size {s:?}"))
-                        })
-                        .collect(),
-                );
+                let raw = value(&mut i, "--sizes")?;
+                let mut sizes = Vec::new();
+                for s in raw.split(',') {
+                    sizes.push(SizeClass::from_slug(s.trim()).ok_or_else(|| {
+                        UsageError(format!(
+                            "--sizes: unknown size {:?} (want small/medium/large)",
+                            s.trim()
+                        ))
+                    })?);
+                }
+                args.sizes = Some(sizes);
             }
-            "--cutoff" => {
-                i += 1;
-                args.cutoff_secs = argv[i].parse().expect("--cutoff takes seconds");
-            }
+            "--cutoff" => args.cutoff_secs = parsed!(&mut i, "--cutoff", "seconds"),
             "--mn-size" => {
-                i += 1;
-                args.mn_size = SizeClass::from_slug(argv[i].as_str())
-                    .unwrap_or_else(|| panic!("unknown size {:?}", argv[i]));
+                let raw = value(&mut i, "--mn-size")?;
+                args.mn_size = SizeClass::from_slug(&raw).ok_or_else(|| {
+                    UsageError(format!(
+                        "--mn-size: unknown size {raw:?} (want small/medium/large)"
+                    ))
+                })?;
             }
-            "--threads" => {
-                i += 1;
-                args.threads = argv[i].parse().expect("--threads takes an integer");
-            }
-            "--jobs" => {
-                i += 1;
-                args.jobs = argv[i].parse().expect("--jobs takes an integer");
-            }
-            "--shards" => {
-                i += 1;
-                args.shards = argv[i].parse().expect("--shards takes an integer");
-            }
-            "--shard-id" => {
-                i += 1;
-                args.shard_id = argv[i].parse().expect("--shard-id takes an integer");
-            }
-            "--checkpoint" => {
-                i += 1;
-                args.checkpoint = Some(argv[i].clone());
-            }
-            "--grid-out" => {
-                i += 1;
-                args.grid_out = Some(argv[i].clone());
-            }
-            "--grid-in" => {
-                i += 1;
-                args.grid_in.push(argv[i].clone());
-            }
+            "--threads" => args.threads = parsed!(&mut i, "--threads", "an integer"),
+            "--jobs" => args.jobs = parsed!(&mut i, "--jobs", "an integer"),
+            "--shards" => args.shards = parsed!(&mut i, "--shards", "an integer"),
+            "--shard-id" => args.shard_id = parsed!(&mut i, "--shard-id", "an integer"),
+            "--checkpoint" => args.checkpoint = Some(value(&mut i, "--checkpoint")?),
+            "--grid-out" => args.grid_out = Some(value(&mut i, "--grid-out")?),
+            "--grid-in" => args.grid_in.push(value(&mut i, "--grid-in")?),
             "--sim-only" => args.sim_only = true,
-            "--listen" => {
-                i += 1;
-                args.listen = argv[i].clone();
-            }
-            "--connect" => {
-                i += 1;
-                args.connect = argv[i].clone();
-            }
+            "--listen" => args.listen = value(&mut i, "--listen")?,
+            "--listen-http" => args.listen_http = value(&mut i, "--listen-http")?,
+            "--queue-depth" => args.queue_depth = parsed!(&mut i, "--queue-depth", "an integer"),
+            "--connect" => args.connect = value(&mut i, "--connect")?,
             "--connect-window" => {
-                i += 1;
-                args.connect_window_secs = argv[i].parse().expect("--connect-window takes seconds");
+                args.connect_window_secs = parsed!(&mut i, "--connect-window", "seconds")
             }
             "--figures" => {
-                i += 1;
-                args.figures = Some(
-                    argv[i]
-                        .split(',')
-                        .map(|s| {
-                            FigureId::from_name(s.trim())
-                                .unwrap_or_else(|| panic!("unknown figure {s:?}"))
-                        })
-                        .collect(),
-                );
+                let raw = value(&mut i, "--figures")?;
+                let mut figures = Vec::new();
+                for s in raw.split(',') {
+                    figures.push(FigureId::from_name(s.trim()).ok_or_else(|| {
+                        UsageError(format!("--figures: unknown figure {:?}", s.trim()))
+                    })?);
+                }
+                args.figures = Some(figures);
             }
-            "--bench-size" => {
-                i += 1;
-                args.bench_size = argv[i].parse().expect("--bench-size takes an integer");
-            }
-            "--bench-iters" => {
-                i += 1;
-                args.bench_iters = argv[i].parse().expect("--bench-iters takes an integer");
-            }
-            "--bench-out" => {
-                i += 1;
-                args.bench_out = argv[i].clone();
-            }
-            "--nodes" => {
-                i += 1;
-                args.nodes = argv[i].parse().expect("--nodes takes an integer");
-            }
+            "--bench-size" => args.bench_size = parsed!(&mut i, "--bench-size", "an integer"),
+            "--bench-iters" => args.bench_iters = parsed!(&mut i, "--bench-iters", "an integer"),
+            "--bench-out" => args.bench_out = value(&mut i, "--bench-out")?,
+            "--nodes" => args.nodes = parsed!(&mut i, "--nodes", "an integer"),
             "--lease-timeout" => {
-                i += 1;
-                args.lease_timeout_secs = argv[i].parse().expect("--lease-timeout takes seconds");
+                args.lease_timeout_secs = parsed!(&mut i, "--lease-timeout", "seconds")
             }
             "--rebalance-after" => {
-                i += 1;
-                args.rebalance_after_secs =
-                    argv[i].parse().expect("--rebalance-after takes seconds");
+                args.rebalance_after_secs = parsed!(&mut i, "--rebalance-after", "seconds")
             }
             "--faults" => {
-                i += 1;
-                args.faults = Some(argv[i].clone());
+                let raw = value(&mut i, "--faults")?;
+                // Validate the plan grammar here so a typo exits 2 with
+                // the flag named, before any side effects.
+                genbase_util::faults::FaultPlan::parse(&raw)
+                    .map_err(|e| UsageError(format!("--faults: {e}")))?;
+                args.faults = Some(raw);
             }
-            "--mem-budget" => {
-                i += 1;
-                args.mem_budget = Some(argv[i].parse().expect("--mem-budget takes bytes"));
-            }
-            "--auth-token" => {
-                i += 1;
-                args.auth_token = Some(argv[i].clone());
-            }
+            "--mem-budget" => args.mem_budget = Some(parsed!(&mut i, "--mem-budget", "bytes")),
+            "--auth-token" => args.auth_token = Some(value(&mut i, "--auth-token")?),
             "--json" => args.json = true,
             "--per-op" => args.per_op = true,
             what => {
                 // A mistyped flag must not be silently swallowed as a
                 // subcommand argument (or the run proceeds with defaults).
-                assert!(!what.starts_with("--"), "unknown flag {what:?}");
+                if what.starts_with("--") {
+                    return Err(UsageError(format!("unknown flag {what:?}")));
+                }
                 if args.what == "all" {
                     args.what = what.to_string();
-                } else if args.what == "explain" {
-                    // Subcommand arguments: `explain <engine> <query>`.
+                } else if args.what == "explain" || args.what == "query" {
+                    // Subcommand arguments: `explain|query <engine> <query>`.
                     args.positionals.push(what.to_string());
                 } else {
-                    panic!("unexpected argument {what:?} after {:?}", args.what);
+                    return Err(UsageError(format!(
+                        "unexpected argument {what:?} after {:?}",
+                        args.what
+                    )));
                 }
             }
         }
         i += 1;
     }
-    args
+    Ok(args)
 }
 
-fn requested_figures(what: &str) -> Vec<FigureId> {
+fn requested_figures(what: &str) -> Result<Vec<FigureId>> {
     if what == "all" {
-        FigureId::ALL.to_vec()
+        Ok(FigureId::ALL.to_vec())
     } else {
-        vec![FigureId::from_name(what).unwrap_or_else(|| {
-            panic!("unknown command {what:?} (want figN/table1/weak/bench/all)")
-        })]
+        Ok(vec![FigureId::from_name(what).ok_or_else(|| {
+            Error::invalid(format!(
+                "unknown command {what:?} (want figN/table1/weak/bench/explain/\
+                 coordinate/work/status/serve/query/all)"
+            ))
+        })?])
     }
 }
 
@@ -342,23 +357,46 @@ fn harness_config(args: &Args) -> HarnessConfig {
 }
 
 fn main() {
-    let args = parse_args();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(usage) => {
+            // Usage errors get their own exit code (2) so scripts can tell
+            // a mistyped command line from a failed run.
+            eprintln!("paper_harness: {usage}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&args) {
+        eprintln!("paper_harness: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &Args) -> Result<()> {
     if let Some(spec) = &args.faults {
         // An explicit --faults overrides any GENBASE_FAULTS in the
-        // environment (install replaces the plan either way).
+        // environment (install replaces the plan either way). The spec was
+        // validated during argument parsing.
         let plan = genbase_util::faults::FaultPlan::parse(spec)
-            .unwrap_or_else(|e| panic!("--faults: {e}"));
+            .map_err(|e| Error::invalid(format!("--faults: {e}")))?;
         genbase_util::faults::install(plan);
         eprintln!("fault plan installed: {spec}");
     }
     if args.what == "coordinate" {
-        return coordinate(&args);
+        return coordinate(args);
+    }
+    if args.what == "serve" {
+        return serve(args);
+    }
+    if args.what == "query" {
+        return query_server(args);
     }
     if args.what == "work" {
         // SIGTERM departs cleanly: the worker hands back its lease with
         // `leave` (uncharged against the re-issue cap) and exits.
         genbase_util::shutdown::install_sigterm_handler();
-        let config = harness_config(&args);
+        let config = harness_config(args);
         let report = genbase::coord::run_worker_with(
             args.connect.as_str(),
             config,
@@ -368,8 +406,7 @@ fn main() {
                 auth_token: args.auth_token.clone(),
                 stop: None,
             },
-        )
-        .expect("worker");
+        )?;
         eprintln!(
             "worker done: {} cells completed, {} failed{}",
             report.completed,
@@ -380,22 +417,23 @@ fn main() {
                 ""
             }
         );
-        return;
+        return Ok(());
     }
     if args.what == "status" {
-        return status(&args);
+        return status(args);
     }
     if args.what == "explain" {
-        return explain(&args);
+        return explain(args);
     }
     if args.what == "bench" {
-        let mut entries = perf::run(args.bench_size, args.bench_iters);
-        entries.extend(perf::sweep_wall_clock());
+        let mut entries = perf::run(args.bench_size, args.bench_iters)?;
+        entries.extend(perf::sweep_wall_clock()?);
         let json = perf::to_json(args.bench_size, &entries);
-        std::fs::write(&args.bench_out, &json).expect("write bench output");
+        std::fs::write(&args.bench_out, &json)
+            .map_err(|e| Error::invalid(format!("write {}: {e}", args.bench_out)))?;
         eprintln!("wrote {}", args.bench_out);
         println!("{json}");
-        return;
+        return Ok(());
     }
     if args.what == "weak" {
         // Paper future work (§5.2): weak scaling — per-node data constant.
@@ -408,20 +446,22 @@ fn main() {
                 patients.max(40),
                 &[1, 2, 4],
                 genbase::Query::Regression,
-            )
-            .expect("weak scaling")
+            )?
             .render()
         );
-        return;
+        return Ok(());
     }
 
-    let figs = requested_figures(&args.what);
-    let config = harness_config(&args);
+    let figs = requested_figures(&args.what)?;
+    let config = harness_config(args);
     // A multi-shard run renders nothing (its grid is partial); without a
     // place to persist the grid, the whole shard's work would be discarded.
     // Catch that before hours of compute, not after.
     if args.shards > 1 && args.grid_out.is_none() && args.checkpoint.is_none() {
-        panic!("--shards > 1 needs --grid-out (or --checkpoint): nothing would persist the shard's results");
+        return Err(Error::invalid(
+            "--shards > 1 needs --grid-out (or --checkpoint): \
+             nothing would persist the shard's results",
+        ));
     }
 
     // Render-only mode: merge grids from earlier (sharded) runs.
@@ -429,27 +469,29 @@ fn main() {
         let mut grid = ReportGrid::default();
         for path in &args.grid_in {
             let part = ReportGrid::load(std::path::Path::new(path))
-                .unwrap_or_else(|e| panic!("load {path}: {e}"));
+                .map_err(|e| Error::invalid(format!("load {path}: {e}")))?;
             grid.merge(part)
-                .unwrap_or_else(|e| panic!("merge {path}: {e}"));
+                .map_err(|e| Error::invalid(format!("merge {path}: {e}")))?;
         }
         // The grids must come from the configuration we are rendering
         // under — table1 regenerates the dataset from the render-time
         // config, so a scale mismatch would silently produce wrong numbers.
         let expect = genbase::sched::config_fingerprint(&config);
         if let Some(have) = grid.fingerprint() {
-            assert_eq!(
-                have, expect,
-                "grid files were produced under a different configuration; \
-                 repeat the sweep's --scale/--sim-only/... flags when rendering"
-            );
+            if have != expect {
+                return Err(Error::invalid(format!(
+                    "grid files were produced under a different configuration \
+                     ({have} vs {expect}); repeat the sweep's \
+                     --scale/--sim-only/... flags when rendering"
+                )));
+            }
         }
-        let harness = Harness::new(config).expect("harness");
+        let harness = Harness::new(config)?;
         for &fig in &figs {
-            let figure = render_figure(fig, &harness, &args, &grid);
+            let figure = render_figure(fig, &harness, args, &grid)?;
             println!("{}", figure.render());
         }
-        return;
+        return Ok(());
     }
 
     eprintln!(
@@ -461,7 +503,7 @@ fn main() {
         args.shard_id,
         args.shards.max(1),
     );
-    let scheduler = Scheduler::new(config).expect("scheduler");
+    let scheduler = Scheduler::new(config)?;
     let mut sweep = SweepOptions::default().with_shard(args.shards, args.shard_id);
     if args.jobs > 0 {
         sweep = sweep.with_cells_in_flight(args.jobs);
@@ -469,9 +511,7 @@ fn main() {
     if let Some(path) = &args.checkpoint {
         sweep = sweep.with_checkpoint(path);
     }
-    let outcome = scheduler
-        .run_sweep(&figs, args.mn_size, &sweep)
-        .expect("sweep");
+    let outcome = scheduler.run_sweep(&figs, args.mn_size, &sweep)?;
     if let Some(note) = &outcome.recovered {
         eprintln!("checkpoint recovery: {note}");
     }
@@ -483,7 +523,7 @@ fn main() {
         outcome
             .grid
             .save(std::path::Path::new(path))
-            .expect("write grid");
+            .map_err(|e| Error::invalid(format!("write grid {path}: {e}")))?;
         eprintln!("wrote {path}");
     }
     if args.shards.max(1) > 1 {
@@ -491,12 +531,13 @@ fn main() {
             "shard {}/{} complete; render the merged sweep with --grid-in",
             args.shard_id, args.shards
         );
-        return;
+        return Ok(());
     }
     for &fig in &figs {
-        let figure = render_figure(fig, scheduler.harness(), &args, &outcome.grid);
+        let figure = render_figure(fig, scheduler.harness(), args, &outcome.grid)?;
         println!("{}", figure.render());
     }
+    Ok(())
 }
 
 /// Render one exhibit from a grid, honoring `--per-op` for fig2/fig4.
@@ -505,27 +546,123 @@ fn render_figure(
     harness: &Harness,
     args: &Args,
     grid: &ReportGrid,
-) -> figures::Figure {
+) -> Result<figures::Figure> {
     if args.per_op && matches!(fig, FigureId::Fig2 | FigureId::Fig4) {
         figures::render_per_op(fig, harness, args.mn_size, grid)
-            .unwrap_or_else(|e| panic!("render {} --per-op: {e}", fig.name()))
+            .map_err(|e| Error::invalid(format!("render {} --per-op: {e}", fig.name())))
     } else {
         figures::render(fig, harness, args.mn_size, grid)
-            .unwrap_or_else(|e| panic!("render {}: {e}", fig.name()))
+            .map_err(|e| Error::invalid(format!("render {}: {e}", fig.name())))
+    }
+}
+
+/// The `serve` subcommand: the resident benchmark server. `--mem-budget`
+/// here is the *admission* budget (per-request working-set reservations),
+/// not the per-cell tracker budget, so served outcomes stay byte-identical
+/// to a batch sweep run without `--mem-budget`.
+fn serve(args: &Args) -> Result<()> {
+    genbase_util::shutdown::install_sigterm_handler();
+    let mut config = harness_config(args);
+    config.mem_budget = None;
+    let mut options = genbase::ServeOptions {
+        auth_token: args.auth_token.clone(),
+        queue_depth: args.queue_depth,
+        ..Default::default()
+    };
+    if let Some(budget) = args.mem_budget {
+        options = options.with_mem_budget(budget);
+    }
+    let server = genbase::BenchServer::bind(
+        args.listen.as_str(),
+        args.listen_http.as_str(),
+        config.clone(),
+        options,
+    )?;
+    eprintln!(
+        "serving on {} (framed) and {} (http); fingerprint {}",
+        server.frame_addr()?,
+        server.http_addr()?,
+        genbase::sched::config_fingerprint(&config),
+    );
+    let report = server.serve()?;
+    eprintln!(
+        "serve drained: {} served, {} failed, {} rejected",
+        report.served, report.failed, report.rejected
+    );
+    Ok(())
+}
+
+/// The `query` subcommand: submit one query to a running server over the
+/// framed protocol and print the reply JSON.
+fn query_server(args: &Args) -> Result<()> {
+    use genbase_util::Json;
+    let engine = args
+        .positionals
+        .first()
+        .ok_or_else(|| Error::invalid("query needs ENGINE and QUERY, e.g. query SciDB svd"))?;
+    let query = args
+        .positionals
+        .get(1)
+        .ok_or_else(|| Error::invalid("query needs ENGINE and QUERY, e.g. query SciDB svd"))?;
+    let mut request = Json::obj();
+    request.set("type", Json::from("query"));
+    request.set("engine", Json::from(engine.as_str()));
+    request.set("query", Json::from(query.as_str()));
+    if let Some(sizes) = &args.sizes {
+        if let Some(size) = sizes.first() {
+            request.set("size", Json::from(size.slug()));
+        }
+    }
+    if args.nodes > 1 {
+        request.set("nodes", Json::from(args.nodes));
+    }
+    let reply = genbase::serve::client_request(
+        args.connect.as_str(),
+        args.auth_token.as_deref(),
+        &request,
+    )?;
+    match reply.get("type").and_then(Json::as_str) {
+        Some("result") => {
+            println!("{}", reply.render());
+            Ok(())
+        }
+        Some("busy") => Err(Error::invalid(format!(
+            "server busy: {}",
+            reply
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+        ))),
+        Some("failed") => Err(Error::invalid(format!(
+            "query failed: {}",
+            reply
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+        ))),
+        other => Err(Error::invalid(format!("unexpected reply type {other:?}"))),
     }
 }
 
 /// The `explain` subcommand: per-operator plan cost tables for engine ×
 /// query pairs (all pairs by default; positionals narrow the matrix).
-fn explain(args: &Args) {
+fn explain(args: &Args) -> Result<()> {
     let config = harness_config(args);
-    let size = *config.sizes.first().expect("at least one size configured");
+    let size = *config
+        .sizes
+        .first()
+        .ok_or_else(|| Error::invalid("--sizes must name at least one size"))?;
     let engine_filter = args.positionals.first().map(String::as_str);
-    let query_filter = args.positionals.get(1).map(|name| {
-        genbase::Query::from_name(name)
-            .unwrap_or_else(|| panic!("unknown query {name:?} (want one of regression/covariance/biclustering/svd/statistics)"))
-    });
-    let harness = Harness::new(config).expect("harness");
+    let query_filter = match args.positionals.get(1) {
+        Some(name) => Some(genbase::Query::from_name(name).ok_or_else(|| {
+            Error::invalid(format!(
+                "unknown query {name:?} (want one of \
+                 regression/covariance/biclustering/svd/statistics)"
+            ))
+        })?),
+        None => None,
+    };
+    let harness = Harness::new(config)?;
     if args.json {
         let json = figures::explain_json(
             &harness,
@@ -533,10 +670,9 @@ fn explain(args: &Args) {
             args.nodes.max(1),
             engine_filter,
             query_filter,
-        )
-        .expect("explain --json");
+        )?;
         println!("{json}");
-        return;
+        return Ok(());
     }
     let figure = figures::explain(
         &harness,
@@ -544,24 +680,24 @@ fn explain(args: &Args) {
         args.nodes.max(1),
         engine_filter,
         query_filter,
-    )
-    .expect("explain");
+    )?;
     println!("{}", figure.render());
+    Ok(())
 }
 
 /// The `status` role: poll a serving coordinator for a live sweep
 /// snapshot and print it as a table (or raw JSON with `--json`).
-fn status(args: &Args) {
+fn status(args: &Args) -> Result<()> {
     use genbase_util::Json;
     let snap = genbase::coord::fetch_status(
         args.connect.as_str(),
         args.auth_token.as_deref(),
         Duration::from_secs(args.connect_window_secs),
     )
-    .expect("status poll");
+    .map_err(|e| Error::invalid(format!("status poll @ {}: {e}", args.connect)))?;
     if args.json {
         println!("{}", snap.render());
-        return;
+        return Ok(());
     }
     let count = |key: &str| snap.get(key).and_then(Json::as_u64).unwrap_or(0);
     println!("coordinated sweep @ {}", args.connect);
@@ -616,11 +752,12 @@ fn status(args: &Args) {
             }
         }
     }
+    Ok(())
 }
 
 /// The `coordinate` role: serve leases over TCP until the grid is
 /// complete, then render the figures exactly as a local sweep would.
-fn coordinate(args: &Args) {
+fn coordinate(args: &Args) -> Result<()> {
     let config = harness_config(args);
     let figs = args
         .figures
@@ -645,15 +782,16 @@ fn coordinate(args: &Args) {
         &figs,
         args.mn_size,
         options,
-    )
-    .expect("coordinator bind");
+    )?;
     eprintln!(
         "coordinator listening on {} for {} (fingerprint {})",
-        coordinator.local_addr().expect("local addr"),
+        coordinator.local_addr()?,
         figs.iter().map(|f| f.name()).collect::<Vec<_>>().join("+"),
         genbase::sched::config_fingerprint(&config),
     );
-    let outcome = coordinator.serve().expect("coordinated sweep");
+    let outcome = coordinator
+        .serve()
+        .map_err(|e| Error::invalid(format!("coordinated sweep: {e}")))?;
     if let Some(note) = &outcome.recovered {
         eprintln!("checkpoint recovery: {note}");
     }
@@ -674,14 +812,15 @@ fn coordinate(args: &Args) {
         outcome
             .grid
             .save(std::path::Path::new(path))
-            .expect("write grid");
+            .map_err(|e| Error::invalid(format!("write grid {path}: {e}")))?;
         eprintln!("wrote {path}");
     }
-    let harness = Harness::new(config).expect("harness");
+    let harness = Harness::new(config)?;
     for &fig in &figs {
-        let figure = render_figure(fig, &harness, args, &outcome.grid);
+        let figure = render_figure(fig, &harness, args, &outcome.grid)?;
         println!("{}", figure.render());
     }
+    Ok(())
 }
 
 /// Kernel perf baseline: times the hot linalg/stats paths against the seed
@@ -792,7 +931,7 @@ mod perf {
     /// Run the kernel sweep. `size` is the matrix edge (the acceptance
     /// configuration is 2048); thread counts follow the perf-trajectory
     /// convention {1, 2, 8}.
-    pub fn run(size: usize, iters: u32) -> Vec<Entry> {
+    pub fn run(size: usize, iters: u32) -> genbase_util::Result<Vec<Entry>> {
         let mut rng = Pcg64::new(0xbe7c);
         eprintln!("bench: generating {size}x{size} inputs...");
         let a = Matrix::from_fn(size, size, |_, _| rng.normal());
@@ -812,6 +951,11 @@ mod perf {
             });
         };
 
+        // A kernel failure inside a timed closure (shape mismatch, thread
+        // pool loss) is captured and propagated after the timing loop, so
+        // the bench exits with one clean error instead of a panic.
+        let mut kernel_err: Option<genbase_util::Error> = None;
+
         // -- matmul ----------------------------------------------------------
         let serial = ExecOpts::serial();
         let ns = time_ns(iters, || {
@@ -819,13 +963,17 @@ mod perf {
         });
         push("matmul_seed_serial", 1, ns, iters);
         let ns = time_ns(iters, || {
-            matmul_blocked(&a, &b, &serial).expect("blocked matmul");
+            if let Err(e) = matmul_blocked(&a, &b, &serial) {
+                kernel_err.get_or_insert(e);
+            }
         });
         push("matmul_blocked_serial", 1, ns, iters);
         for threads in [1usize, 2, 8] {
             let opts = ExecOpts::with_threads(threads);
             let ns = time_ns(iters, || {
-                matmul(&a, &b, &opts).expect("packed matmul");
+                if let Err(e) = matmul(&a, &b, &opts) {
+                    kernel_err.get_or_insert(e);
+                }
             });
             push("matmul_packed", threads, ns, iters);
         }
@@ -838,7 +986,9 @@ mod perf {
         for threads in [1usize, 2, 8] {
             let opts = ExecOpts::with_threads(threads);
             let ns = time_ns(iters, || {
-                covariance(&a, &opts).expect("covariance");
+                if let Err(e) = covariance(&a, &opts) {
+                    kernel_err.get_or_insert(e);
+                }
             });
             push("covariance_syrk", threads, ns, iters);
         }
@@ -855,7 +1005,10 @@ mod perf {
             });
             push("ranking_parallel", threads, ns, iters);
         }
-        entries
+        match kernel_err {
+            Some(e) => Err(e),
+            None => Ok(entries),
+        }
     }
 
     /// Sweep wall-clock: a small fig1 sweep through the cell scheduler,
@@ -863,7 +1016,7 @@ mod perf {
     /// perf trajectory records harness-level scheduling gains alongside
     /// kernel numbers. Fresh scheduler per run ⇒ dataset generation is
     /// inside the measured window both times.
-    pub fn sweep_wall_clock() -> Vec<Entry> {
+    pub fn sweep_wall_clock() -> genbase_util::Result<Vec<Entry>> {
         use genbase::harness::HarnessConfig;
         use genbase::sched::{FigureId, Scheduler, SweepOptions};
         use genbase_datagen::SizeClass;
@@ -876,11 +1029,9 @@ mod perf {
         };
         let mut entries = Vec::new();
         for (op, jobs) in [("sweep_fig1_serial", 1usize), ("sweep_fig1_sharded", 8)] {
-            let scheduler = Scheduler::new(config()).expect("scheduler");
+            let scheduler = Scheduler::new(config())?;
             let sweep = SweepOptions::default().with_cells_in_flight(jobs);
-            let outcome = scheduler
-                .run_sweep(&[FigureId::Fig1], SizeClass::Small, &sweep)
-                .expect("fig1 sweep");
+            let outcome = scheduler.run_sweep(&[FigureId::Fig1], SizeClass::Small, &sweep)?;
             let ns = outcome.wall_secs * 1e9;
             eprintln!(
                 "bench: {op} jobs={jobs}: {:.3} ms ({} cells)",
@@ -895,7 +1046,7 @@ mod perf {
                 iters: 1,
             });
         }
-        entries
+        Ok(entries)
     }
 
     /// Serialize through the shared `genbase_util::json` writer (one

@@ -53,6 +53,7 @@ pub mod plan;
 pub mod query;
 pub mod report;
 pub mod sched;
+pub mod serve;
 
 pub use coord::{run_worker, run_worker_jobs, CoordOptions, CoordOutcome, Coordinator};
 pub use engine::{Engine, ExecContext};
@@ -61,6 +62,7 @@ pub use plan::{logical_plan, LogicalOp, LogicalPlan, OpKind, OpTrace, Phase, Pla
 pub use query::{Query, QueryOutput, QueryParams};
 pub use report::{PhaseTimes, QueryReport, RunOutcome};
 pub use sched::{CellKey, CellOutcome, FigureId, ReportGrid, Scheduler, SweepOptions};
+pub use serve::{BenchServer, ServeOptions, ServeReport};
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {

@@ -1,0 +1,1119 @@
+//! The resident benchmark server behind `paper_harness serve`.
+//!
+//! A batch sweep pays dataset generation and plan compilation on every
+//! invocation. This module keeps that state resident — the pool-backed
+//! [`Scheduler`] (datasets, engine registry) and the compiled
+//! [`LogicalPlan`]s — inside one long-running process that answers query /
+//! explain / status requests from many concurrent clients, on two listeners:
+//!
+//! - a **framed** listener speaking the same `genbase-coord-v1` codec as the
+//!   distributed coordinator (`hello`/`welcome` handshake with the same
+//!   auth-token rules, then `query` / `explain` / `status` request frames);
+//! - a minimal **HTTP/1.1** listener (`GET /status`, `GET /metrics` in
+//!   Prometheus text format, `POST /query`).
+//!
+//! Under `TimingMode::SimOnly` a served query's outcome JSON is byte-identical
+//! to the same cell's entry in a batch sweep grid: both sides are
+//! [`CellOutcome::to_json`] over the same deterministic execution.
+//!
+//! **Admission control.** Each request carries a working-set estimate
+//! ([`working_set_estimate`]) that is reserved against a [`MemTracker`]
+//! budget (`--mem-budget`) before the query runs. A request that cannot
+//! reserve queues behind a bounded backpressure queue (`--queue-depth`) and
+//! is admitted when memory frees; queue overflow — and an estimate larger
+//! than the whole budget — returns a clean 429-style rejection (a `busy`
+//! frame, HTTP 429) that shows up in `/metrics` instead of an OOM.
+//!
+//! **Shutdown.** SIGTERM (via [`genbase_util::shutdown`]) or the options'
+//! stop flag drains the server: in-flight queries run to completion, queued
+//! admissions are rejected as draining, idle connections get a `bye`, and
+//! [`BenchServer::serve`] returns a final [`ServeReport`].
+
+use crate::figures;
+use crate::harness::HarnessConfig;
+use crate::plan::{logical_plan, LogicalPlan, Phase};
+use crate::query::Query;
+use crate::sched::{config_fingerprint, CellKey, CellOutcome, FigureId, Scheduler};
+use genbase_datagen::{SizeClass, SizeSpec};
+use genbase_storage::{MemTracker, Reservation};
+use genbase_util::frame::{read_frame_opt, write_frame};
+use genbase_util::{http, shutdown, Error, Json, Result};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Multiplier from raw microarray bytes to a conservative working-set
+/// estimate: source columns + pivoted dense copy + one materialized
+/// intermediate + kernel output headroom.
+const WORKING_SET_FACTOR: u64 = 4;
+
+/// Floor on the working-set estimate, so admission stays meaningful at the
+/// tiny CI scales where a dataset is a few hundred kilobytes.
+const MIN_ESTIMATE_BYTES: u64 = 1 << 20;
+
+/// Read timeout for an idle connection; doubles as the drain poll interval
+/// (every idle connection notices a drain within one tick).
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Read timeout for the handshake and for HTTP requests: a peer that takes
+/// longer than this to produce its first bytes is wedged, not slow.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a queued request waits between admission retries.
+const ADMIT_POLL: Duration = Duration::from_millis(20);
+
+/// Conservative bytes a query against `size` will hold live at peak, the
+/// quantity the admission controller reserves against the `--mem-budget`
+/// tracker before the query may run.
+pub fn working_set_estimate(config: &HarnessConfig, size: SizeClass) -> u64 {
+    SizeSpec::scaled(size, config.scale)
+        .bytes()
+        .saturating_mul(WORKING_SET_FACTOR)
+        .max(MIN_ESTIMATE_BYTES)
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Shared-secret token; when set, framed clients must present it in
+    /// `hello` (same mutual-agreement rule as the coordinator) and HTTP
+    /// `POST /query` must carry it (`Authorization: Bearer <token>`).
+    pub auth_token: Option<String>,
+    /// Admission budget in bytes; `None` admits everything immediately.
+    pub mem_budget: Option<u64>,
+    /// Bounded backpressure queue: how many over-budget requests may wait
+    /// for memory before further ones are rejected outright. 0 = no queue.
+    pub queue_depth: usize,
+    /// External stop flag (tests); SIGTERM via [`shutdown`] always works.
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+impl ServeOptions {
+    /// Require `token` from framed clients and HTTP query submitters.
+    pub fn with_auth_token(mut self, token: impl Into<String>) -> ServeOptions {
+        self.auth_token = Some(token.into());
+        self
+    }
+
+    /// Set the admission budget in bytes.
+    pub fn with_mem_budget(mut self, bytes: u64) -> ServeOptions {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Set the backpressure queue bound.
+    pub fn with_queue_depth(mut self, depth: usize) -> ServeOptions {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Attach an external stop flag (set it to drain the server).
+    pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> ServeOptions {
+        self.stop = Some(stop);
+        self
+    }
+}
+
+/// Final tallies returned by [`BenchServer::serve`] after a drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Query/explain requests answered (including "infinite" outcomes).
+    pub served: u64,
+    /// Requests that failed with a hard error.
+    pub failed: u64,
+    /// Requests rejected by admission control (all reasons).
+    pub rejected: u64,
+}
+
+/// Why admission control turned a request away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The estimate exceeds the whole budget — it can never be admitted.
+    OverBudget {
+        /// The request's working-set estimate.
+        estimate: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The backpressure queue is full.
+    QueueFull {
+        /// The configured queue bound.
+        depth: usize,
+    },
+    /// The server is draining and admits nothing new.
+    Draining,
+}
+
+impl Rejection {
+    /// Human-readable rejection reason (busy frames, HTTP bodies).
+    pub fn reason(&self) -> String {
+        match self {
+            Rejection::OverBudget { estimate, budget } => format!(
+                "working-set estimate of {estimate} bytes exceeds the \
+                 {budget}-byte memory budget"
+            ),
+            Rejection::QueueFull { depth } => {
+                format!("admission queue full ({depth} waiting); retry later")
+            }
+            Rejection::Draining => "server is draining; not accepting new work".to_string(),
+        }
+    }
+
+    /// The `/metrics` label and HTTP status for this rejection.
+    fn label_and_status(&self) -> (&'static str, u16) {
+        match self {
+            Rejection::OverBudget { .. } => ("over_budget", 429),
+            Rejection::QueueFull { .. } => ("queue_full", 429),
+            Rejection::Draining => ("draining", 503),
+        }
+    }
+}
+
+/// The admission controller: a [`MemTracker`] holding the budget plus the
+/// bounded wait queue in front of it.
+struct Admission {
+    tracker: MemTracker,
+    queue_depth: usize,
+    queued: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Admission {
+    fn new(budget: Option<u64>, queue_depth: usize) -> Admission {
+        Admission {
+            tracker: MemTracker::new(budget),
+            queue_depth,
+            queued: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn queued(&self) -> usize {
+        *self.queued.lock().expect("admission queue")
+    }
+
+    /// Reserve `estimate` bytes, waiting in the bounded queue if the budget
+    /// is currently exhausted. `draining` is polled while waiting.
+    fn admit(
+        &self,
+        estimate: u64,
+        draining: &dyn Fn() -> bool,
+    ) -> std::result::Result<Reservation, Rejection> {
+        if draining() {
+            return Err(Rejection::Draining);
+        }
+        if estimate > self.tracker.limit() {
+            return Err(Rejection::OverBudget {
+                estimate,
+                budget: self.tracker.limit(),
+            });
+        }
+        if let Ok(r) = self.tracker.reserve(estimate) {
+            return Ok(r);
+        }
+        let mut queued = self.queued.lock().expect("admission queue");
+        if *queued >= self.queue_depth {
+            return Err(Rejection::QueueFull {
+                depth: self.queue_depth,
+            });
+        }
+        *queued += 1;
+        loop {
+            if draining() {
+                *queued -= 1;
+                return Err(Rejection::Draining);
+            }
+            match self.tracker.reserve(estimate) {
+                Ok(r) => {
+                    *queued -= 1;
+                    return Ok(r);
+                }
+                Err(_) => {
+                    // Reservations release through RAII drops that cannot
+                    // signal the condvar, so the wait is a bounded poll.
+                    let (guard, _) = self
+                        .freed
+                        .wait_timeout(queued, ADMIT_POLL)
+                        .expect("admission queue");
+                    queued = guard;
+                }
+            }
+        }
+    }
+}
+
+/// Monotonic counters and gauges behind `GET /metrics`.
+#[derive(Default)]
+struct Metrics {
+    /// Answered queries per engine (completed + infinite + unsupported).
+    queries: Mutex<BTreeMap<String, u64>>,
+    served: AtomicU64,
+    failed: AtomicU64,
+    dm_sim_nanos: AtomicU64,
+    an_sim_nanos: AtomicU64,
+    bytes_moved: AtomicU64,
+    peak_alloc: AtomicU64,
+    rejected_over_budget: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_draining: AtomicU64,
+    inflight: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Metrics {
+    fn record_outcome(&self, engine: &str, outcome: &CellOutcome) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        *self
+            .queries
+            .lock()
+            .expect("metrics")
+            .entry(engine.to_string())
+            .or_insert(0) += 1;
+        if let CellOutcome::Completed { trace, .. } = outcome {
+            for op in trace {
+                let nanos = op.cost.sim_nanos;
+                match op.phase {
+                    Phase::DataManagement => &self.dm_sim_nanos,
+                    Phase::Analytics => &self.an_sim_nanos,
+                }
+                .fetch_add(nanos, Ordering::Relaxed);
+                self.bytes_moved
+                    .fetch_add(op.cost.bytes_moved(), Ordering::Relaxed);
+                self.peak_alloc
+                    .fetch_max(op.cost.peak_alloc_bytes, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn record_rejection(&self, rejection: &Rejection) {
+        match rejection.label_and_status().0 {
+            "over_budget" => &self.rejected_over_budget,
+            "queue_full" => &self.rejected_queue_full,
+            _ => &self.rejected_draining,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn rejected_total(&self) -> u64 {
+        self.rejected_over_budget.load(Ordering::Relaxed)
+            + self.rejected_queue_full.load(Ordering::Relaxed)
+            + self.rejected_draining.load(Ordering::Relaxed)
+    }
+}
+
+/// State shared by the accept loop and every connection handler.
+struct Shared {
+    scheduler: Scheduler,
+    fingerprint: String,
+    /// Compiled logical plans, one per query, kept resident for the life
+    /// of the server (request validation + the `plans` status field).
+    plans: Vec<LogicalPlan>,
+    engine_names: Vec<String>,
+    options: ServeOptions,
+    admission: Admission,
+    metrics: Metrics,
+    draining: AtomicBool,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed) || self.stop_requested()
+    }
+
+    fn stop_requested(&self) -> bool {
+        shutdown::requested()
+            || self
+                .options
+                .stop
+                .as_ref()
+                .is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+
+    fn config(&self) -> &HarnessConfig {
+        self.scheduler.harness().config()
+    }
+
+    /// Resolve an engine name case-insensitively to its canonical form.
+    fn canonical_engine(&self, name: &str) -> Result<String> {
+        self.engine_names
+            .iter()
+            .find(|e| e.eq_ignore_ascii_case(name))
+            .cloned()
+            .ok_or_else(|| Error::invalid(format!("unknown engine {name:?}")))
+    }
+
+    /// Build the cell key a query request names. `engine` and `query` are
+    /// required; `size` defaults to the first configured size class,
+    /// `nodes` to 1 and `figure` to fig1.
+    fn cell_from_request(&self, req: &Json) -> Result<CellKey> {
+        let engine = req
+            .get("engine")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::invalid("query request missing engine"))?;
+        let query = req
+            .get("query")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::invalid("query request missing query"))?;
+        let query = Query::from_name(query)
+            .ok_or_else(|| Error::invalid(format!("unknown query {query:?}")))?;
+        let size = match req.get("size").and_then(Json::as_str) {
+            Some(slug) => SizeClass::from_slug(slug)
+                .ok_or_else(|| Error::invalid(format!("unknown size {slug:?}")))?,
+            None => *self
+                .config()
+                .sizes
+                .first()
+                .ok_or_else(|| Error::invalid("server has no configured sizes"))?,
+        };
+        if !self.config().sizes.contains(&size) {
+            return Err(Error::invalid(format!(
+                "size {:?} is not resident on this server (configured: {:?})",
+                size.slug(),
+                self.config()
+                    .sizes
+                    .iter()
+                    .map(|s| s.slug())
+                    .collect::<Vec<_>>()
+            )));
+        }
+        let figure = match req.get("figure").and_then(Json::as_str) {
+            Some(name) => FigureId::from_name(name)
+                .ok_or_else(|| Error::invalid(format!("unknown figure {name:?}")))?,
+            None => FigureId::Fig1,
+        };
+        Ok(CellKey {
+            figure,
+            query,
+            size,
+            nodes: req.get("nodes").and_then(Json::as_u64).unwrap_or(1) as usize,
+            engine: self.canonical_engine(engine)?,
+        })
+    }
+
+    /// Admit and execute one query request; the reservation is held for
+    /// exactly the duration of the run.
+    fn execute(&self, key: &CellKey) -> std::result::Result<Json, ServeError> {
+        let estimate = working_set_estimate(self.config(), key.size);
+        let _reservation = self
+            .admission
+            .admit(estimate, &|| self.draining())
+            .map_err(|r| {
+                self.metrics.record_rejection(&r);
+                ServeError::Rejected(r)
+            })?;
+        self.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+        let threads = self.config().threads.max(1);
+        let run = self.scheduler.run_cell(key, threads);
+        self.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+        match run {
+            Ok(outcome) => {
+                self.metrics.record_outcome(&key.engine, &outcome);
+                let mut reply = Json::obj();
+                reply.set("type", Json::from("result"));
+                reply.set("cell", Json::from(key.id().as_str()));
+                reply.set("outcome", outcome.to_json());
+                Ok(reply)
+            }
+            Err(e) => {
+                self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Failed(e))
+            }
+        }
+    }
+
+    /// The `/status` document (also the framed `status` reply).
+    fn status_json(&self) -> Json {
+        let mut m = Json::obj();
+        m.set("type", Json::from("status"));
+        m.set("service", Json::from("serve"));
+        m.set(
+            "state",
+            Json::from(if self.draining() {
+                "draining"
+            } else {
+                "serving"
+            }),
+        );
+        m.set("fingerprint", Json::from(self.fingerprint.as_str()));
+        m.set("plans", Json::from(self.plans.len()));
+        m.set(
+            "engines",
+            Json::Arr(
+                self.engine_names
+                    .iter()
+                    .map(|e| Json::from(e.as_str()))
+                    .collect(),
+            ),
+        );
+        m.set(
+            "sizes",
+            Json::Arr(
+                self.config()
+                    .sizes
+                    .iter()
+                    .map(|s| Json::from(s.slug()))
+                    .collect(),
+            ),
+        );
+        // Mirrors of the coordinator snapshot's progress keys.
+        m.set(
+            "done",
+            Json::from(self.metrics.served.load(Ordering::Relaxed)),
+        );
+        m.set(
+            "failed",
+            Json::from(self.metrics.failed.load(Ordering::Relaxed)),
+        );
+        m.set("pending", Json::from(self.admission.queued()));
+        m.set(
+            "leased",
+            Json::from(self.metrics.inflight.load(Ordering::Relaxed)),
+        );
+        m.set("rejected", Json::from(self.metrics.rejected_total()));
+        m.set(
+            "workers",
+            Json::from(self.metrics.connections.load(Ordering::Relaxed)),
+        );
+        m.set(
+            "mem_budget",
+            match self.options.mem_budget {
+                Some(bytes) => Json::from(bytes),
+                None => Json::Null,
+            },
+        );
+        m.set("mem_reserved", Json::from(self.admission.tracker.current()));
+        m.set("queue_depth", Json::from(self.admission.queue_depth));
+        m
+    }
+
+    /// Render the Prometheus text exposition for `GET /metrics`.
+    fn metrics_text(&self) -> String {
+        let m = &self.metrics;
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        };
+        out.push_str(
+            "# HELP genbase_queries_total Answered query requests per engine.\n\
+             # TYPE genbase_queries_total counter\n",
+        );
+        for (engine, count) in m.queries.lock().expect("metrics").iter() {
+            out.push_str(&format!(
+                "genbase_queries_total{{engine=\"{engine}\"}} {count}\n"
+            ));
+        }
+        counter(
+            &mut out,
+            "genbase_served_total",
+            "Answered query requests, all engines.",
+            m.served.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "genbase_query_failures_total",
+            "Query requests that failed with a hard error.",
+            m.failed.load(Ordering::Relaxed),
+        );
+        out.push_str(
+            "# HELP genbase_phase_sim_nanos_total Simulated nanoseconds per plan phase.\n\
+             # TYPE genbase_phase_sim_nanos_total counter\n",
+        );
+        for (phase, counter_ref) in [("dm", &m.dm_sim_nanos), ("analytics", &m.an_sim_nanos)] {
+            out.push_str(&format!(
+                "genbase_phase_sim_nanos_total{{phase=\"{phase}\"}} {}\n",
+                counter_ref.load(Ordering::Relaxed)
+            ));
+        }
+        counter(
+            &mut out,
+            "genbase_bytes_moved_total",
+            "Storage-layer bytes read plus materialized across served queries.",
+            m.bytes_moved.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "genbase_peak_alloc_bytes",
+            "Largest per-operator peak allocation observed.",
+            m.peak_alloc.load(Ordering::Relaxed),
+        );
+        out.push_str(
+            "# HELP genbase_rejected_total Requests turned away by admission control.\n\
+             # TYPE genbase_rejected_total counter\n",
+        );
+        for (reason, counter_ref) in [
+            ("over_budget", &m.rejected_over_budget),
+            ("queue_full", &m.rejected_queue_full),
+            ("draining", &m.rejected_draining),
+        ] {
+            out.push_str(&format!(
+                "genbase_rejected_total{{reason=\"{reason}\"}} {}\n",
+                counter_ref.load(Ordering::Relaxed)
+            ));
+        }
+        gauge(
+            &mut out,
+            "genbase_queue_depth",
+            "Requests currently waiting for admission.",
+            self.admission.queued() as u64,
+        );
+        gauge(
+            &mut out,
+            "genbase_inflight",
+            "Queries currently executing.",
+            m.inflight.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "genbase_mem_reserved_bytes",
+            "Bytes currently reserved by admitted requests.",
+            self.admission.tracker.current(),
+        );
+        if let Some(budget) = self.options.mem_budget {
+            gauge(
+                &mut out,
+                "genbase_mem_budget_bytes",
+                "Configured admission budget.",
+                budget,
+            );
+        }
+        gauge(
+            &mut out,
+            "genbase_connections",
+            "Open client connections (framed + HTTP).",
+            m.connections.load(Ordering::Relaxed),
+        );
+        out
+    }
+}
+
+/// How a request ended without an answer.
+enum ServeError {
+    Rejected(Rejection),
+    Failed(Error),
+}
+
+/// The resident benchmark server: bind with [`BenchServer::bind`], run with
+/// [`BenchServer::serve`].
+pub struct BenchServer {
+    frame_listener: TcpListener,
+    http_listener: TcpListener,
+    shared: Shared,
+}
+
+impl BenchServer {
+    /// Bind the framed and HTTP listeners (use port 0 for ephemeral), build
+    /// the resident scheduler, pre-generate every configured dataset and
+    /// compile all five logical plans. Nothing is served until
+    /// [`BenchServer::serve`].
+    pub fn bind(
+        frame_addr: impl ToSocketAddrs,
+        http_addr: impl ToSocketAddrs,
+        config: HarnessConfig,
+        options: ServeOptions,
+    ) -> Result<BenchServer> {
+        let frame_listener = TcpListener::bind(frame_addr)
+            .map_err(|e| Error::invalid(format!("serve bind (framed): {e}")))?;
+        let http_listener = TcpListener::bind(http_addr)
+            .map_err(|e| Error::invalid(format!("serve bind (http): {e}")))?;
+        for listener in [&frame_listener, &http_listener] {
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| Error::invalid(format!("serve listener: {e}")))?;
+        }
+        let fingerprint = config_fingerprint(&config);
+        let scheduler = Scheduler::new(config)?;
+        // Warm the pool: every configured size is generated now, so the
+        // first query pays no generation latency and concurrent first
+        // requests cannot race dataset construction.
+        for &size in &scheduler.harness().config().sizes.clone() {
+            scheduler.harness().dataset(size)?;
+        }
+        let plans = Query::ALL.into_iter().map(logical_plan).collect();
+        let engine_names = crate::engines::all_engines()
+            .iter()
+            .map(|e| e.name().to_string())
+            .collect();
+        let admission = Admission::new(options.mem_budget, options.queue_depth);
+        Ok(BenchServer {
+            frame_listener,
+            http_listener,
+            shared: Shared {
+                scheduler,
+                fingerprint,
+                plans,
+                engine_names,
+                options,
+                admission,
+                metrics: Metrics::default(),
+                draining: AtomicBool::new(false),
+            },
+        })
+    }
+
+    /// The framed listener's bound address.
+    pub fn frame_addr(&self) -> Result<SocketAddr> {
+        self.frame_listener
+            .local_addr()
+            .map_err(|e| Error::invalid(format!("serve addr: {e}")))
+    }
+
+    /// The HTTP listener's bound address.
+    pub fn http_addr(&self) -> Result<SocketAddr> {
+        self.http_listener
+            .local_addr()
+            .map_err(|e| Error::invalid(format!("serve addr: {e}")))
+    }
+
+    /// Accept and answer requests until SIGTERM or the stop flag, then
+    /// drain: stop accepting, let in-flight queries finish, turn queued
+    /// admissions away as draining, and join every connection handler.
+    pub fn serve(&self) -> Result<ServeReport> {
+        let shared = &self.shared;
+        // Scoped handler threads: the scheduler (and its `dyn Engine`
+        // registry) is `Sync` but not `Send`, so handlers borrow it for
+        // the scope's lifetime instead of owning an `Arc`. The scope exit
+        // joins every handler, which is exactly the drain barrier.
+        let accept_result = std::thread::scope(|scope| {
+            let mut result = Ok(());
+            'accept: while !shared.stop_requested() {
+                let mut accepted = false;
+                for (listener, framed) in
+                    [(&self.frame_listener, true), (&self.http_listener, false)]
+                {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            accepted = true;
+                            scope.spawn(move || {
+                                let _ = stream.set_nodelay(true);
+                                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                                if framed {
+                                    handle_frame_conn(stream, shared);
+                                } else {
+                                    handle_http_conn(stream, shared);
+                                }
+                                shared.metrics.connections.fetch_sub(1, Ordering::Relaxed);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                        Err(e) => {
+                            result = Err(Error::invalid(format!("serve accept: {e}")));
+                            break 'accept;
+                        }
+                    }
+                }
+                if !accepted {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            // Drain: no new admissions; every idle connection notices
+            // within one IDLE_POLL tick and gets a `bye`; in-flight
+            // queries complete and deliver their result before their
+            // handler exits (and the scope joins it).
+            shared.draining.store(true, Ordering::Relaxed);
+            result
+        });
+        accept_result?;
+        Ok(ServeReport {
+            served: shared.metrics.served.load(Ordering::Relaxed),
+            failed: shared.metrics.failed.load(Ordering::Relaxed),
+            rejected: shared.metrics.rejected_total(),
+        })
+    }
+}
+
+fn msg(kind: &str) -> Json {
+    let mut m = Json::obj();
+    m.set("type", Json::from(kind));
+    m
+}
+
+fn msg_type(m: &Json) -> Result<&str> {
+    m.get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| Error::invalid("frame missing type"))
+}
+
+/// Validate a framed client's `hello` and send `welcome`/`reject`. Auth
+/// runs before anything else (same rules as the coordinator, token never
+/// echoed); a `config` fingerprint is optional for clients but checked
+/// when present.
+fn frame_handshake(stream: &mut TcpStream, shared: &Shared) -> Result<()> {
+    let hello = read_frame_opt(stream)?.ok_or_else(|| Error::invalid("closed before hello"))?;
+    let reject = |stream: &mut TcpStream, reason: String| -> Result<()> {
+        let mut m = msg("reject");
+        m.set("reason", Json::from(reason.as_str()));
+        let _ = write_frame(stream, &m);
+        Err(Error::invalid(reason))
+    };
+    if msg_type(&hello)? != "hello" {
+        return reject(stream, "expected hello".to_string());
+    }
+    match hello.get("protocol").and_then(Json::as_str) {
+        Some(crate::coord::PROTOCOL) => {}
+        other => {
+            return reject(
+                stream,
+                format!(
+                    "protocol mismatch: client speaks {other:?}, want {:?}",
+                    crate::coord::PROTOCOL
+                ),
+            )
+        }
+    }
+    let presented = hello.get("token").and_then(Json::as_str);
+    if presented != shared.options.auth_token.as_deref() {
+        let reason = if shared.options.auth_token.is_some() {
+            "auth token mismatch; connect with the server's --auth-token"
+        } else {
+            "auth token mismatch: this server has no --auth-token configured"
+        };
+        return reject(stream, reason.to_string());
+    }
+    match hello.get("role").and_then(Json::as_str) {
+        None | Some("client") | Some("status") => {}
+        Some(other) => return reject(stream, format!("unknown hello role {other:?}")),
+    }
+    if let Some(have) = hello.get("config").and_then(Json::as_str) {
+        if have != shared.fingerprint {
+            return reject(
+                stream,
+                format!(
+                    "config fingerprint mismatch ({have} vs {}); \
+                     connect with the server's flags or omit config",
+                    shared.fingerprint
+                ),
+            );
+        }
+    }
+    let mut welcome = msg("welcome");
+    welcome.set("service", Json::from("serve"));
+    welcome.set("fingerprint", Json::from(shared.fingerprint.as_str()));
+    write_frame(stream, &welcome)
+}
+
+/// One framed connection: handshake, then request/reply until the client
+/// leaves, errors, or the server drains.
+fn handle_frame_conn(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+    if frame_handshake(&mut stream, shared).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    loop {
+        // Poll for readability so a drain is noticed between requests;
+        // peek honors the read timeout without consuming bytes.
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // clean EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.draining() {
+                    let mut bye = msg("bye");
+                    bye.set("reason", Json::from("draining"));
+                    let _ = write_frame(&mut stream, &bye);
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let frame = match read_frame_opt(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return,
+        };
+        let reply = match dispatch_frame(&frame, shared) {
+            Ok(reply) => reply,
+            Err(e) => {
+                let mut reject = msg("reject");
+                reject.set("reason", Json::from(e.to_string().as_str()));
+                let _ = write_frame(&mut stream, &reject);
+                return;
+            }
+        };
+        let closing = matches!(msg_type(&reply), Ok("bye"));
+        if write_frame(&mut stream, &reply).is_err() || closing {
+            return;
+        }
+    }
+}
+
+/// Route one post-handshake frame to its reply. Admission rejections are
+/// `busy` replies (the connection stays open so the client can retry);
+/// protocol errors bubble up as `Err` and close the connection.
+fn dispatch_frame(frame: &Json, shared: &Shared) -> Result<Json> {
+    match msg_type(frame)? {
+        "query" => {
+            let key = shared.cell_from_request(frame)?;
+            match shared.execute(&key) {
+                Ok(reply) => Ok(reply),
+                Err(ServeError::Rejected(r)) => {
+                    let mut busy = msg("busy");
+                    busy.set("reason", Json::from(r.reason().as_str()));
+                    busy.set(
+                        "retry",
+                        Json::Bool(!matches!(r, Rejection::OverBudget { .. })),
+                    );
+                    Ok(busy)
+                }
+                Err(ServeError::Failed(e)) => {
+                    let mut failed = msg("failed");
+                    failed.set("cell", Json::from(key.id().as_str()));
+                    failed.set("error", Json::from(e.to_string().as_str()));
+                    Ok(failed)
+                }
+            }
+        }
+        "explain" => {
+            let engine = frame.get("engine").and_then(Json::as_str);
+            let query = match frame.get("query").and_then(Json::as_str) {
+                Some(name) => Some(
+                    Query::from_name(name)
+                        .ok_or_else(|| Error::invalid(format!("unknown query {name:?}")))?,
+                ),
+                None => None,
+            };
+            let size = match frame.get("size").and_then(Json::as_str) {
+                Some(slug) => SizeClass::from_slug(slug)
+                    .ok_or_else(|| Error::invalid(format!("unknown size {slug:?}")))?,
+                None => *shared
+                    .config()
+                    .sizes
+                    .first()
+                    .ok_or_else(|| Error::invalid("server has no configured sizes"))?,
+            };
+            let nodes = frame.get("nodes").and_then(Json::as_u64).unwrap_or(1) as usize;
+            let estimate = working_set_estimate(shared.config(), size);
+            let _reservation = shared
+                .admission
+                .admit(estimate, &|| shared.draining())
+                .map_err(|r| {
+                    shared.metrics.record_rejection(&r);
+                    Error::invalid(r.reason())
+                })?;
+            let harness = shared.scheduler.harness();
+            let mut reply = msg("result");
+            if matches!(frame.get("json"), Some(Json::Bool(true))) {
+                let text = figures::explain_json(harness, size, nodes, engine, query)?;
+                reply.set("explain_json", Json::from(text.as_str()));
+            } else {
+                let fig = figures::explain(harness, size, nodes, engine, query)?;
+                reply.set("explain", Json::from(fig.render().as_str()));
+            }
+            Ok(reply)
+        }
+        "status" => Ok(shared.status_json()),
+        "leave" => Ok(msg("bye")),
+        other => Err(Error::invalid(format!("unexpected frame type {other:?}"))),
+    }
+}
+
+/// One HTTP connection: a single request, a single response, close.
+fn handle_http_conn(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let request = match http::read_request(&mut reader) {
+        Ok(Some(request)) => request,
+        Ok(None) => return,
+        Err(e) => {
+            let _ = http::write_response(
+                &mut writer,
+                400,
+                "text/plain",
+                format!("bad request: {e}\n").as_bytes(),
+            );
+            return;
+        }
+    };
+    let (status, content_type, body) = route_http(&request, shared);
+    let _ = http::write_response(&mut writer, status, content_type, body.as_bytes());
+}
+
+/// Route one HTTP request to `(status, content-type, body)`.
+fn route_http(request: &http::HttpRequest, shared: &Shared) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/status") => (200, "application/json", shared.status_json().render()),
+        ("GET", "/metrics") => (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.metrics_text(),
+        ),
+        ("POST", "/query") => {
+            if let Some(token) = shared.options.auth_token.as_deref() {
+                let authorized = request.header("authorization")
+                    == Some(format!("Bearer {token}").as_str())
+                    || request.header("x-genbase-token") == Some(token);
+                if !authorized {
+                    return (
+                        401,
+                        "text/plain",
+                        "missing or wrong auth token\n".to_string(),
+                    );
+                }
+            }
+            let body = match std::str::from_utf8(&request.body) {
+                Ok(text) => text,
+                Err(_) => return (400, "text/plain", "body is not UTF-8\n".to_string()),
+            };
+            let req = match Json::parse(body) {
+                Ok(req) => req,
+                Err(e) => return (400, "text/plain", format!("bad request body: {e}\n")),
+            };
+            let key = match shared.cell_from_request(&req) {
+                Ok(key) => key,
+                Err(e) => return (400, "text/plain", format!("{e}\n")),
+            };
+            match shared.execute(&key) {
+                Ok(reply) => (200, "application/json", reply.render()),
+                Err(ServeError::Rejected(r)) => {
+                    let (_, status) = r.label_and_status();
+                    (status, "text/plain", format!("{}\n", r.reason()))
+                }
+                Err(ServeError::Failed(e)) => (500, "text/plain", format!("query failed: {e}\n")),
+            }
+        }
+        ("GET", "/query") => (405, "text/plain", "use POST /query\n".to_string()),
+        _ => (
+            404,
+            "text/plain",
+            "not found; endpoints: GET /status, GET /metrics, POST /query\n".to_string(),
+        ),
+    }
+}
+
+/// Connect to a server's framed listener, handshake, send one request
+/// frame and return the reply — the client side the `paper_harness query`
+/// subcommand and the integration tests share.
+pub fn client_request(
+    addr: impl ToSocketAddrs,
+    auth_token: Option<&str>,
+    request: &Json,
+) -> Result<Json> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| Error::invalid(format!("connect to server: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+    let mut hello = msg("hello");
+    hello.set("protocol", Json::from(crate::coord::PROTOCOL));
+    hello.set("role", Json::from("client"));
+    if let Some(token) = auth_token {
+        hello.set("token", Json::from(token));
+    }
+    write_frame(&mut stream, &hello)?;
+    let welcome = read_frame_opt(&mut stream)?
+        .ok_or_else(|| Error::invalid("server closed during handshake"))?;
+    match msg_type(&welcome)? {
+        "welcome" => {}
+        "reject" => {
+            let reason = welcome
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified");
+            return Err(Error::invalid(format!("server rejected us: {reason}")));
+        }
+        other => {
+            return Err(Error::invalid(format!(
+                "unexpected handshake reply {other:?}"
+            )))
+        }
+    }
+    write_frame(&mut stream, request)?;
+    read_frame_opt(&mut stream)?.ok_or_else(|| Error::invalid("server closed before reply"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_set_estimate_is_floored_at_tiny_scales() {
+        let mut config = HarnessConfig::quick().sim_only();
+        assert_eq!(
+            working_set_estimate(&config, SizeClass::Small),
+            MIN_ESTIMATE_BYTES,
+            "CI-scale datasets floor at the minimum estimate"
+        );
+        config.scale = 1.0;
+        assert!(working_set_estimate(&config, SizeClass::Large) > MIN_ESTIMATE_BYTES);
+    }
+
+    #[test]
+    fn admission_rejects_estimates_larger_than_the_whole_budget() {
+        let a = Admission::new(Some(100), 4);
+        match a.admit(101, &|| false) {
+            Err(Rejection::OverBudget { estimate, budget }) => {
+                assert_eq!((estimate, budget), (101, 100));
+            }
+            Err(other) => panic!("expected OverBudget, got {other:?}"),
+            Ok(_) => panic!("expected OverBudget, got an admission"),
+        }
+        assert_eq!(a.queued(), 0, "a hopeless request never queues");
+    }
+
+    #[test]
+    fn unlimited_budget_admits_everything_immediately() {
+        let a = Admission::new(None, 0);
+        let r = a.admit(u64::MAX / 2, &|| false).expect("unlimited admits");
+        assert_eq!(r.bytes(), u64::MAX / 2);
+    }
+
+    #[test]
+    fn admission_queues_until_memory_frees_and_bounds_the_queue() {
+        let a = Arc::new(Admission::new(Some(100), 1));
+        let held = a.admit(80, &|| false).expect("first request fits");
+        // A second request queues behind the exhausted budget...
+        let waiter = {
+            let a = Arc::clone(&a);
+            std::thread::spawn(move || a.admit(80, &|| false).map(|r| r.bytes()))
+        };
+        while a.queued() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // ...a third overflows the bounded queue and is turned away...
+        match a.admit(80, &|| false) {
+            Err(Rejection::QueueFull { depth }) => assert_eq!(depth, 1),
+            Err(other) => panic!("expected QueueFull, got {other:?}"),
+            Ok(_) => panic!("expected QueueFull, got an admission"),
+        }
+        // ...and dropping the held reservation admits the queued one.
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), Ok(80));
+        assert_eq!(a.queued(), 0);
+        // The waiter's reservation was RAII-released when it went out of
+        // scope, so the budget is whole again.
+        assert_eq!(a.tracker.current(), 0);
+    }
+
+    #[test]
+    fn queued_admissions_exit_when_the_server_drains() {
+        let a = Arc::new(Admission::new(Some(100), 2));
+        let _held = a.admit(100, &|| false).expect("fits exactly");
+        let draining = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let (a, draining) = (Arc::clone(&a), Arc::clone(&draining));
+            std::thread::spawn(move || a.admit(50, &|| draining.load(Ordering::Relaxed)))
+        };
+        while a.queued() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        draining.store(true, Ordering::Relaxed);
+        assert_eq!(waiter.join().unwrap().err(), Some(Rejection::Draining));
+        assert_eq!(a.queued(), 0);
+    }
+}

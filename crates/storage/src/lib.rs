@@ -42,4 +42,4 @@ pub use convert::{
     triples_from_dense,
 };
 pub use table::{Column, ColumnarTable, TableView};
-pub use tracker::{DenseHandle, MemDelta, MemTracker, OpScope};
+pub use tracker::{DenseHandle, MemDelta, MemTracker, OpScope, Reservation};

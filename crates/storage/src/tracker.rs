@@ -172,6 +172,28 @@ impl MemTracker {
         self.inner.limit
     }
 
+    /// Bytes still available under the limit (`u64::MAX` when unlimited).
+    /// Advisory: concurrent charges can race it — use [`MemTracker::reserve`]
+    /// to claim budget atomically.
+    pub fn remaining(&self) -> u64 {
+        if self.inner.limit == u64::MAX {
+            return u64::MAX;
+        }
+        self.inner.limit.saturating_sub(self.current())
+    }
+
+    /// Atomically claim `bytes` of the budget and hold the claim until the
+    /// returned [`Reservation`] drops. The admission controller reserves a
+    /// request's working-set estimate up front, so concurrent admissions
+    /// cannot collectively overshoot the budget.
+    pub fn reserve(&self, bytes: u64) -> Result<Reservation> {
+        self.charge(bytes)?;
+        Ok(Reservation {
+            bytes,
+            tracker: self.clone(),
+        })
+    }
+
     /// Open an operator scope: snapshot the cumulative counters and reset
     /// the per-op peak to the bytes currently live (so a later
     /// [`MemTracker::op_delta`] reports the peak *during* the op, carried
@@ -193,6 +215,27 @@ impl MemTracker {
             peak_alloc_bytes: self.inner.op_peak.load(Ordering::Relaxed),
             rows_materialized: self.inner.rows_out.load(Ordering::Relaxed) - scope.rows_out,
         }
+    }
+}
+
+/// An RAII claim on a slice of a tracker's budget, made with
+/// [`MemTracker::reserve`]; the bytes are released when it drops.
+#[derive(Debug)]
+pub struct Reservation {
+    bytes: u64,
+    tracker: MemTracker,
+}
+
+impl Reservation {
+    /// Bytes this reservation holds.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.tracker.release(self.bytes);
     }
 }
 
@@ -290,6 +333,20 @@ mod tests {
             assert_eq!(h.rows(), 4);
         }
         assert_eq!(t.current(), 0);
+    }
+
+    #[test]
+    fn reservation_is_raii_and_atomic() {
+        let t = MemTracker::new(Some(1000));
+        assert_eq!(t.remaining(), 1000);
+        let r = t.reserve(700).unwrap();
+        assert_eq!(r.bytes(), 700);
+        assert_eq!(t.remaining(), 300);
+        assert!(t.reserve(400).is_err(), "over-budget reserve fails");
+        drop(r);
+        assert_eq!(t.remaining(), 1000);
+        let _r2 = t.reserve(400).unwrap();
+        assert_eq!(MemTracker::unlimited().remaining(), u64::MAX);
     }
 
     #[test]

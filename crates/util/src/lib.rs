@@ -16,6 +16,7 @@ pub mod csv;
 pub mod error;
 pub mod faults;
 pub mod frame;
+pub mod http;
 pub mod json;
 pub mod progress;
 pub mod retry;
@@ -29,6 +30,7 @@ pub mod table;
 pub use budget::Budget;
 pub use error::{Error, Result};
 pub use frame::{encode_frame, read_frame, read_frame_opt, write_frame, MAX_FRAME_BYTES};
+pub use http::HttpRequest;
 pub use json::Json;
 pub use progress::{CellProgress, ProgressHandle};
 pub use rng::Pcg64;

@@ -32,15 +32,20 @@ impl Backoff {
     }
 
     /// The jittered delay for the given 0-based attempt number.
+    ///
+    /// Doubling saturates at `cap_ms` (a large `base_ms` must not wrap), and
+    /// the jittered result is floored at 1 ms so a tiny `base_ms` can never
+    /// produce a 0 ms hot-spin retry.
     pub fn delay(&mut self, attempt: u32) -> Duration {
-        let exp = self
-            .base_ms
-            .checked_shl(attempt.min(20))
-            .unwrap_or(self.cap_ms)
-            .min(self.cap_ms)
-            .max(1);
+        let mut exp = self.base_ms.min(self.cap_ms).max(1);
+        for _ in 0..attempt {
+            if exp >= self.cap_ms {
+                break;
+            }
+            exp = exp.checked_mul(2).unwrap_or(self.cap_ms).min(self.cap_ms);
+        }
         let ms = self.rng.range_f64((exp / 2) as f64, exp as f64);
-        Duration::from_millis(ms as u64)
+        Duration::from_millis((ms as u64).max(1))
     }
 }
 
@@ -71,6 +76,33 @@ mod tests {
                 d >= exp / 2 && d <= exp,
                 "attempt {attempt}: {d} not in [{}, {exp}]",
                 exp / 2
+            );
+        }
+    }
+
+    #[test]
+    fn huge_base_does_not_wrap() {
+        // base_ms near u64::MAX used to wrap under `<< attempt` and produce
+        // an absurd (or tiny) delay; it must clamp to cap_ms instead.
+        let mut b = Backoff::new(u64::MAX - 3, 5_000, 11);
+        for attempt in 0..8 {
+            let d = b.delay(attempt).as_millis() as u64;
+            assert!(
+                (2_500..=5_000).contains(&d),
+                "attempt {attempt}: {d} not in [2500, 5000]"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_base_never_hot_spins() {
+        // base_ms = 1 gives exp == 1 whose jitter range [0.5, 1.0] used to
+        // truncate to a 0 ms delay; the floor keeps every delay >= 1 ms.
+        let mut b = Backoff::new(1, 1, 3);
+        for attempt in 0..32 {
+            assert!(
+                b.delay(attempt) >= Duration::from_millis(1),
+                "attempt {attempt} hot-spun"
             );
         }
     }

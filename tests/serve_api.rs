@@ -1,0 +1,474 @@
+//! Resident benchmark server conformance: `paper_harness serve` answers
+//! concurrent framed and HTTP clients with outcomes byte-identical to the
+//! batch scheduler path under `--sim-only`, exposes Prometheus metrics,
+//! rejects over-budget work cleanly instead of OOMing, and drains on stop.
+
+use genbase::coord::PROTOCOL;
+use genbase::figures;
+use genbase::prelude::*;
+use genbase::sched::config_fingerprint;
+use genbase::serve::{
+    client_request, working_set_estimate, BenchServer, ServeOptions, ServeReport,
+};
+use genbase_datagen::SizeClass;
+use genbase_util::frame::{read_frame_opt, write_frame};
+use genbase_util::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sim_config() -> HarnessConfig {
+    HarnessConfig {
+        threads: 2,
+        ..HarnessConfig::quick()
+    }
+    .sim_only()
+}
+
+/// A server running on its own thread, stoppable via the external flag.
+struct Running {
+    frame: SocketAddr,
+    http: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<genbase_util::Result<ServeReport>>,
+}
+
+impl Running {
+    fn shutdown(self) -> ServeReport {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().unwrap().unwrap()
+    }
+}
+
+/// Bind on ephemeral ports and serve on a fresh thread. The server is built
+/// inside the thread because the scheduler's engine registry is `Sync` but
+/// not `Send`; the bound addresses come back over a channel.
+fn start_server(options: ServeOptions) -> Running {
+    let stop = Arc::new(AtomicBool::new(false));
+    let options = options.with_stop(Arc::clone(&stop));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let server =
+            BenchServer::bind("127.0.0.1:0", "127.0.0.1:0", sim_config(), options).unwrap();
+        tx.send((server.frame_addr().unwrap(), server.http_addr().unwrap()))
+            .unwrap();
+        server.serve()
+    });
+    let (frame, http) = rx
+        .recv_timeout(Duration::from_secs(120))
+        .expect("server failed to bind");
+    Running {
+        frame,
+        http,
+        stop,
+        handle,
+    }
+}
+
+/// One-shot HTTP exchange (the server is `Connection: close`); returns the
+/// status code and body.
+fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    headers: &[(&str, &str)],
+) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let extra: String = headers
+        .iter()
+        .map(|(n, v)| format!("{n}: {v}\r\n"))
+        .collect();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\n{extra}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("status code");
+    let body = raw.split_once("\r\n\r\n").expect("header break").1;
+    (status, body.to_string())
+}
+
+fn query_frame(engine: &str, query: &str) -> Json {
+    let mut req = Json::obj();
+    req.set("type", Json::from("query"));
+    req.set("engine", Json::from(engine));
+    req.set("query", Json::from(query));
+    req
+}
+
+#[test]
+fn concurrent_served_queries_are_byte_identical_to_the_batch_path() {
+    let cases = [
+        ("SciDB", "covariance"),
+        ("Vanilla R", "regression"),
+        ("Column store + UDFs", "statistics"),
+    ];
+    let server = start_server(ServeOptions::default());
+
+    // The batch side of the identity: the same cells through the plain
+    // scheduler, rendered with the same deterministic JSON.
+    let config = sim_config();
+    let threads = config.threads.max(1);
+    let scheduler = Scheduler::new(config).unwrap();
+    let expected: Vec<(CellKey, String)> = cases
+        .iter()
+        .map(|&(engine, query)| {
+            let key = CellKey {
+                figure: FigureId::Fig1,
+                query: Query::from_name(query).unwrap(),
+                size: SizeClass::Small,
+                nodes: 1,
+                engine: engine.to_string(),
+            };
+            let outcome = scheduler
+                .run_cell(&key, threads)
+                .unwrap()
+                .to_json()
+                .render();
+            (key, outcome)
+        })
+        .collect();
+
+    // Concurrent framed clients; one spells its engine in the wrong case
+    // to exercise canonicalization.
+    let frame = server.frame;
+    let handles: Vec<_> = expected
+        .iter()
+        .map(|(key, _)| {
+            let engine = if key.engine == "SciDB" {
+                "scidb".to_string()
+            } else {
+                key.engine.clone()
+            };
+            let query = key.query.name().to_string();
+            std::thread::spawn(move || client_request(frame, None, &query_frame(&engine, &query)))
+        })
+        .collect();
+    for (handle, (key, outcome)) in handles.into_iter().zip(&expected) {
+        let reply = handle.join().unwrap().unwrap();
+        assert_eq!(reply.get("type").and_then(Json::as_str), Some("result"));
+        assert_eq!(
+            reply.get("cell").and_then(Json::as_str),
+            Some(key.id().as_str()),
+            "served cell ids use the canonical engine spelling"
+        );
+        assert_eq!(
+            reply.get("outcome").expect("outcome").render(),
+            *outcome,
+            "served outcome for {} must be byte-identical to batch",
+            key.id()
+        );
+    }
+
+    // The HTTP front returns the very same bytes.
+    let (key, outcome) = &expected[0];
+    let body = format!(
+        "{{\"engine\": \"{}\", \"query\": \"{}\", \"size\": \"small\"}}",
+        key.engine,
+        key.query.name()
+    );
+    let (status, reply) = http_request(server.http, "POST", "/query", &body, &[]);
+    assert_eq!(status, 200, "{reply}");
+    let reply = Json::parse(&reply).unwrap();
+    assert_eq!(reply.get("outcome").expect("outcome").render(), *outcome);
+
+    let report = server.shutdown();
+    assert_eq!(
+        report,
+        ServeReport {
+            served: cases.len() as u64 + 1,
+            failed: 0,
+            rejected: 0
+        }
+    );
+}
+
+#[test]
+fn explain_frames_match_the_direct_render() {
+    let server = start_server(ServeOptions::default());
+    let mut req = Json::obj();
+    req.set("type", Json::from("explain"));
+    req.set("engine", Json::from("SciDB"));
+    req.set("query", Json::from("covariance"));
+    req.set("json", Json::Bool(true));
+    let reply = client_request(server.frame, None, &req).unwrap();
+    assert_eq!(reply.get("type").and_then(Json::as_str), Some("result"));
+
+    let harness = Harness::new(sim_config()).unwrap();
+    let expected = figures::explain_json(
+        &harness,
+        SizeClass::Small,
+        1,
+        Some("SciDB"),
+        Some(Query::from_name("covariance").unwrap()),
+    )
+    .unwrap();
+    assert_eq!(
+        reply.get("explain_json").and_then(Json::as_str),
+        Some(expected.as_str())
+    );
+    server.shutdown();
+}
+
+#[test]
+fn http_status_metrics_and_error_paths() {
+    let server = start_server(ServeOptions::default().with_queue_depth(16));
+
+    let (status, body) = http_request(server.http, "GET", "/status", "", &[]);
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("service").and_then(Json::as_str), Some("serve"));
+    assert_eq!(doc.get("state").and_then(Json::as_str), Some("serving"));
+    assert_eq!(
+        doc.get("fingerprint").and_then(Json::as_str),
+        Some(config_fingerprint(&sim_config()).as_str())
+    );
+    assert_eq!(doc.get("plans").and_then(Json::as_u64), Some(5));
+    assert_eq!(doc.get("queue_depth").and_then(Json::as_u64), Some(16));
+
+    // One served query populates every counter family.
+    let (status, reply) = http_request(
+        server.http,
+        "POST",
+        "/query",
+        r#"{"engine": "SciDB", "query": "covariance"}"#,
+        &[],
+    );
+    assert_eq!(status, 200, "{reply}");
+    let (status, metrics) = http_request(server.http, "GET", "/metrics", "", &[]);
+    assert_eq!(status, 200);
+    assert!(metrics.contains("genbase_queries_total{engine=\"SciDB\"} 1"));
+    assert!(metrics.contains("genbase_served_total 1"));
+    assert!(metrics.contains("genbase_query_failures_total 0"));
+    assert!(metrics.contains("genbase_phase_sim_nanos_total{phase=\"dm\"}"));
+    assert!(metrics.contains("genbase_phase_sim_nanos_total{phase=\"analytics\"}"));
+    assert!(metrics.contains("genbase_rejected_total{reason=\"over_budget\"} 0"));
+    assert!(metrics.contains("genbase_rejected_total{reason=\"queue_full\"} 0"));
+    assert!(metrics.contains("genbase_queue_depth 0"));
+    assert!(metrics.contains("genbase_mem_reserved_bytes 0"));
+    let moved: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("genbase_bytes_moved_total "))
+        .expect("bytes-moved counter")
+        .parse()
+        .unwrap();
+    assert!(moved > 0, "a completed query must move storage-layer bytes");
+
+    // Error paths answer with named statuses, never a closed socket.
+    assert_eq!(http_request(server.http, "GET", "/nope", "", &[]).0, 404);
+    assert_eq!(http_request(server.http, "GET", "/query", "", &[]).0, 405);
+    assert_eq!(
+        http_request(server.http, "POST", "/query", "not json", &[]).0,
+        400
+    );
+    assert_eq!(
+        http_request(server.http, "POST", "/query", r#"{"engine": "SciDB"}"#, &[]).0,
+        400
+    );
+    assert_eq!(
+        http_request(
+            server.http,
+            "POST",
+            "/query",
+            r#"{"engine": "NoDB", "query": "covariance"}"#,
+            &[]
+        )
+        .0,
+        400
+    );
+    server.shutdown();
+}
+
+#[test]
+fn over_budget_requests_get_clean_rejections_not_ooms() {
+    let estimate = working_set_estimate(&sim_config(), SizeClass::Small);
+    let server = start_server(
+        ServeOptions::default()
+            .with_mem_budget(estimate - 1)
+            .with_queue_depth(4),
+    );
+
+    // Framed: a `busy` frame with retry=false — this estimate can never fit.
+    let reply = client_request(server.frame, None, &query_frame("SciDB", "covariance")).unwrap();
+    assert_eq!(reply.get("type").and_then(Json::as_str), Some("busy"));
+    assert!(
+        matches!(reply.get("retry"), Some(Json::Bool(false))),
+        "an estimate over the whole budget is not retryable"
+    );
+    assert!(reply
+        .get("reason")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("memory budget"));
+
+    // HTTP: a clean 429 with the same reason.
+    let (status, body) = http_request(
+        server.http,
+        "POST",
+        "/query",
+        r#"{"engine": "SciDB", "query": "covariance"}"#,
+        &[],
+    );
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("memory budget"));
+
+    let (_, metrics) = http_request(server.http, "GET", "/metrics", "", &[]);
+    assert!(metrics.contains("genbase_rejected_total{reason=\"over_budget\"} 2"));
+    assert!(metrics.contains(&format!("genbase_mem_budget_bytes {}", estimate - 1)));
+
+    let report = server.shutdown();
+    assert_eq!(
+        report,
+        ServeReport {
+            served: 0,
+            failed: 0,
+            rejected: 2
+        }
+    );
+}
+
+#[test]
+fn a_budget_for_one_admits_contending_clients_in_turn() {
+    let estimate = working_set_estimate(&sim_config(), SizeClass::Small);
+    let server = start_server(
+        ServeOptions::default()
+            .with_mem_budget(estimate)
+            .with_queue_depth(8),
+    );
+
+    // Four clients contend for a budget that fits exactly one working set:
+    // whoever collides queues, is admitted when the reservation frees, and
+    // everyone gets a real answer.
+    let frame = server.frame;
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                client_request(frame, None, &query_frame("SciDB", "covariance"))
+            })
+        })
+        .collect();
+    for handle in handles {
+        let reply = handle.join().unwrap().unwrap();
+        assert_eq!(
+            reply.get("type").and_then(Json::as_str),
+            Some("result"),
+            "{}",
+            reply.render()
+        );
+    }
+
+    let (_, body) = http_request(server.http, "GET", "/status", "", &[]);
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("mem_reserved").and_then(Json::as_u64),
+        Some(0),
+        "all reservations released after the runs"
+    );
+    let report = server.shutdown();
+    assert_eq!(report.served, 4);
+    assert_eq!((report.failed, report.rejected), (0, 0));
+}
+
+#[test]
+fn auth_token_gates_query_submission() {
+    let server = start_server(ServeOptions::default().with_auth_token("sesame"));
+
+    // Framed: no token → rejected at the handshake, token never echoed.
+    let err = client_request(server.frame, None, &query_frame("SciDB", "covariance")).unwrap_err();
+    assert!(err.to_string().contains("auth token"), "{err}");
+    assert!(!err.to_string().contains("sesame"));
+    let mut status_req = Json::obj();
+    status_req.set("type", Json::from("status"));
+    let reply = client_request(server.frame, Some("sesame"), &status_req).unwrap();
+    assert_eq!(reply.get("type").and_then(Json::as_str), Some("status"));
+    assert!(!reply.render().contains("sesame"));
+
+    // HTTP: /query needs the bearer token; observability stays open.
+    let body = r#"{"engine": "SciDB", "query": "covariance"}"#;
+    assert_eq!(
+        http_request(server.http, "POST", "/query", body, &[]).0,
+        401
+    );
+    assert_eq!(
+        http_request(
+            server.http,
+            "POST",
+            "/query",
+            body,
+            &[("Authorization", "Bearer wrong")]
+        )
+        .0,
+        401
+    );
+    assert_eq!(
+        http_request(
+            server.http,
+            "POST",
+            "/query",
+            body,
+            &[("Authorization", "Bearer sesame")]
+        )
+        .0,
+        200
+    );
+    assert_eq!(http_request(server.http, "GET", "/status", "", &[]).0, 200);
+    assert_eq!(http_request(server.http, "GET", "/metrics", "", &[]).0, 200);
+    server.shutdown();
+}
+
+#[test]
+fn drain_says_bye_to_idle_connections_and_reports_final_tallies() {
+    let server = start_server(ServeOptions::default());
+
+    // One answered query so the final report has something to count.
+    let reply = client_request(server.frame, None, &query_frame("SciDB", "covariance")).unwrap();
+    assert_eq!(reply.get("type").and_then(Json::as_str), Some("result"));
+
+    // An idle framed connection sits in the server's poll loop...
+    let mut idle = TcpStream::connect(server.frame).unwrap();
+    let mut hello = Json::obj();
+    hello.set("type", Json::from("hello"));
+    hello.set("protocol", Json::from(PROTOCOL));
+    hello.set("role", Json::from("client"));
+    write_frame(&mut idle, &hello).unwrap();
+    let welcome = read_frame_opt(&mut idle).unwrap().unwrap();
+    assert_eq!(welcome.get("type").and_then(Json::as_str), Some("welcome"));
+    assert_eq!(
+        welcome.get("fingerprint").and_then(Json::as_str),
+        Some(config_fingerprint(&sim_config()).as_str())
+    );
+
+    // ...and is told goodbye when the server drains.
+    server.stop.store(true, Ordering::Relaxed);
+    idle.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let bye = read_frame_opt(&mut idle)
+        .unwrap()
+        .expect("bye before close");
+    assert_eq!(bye.get("type").and_then(Json::as_str), Some("bye"));
+    assert_eq!(bye.get("reason").and_then(Json::as_str), Some("draining"));
+
+    let report = server.handle.join().unwrap().unwrap();
+    assert_eq!(
+        report,
+        ServeReport {
+            served: 1,
+            failed: 0,
+            rejected: 0
+        }
+    );
+}
