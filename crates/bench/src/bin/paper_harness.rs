@@ -30,6 +30,17 @@
 //!               [--mem-budget BYTES]  per-cell storage-layer working-set
 //!                                budget; exhaustion renders as an
 //!                                "infinite" cell, like a cutoff
+//!               [--stream]       morsel-driven streaming execution: SQL
+//!                                engines pull fixed-row batches through
+//!                                their plan pipeline instead of
+//!                                materializing intermediates (output is
+//!                                byte-identical; peak_alloc/batches/spill
+//!                                in the trace change); over-budget
+//!                                streaming cells spill to disk and
+//!                                complete instead of going infinite
+//!               [--batch-rows N] rows per streaming morsel (default 4096)
+//!               [--spill-dir P]  directory for streaming spill files
+//!                                (default: system temp)
 //!               [--auth-token T] coordinate/work: shared handshake token
 //!                                (falls back to GENBASE_COORD_TOKEN)
 //!               [--lease-timeout SECS]  coordinate: revoke and re-issue a
@@ -159,6 +170,9 @@ struct Args {
     rebalance_after_secs: u64,
     faults: Option<String>,
     mem_budget: Option<u64>,
+    stream: bool,
+    batch_rows: usize,
+    spill_dir: Option<String>,
     auth_token: Option<String>,
     json: bool,
     per_op: bool,
@@ -204,6 +218,9 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, UsageError> {
         rebalance_after_secs: 0,
         faults: None,
         mem_budget: None,
+        stream: false,
+        batch_rows: 0,
+        spill_dir: None,
         auth_token: std::env::var("GENBASE_COORD_TOKEN").ok(),
         json: false,
         per_op: false,
@@ -296,6 +313,9 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, UsageError> {
                 args.faults = Some(raw);
             }
             "--mem-budget" => args.mem_budget = Some(parsed!(&mut i, "--mem-budget", "bytes")),
+            "--stream" => args.stream = true,
+            "--batch-rows" => args.batch_rows = parsed!(&mut i, "--batch-rows", "rows"),
+            "--spill-dir" => args.spill_dir = Some(value(&mut i, "--spill-dir")?),
             "--auth-token" => args.auth_token = Some(value(&mut i, "--auth-token")?),
             "--json" => args.json = true,
             "--per-op" => args.per_op = true,
@@ -353,6 +373,14 @@ fn harness_config(args: &Args) -> HarnessConfig {
         config.timing = TimingMode::SimOnly;
     }
     config.mem_budget = args.mem_budget;
+    if args.stream || args.batch_rows > 0 || args.spill_dir.is_some() {
+        let mut stream = genbase::engine::StreamConfig::default();
+        if args.batch_rows > 0 {
+            stream.batch_rows = args.batch_rows;
+        }
+        stream.spill_dir = args.spill_dir.as_ref().map(std::path::PathBuf::from);
+        config.stream = Some(stream);
+    }
     config
 }
 
@@ -428,6 +456,7 @@ fn run(args: &Args) -> Result<()> {
     if args.what == "bench" {
         let mut entries = perf::run(args.bench_size, args.bench_iters)?;
         entries.extend(perf::sweep_wall_clock()?);
+        entries.extend(perf::streaming_memory()?);
         let json = perf::to_json(args.bench_size, &entries);
         std::fs::write(&args.bench_out, &json)
             .map_err(|e| Error::invalid(format!("write {}: {e}", args.bench_out)))?;
@@ -1043,6 +1072,89 @@ mod perf {
                 size: outcome.planned,
                 threads: jobs,
                 ns_per_iter: ns,
+                iters: 1,
+            });
+        }
+        Ok(entries)
+    }
+
+    /// Streaming-vs-materializing memory smoke: run the same SQL-bridge
+    /// cells both ways and record peak resident storage-layer bytes (the
+    /// `ns_per_iter` column holds bytes for these rows — the perf
+    /// trajectory tracks the memory dimension alongside wall time). Fails
+    /// the bench if a streaming cell's peak ever regresses above its
+    /// materializing counterpart: streaming exists to bound memory, so
+    /// that ordering is part of the baseline contract.
+    pub fn streaming_memory() -> genbase_util::Result<Vec<Entry>> {
+        use genbase::engine::StreamConfig;
+        use genbase::harness::{Harness, HarnessConfig};
+        use genbase::{Query, RunOutcome};
+        use genbase_datagen::SizeClass;
+
+        let config = |stream: Option<StreamConfig>| {
+            let mut c = HarnessConfig {
+                scale: 0.012,
+                sizes: vec![SizeClass::Small],
+                r_mem_bytes: u64::MAX,
+                ..Default::default()
+            }
+            .sim_only();
+            c.stream = stream;
+            c
+        };
+        let peak = |harness: &Harness, engine: &dyn genbase::Engine, query: Query| {
+            let record = harness.run_cell(engine, query, SizeClass::Small, 1)?;
+            match &record.outcome {
+                RunOutcome::Completed(report) => Ok(report.memory().peak_alloc_bytes),
+                other => Err(genbase_util::Error::invalid(format!(
+                    "bench cell {} {query:?} did not complete: {other:?}",
+                    engine.name()
+                ))),
+            }
+        };
+        let materializing = Harness::new(config(None))?;
+        let streaming = Harness::new(config(Some(StreamConfig {
+            batch_rows: 64,
+            spill_dir: None,
+        })))?;
+        let engines = genbase::engines::single_node_engines();
+        let mut entries = Vec::new();
+        for name in ["Postgres + R", "Column store + R", "Column store + UDFs"] {
+            let engine = engines
+                .iter()
+                .find(|e| e.name() == name)
+                .expect("bench engine registered");
+            let query = Query::Covariance;
+            let mat = peak(&materializing, engine.as_ref(), query)?;
+            let strm = peak(&streaming, engine.as_ref(), query)?;
+            eprintln!(
+                "bench: {name} covariance peak_alloc: materializing {}, streaming {}",
+                genbase_util::fmt_bytes(mat),
+                genbase_util::fmt_bytes(strm),
+            );
+            if strm > mat {
+                return Err(genbase_util::Error::invalid(format!(
+                    "streaming peak_alloc regression on {name} covariance: \
+                     {strm} bytes streaming vs {mat} bytes materializing"
+                )));
+            }
+            let op = match name {
+                "Postgres + R" => ("peak_bytes_postgres_r_mat", "peak_bytes_postgres_r_stream"),
+                "Column store + R" => ("peak_bytes_column_r_mat", "peak_bytes_column_r_stream"),
+                _ => ("peak_bytes_column_udf_mat", "peak_bytes_column_udf_stream"),
+            };
+            entries.push(Entry {
+                op: op.0,
+                size: 60,
+                threads: 1,
+                ns_per_iter: mat as f64,
+                iters: 1,
+            });
+            entries.push(Entry {
+                op: op.1,
+                size: 60,
+                threads: 1,
+                ns_per_iter: strm as f64,
                 iters: 1,
             });
         }

@@ -6,6 +6,28 @@ use genbase_cluster::NetModel;
 use genbase_datagen::Dataset;
 use genbase_util::{Budget, Result};
 
+/// Morsel-driven streaming configuration (`--stream`): engines whose
+/// lowerings support it pull fixed-row batches through their plan pipeline
+/// instead of materializing intermediates. Output is bit-identical to the
+/// materializing path at every batch size and thread count; only the trace's
+/// memory dimension (`peak_alloc`, `batches`, `spill_bytes`) changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Rows per morsel (`--batch-rows`).
+    pub batch_rows: usize,
+    /// Directory for spill files (`--spill-dir`); system temp when `None`.
+    pub spill_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            batch_rows: genbase_storage::DEFAULT_BATCH_ROWS,
+            spill_dir: None,
+        }
+    }
+}
+
 /// Execution context shared by all engines for one run.
 #[derive(Debug, Clone)]
 pub struct ExecContext {
@@ -33,6 +55,9 @@ pub struct ExecContext {
     /// "infinite" cell outcome, not an abort. Distinct from `r_mem_bytes`,
     /// which models the *simulated machine's* R heap.
     pub mem_budget: Option<u64>,
+    /// Morsel-driven streaming mode (`--stream`). `None` = materializing
+    /// lowerings everywhere. Engines without a streaming lowering ignore it.
+    pub stream: Option<StreamConfig>,
     /// Inter-node network model.
     pub net: NetModel,
     /// Deterministic-timing mode (the harness's `TimingMode::SimOnly`):
@@ -64,6 +89,7 @@ impl ExecContext {
             cutoff: None,
             r_mem_bytes: None,
             mem_budget: None,
+            stream: None,
             net: NetModel::gigabit(),
             deterministic: false,
             progress: None,

@@ -508,6 +508,8 @@ pub fn run_multinode(
         dm_mem.bytes_out = dm_mem.bytes_out.max(node.dm_mem.bytes_out);
         dm_mem.peak_alloc_bytes = dm_mem.peak_alloc_bytes.max(node.dm_mem.peak_alloc_bytes);
         dm_mem.rows_materialized = dm_mem.rows_materialized.max(node.dm_mem.rows_materialized);
+        dm_mem.batches = dm_mem.batches.max(node.dm_mem.batches);
+        dm_mem.spill_bytes = dm_mem.spill_bytes.max(node.dm_mem.spill_bytes);
         if node.output.is_some() {
             output = node.output;
         }

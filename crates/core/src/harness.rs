@@ -60,6 +60,9 @@ pub struct HarnessConfig {
     /// with its own tracker; the critical-path trace reports the per-node
     /// maximum).
     pub mem_budget: Option<u64>,
+    /// Morsel-driven streaming mode (`--stream` / `--batch-rows` /
+    /// `--spill-dir`). `None` = materializing lowerings everywhere.
+    pub stream: Option<crate::engine::StreamConfig>,
 }
 
 impl Default for HarnessConfig {
@@ -79,6 +82,7 @@ impl Default for HarnessConfig {
             node_counts: vec![1, 2, 4],
             timing: TimingMode::Measured,
             mem_budget: None,
+            stream: None,
         }
     }
 }
@@ -179,6 +183,7 @@ impl Harness {
         };
         ctx.r_mem_bytes = Some(self.config.r_mem_bytes);
         ctx.mem_budget = self.config.mem_budget;
+        ctx.stream = self.config.stream.clone();
         ctx.deterministic = self.config.timing == TimingMode::SimOnly;
         ctx
     }

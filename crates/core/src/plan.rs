@@ -234,6 +234,10 @@ pub struct OpCost {
     pub peak_alloc_bytes: u64,
     /// Rows the op materialized.
     pub rows_materialized: u64,
+    /// Morsel batches the op streamed (zero for materializing ops).
+    pub batches: u64,
+    /// Bytes the op spilled to disk to stay under `--mem-budget`.
+    pub spill_bytes: u64,
 }
 
 impl OpCost {
@@ -256,6 +260,8 @@ impl OpCost {
         self.bytes_out = mem.bytes_out;
         self.peak_alloc_bytes = mem.peak_alloc_bytes;
         self.rows_materialized = mem.rows_materialized;
+        self.batches = mem.batches;
+        self.spill_bytes = mem.spill_bytes;
         self
     }
 
@@ -301,6 +307,8 @@ impl OpTrace {
         obj.set("mem_out", Json::from(self.cost.bytes_out));
         obj.set("mem_peak", Json::from(self.cost.peak_alloc_bytes));
         obj.set("rows", Json::from(self.cost.rows_materialized));
+        obj.set("batches", Json::from(self.cost.batches));
+        obj.set("spill", Json::from(self.cost.spill_bytes));
         obj
     }
 
@@ -342,6 +350,8 @@ impl OpTrace {
                 bytes_out: mem("mem_out"),
                 peak_alloc_bytes: mem("mem_peak"),
                 rows_materialized: mem("rows"),
+                batches: mem("batches"),
+                spill_bytes: mem("spill"),
             },
         })
     }
@@ -405,6 +415,8 @@ impl PlanTrace {
             roll.bytes_out += op.cost.bytes_out;
             roll.peak_alloc_bytes = roll.peak_alloc_bytes.max(op.cost.peak_alloc_bytes);
             roll.rows_materialized += op.cost.rows_materialized;
+            roll.batches += op.cost.batches;
+            roll.spill_bytes += op.cost.spill_bytes;
         }
         roll
     }
@@ -423,6 +435,8 @@ impl PlanTrace {
             ("mem out", Align::Right),
             ("mem peak", Align::Right),
             ("rows", Align::Right),
+            ("batches", Align::Right),
+            ("spill", Align::Right),
         ]);
         for op in &self.ops {
             table.row(vec![
@@ -437,6 +451,8 @@ impl PlanTrace {
                 genbase_util::fmt_bytes(op.cost.bytes_out),
                 genbase_util::fmt_bytes(op.cost.peak_alloc_bytes),
                 op.cost.rows_materialized.to_string(),
+                op.cost.batches.to_string(),
+                genbase_util::fmt_bytes(op.cost.spill_bytes),
             ]);
         }
         table
@@ -455,6 +471,10 @@ pub struct MemRollup {
     pub peak_alloc_bytes: u64,
     /// Total rows materialized across all ops.
     pub rows_materialized: u64,
+    /// Total morsel batches streamed across all ops.
+    pub batches: u64,
+    /// Total bytes spilled to disk across all ops.
+    pub spill_bytes: u64,
 }
 
 /// Records physical operators as a backend lowers and executes the plan.

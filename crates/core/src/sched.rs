@@ -342,8 +342,16 @@ pub fn config_fingerprint(config: &HarnessConfig) -> String {
         Some(bytes) => format!(";membudget={bytes}"),
         None => String::new(),
     };
+    // Streaming mode changes the trace's memory dimension (batches, spill,
+    // peak), so cells from streaming and materializing runs must not merge.
+    // Only `batch_rows` is semantic; the spill directory is not. Same
+    // append-only-when-set pattern as `membudget` for file compatibility.
+    let stream = match &config.stream {
+        Some(s) => format!(";stream=batch{}", s.batch_rows),
+        None => String::new(),
+    };
     format!(
-        "scale={};seed={};timing={:?};rmem={};cutoff={cutoff};simthreads={}{mem_budget}",
+        "scale={};seed={};timing={:?};rmem={};cutoff={cutoff};simthreads={}{mem_budget}{stream}",
         config.scale,
         config.seed,
         config.timing,

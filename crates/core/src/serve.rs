@@ -256,6 +256,8 @@ struct Metrics {
     an_sim_nanos: AtomicU64,
     bytes_moved: AtomicU64,
     peak_alloc: AtomicU64,
+    stream_batches: AtomicU64,
+    spill_bytes: AtomicU64,
     rejected_over_budget: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_draining: AtomicU64,
@@ -284,6 +286,10 @@ impl Metrics {
                     .fetch_add(op.cost.bytes_moved(), Ordering::Relaxed);
                 self.peak_alloc
                     .fetch_max(op.cost.peak_alloc_bytes, Ordering::Relaxed);
+                self.stream_batches
+                    .fetch_add(op.cost.batches, Ordering::Relaxed);
+                self.spill_bytes
+                    .fetch_add(op.cost.spill_bytes, Ordering::Relaxed);
             }
         }
     }
@@ -545,6 +551,18 @@ impl Shared {
             "genbase_peak_alloc_bytes",
             "Largest per-operator peak allocation observed.",
             m.peak_alloc.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "genbase_stream_batches_total",
+            "Morsel batches streamed across served queries (zero unless serving with --stream).",
+            m.stream_batches.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "genbase_spill_bytes_total",
+            "Bytes spilled to disk by streaming reels across served queries.",
+            m.spill_bytes.load(Ordering::Relaxed),
         );
         out.push_str(
             "# HELP genbase_rejected_total Requests turned away by admission control.\n\

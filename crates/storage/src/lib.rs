@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod convert;
+pub mod stream;
 pub mod table;
 pub mod tracker;
 
@@ -41,5 +42,6 @@ pub use convert::{
     gather_chunked, pivot_csv_tracked, pivot_dense, select_cols_tracked, select_rows_tracked,
     triples_from_dense,
 };
+pub use stream::{batch_ranges, carve_view, reassemble, BatchReel, Morsel, DEFAULT_BATCH_ROWS};
 pub use table::{Column, ColumnarTable, TableView};
 pub use tracker::{DenseHandle, MemDelta, MemTracker, OpScope, Reservation};

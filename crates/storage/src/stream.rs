@@ -1,0 +1,536 @@
+//! Morsel-driven streaming: fixed-row column batches and the spill reel.
+//!
+//! A [`Morsel`] is an owned, fixed-row batch of [`Column`]s carved out of a
+//! [`TableView`], charged against the [`MemTracker`] for exactly its heap
+//! bytes while it is resident. Streaming operators pull morsels from their
+//! upstream instead of materializing whole intermediate tables, so the peak
+//! working set of a pipeline is the sum of a bounded batch window plus its
+//! sinks — not the full table between every operator.
+//!
+//! A [`BatchReel`] is the streaming base-table representation: morsels
+//! pushed in a fixed order, kept resident up to a deterministic byte cap
+//! and spilled to disk past it (raw little-endian column images, one
+//! contiguous record per batch, in the reel's own temp file). Replay yields
+//! batches in exactly push order regardless of how many were spilled or how
+//! many threads consume them, which is what keeps streaming results
+//! bit-identical to the materializing path: every downstream kernel sees
+//! rows in the same order the materialized table would have stored them.
+//!
+//! Determinism contract (pinned by `tests/streaming_exec.rs`):
+//! - replay order == push order, at every batch size and thread count;
+//! - tracker charges happen only at serial points (push, window load),
+//!   with a fixed-size replay window, so `peak_alloc` / `batches` /
+//!   `spill_bytes` are pure functions of (data, batch_rows, budget) and
+//!   never of the thread count.
+
+use crate::table::{Column, ColumnarTable, TableView};
+use crate::tracker::MemTracker;
+use genbase_relational::{DataType, Schema};
+use genbase_util::{runtime, Error, Result};
+use std::fs::File;
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default rows per morsel when a streaming run does not set `--batch-rows`.
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
+/// Morsels loaded per replay window. Fixed (not thread-derived) so the
+/// transient charge for spilled batches — and therefore `peak_alloc` — is
+/// identical at every thread count.
+const REPLAY_WINDOW: usize = 8;
+
+/// One owned, tracker-charged batch of column data.
+#[derive(Debug)]
+pub struct Morsel {
+    cols: Vec<Column>,
+    n_rows: usize,
+    tracker: MemTracker,
+}
+
+impl Morsel {
+    /// Build a morsel from owned columns, charging the tracker.
+    pub fn from_columns(tracker: &MemTracker, cols: Vec<Column>) -> Result<Morsel> {
+        let n_rows = cols.first().map(Column::len).unwrap_or(0);
+        for (i, c) in cols.iter().enumerate() {
+            if c.len() != n_rows {
+                return Err(Error::invalid(format!("morsel column {i} ragged")));
+            }
+        }
+        let bytes: u64 = cols.iter().map(Column::heap_bytes).sum();
+        tracker.charge(bytes)?;
+        Ok(Morsel {
+            cols,
+            n_rows,
+            tracker: tracker.clone(),
+        })
+    }
+
+    /// Carve the `start..end` row range of a view into an owned morsel.
+    pub fn carve(
+        tracker: &MemTracker,
+        view: &TableView<'_>,
+        start: usize,
+        end: usize,
+    ) -> Result<Morsel> {
+        if start > end || end > view.n_rows() {
+            return Err(Error::invalid(format!(
+                "morsel {start}..{end} out of range (rows = {})",
+                view.n_rows()
+            )));
+        }
+        let sub = view.subview(start, end)?;
+        let cols: Vec<Column> = (0..view.schema().arity())
+            .map(|i| sub.column_copy(i))
+            .collect();
+        Morsel::from_columns(tracker, cols)
+    }
+
+    /// Rows in the batch.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Heap bytes of the batch's column storage.
+    pub fn heap_bytes(&self) -> u64 {
+        self.cols.iter().map(Column::heap_bytes).sum()
+    }
+
+    /// Borrow an integer column.
+    pub fn int_col(&self, i: usize) -> Result<&[i64]> {
+        match &self.cols[i] {
+            Column::Ints(v) => Ok(v),
+            Column::Floats(_) => Err(Error::invalid(format!("morsel column {i} is Float"))),
+        }
+    }
+
+    /// Borrow a float column.
+    pub fn float_col(&self, i: usize) -> Result<&[f64]> {
+        match &self.cols[i] {
+            Column::Floats(v) => Ok(v),
+            Column::Ints(_) => Err(Error::invalid(format!("morsel column {i} is Int"))),
+        }
+    }
+}
+
+impl Drop for Morsel {
+    fn drop(&mut self) {
+        self.tracker.release(self.heap_bytes());
+    }
+}
+
+/// The `(start, end)` row ranges that carve `n_rows` into `batch_rows`-row
+/// morsels (the final range is ragged when `batch_rows` does not divide).
+pub fn batch_ranges(n_rows: usize, batch_rows: usize) -> Vec<(usize, usize)> {
+    let step = batch_rows.max(1);
+    let mut out = Vec::with_capacity(n_rows.div_ceil(step).max(1));
+    let mut start = 0;
+    while start < n_rows {
+        let end = (start + step).min(n_rows);
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// Carve a whole view into morsels of `batch_rows` rows each.
+pub fn carve_view(
+    tracker: &MemTracker,
+    view: &TableView<'_>,
+    batch_rows: usize,
+) -> Result<Vec<Morsel>> {
+    batch_ranges(view.n_rows(), batch_rows)
+        .into_iter()
+        .map(|(s, e)| Morsel::carve(tracker, view, s, e))
+        .collect()
+}
+
+/// Reassemble morsels into a [`ColumnarTable`], transferring their tracker
+/// charges instead of re-registering the bytes (see
+/// [`ColumnarTable::adopt_charged_columns`] for the double-charge this
+/// boundary used to hit). Peak while reassembling is the table plus one
+/// in-flight batch, never 2x.
+pub fn reassemble(
+    tracker: &MemTracker,
+    schema: Schema,
+    morsels: Vec<Morsel>,
+) -> Result<ColumnarTable> {
+    let arity = schema.arity();
+    let mut acc: Vec<Column> = (0..arity)
+        .map(|i| match schema.col_type(i) {
+            DataType::Int => Column::Ints(Vec::new()),
+            DataType::Float => Column::Floats(Vec::new()),
+        })
+        .collect();
+    for m in morsels {
+        if m.cols.len() != arity {
+            return Err(Error::invalid("morsel arity does not match schema"));
+        }
+        // Charge the appended copy, then drop the morsel (releasing its
+        // charge): the accumulated buffers stay exactly-once accounted.
+        tracker.charge(m.heap_bytes())?;
+        for (i, c) in m.cols.iter().enumerate() {
+            acc[i].append(c)?;
+        }
+    }
+    ColumnarTable::adopt_charged_columns(tracker, schema, acc)
+}
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Where a pushed batch lives.
+enum Slot {
+    Resident(Morsel),
+    Spilled { offset: u64, n_rows: usize },
+}
+
+/// A streaming base table: batches in push order, resident up to a byte
+/// cap, spilled to disk past it.
+pub struct BatchReel {
+    tracker: MemTracker,
+    schema: Schema,
+    slots: Vec<Slot>,
+    resident_bytes: u64,
+    resident_cap: u64,
+    spill_dir: Option<PathBuf>,
+    spill_path: Option<PathBuf>,
+    writer: Option<File>,
+    spill_offset: u64,
+    total_rows: usize,
+}
+
+impl BatchReel {
+    /// New reel. Batches stay resident while their summed bytes fit
+    /// `resident_cap`; later batches spill to a temp file under
+    /// `spill_dir` (or the system temp directory).
+    pub fn new(
+        tracker: &MemTracker,
+        schema: Schema,
+        resident_cap: u64,
+        spill_dir: Option<&Path>,
+    ) -> BatchReel {
+        BatchReel {
+            tracker: tracker.clone(),
+            schema,
+            slots: Vec::new(),
+            resident_bytes: 0,
+            resident_cap,
+            spill_dir: spill_dir.map(Path::to_path_buf),
+            spill_path: None,
+            writer: None,
+            spill_offset: 0,
+            total_rows: 0,
+        }
+    }
+
+    /// The reel's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total rows pushed.
+    pub fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Batches pushed.
+    pub fn n_batches(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Bytes currently resident (charged against the tracker).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Cumulative bytes written to the spill file.
+    pub fn spill_bytes(&self) -> u64 {
+        self.spill_offset
+    }
+
+    /// Logical bytes of the whole reel, resident and spilled.
+    pub fn span_bytes(&self) -> u64 {
+        (self.total_rows * self.schema.arity() * 8) as u64
+    }
+
+    /// Push the next batch. Deterministic policy: a batch stays resident
+    /// iff it fits under the cap at push time, so the resident/spilled
+    /// split depends only on the data and the cap.
+    pub fn push(&mut self, morsel: Morsel) -> Result<()> {
+        if morsel.cols.len() != self.schema.arity() {
+            return Err(Error::invalid("batch arity does not match reel schema"));
+        }
+        self.total_rows += morsel.n_rows();
+        self.tracker.note_batch();
+        let bytes = morsel.heap_bytes();
+        if self.resident_bytes + bytes <= self.resident_cap {
+            self.resident_bytes += bytes;
+            self.slots.push(Slot::Resident(morsel));
+            return Ok(());
+        }
+        let offset = self.write_spilled(&morsel)?;
+        self.tracker.note_spill(bytes);
+        self.slots.push(Slot::Spilled {
+            offset,
+            n_rows: morsel.n_rows(),
+        });
+        Ok(())
+    }
+
+    fn write_spilled(&mut self, morsel: &Morsel) -> Result<u64> {
+        if self.writer.is_none() {
+            let dir = self.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+            let name = format!(
+                "genbase-spill-{}-{}.bin",
+                std::process::id(),
+                SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+            );
+            let path = dir.join(name);
+            let file = File::create(&path)
+                .map_err(|e| Error::invalid(format!("spill create {}: {e}", path.display())))?;
+            self.spill_path = Some(path);
+            self.writer = Some(file);
+        }
+        let offset = self.spill_offset;
+        let writer = self.writer.as_mut().expect("spill writer open");
+        for col in &morsel.cols {
+            let bytes: Vec<u8> = match col {
+                Column::Ints(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+                Column::Floats(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            };
+            writer
+                .write_all(&bytes)
+                .map_err(|e| Error::invalid(format!("spill write: {e}")))?;
+            self.spill_offset += bytes.len() as u64;
+        }
+        Ok(offset)
+    }
+
+    fn read_spilled(&self, file: &mut File, offset: u64, n_rows: usize) -> Result<Morsel> {
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| Error::invalid(format!("spill seek: {e}")))?;
+        let mut cols = Vec::with_capacity(self.schema.arity());
+        let mut buf = vec![0u8; n_rows * 8];
+        for i in 0..self.schema.arity() {
+            file.read_exact(&mut buf)
+                .map_err(|e| Error::invalid(format!("spill read: {e}")))?;
+            let col = match self.schema.col_type(i) {
+                DataType::Int => Column::Ints(
+                    buf.chunks_exact(8)
+                        .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                        .collect(),
+                ),
+                DataType::Float => Column::Floats(
+                    buf.chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                        .collect(),
+                ),
+            };
+            cols.push(col);
+        }
+        Morsel::from_columns(&self.tracker, cols)
+    }
+
+    /// Replay every batch in push order, applying `f` serially.
+    pub fn replay(&self, mut f: impl FnMut(&Morsel) -> Result<()>) -> Result<()> {
+        let mut reader = self.open_reader()?;
+        for slot in &self.slots {
+            match slot {
+                Slot::Resident(m) => f(m)?,
+                Slot::Spilled { offset, n_rows } => {
+                    let reader = reader.as_mut().ok_or_else(|| {
+                        Error::invalid("reel has spilled batches but no spill file")
+                    })?;
+                    let m = self.read_spilled(reader, *offset, *n_rows)?;
+                    f(&m)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Map `f` over every batch in push order and collect the results in
+    /// that order. Batches are processed in fixed-size windows: each
+    /// window's spilled batches are loaded at a serial point (bounding the
+    /// transient charge independently of `threads`), then `f` runs over the
+    /// window on the shared runtime pool. `f` must not touch the tracker —
+    /// morsel-task results are combined by the caller at serial points.
+    pub fn map_batches<T: Send>(
+        &self,
+        threads: usize,
+        f: impl Fn(&Morsel) -> T + Sync,
+    ) -> Result<Vec<T>> {
+        let mut reader = self.open_reader()?;
+        let mut out: Vec<T> = Vec::with_capacity(self.slots.len());
+        for window in self.slots.chunks(REPLAY_WINDOW) {
+            // Serial point: materialize the window's spilled batches.
+            let mut loaded: Vec<Option<Morsel>> = Vec::with_capacity(window.len());
+            for slot in window {
+                match slot {
+                    Slot::Resident(_) => loaded.push(None),
+                    Slot::Spilled { offset, n_rows } => {
+                        let reader = reader.as_mut().ok_or_else(|| {
+                            Error::invalid("reel has spilled batches but no spill file")
+                        })?;
+                        loaded.push(Some(self.read_spilled(reader, *offset, *n_rows)?));
+                    }
+                }
+            }
+            let batch_of = |i: usize| -> &Morsel {
+                match (&window[i], &loaded[i]) {
+                    (Slot::Resident(m), _) => m,
+                    (_, Some(m)) => m,
+                    _ => unreachable!("spilled slot loaded above"),
+                }
+            };
+            out.extend(runtime::parallel_map(threads, window.len(), |i| {
+                f(batch_of(i))
+            }));
+        }
+        Ok(out)
+    }
+
+    fn open_reader(&self) -> Result<Option<File>> {
+        match &self.spill_path {
+            None => Ok(None),
+            Some(p) => File::open(p)
+                .map(Some)
+                .map_err(|e| Error::invalid(format!("spill open {}: {e}", p.display()))),
+        }
+    }
+}
+
+impl Drop for BatchReel {
+    fn drop(&mut self) {
+        self.writer = None;
+        if let Some(p) = &self.spill_path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl std::fmt::Debug for BatchReel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchReel")
+            .field("batches", &self.slots.len())
+            .field("total_rows", &self.total_rows)
+            .field("resident_bytes", &self.resident_bytes)
+            .field("spill_bytes", &self.spill_offset)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ColumnarTable;
+
+    fn triple_schema() -> Schema {
+        Schema::new(&[
+            ("gene_id", DataType::Int),
+            ("patient_id", DataType::Int),
+            ("value", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    fn sample_table(tracker: &MemTracker, n: usize) -> ColumnarTable {
+        ColumnarTable::from_columns(
+            tracker,
+            triple_schema(),
+            vec![
+                Column::Ints((0..n as i64).collect()),
+                Column::Ints((0..n as i64).map(|i| i * 7 % 13).collect()),
+                Column::Floats((0..n).map(|i| i as f64 * 0.5 - 3.0).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ranges_cover_exactly_with_ragged_tail() {
+        assert_eq!(batch_ranges(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(batch_ranges(4, 4), vec![(0, 4)]);
+        assert_eq!(batch_ranges(3, 5), vec![(0, 3)]);
+        assert_eq!(batch_ranges(0, 5), Vec::<(usize, usize)>::new());
+        assert_eq!(batch_ranges(3, 0), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn carve_reassemble_round_trip_transfers_charges() {
+        let t = MemTracker::unlimited();
+        let table = sample_table(&t, 23);
+        let bytes = table.heap_bytes();
+        let morsels = carve_view(&t, &table.view(), 7).unwrap();
+        assert_eq!(morsels.len(), 4);
+        assert_eq!(t.current(), 2 * bytes, "table + carved copies");
+        let rebuilt = reassemble(&t, triple_schema(), morsels).unwrap();
+        assert_eq!(rebuilt.n_rows(), 23);
+        assert_eq!(rebuilt.int_col(0).unwrap(), table.int_col(0).unwrap());
+        assert_eq!(rebuilt.float_col(2).unwrap(), table.float_col(2).unwrap());
+        assert_eq!(t.current(), 2 * bytes, "reassembly holds exactly one copy");
+        assert!(
+            t.peak() <= 2 * bytes + 7 * 3 * 8,
+            "peak bounded by one in-flight batch, not 2x ({})",
+            t.peak()
+        );
+        drop(rebuilt);
+        drop(table);
+        assert_eq!(t.current(), 0);
+    }
+
+    #[test]
+    fn reel_spills_past_cap_and_replays_in_push_order() {
+        let t = MemTracker::unlimited();
+        let table = sample_table(&t, 40);
+        // Cap fits two 5-row batches (5 rows x 3 cols x 8 B = 120 B each).
+        let mut reel = BatchReel::new(&t, triple_schema(), 240, None);
+        for (s, e) in batch_ranges(40, 5) {
+            reel.push(Morsel::carve(&t, &table.view(), s, e).unwrap())
+                .unwrap();
+        }
+        assert_eq!(reel.n_batches(), 8);
+        assert_eq!(reel.total_rows(), 40);
+        assert_eq!(reel.resident_bytes(), 240);
+        assert_eq!(reel.spill_bytes(), 6 * 120, "six batches spilled");
+        assert_eq!(t.spill_bytes(), 6 * 120);
+        assert_eq!(t.batches(), 8);
+        let mut ids = Vec::new();
+        reel.replay(|m| {
+            ids.extend_from_slice(m.int_col(0)?);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(ids, (0..40).collect::<Vec<i64>>());
+        // map_batches yields push-order results at every thread count.
+        for threads in [1usize, 3, 8] {
+            let sums = reel
+                .map_batches(threads, |m| {
+                    m.float_col(2).unwrap().iter().sum::<f64>().to_bits()
+                })
+                .unwrap();
+            assert_eq!(sums.len(), 8);
+            let serial =
+                reel.map_batches(1, |m| m.float_col(2).unwrap().iter().sum::<f64>().to_bits());
+            assert_eq!(sums, serial.unwrap());
+        }
+        let path = reel.spill_path.clone().unwrap();
+        assert!(path.exists());
+        drop(reel);
+        assert!(!path.exists(), "spill file removed on drop");
+    }
+
+    #[test]
+    fn unlimited_cap_never_spills() {
+        let t = MemTracker::unlimited();
+        let table = sample_table(&t, 16);
+        let mut reel = BatchReel::new(&t, triple_schema(), u64::MAX, None);
+        for (s, e) in batch_ranges(16, 6) {
+            reel.push(Morsel::carve(&t, &table.view(), s, e).unwrap())
+                .unwrap();
+        }
+        assert_eq!(reel.spill_bytes(), 0);
+        assert_eq!(t.spill_bytes(), 0);
+        assert_eq!(reel.resident_bytes(), 16 * 24);
+    }
+}

@@ -57,6 +57,24 @@ impl Column {
             Column::Floats(v) => Value::Float(v[i]),
         }
     }
+
+    /// Copy of the `start..end` range of this column.
+    pub fn slice_range(&self, start: usize, end: usize) -> Column {
+        match self {
+            Column::Ints(v) => Column::Ints(v[start..end].to_vec()),
+            Column::Floats(v) => Column::Floats(v[start..end].to_vec()),
+        }
+    }
+
+    /// Append another column's values; the types must match.
+    pub fn append(&mut self, other: &Column) -> Result<()> {
+        match (self, other) {
+            (Column::Ints(a), Column::Ints(b)) => a.extend_from_slice(b),
+            (Column::Floats(a), Column::Floats(b)) => a.extend_from_slice(b),
+            _ => return Err(Error::invalid("column type mismatch on append")),
+        }
+        Ok(())
+    }
 }
 
 impl From<ColumnData> for Column {
@@ -108,6 +126,41 @@ impl ColumnarTable {
         }
         let bytes: u64 = cols.iter().map(Column::heap_bytes).sum();
         tracker.charge(bytes)?;
+        Ok(ColumnarTable {
+            schema,
+            cols,
+            n_rows,
+            tracker: tracker.clone(),
+        })
+    }
+
+    /// Build from columns whose heap bytes are *already* charged against
+    /// `tracker` — the charge-transfer side of a conversion boundary.
+    ///
+    /// When a streaming operator reassembles tracker-charged morsels into a
+    /// table, routing the buffers through [`ColumnarTable::from_columns`]
+    /// would re-register bytes the tracker already counts, so the boundary
+    /// would briefly hold a 2x charge and inflate `peak_alloc` (and could
+    /// spuriously trip a `--mem-budget` that the real working set fits).
+    /// This constructor adopts the existing charge instead; the table still
+    /// releases it on drop.
+    pub fn adopt_charged_columns(
+        tracker: &MemTracker,
+        schema: Schema,
+        cols: Vec<Column>,
+    ) -> Result<ColumnarTable> {
+        if cols.len() != schema.arity() {
+            return Err(Error::invalid("column count does not match schema"));
+        }
+        let n_rows = cols.first().map(Column::len).unwrap_or(0);
+        for (i, c) in cols.iter().enumerate() {
+            if c.len() != n_rows {
+                return Err(Error::invalid(format!("column {i} has ragged length")));
+            }
+            if c.data_type() != schema.col_type(i) {
+                return Err(Error::invalid(format!("column {i} type mismatch")));
+            }
+        }
         Ok(ColumnarTable {
             schema,
             cols,
@@ -270,6 +323,27 @@ impl<'a> TableView<'a> {
     pub fn float_col(&self, i: usize) -> Result<&'a [f64]> {
         Ok(&self.table.float_col(i)?[self.start..self.end])
     }
+
+    /// Owned copy of column `i` restricted to the view's row range (the
+    /// materializing step of carving a morsel out of a view).
+    pub fn column_copy(&self, i: usize) -> Column {
+        self.table.cols[i].slice_range(self.start, self.end)
+    }
+
+    /// A narrower view over rows `start..end` *of this view*.
+    pub fn subview(&self, start: usize, end: usize) -> Result<TableView<'a>> {
+        if start > end || end > self.n_rows() {
+            return Err(Error::invalid(format!(
+                "subview {start}..{end} out of range (rows = {})",
+                self.n_rows()
+            )));
+        }
+        Ok(TableView {
+            table: self.table,
+            start: self.start + start,
+            end: self.start + end,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -354,6 +428,31 @@ mod tests {
             rows[1],
             vec![Value::Int(1), Value::Int(0), Value::Float(2.0)]
         );
+    }
+
+    #[test]
+    fn adopting_charged_columns_does_not_double_charge() {
+        // Regression: re-registering view-carved buffers across a
+        // conversion boundary used to go through `from_columns`, charging
+        // bytes the tracker already counted — a transient 2x that inflated
+        // peaks and could trip budgets the real working set fit.
+        let t = MemTracker::unlimited();
+        let table = sample(&t);
+        let bytes = table.heap_bytes();
+        let view = table.view();
+        let cols: Vec<Column> = (0..3).map(|i| view.column_copy(i)).collect();
+        let copy_bytes: u64 = cols.iter().map(Column::heap_bytes).sum();
+        t.charge(copy_bytes).unwrap();
+        let rebuilt = ColumnarTable::adopt_charged_columns(&t, triple_schema(), cols).unwrap();
+        assert_eq!(
+            t.current(),
+            bytes + copy_bytes,
+            "adoption must not re-register already-charged buffers"
+        );
+        assert_eq!(t.peak(), bytes + copy_bytes, "no transient double charge");
+        drop(table);
+        drop(rebuilt);
+        assert_eq!(t.current(), 0, "adopted charge released exactly once");
     }
 
     #[test]

@@ -45,6 +45,10 @@ struct Inner {
     bytes_out: AtomicU64,
     /// Cumulative rows materialized as operator output.
     rows_out: AtomicU64,
+    /// Cumulative morsel batches processed by streaming operators.
+    batches: AtomicU64,
+    /// Cumulative bytes written to spill storage by streaming operators.
+    spill_bytes: AtomicU64,
 }
 
 impl Default for Inner {
@@ -57,6 +61,8 @@ impl Default for Inner {
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
             rows_out: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            spill_bytes: AtomicU64::new(0),
         }
     }
 }
@@ -67,6 +73,8 @@ pub struct OpScope {
     bytes_in: u64,
     bytes_out: u64,
     rows_out: u64,
+    batches: u64,
+    spill_bytes: u64,
 }
 
 /// Per-operator memory deltas, as they appear in a plan trace.
@@ -80,6 +88,10 @@ pub struct MemDelta {
     pub peak_alloc_bytes: u64,
     /// Rows the operator materialized.
     pub rows_materialized: u64,
+    /// Morsel batches the operator streamed (zero for materializing ops).
+    pub batches: u64,
+    /// Bytes the operator spilled to disk to stay under budget.
+    pub spill_bytes: u64,
 }
 
 impl MemTracker {
@@ -157,6 +169,32 @@ impl MemTracker {
         self.inner.rows_out.fetch_add(rows, Ordering::Relaxed);
     }
 
+    /// Note one morsel batch streamed through an operator.
+    pub fn note_batch(&self) {
+        self.inner.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Note `n` streamed batches at once (one operator's whole pass,
+    /// counted at a serial point so the tally stays thread-independent).
+    pub fn note_batches(&self, n: u64) {
+        self.inner.batches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Note `bytes` written to spill storage by a streaming operator.
+    pub fn note_spill(&self, bytes: u64) {
+        self.inner.spill_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Cumulative spill bytes across the tracker's lifetime.
+    pub fn spill_bytes(&self) -> u64 {
+        self.inner.spill_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative morsel batches across the tracker's lifetime.
+    pub fn batches(&self) -> u64 {
+        self.inner.batches.load(Ordering::Relaxed)
+    }
+
     /// Currently live bytes.
     pub fn current(&self) -> u64 {
         self.inner.current.load(Ordering::Relaxed)
@@ -204,6 +242,8 @@ impl MemTracker {
             bytes_in: self.inner.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.inner.bytes_out.load(Ordering::Relaxed),
             rows_out: self.inner.rows_out.load(Ordering::Relaxed),
+            batches: self.inner.batches.load(Ordering::Relaxed),
+            spill_bytes: self.inner.spill_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -214,6 +254,8 @@ impl MemTracker {
             bytes_out: self.inner.bytes_out.load(Ordering::Relaxed) - scope.bytes_out,
             peak_alloc_bytes: self.inner.op_peak.load(Ordering::Relaxed),
             rows_materialized: self.inner.rows_out.load(Ordering::Relaxed) - scope.rows_out,
+            batches: self.inner.batches.load(Ordering::Relaxed) - scope.batches,
+            spill_bytes: self.inner.spill_bytes.load(Ordering::Relaxed) - scope.spill_bytes,
         }
     }
 }

@@ -46,12 +46,15 @@ impl Running {
 /// inside the thread because the scheduler's engine registry is `Sync` but
 /// not `Send`; the bound addresses come back over a channel.
 fn start_server(options: ServeOptions) -> Running {
+    start_server_with(sim_config(), options)
+}
+
+fn start_server_with(config: HarnessConfig, options: ServeOptions) -> Running {
     let stop = Arc::new(AtomicBool::new(false));
     let options = options.with_stop(Arc::clone(&stop));
     let (tx, rx) = std::sync::mpsc::channel();
     let handle = std::thread::spawn(move || {
-        let server =
-            BenchServer::bind("127.0.0.1:0", "127.0.0.1:0", sim_config(), options).unwrap();
+        let server = BenchServer::bind("127.0.0.1:0", "127.0.0.1:0", config, options).unwrap();
         tx.send((server.frame_addr().unwrap(), server.http_addr().unwrap()))
             .unwrap();
         server.serve()
@@ -197,6 +200,57 @@ fn concurrent_served_queries_are_byte_identical_to_the_batch_path() {
     );
 }
 
+/// The served path honors the harness's streaming configuration: a server
+/// built with `--stream` answers with bytes identical to the streaming
+/// batch path, and the Prometheus surface counts the morsel batches.
+#[test]
+fn streaming_server_matches_the_streaming_batch_path() {
+    let mut config = sim_config();
+    config.stream = Some(genbase::engine::StreamConfig {
+        batch_rows: 64,
+        spill_dir: None,
+    });
+    let threads = config.threads.max(1);
+    let server = start_server_with(config.clone(), ServeOptions::default());
+
+    let key = CellKey {
+        figure: FigureId::Fig1,
+        query: Query::Covariance,
+        size: SizeClass::Small,
+        nodes: 1,
+        engine: "Column store + R".to_string(),
+    };
+    let scheduler = Scheduler::new(config).unwrap();
+    let expected = scheduler
+        .run_cell(&key, threads)
+        .unwrap()
+        .to_json()
+        .render();
+
+    let reply = client_request(
+        server.frame,
+        None,
+        &query_frame(&key.engine, key.query.name()),
+    )
+    .unwrap();
+    assert_eq!(reply.get("type").and_then(Json::as_str), Some("result"));
+    assert_eq!(
+        reply.get("outcome").expect("outcome").render(),
+        expected,
+        "served streaming outcome must be byte-identical to the streaming batch path"
+    );
+
+    let (_, metrics) = http_request(server.http, "GET", "/metrics", "", &[]);
+    let batches: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("genbase_stream_batches_total "))
+        .expect("stream batches metric")
+        .parse()
+        .unwrap();
+    assert!(batches > 0, "streaming server served without streaming");
+    server.shutdown();
+}
+
 #[test]
 fn explain_frames_match_the_direct_render() {
     let server = start_server(ServeOptions::default());
@@ -260,6 +314,9 @@ fn http_status_metrics_and_error_paths() {
     assert!(metrics.contains("genbase_rejected_total{reason=\"queue_full\"} 0"));
     assert!(metrics.contains("genbase_queue_depth 0"));
     assert!(metrics.contains("genbase_mem_reserved_bytes 0"));
+    // A materializing server streams nothing: the counters exist but stay 0.
+    assert!(metrics.contains("genbase_stream_batches_total 0"));
+    assert!(metrics.contains("genbase_spill_bytes_total 0"));
     let moved: u64 = metrics
         .lines()
         .find_map(|l| l.strip_prefix("genbase_bytes_moved_total "))
