@@ -76,6 +76,23 @@
 //!               [--bench-size N] kernel bench matrix edge (default 2048)
 //!               [--bench-iters K] timed iterations per kernel (default 2)
 //!               [--bench-out P]  kernel bench JSON path (default BENCH_baseline.json)
+//!               [--compare P]    bench: diff this run against a committed
+//!                                baseline JSON, print the per-op speedup
+//!                                table, exit 1 on any gated row slower
+//!                                than --regress-threshold
+//!               [--regress-threshold PCT]  bench --compare: fail when a
+//!                                gated row's ns/iter exceeds PCT% of its
+//!                                baseline (default 150)
+//!               [--cache-budget BYTES]  serve: artifact-cache budget —
+//!                                conversion kernels (joins, pivots,
+//!                                chunked ingest, R loads) memoize their
+//!                                outputs under LRU eviction, charged
+//!                                against a dedicated tracker (never a
+//!                                run's --mem-budget)
+//!               [--result-cache] serve: replay completed --sim-only
+//!                                outcomes byte-identically for repeat
+//!                                queries on the same cell (inert under
+//!                                measured timing)
 //! ```
 //!
 //! `coordinate` runs the sweep across worker *processes* instead of
@@ -165,6 +182,10 @@ struct Args {
     bench_size: usize,
     bench_iters: u32,
     bench_out: String,
+    compare: Option<String>,
+    regress_threshold: f64,
+    cache_budget: Option<u64>,
+    result_cache: bool,
     nodes: usize,
     lease_timeout_secs: u64,
     rebalance_after_secs: u64,
@@ -213,6 +234,10 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, UsageError> {
         bench_size: 2048,
         bench_iters: 2,
         bench_out: "BENCH_baseline.json".to_string(),
+        compare: None,
+        regress_threshold: 150.0,
+        cache_budget: None,
+        result_cache: false,
         nodes: 1,
         lease_timeout_secs: 0,
         rebalance_after_secs: 0,
@@ -297,6 +322,14 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, UsageError> {
             "--bench-size" => args.bench_size = parsed!(&mut i, "--bench-size", "an integer"),
             "--bench-iters" => args.bench_iters = parsed!(&mut i, "--bench-iters", "an integer"),
             "--bench-out" => args.bench_out = value(&mut i, "--bench-out")?,
+            "--compare" => args.compare = Some(value(&mut i, "--compare")?),
+            "--regress-threshold" => {
+                args.regress_threshold = parsed!(&mut i, "--regress-threshold", "a percentage")
+            }
+            "--cache-budget" => {
+                args.cache_budget = Some(parsed!(&mut i, "--cache-budget", "bytes"))
+            }
+            "--result-cache" => args.result_cache = true,
             "--nodes" => args.nodes = parsed!(&mut i, "--nodes", "an integer"),
             "--lease-timeout" => {
                 args.lease_timeout_secs = parsed!(&mut i, "--lease-timeout", "seconds")
@@ -454,14 +487,26 @@ fn run(args: &Args) -> Result<()> {
         return explain(args);
     }
     if args.what == "bench" {
+        // Load the comparison baseline before writing anything: --compare
+        // and --bench-out may name the same file, and overwriting first
+        // would make the comparison vacuously pass.
+        let baseline = match &args.compare {
+            Some(path) => Some(perf::load_baseline(path)?),
+            None => None,
+        };
         let mut entries = perf::run(args.bench_size, args.bench_iters)?;
+        entries.extend(perf::artifact_cache(args.bench_size, args.bench_iters)?);
         entries.extend(perf::sweep_wall_clock()?);
         entries.extend(perf::streaming_memory()?);
+        perf::warn_scaling_rows(&entries);
         let json = perf::to_json(args.bench_size, &entries);
         std::fs::write(&args.bench_out, &json)
             .map_err(|e| Error::invalid(format!("write {}: {e}", args.bench_out)))?;
         eprintln!("wrote {}", args.bench_out);
         println!("{json}");
+        if let Some(baseline) = baseline {
+            perf::compare(&baseline, &entries, args.regress_threshold)?;
+        }
         return Ok(());
     }
     if args.what == "weak" {
@@ -600,6 +645,12 @@ fn serve(args: &Args) -> Result<()> {
     };
     if let Some(budget) = args.mem_budget {
         options = options.with_mem_budget(budget);
+    }
+    if let Some(budget) = args.cache_budget {
+        options = options.with_cache_budget(budget);
+    }
+    if args.result_cache {
+        options = options.with_result_cache();
     }
     let server = genbase::BenchServer::bind(
         args.listen.as_str(),
@@ -1161,13 +1212,297 @@ mod perf {
         Ok(entries)
     }
 
+    fn host_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Artifact-cache warm-vs-cold conversion rows: each `*_cold` row runs
+    /// the conversion kernel with no cache attached; its `*_warm` partner
+    /// replays the same conversion as a cache hit (the cold accounting plus
+    /// a clone of the resident artifact). The warm/cold ratio is the perf
+    /// trajectory's record of what a `--cache-budget` hit saves.
+    pub fn artifact_cache(size: usize, iters: u32) -> genbase_util::Result<Vec<Entry>> {
+        use genbase_relational::{DataType, Schema};
+        use genbase_storage as storage;
+        use genbase_util::{Budget, Pcg64};
+        use storage::{ArtifactCache, CacheScope, MemTracker};
+
+        let mut rng = Pcg64::new(0xcac4e);
+        // Conversions move size^2 cells (the matrix itself plus a 3-column
+        // triple table), so a full-edge matrix would dwarf the kernel rows'
+        // footprint; a quarter edge keeps the rows cheap while staying far
+        // above the cache's per-entry overhead.
+        let edge = (size / 4).max(256);
+        let dense = genbase_linalg::Matrix::from_fn(edge, edge, |_, _| rng.normal());
+        let schema = || {
+            Schema::new(&[
+                ("gene_id", DataType::Int),
+                ("patient_id", DataType::Int),
+                ("value", DataType::Float),
+            ])
+            .expect("static schema")
+        };
+        let budget = Budget::new(None, u64::MAX, u64::MAX);
+        let cache = ArtifactCache::new(u64::MAX / 2);
+        let scope = CacheScope::new(cache, "bench");
+        let patient_ids: Vec<i64> = (0..edge as i64).collect();
+        let gene_ids: Vec<i64> = (0..edge as i64).collect();
+        let mut entries = Vec::new();
+        let mut push = |op: &'static str, ns: f64| {
+            eprintln!("bench: {op} size={edge}: {:.3} ms/iter", ns / 1e6);
+            entries.push(Entry {
+                op,
+                size: edge,
+                threads: 1,
+                ns_per_iter: ns,
+                iters,
+            });
+        };
+        let mut kernel_err: Option<genbase_util::Error> = None;
+        // Captured kernel results feed the next conversion's input; the
+        // macro keeps the cold/warm pairs visibly parallel.
+        macro_rules! timed {
+            ($op:expr, $body:expr) => {{
+                let mut result = None;
+                let ns = time_ns(iters, || match $body {
+                    Ok(v) => result = Some(v),
+                    Err(e) => {
+                        kernel_err.get_or_insert(e);
+                    }
+                });
+                push($op, ns);
+                result
+            }};
+        }
+
+        let triples = timed!("cache_triples_cold", {
+            storage::triples_from_dense(&MemTracker::new(None), &dense, schema())
+        });
+        timed!("cache_triples_warm", {
+            storage::triples_from_dense_cached(
+                Some(&scope),
+                &MemTracker::new(None),
+                &dense,
+                schema(),
+            )
+        });
+        let Some(triples) = triples else {
+            return Err(kernel_err.expect("cold triples failed without an error"));
+        };
+
+        timed!("cache_columnar_cold", {
+            storage::columnar_from_relation(&MemTracker::new(None), &triples)
+        });
+        timed!("cache_columnar_warm", {
+            storage::columnar_from_relation_cached(
+                Some(&scope),
+                (edge, edge),
+                "bench",
+                &MemTracker::new(None),
+                &triples,
+            )
+        });
+
+        timed!("cache_pivot_cold", {
+            storage::pivot_dense(
+                &triples.view(),
+                (1, 0, 2),
+                &patient_ids,
+                &gene_ids,
+                1,
+                &MemTracker::new(None),
+                &budget,
+            )
+        });
+        timed!("cache_pivot_warm", {
+            storage::pivot_dense_cached(
+                Some(&scope),
+                (edge, edge),
+                &triples.view(),
+                (1, 0, 2),
+                &patient_ids,
+                &gene_ids,
+                1,
+                &MemTracker::new(None),
+                &budget,
+            )
+        });
+
+        timed!("cache_chunked_cold", {
+            storage::chunked_from_dense(&MemTracker::new(None), &dense, &budget)
+        });
+        timed!("cache_chunked_warm", {
+            storage::chunked_from_dense_cached(
+                Some(&scope),
+                &MemTracker::new(None),
+                &dense,
+                &budget,
+            )
+        });
+
+        match kernel_err {
+            Some(e) => Err(e),
+            None => Ok(entries),
+        }
+    }
+
+    /// Loudly flag scaling rows recorded on a host that cannot scale: on a
+    /// 1-core machine the threads-2/8 kernel rows and the sharded sweep
+    /// row measure oversubscription overhead, not parallel speedup, so a
+    /// "parallel slower than serial" reading there is a host artifact.
+    pub fn warn_scaling_rows(entries: &[Entry]) {
+        let host = host_threads();
+        if host > 1 {
+            return;
+        }
+        let mut affected: Vec<&str> = entries
+            .iter()
+            .filter(|e| e.threads > host)
+            .map(|e| e.op)
+            .collect();
+        affected.dedup();
+        if affected.is_empty() {
+            return;
+        }
+        eprintln!(
+            "bench: WARNING: this host has 1 hardware thread; the scaling rows \
+             [{}] measure thread oversubscription, not parallel speedup. \
+             Record scaling baselines on a multi-core host.",
+            affected.join(", ")
+        );
+    }
+
+    /// A parsed `--compare` baseline: the stamped host size plus
+    /// `(op, threads) -> ns_per_iter`.
+    pub struct Baseline {
+        pub host_threads: usize,
+        pub rows: Vec<(String, usize, f64)>,
+    }
+
+    /// Parse a committed `genbase-bench-v1` JSON baseline.
+    pub fn load_baseline(path: &str) -> genbase_util::Result<Baseline> {
+        use genbase_util::{Error, Json};
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Error::invalid(format!("read baseline {path}: {e}")))?;
+        let json = Json::parse(&text)
+            .map_err(|e| Error::invalid(format!("parse baseline {path}: {e}")))?;
+        match json.get("schema").and_then(Json::as_str) {
+            Some("genbase-bench-v1") => {}
+            other => {
+                return Err(Error::invalid(format!(
+                    "baseline {path} has schema {other:?}, want \"genbase-bench-v1\""
+                )))
+            }
+        }
+        let entries = json
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| Error::invalid(format!("baseline {path} has no entries array")))?;
+        let mut rows = Vec::new();
+        for e in entries {
+            let op = e
+                .get("op")
+                .and_then(Json::as_str)
+                .ok_or_else(|| Error::invalid(format!("baseline {path}: entry missing op")))?;
+            let threads = e.get("threads").and_then(Json::as_u64).unwrap_or(1) as usize;
+            let ns = e.get("ns_per_iter").and_then(Json::as_f64).ok_or_else(|| {
+                Error::invalid(format!("baseline {path}: {op} missing ns_per_iter"))
+            })?;
+            rows.push((op.to_string(), threads, ns));
+        }
+        Ok(Baseline {
+            host_threads: json.get("host_threads").and_then(Json::as_u64).unwrap_or(1) as usize,
+            rows,
+        })
+    }
+
+    /// Print the per-op speedup table against `baseline` and fail if any
+    /// gated row regressed past `threshold_pct` percent of its baseline
+    /// ns/iter. Two row classes are advisory (printed, never gating):
+    /// wall-clock sweep rows (dataset generation dominates and is noisy)
+    /// and scaling rows whose thread count exceeds this host's hardware
+    /// threads (oversubscription, not scaling — see [`warn_scaling_rows`]).
+    pub fn compare(
+        baseline: &Baseline,
+        entries: &[Entry],
+        threshold_pct: f64,
+    ) -> genbase_util::Result<()> {
+        use genbase_util::Error;
+        let host = host_threads();
+        let limit = threshold_pct / 100.0;
+        let mut matched = 0usize;
+        let mut regressions: Vec<String> = Vec::new();
+        println!(
+            "{:<34} {:>7} {:>14} {:>14} {:>8}  verdict",
+            "op", "threads", "baseline", "current", "speedup"
+        );
+        for e in entries {
+            let Some((_, _, base_ns)) = baseline
+                .rows
+                .iter()
+                .find(|(op, threads, _)| op.as_str() == e.op && *threads == e.threads)
+            else {
+                println!(
+                    "{:<34} {:>7} {:>14} {:>14.3} {:>8}  new (no baseline row)",
+                    e.op,
+                    e.threads,
+                    "-",
+                    e.ns_per_iter / 1e6,
+                    "-"
+                );
+                continue;
+            };
+            matched += 1;
+            let ratio = e.ns_per_iter / base_ns;
+            // A row is advisory when either side recorded it without the
+            // cores to scale: such numbers are oversubscription overhead.
+            let advisory =
+                e.op.starts_with("sweep_") || e.threads > host || e.threads > baseline.host_threads;
+            let verdict = if ratio <= limit {
+                "ok"
+            } else if advisory {
+                "slow (advisory: wall-clock/oversubscribed row)"
+            } else {
+                regressions.push(format!(
+                    "{} threads={} is {:.0}% of baseline (limit {:.0}%)",
+                    e.op,
+                    e.threads,
+                    ratio * 100.0,
+                    threshold_pct
+                ));
+                "REGRESSED"
+            };
+            println!(
+                "{:<34} {:>7} {:>12.3}ms {:>12.3}ms {:>7.2}x  {verdict}",
+                e.op,
+                e.threads,
+                base_ns / 1e6,
+                e.ns_per_iter / 1e6,
+                base_ns / e.ns_per_iter,
+            );
+        }
+        if matched == 0 {
+            return Err(Error::invalid(
+                "bench --compare matched no baseline rows; wrong baseline file?",
+            ));
+        }
+        if !regressions.is_empty() {
+            return Err(Error::invalid(format!(
+                "bench regression past --regress-threshold: {}",
+                regressions.join("; ")
+            )));
+        }
+        eprintln!("bench: compare ok ({matched} rows within {threshold_pct:.0}% of baseline)");
+        Ok(())
+    }
+
     /// Serialize through the shared `genbase_util::json` writer (one
     /// entry object per line, so committed baselines stay diff-friendly).
     pub fn to_json(size: usize, entries: &[Entry]) -> String {
         use genbase_util::Json;
-        let host = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let host = host_threads();
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str("  \"schema\": \"genbase-bench-v1\",\n");

@@ -71,6 +71,12 @@ pub struct ExecContext {
     /// Hadoop) leave it unused — interleaved same-key saves would corrupt
     /// the snapshot stream.
     pub progress: Option<genbase_util::ProgressHandle>,
+    /// Artifact cache scope for this run (`--cache-budget`): conversion
+    /// kernels memoize their outputs here, keyed under the config
+    /// fingerprint the scope was derived from. `None` = cold every run.
+    /// Cache hits replay the cold path's accounting exactly, so attaching
+    /// a scope never changes a cell's output or trace bytes.
+    pub cache: Option<genbase_storage::CacheScope>,
 }
 
 /// R's per-object allocation limit: 2^31 - 1 cells.
@@ -93,6 +99,7 @@ impl ExecContext {
             net: NetModel::gigabit(),
             deterministic: false,
             progress: None,
+            cache: None,
         }
     }
 

@@ -27,7 +27,8 @@ use genbase_relational::{
     ColumnData, ColumnTable, DataType, Pred, Relation, RowTable, Schema, Value,
 };
 use genbase_storage::{
-    self as storage, BatchReel, Column, ColumnarTable, DenseHandle, MemTracker, Morsel,
+    self as storage, BatchReel, CachePin, CacheScope, CacheValue, Column, ColumnarTable,
+    DenseHandle, MemTracker, Morsel,
 };
 use genbase_util::{Budget, Error, Result};
 use std::collections::{HashMap, HashSet};
@@ -333,6 +334,112 @@ impl SqlStore {
                 triples.heap_bytes() + patients.heap_bytes() + genes.heap_bytes() + go.heap_bytes()
             }
         }
+    }
+
+    /// Store-kind tag for cache keys: row- and column-store joins replay
+    /// different accounting, so their artifacts never share an entry.
+    fn kind_tag(&self) -> &'static str {
+        match self {
+            SqlStore::Row { .. } => "row",
+            SqlStore::Column { .. } => "col",
+        }
+    }
+
+    /// Rebuild a cached join's working set, replaying the cold path's
+    /// accounting exactly (base-table read, conversion input, output note).
+    fn replay_join(
+        &self,
+        schema: &Schema,
+        columns: &[Column],
+        mem: &MemTracker,
+    ) -> Result<TripleSet> {
+        let n_rows = columns.first().map_or(0, Column::len);
+        match self {
+            SqlStore::Row { triples, .. } => {
+                mem.note_input(triples.heap_bytes());
+                // The row store's join output leaves its pages through
+                // `columnar_from_relation`; replay its input note.
+                mem.note_input((n_rows * schema.arity() * 8) as u64);
+            }
+            SqlStore::Column { triples, .. } => {
+                // `columnar_from_column_table` adopts the columns directly.
+                mem.note_input(triples.heap_bytes());
+            }
+        }
+        let table = ColumnarTable::from_columns(mem, schema.clone(), columns.to_vec())?;
+        mem.note_output(table.heap_bytes(), table.n_rows() as u64);
+        Ok(table)
+    }
+
+    /// Memoized triple join: a hit skips the hash join and the row→column
+    /// conversion, rebuilding the working set from the cached columns with
+    /// the cold path's accounting; a miss runs `cold` and publishes its
+    /// columns. `dims` names the source dataset (`patients x genes`).
+    fn join_cached(
+        &self,
+        cache: Option<&CacheScope>,
+        dims: (usize, usize),
+        conversion: &str,
+        ids: &[i64],
+        mem: &MemTracker,
+        cold: impl FnOnce() -> Result<TripleSet>,
+    ) -> Result<(TripleSet, Option<CachePin>)> {
+        let Some(scope) = cache else {
+            return Ok((cold()?, None));
+        };
+        let extra = format!("{}|{:016x}", self.kind_tag(), storage::digest_ids(ids));
+        let key = scope.key(dims.0, dims.1, conversion, &extra);
+        match scope.cache().begin(&key) {
+            storage::Lookup::Hit(value, pin) => {
+                let (schema, columns) = value
+                    .as_columnar()
+                    .ok_or_else(|| Error::invalid("cache type confusion on a join key"))?;
+                let table = self.replay_join(schema, columns, mem)?;
+                mem.note_cache_hit();
+                Ok((table, Some(pin)))
+            }
+            storage::Lookup::Build(slot) => {
+                let table = cold()?;
+                let columns: Vec<Column> = (0..table.schema().arity())
+                    .map(|i| table.view().column_copy(i))
+                    .collect();
+                let pin = slot
+                    .fill(CacheValue::Columnar {
+                        schema: table.schema().clone(),
+                        columns,
+                    })
+                    .map(|(_, pin)| pin);
+                Ok((table, pin))
+            }
+        }
+    }
+
+    /// Cache-aware [`SqlStore::join_triples_on_genes`].
+    pub fn join_triples_on_genes_cached(
+        &self,
+        cache: Option<&CacheScope>,
+        dims: (usize, usize),
+        gene_ids: &[i64],
+        budget: &Budget,
+        mem: &MemTracker,
+    ) -> Result<(TripleSet, Option<CachePin>)> {
+        self.join_cached(cache, dims, "join-genes", gene_ids, mem, || {
+            self.join_triples_on_genes(gene_ids, budget, mem)
+        })
+    }
+
+    /// Cache-aware [`SqlStore::join_triples_on_patients`].
+    pub fn join_triples_on_patients_cached(
+        &self,
+        cache: Option<&CacheScope>,
+        dims: (usize, usize),
+        patient_ids: &[i64],
+        budget: &Budget,
+        mem: &MemTracker,
+    ) -> Result<(TripleSet, Option<CachePin>)> {
+        self.join_cached(cache, dims, "join-patients", patient_ids, mem, || {
+            self.join_triples_on_patients(patient_ids, budget, mem)
+        })
     }
 
     /// Join the microarray triples against a set of gene ids, projecting
@@ -659,6 +766,30 @@ pub fn pivot(
     )
 }
 
+/// Cache-aware [`pivot`]; `dims` names the source dataset so the cached
+/// matrix is shared by every query that pivots the same id selections.
+pub fn pivot_cached(
+    cache: Option<&CacheScope>,
+    dims: (usize, usize),
+    set: &TripleSet,
+    patient_ids: &[i64],
+    gene_ids: &[i64],
+    budget: &Budget,
+    mem: &MemTracker,
+) -> Result<(Matrix, Option<CachePin>)> {
+    storage::pivot_dense_cached(
+        cache,
+        dims,
+        &set.view(),
+        (1, 0, 2),
+        patient_ids,
+        gene_ids,
+        1,
+        mem,
+        budget,
+    )
+}
+
 /// DBMS half of the export bridge: serialize the triple set to CSV text.
 pub fn export_triples_csv(set: &TripleSet, db_budget: &Budget, mem: &MemTracker) -> Result<String> {
     storage::export_csv_tracked(set, mem, db_budget)
@@ -893,6 +1024,8 @@ impl SqlEngineSpec {
             db_budget,
             r_budget,
             mem: mem.clone(),
+            cache: ctx.cache.clone(),
+            pins: Vec::new(),
             gene_ids: Vec::new(),
             patient_ids: Vec::new(),
             joined: None,
@@ -917,6 +1050,10 @@ struct SqlBackend<'a> {
     db_budget: Budget,
     r_budget: Budget,
     mem: MemTracker,
+    /// Artifact-cache scope for this run (`None` = always cold).
+    cache: Option<CacheScope>,
+    /// Pins holding cached artifacts resident for the run's duration.
+    pins: Vec<CachePin>,
     r_opts: ExecOpts,
     store: SqlStore,
     stream: Option<StreamState>,
@@ -1081,16 +1218,25 @@ impl PhysicalBackend for SqlBackend<'_> {
                     self.patient_ids = patient_ids;
                     self.y = y;
                 } else {
-                    let (joined, y) =
+                    let cache = self.cache.clone();
+                    let dims = (data.n_patients(), data.n_genes());
+                    let (joined, pin, y) =
                         tracer.exec(OpKind::Join, Phase::DataManagement, label, || {
-                            let joined = store.join_triples_on_genes(gene_ids, db_budget, mem)?;
+                            let (joined, pin) = store.join_triples_on_genes_cached(
+                                cache.as_ref(),
+                                dims,
+                                gene_ids,
+                                db_budget,
+                                mem,
+                            )?;
                             let y = if want_y {
                                 store.drug_responses(&patient_ids)?
                             } else {
                                 Vec::new()
                             };
-                            Ok((joined, y))
+                            Ok((joined, pin, y))
                         })?;
+                    self.pins.extend(pin);
                     self.joined = Some(joined);
                     self.patient_ids = patient_ids;
                     self.y = y;
@@ -1124,9 +1270,19 @@ impl PhysicalBackend for SqlBackend<'_> {
                     st.patient_filter = Some(filter);
                     st.joined_rows = matched;
                 } else {
-                    let joined = tracer.exec(OpKind::Join, Phase::DataManagement, label, || {
-                        store.join_triples_on_patients(patient_ids, db_budget, mem)
-                    })?;
+                    let cache = self.cache.clone();
+                    let dims = (data.n_patients(), data.n_genes());
+                    let (joined, pin) =
+                        tracer.exec(OpKind::Join, Phase::DataManagement, label, || {
+                            store.join_triples_on_patients_cached(
+                                cache.as_ref(),
+                                dims,
+                                patient_ids,
+                                db_budget,
+                                mem,
+                            )
+                        })?;
+                    self.pins.extend(pin);
                     self.joined = Some(joined);
                 }
                 if self.gene_ids.is_empty() {
@@ -1181,7 +1337,10 @@ impl PhysicalBackend for SqlBackend<'_> {
                         let joined = self.joined()?;
                         let (patient_ids, gene_ids) = (&self.patient_ids, &self.gene_ids);
                         let db_budget = &self.db_budget;
-                        tracer.exec(
+                        let cache = self.cache.clone();
+                        let dims = (data.n_patients(), data.n_genes());
+                        let mut pin = None;
+                        let handle = tracer.exec(
                             OpKind::Restructure,
                             Phase::DataManagement,
                             format!(
@@ -1190,10 +1349,21 @@ impl PhysicalBackend for SqlBackend<'_> {
                                 gene_ids.len()
                             ),
                             || {
-                                let mat = pivot(joined, patient_ids, gene_ids, db_budget, mem)?;
+                                let (mat, p) = pivot_cached(
+                                    cache.as_ref(),
+                                    dims,
+                                    joined,
+                                    patient_ids,
+                                    gene_ids,
+                                    db_budget,
+                                    mem,
+                                )?;
+                                pin = p;
                                 DenseHandle::new(mem, mat)
                             },
-                        )?
+                        )?;
+                        self.pins.extend(pin);
+                        handle
                     }
                 };
                 if self.spec.udf_q3_penalty && self.query == Query::Biclustering {
@@ -1369,11 +1539,44 @@ impl SqlBackend<'_> {
             }
             Bridge::InProcess | Bridge::InDatabase => {
                 let db_budget = &self.db_budget;
-                tracer.exec(
+                let cache = self.cache.clone();
+                let dims = (self.data.n_patients(), self.data.n_genes());
+                let mut pin = None;
+                let handle = tracer.exec(
                     OpKind::Restructure,
                     Phase::DataManagement,
                     format!("in-database pivot to {rows}x{cols} matrix"),
                     || {
+                        let mut build = None;
+                        if let Some(scope) = cache.as_ref() {
+                            let extra = format!(
+                                "r{:016x}|k{:016x}",
+                                storage::digest_ids(patient_ids),
+                                storage::digest_ids(gene_ids)
+                            );
+                            let key = scope.key(dims.0, dims.1, "stream-pivot", &extra);
+                            match scope.cache().begin(&key) {
+                                storage::Lookup::Hit(value, p) => {
+                                    let cached = value.as_dense().ok_or_else(|| {
+                                        Error::invalid("cache type confusion on a stream-pivot key")
+                                    })?;
+                                    // Replay the cold pivot's accounting
+                                    // exactly; skip only the reel scatter.
+                                    db_budget.check("pivot")?;
+                                    mem.note_input(st.reel.span_bytes());
+                                    db_budget
+                                        .alloc((rows * cols * 8) as u64, (rows * cols) as u64)?;
+                                    db_budget.free((rows * cols * 8) as u64);
+                                    let mat = cached.clone();
+                                    mem.note_output(mat.heap_bytes(), mat.rows() as u64);
+                                    mem.note_batches(st.reel.n_batches() as u64);
+                                    mem.note_cache_hit();
+                                    pin = Some(p);
+                                    return DenseHandle::new(mem, mat);
+                                }
+                                storage::Lookup::Build(slot) => build = Some(slot),
+                            }
+                        }
                         db_budget.check("pivot")?;
                         mem.note_input(st.reel.span_bytes());
                         db_budget.alloc((rows * cols * 8) as u64, (rows * cols) as u64)?;
@@ -1395,11 +1598,18 @@ impl SqlBackend<'_> {
                         })?;
                         db_budget.free((rows * cols * 8) as u64);
                         let mat = Matrix::from_vec(rows, cols, data)?;
+                        if let Some(slot) = build {
+                            pin = slot
+                                .fill(CacheValue::Dense(mat.clone()))
+                                .map(|(_, pin)| pin);
+                        }
                         mem.note_output(mat.heap_bytes(), mat.rows() as u64);
                         mem.note_batches(st.reel.n_batches() as u64);
                         DenseHandle::new(mem, mat)
                     },
-                )?
+                )?;
+                self.pins.extend(pin);
+                handle
             }
         };
         if self.spec.udf_q3_penalty && self.query == Query::Biclustering {

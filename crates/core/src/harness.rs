@@ -125,6 +125,7 @@ pub struct RunRecord {
 pub struct Harness {
     config: HarnessConfig,
     pool: DatasetPool,
+    cache: Option<Arc<genbase_storage::ArtifactCache>>,
 }
 
 impl Harness {
@@ -132,7 +133,25 @@ impl Harness {
     /// reproducible; nothing is generated until a cell needs it).
     pub fn new(config: HarnessConfig) -> Result<Harness> {
         let pool = DatasetPool::new(config.scale, config.seed);
-        Ok(Harness { config, pool })
+        Ok(Harness {
+            config,
+            pool,
+            cache: None,
+        })
+    }
+
+    /// Attach a shared artifact cache (`--cache-budget`): every run context
+    /// this harness hands out gets a [`genbase_storage::CacheScope`] keyed
+    /// under this configuration's fingerprint, so conversion artifacts are
+    /// shared across cells of the same configuration and can never leak
+    /// between different fingerprints.
+    pub fn set_artifact_cache(&mut self, cache: Arc<genbase_storage::ArtifactCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// The attached artifact cache, if any.
+    pub fn artifact_cache(&self) -> Option<&Arc<genbase_storage::ArtifactCache>> {
+        self.cache.as_ref()
     }
 
     /// The active configuration.
@@ -185,6 +204,12 @@ impl Harness {
         ctx.mem_budget = self.config.mem_budget;
         ctx.stream = self.config.stream.clone();
         ctx.deterministic = self.config.timing == TimingMode::SimOnly;
+        ctx.cache = self.cache.as_ref().map(|cache| {
+            genbase_storage::CacheScope::new(
+                cache.clone(),
+                crate::sched::config_fingerprint(&self.config),
+            )
+        });
         ctx
     }
 

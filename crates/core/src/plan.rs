@@ -238,6 +238,11 @@ pub struct OpCost {
     pub batches: u64,
     /// Bytes the op spilled to disk to stay under `--mem-budget`.
     pub spill_bytes: u64,
+    /// Artifact-cache hits the op's conversion kernels took. Display-only
+    /// (the `cache` column of `paper_harness explain`): hits never enter
+    /// the serialized trace, because a warm cell must stay byte-identical
+    /// to its cold run on the wire and in grid files.
+    pub cache_hits: u64,
 }
 
 impl OpCost {
@@ -262,6 +267,7 @@ impl OpCost {
         self.rows_materialized = mem.rows_materialized;
         self.batches = mem.batches;
         self.spill_bytes = mem.spill_bytes;
+        self.cache_hits = mem.cache_hits;
         self
     }
 
@@ -352,6 +358,7 @@ impl OpTrace {
                 rows_materialized: mem("rows"),
                 batches: mem("batches"),
                 spill_bytes: mem("spill"),
+                cache_hits: 0,
             },
         })
     }
@@ -437,6 +444,7 @@ impl PlanTrace {
             ("rows", Align::Right),
             ("batches", Align::Right),
             ("spill", Align::Right),
+            ("cache", Align::Right),
         ]);
         for op in &self.ops {
             table.row(vec![
@@ -453,6 +461,7 @@ impl PlanTrace {
                 op.cost.rows_materialized.to_string(),
                 op.cost.batches.to_string(),
                 genbase_util::fmt_bytes(op.cost.spill_bytes),
+                op.cost.cache_hits.to_string(),
             ]);
         }
         table

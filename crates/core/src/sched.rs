@@ -682,6 +682,12 @@ impl Scheduler {
         &self.harness
     }
 
+    /// Mutable harness access, for pre-serve wiring (artifact cache
+    /// attachment) before any cells run.
+    pub fn harness_mut(&mut self) -> &mut Harness {
+        &mut self.harness
+    }
+
     /// Install a pre-execution hook (observation / failure injection).
     pub fn set_cell_hook(&mut self, hook: Box<CellHook>) {
         self.hook = Some(hook);

@@ -30,15 +30,15 @@
 //! [`BenchServer::serve`] returns a final [`ServeReport`].
 
 use crate::figures;
-use crate::harness::HarnessConfig;
+use crate::harness::{HarnessConfig, TimingMode};
 use crate::plan::{logical_plan, LogicalPlan, Phase};
 use crate::query::Query;
 use crate::sched::{config_fingerprint, CellKey, CellOutcome, FigureId, Scheduler};
 use genbase_datagen::{SizeClass, SizeSpec};
-use genbase_storage::{MemTracker, Reservation};
+use genbase_storage::{ArtifactCache, CacheScope, MemTracker, Reservation};
 use genbase_util::frame::{read_frame_opt, write_frame};
 use genbase_util::{http, shutdown, Error, Json, Result};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -87,6 +87,15 @@ pub struct ServeOptions {
     /// Bounded backpressure queue: how many over-budget requests may wait
     /// for memory before further ones are rejected outright. 0 = no queue.
     pub queue_depth: usize,
+    /// Artifact-cache budget in bytes (`--cache-budget`); `None` disables
+    /// the cache and every conversion runs cold. The cache charges its own
+    /// [`MemTracker`], never a run's `--mem-budget` tracker.
+    pub cache_budget: Option<u64>,
+    /// Enable the served-result cache (`--result-cache`): a completed
+    /// SimOnly outcome is replayed byte-identically for repeat queries on
+    /// the same cell. Ignored (always cold) under measured timing, where
+    /// wall-clock fields make replays non-identical by construction.
+    pub result_cache: bool,
     /// External stop flag (tests); SIGTERM via [`shutdown`] always works.
     pub stop: Option<Arc<AtomicBool>>,
 }
@@ -107,6 +116,18 @@ impl ServeOptions {
     /// Set the backpressure queue bound.
     pub fn with_queue_depth(mut self, depth: usize) -> ServeOptions {
         self.queue_depth = depth;
+        self
+    }
+
+    /// Set the artifact-cache budget in bytes.
+    pub fn with_cache_budget(mut self, bytes: u64) -> ServeOptions {
+        self.cache_budget = Some(bytes);
+        self
+    }
+
+    /// Enable the served-result cache.
+    pub fn with_result_cache(mut self) -> ServeOptions {
+        self.result_cache = true;
         self
     }
 
@@ -263,6 +284,12 @@ struct Metrics {
     rejected_draining: AtomicU64,
     inflight: AtomicU64,
     connections: AtomicU64,
+    /// Result-cache replays (a subset of `served`).
+    result_hits: AtomicU64,
+    /// The most recent admission reservation estimate, after any
+    /// artifact-cache shrink — the observable that warm admission is
+    /// cheaper than cold.
+    last_estimate: AtomicU64,
 }
 
 impl Metrics {
@@ -322,6 +349,14 @@ struct Shared {
     admission: Admission,
     metrics: Metrics,
     draining: AtomicBool,
+    /// The artifact cache (when `--cache-budget` is set), scoped under this
+    /// server's config fingerprint — the same scope the harness injects
+    /// into every run's [`crate::engine::ExecContext`].
+    cache: Option<CacheScope>,
+    /// Completed SimOnly replies by cell id, replayed byte-identically for
+    /// repeat queries. `None` when `--result-cache` is off or timing is
+    /// measured.
+    results: Option<Mutex<HashMap<String, Json>>>,
 }
 
 impl Shared {
@@ -399,10 +434,47 @@ impl Shared {
         })
     }
 
+    /// The working-set bytes the admission controller reserves for a query
+    /// against `size`: the cold estimate minus whatever conversion
+    /// artifacts for that dataset are already resident in the cache
+    /// (still floored at [`MIN_ESTIMATE_BYTES`] — a warm query is cheaper,
+    /// never free).
+    fn admission_estimate(&self, size: SizeClass) -> u64 {
+        let base = working_set_estimate(self.config(), size);
+        let Some(scope) = &self.cache else {
+            return base;
+        };
+        let spec = SizeSpec::scaled(size, self.config().scale);
+        let resident = scope
+            .cache()
+            .bytes_under_prefix(&scope.size_prefix(spec.patients, spec.genes));
+        base.saturating_sub(resident).max(MIN_ESTIMATE_BYTES)
+    }
+
     /// Admit and execute one query request; the reservation is held for
-    /// exactly the duration of the run.
+    /// exactly the duration of the run. A result-cache hit replays the
+    /// stored reply without admission: no storage is touched, so there is
+    /// nothing to reserve.
     fn execute(&self, key: &CellKey) -> std::result::Result<Json, ServeError> {
-        let estimate = working_set_estimate(self.config(), key.size);
+        let id = key.id();
+        if let Some(results) = &self.results {
+            if let Some(reply) = results.lock().expect("result cache").get(&id) {
+                self.metrics.result_hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.served.fetch_add(1, Ordering::Relaxed);
+                *self
+                    .metrics
+                    .queries
+                    .lock()
+                    .expect("metrics")
+                    .entry(key.engine.clone())
+                    .or_insert(0) += 1;
+                return Ok(reply.clone());
+            }
+        }
+        let estimate = self.admission_estimate(key.size);
+        self.metrics
+            .last_estimate
+            .store(estimate, Ordering::Relaxed);
         let _reservation = self
             .admission
             .admit(estimate, &|| self.draining())
@@ -419,8 +491,14 @@ impl Shared {
                 self.metrics.record_outcome(&key.engine, &outcome);
                 let mut reply = Json::obj();
                 reply.set("type", Json::from("result"));
-                reply.set("cell", Json::from(key.id().as_str()));
+                reply.set("cell", Json::from(id.as_str()));
                 reply.set("outcome", outcome.to_json());
+                if let (Some(results), CellOutcome::Completed { .. }) = (&self.results, &outcome) {
+                    results
+                        .lock()
+                        .expect("result cache")
+                        .insert(id, reply.clone());
+                }
                 Ok(reply)
             }
             Err(e) => {
@@ -492,6 +570,29 @@ impl Shared {
         );
         m.set("mem_reserved", Json::from(self.admission.tracker.current()));
         m.set("queue_depth", Json::from(self.admission.queue_depth));
+        match &self.cache {
+            Some(scope) => {
+                let cache = scope.cache();
+                m.set("cache_budget", Json::from(cache.budget()));
+                m.set("cache_bytes", Json::from(cache.bytes()));
+                m.set("cache_entries", Json::from(cache.entries()));
+                m.set("cache_hits", Json::from(cache.hit_count()));
+                m.set("cache_misses", Json::from(cache.miss_count()));
+                m.set("cache_evictions", Json::from(cache.eviction_count()));
+            }
+            None => m.set("cache_budget", Json::Null),
+        }
+        m.set("result_cache", Json::Bool(self.results.is_some()));
+        m.set(
+            "result_cache_hits",
+            Json::from(self.metrics.result_hits.load(Ordering::Relaxed)),
+        );
+        if let Some(results) = &self.results {
+            m.set(
+                "result_cache_entries",
+                Json::from(results.lock().expect("result cache").len()),
+            );
+        }
         m
     }
 
@@ -610,6 +711,52 @@ impl Shared {
             "Open client connections (framed + HTTP).",
             m.connections.load(Ordering::Relaxed),
         );
+        // Cache counters are always exposed (zero when caching is off), so
+        // dashboards and the CI identity check can grep unconditionally.
+        let (artifact_hits, artifact_misses, evictions, cache_bytes) = match &self.cache {
+            Some(scope) => {
+                let c = scope.cache();
+                (c.hit_count(), c.miss_count(), c.eviction_count(), c.bytes())
+            }
+            None => (0, 0, 0, 0),
+        };
+        let result_hits = m.result_hits.load(Ordering::Relaxed);
+        counter(
+            &mut out,
+            "genbase_cache_hits_total",
+            "Cache hits: artifact-cache conversion replays plus result-cache reply replays.",
+            artifact_hits + result_hits,
+        );
+        counter(
+            &mut out,
+            "genbase_cache_misses_total",
+            "Artifact-cache misses (cold conversions that filled or bypassed the cache).",
+            artifact_misses,
+        );
+        counter(
+            &mut out,
+            "genbase_cache_evictions_total",
+            "Artifact-cache entries evicted under the --cache-budget LRU.",
+            evictions,
+        );
+        gauge(
+            &mut out,
+            "genbase_cache_bytes",
+            "Bytes currently charged to the artifact cache's tracker.",
+            cache_bytes,
+        );
+        counter(
+            &mut out,
+            "genbase_result_cache_hits_total",
+            "Served queries answered by replaying a completed SimOnly result.",
+            result_hits,
+        );
+        gauge(
+            &mut out,
+            "genbase_admission_estimate_bytes",
+            "Most recent admission reservation estimate (shrinks on warm artifacts).",
+            m.last_estimate.load(Ordering::Relaxed),
+        );
         out
     }
 }
@@ -649,7 +796,18 @@ impl BenchServer {
                 .map_err(|e| Error::invalid(format!("serve listener: {e}")))?;
         }
         let fingerprint = config_fingerprint(&config);
-        let scheduler = Scheduler::new(config)?;
+        let mut scheduler = Scheduler::new(config)?;
+        let cache = options.cache_budget.map(|budget| {
+            let cache = ArtifactCache::new(budget);
+            scheduler.harness_mut().set_artifact_cache(cache.clone());
+            CacheScope::new(cache, fingerprint.clone())
+        });
+        // Result replays are only byte-identical under deterministic
+        // timing; measured runs carry wall-clock fields, so the flag is
+        // inert there and every query runs cold.
+        let results = (options.result_cache
+            && scheduler.harness().config().timing == TimingMode::SimOnly)
+            .then(|| Mutex::new(HashMap::new()));
         // Warm the pool: every configured size is generated now, so the
         // first query pays no generation latency and concurrent first
         // requests cannot race dataset construction.
@@ -674,6 +832,8 @@ impl BenchServer {
                 admission,
                 metrics: Metrics::default(),
                 draining: AtomicBool::new(false),
+                cache,
+                results,
             },
         })
     }
@@ -913,7 +1073,7 @@ fn dispatch_frame(frame: &Json, shared: &Shared) -> Result<Json> {
                     .ok_or_else(|| Error::invalid("server has no configured sizes"))?,
             };
             let nodes = frame.get("nodes").and_then(Json::as_u64).unwrap_or(1) as usize;
-            let estimate = working_set_estimate(shared.config(), size);
+            let estimate = shared.admission_estimate(size);
             let _reservation = shared
                 .admission
                 .admit(estimate, &|| shared.draining())

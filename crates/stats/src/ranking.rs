@@ -12,6 +12,12 @@ use genbase_util::runtime;
 /// from the thread count) so the merge tree shape is deterministic.
 const SORT_CHUNK: usize = 8192;
 
+/// Minimum input size before the chunked merge sort can beat the serial
+/// stable sort: with fewer than four chunks the pairwise merge rounds are
+/// mostly allocation and copying. Below this the public entry points take
+/// the serial path (identical output — the cutoff is wall-time only).
+const PAR_MIN: usize = 4 * SORT_CHUNK;
+
 /// Indices that sort `values` ascending (stable; NaN-free input expected).
 pub fn rank_sort_indices(values: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
@@ -30,7 +36,26 @@ fn cmp_by_value(values: &[f64], a: usize, b: usize) -> std::cmp::Ordering {
 /// Parallel [`rank_sort_indices`]: fixed-size chunks are sorted on the
 /// shared runtime, then merged pairwise. Identical output to the serial
 /// sort at every thread count (the comparator is total).
+///
+/// The thread budget is clamped to the host's hardware threads, and inputs
+/// under `PAR_MIN` take the serial sort directly: on a machine without
+/// the cores to scale (or an input too small to amortize the merges) the
+/// chunked path is pure overhead, and since its output is bit-identical to
+/// the serial sort's, skipping it can only change wall time.
 pub fn rank_sort_indices_par(values: &[f64], threads: usize) -> Vec<usize> {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if threads.min(host) <= 1 || values.len() < PAR_MIN {
+        return rank_sort_indices(values);
+    }
+    rank_sort_indices_par_unclamped(values, threads.min(host))
+}
+
+/// The chunked merge sort itself, with no host clamp or size cutoff —
+/// the identity tests call this directly so the merge path is exercised
+/// even on single-core CI hosts.
+fn rank_sort_indices_par_unclamped(values: &[f64], threads: usize) -> Vec<usize> {
     let n = values.len();
     if threads <= 1 || n <= SORT_CHUNK {
         return rank_sort_indices(values);
@@ -186,7 +211,9 @@ mod tests {
     #[test]
     fn parallel_sort_matches_serial_exactly() {
         // Bigger than SORT_CHUNK so the merge path actually runs; heavy
-        // ties so tiebreaking by index is exercised.
+        // ties so tiebreaking by index is exercised. The unclamped entry
+        // is used so the merge tree is exercised even on a 1-core host
+        // (the public entry would clamp to the serial fast path there).
         let mut state = 0x1234_5678_u64;
         let values: Vec<f64> = (0..3 * super::SORT_CHUNK + 17)
             .map(|_| {
@@ -199,11 +226,27 @@ mod tests {
         let serial = rank_sort_indices(&values);
         for threads in [1, 2, 8] {
             assert_eq!(
-                rank_sort_indices_par(&values, threads),
+                super::rank_sort_indices_par_unclamped(&values, threads),
                 serial,
                 "threads={threads}"
             );
+            assert_eq!(
+                rank_sort_indices_par(&values, threads),
+                serial,
+                "public entry, threads={threads}"
+            );
             assert_eq!(average_ranks_par(&values, threads), average_ranks(&values));
+        }
+    }
+
+    #[test]
+    fn small_and_clamped_inputs_take_the_serial_fast_path_identically() {
+        // Below PAR_MIN the public entry point must return the serial
+        // result bit-for-bit at any requested thread count.
+        let values: Vec<f64> = (0..super::PAR_MIN - 1).map(|i| (i % 97) as f64).collect();
+        let serial = rank_sort_indices(&values);
+        for threads in [1, 2, 8, 64] {
+            assert_eq!(rank_sort_indices_par(&values, threads), serial);
         }
     }
 }

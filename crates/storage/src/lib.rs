@@ -32,15 +32,18 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod convert;
 pub mod stream;
 pub mod table;
 pub mod tracker;
 
+pub use cache::{digest_ids, ArtifactCache, CachePin, CacheScope, CacheValue, Lookup};
 pub use convert::{
-    chunked_from_dense, columnar_from_column_table, columnar_from_relation, export_csv_tracked,
-    gather_chunked, pivot_csv_tracked, pivot_dense, select_cols_tracked, select_rows_tracked,
-    triples_from_dense,
+    chunked_from_dense, chunked_from_dense_cached, columnar_from_column_table,
+    columnar_from_relation, columnar_from_relation_cached, export_csv_tracked, gather_chunked,
+    pivot_csv_tracked, pivot_dense, pivot_dense_cached, select_cols_tracked, select_rows_tracked,
+    triples_from_dense, triples_from_dense_cached,
 };
 pub use stream::{batch_ranges, carve_view, reassemble, BatchReel, Morsel, DEFAULT_BATCH_ROWS};
 pub use table::{Column, ColumnarTable, TableView};

@@ -49,6 +49,8 @@ struct Inner {
     batches: AtomicU64,
     /// Cumulative bytes written to spill storage by streaming operators.
     spill_bytes: AtomicU64,
+    /// Cumulative artifact-cache hits taken by conversion kernels.
+    cache_hits: AtomicU64,
 }
 
 impl Default for Inner {
@@ -63,6 +65,7 @@ impl Default for Inner {
             rows_out: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             spill_bytes: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
         }
     }
 }
@@ -75,6 +78,7 @@ pub struct OpScope {
     rows_out: u64,
     batches: u64,
     spill_bytes: u64,
+    cache_hits: u64,
 }
 
 /// Per-operator memory deltas, as they appear in a plan trace.
@@ -92,6 +96,8 @@ pub struct MemDelta {
     pub batches: u64,
     /// Bytes the operator spilled to disk to stay under budget.
     pub spill_bytes: u64,
+    /// Artifact-cache hits the operator's conversion kernels took.
+    pub cache_hits: u64,
 }
 
 impl MemTracker {
@@ -185,6 +191,16 @@ impl MemTracker {
         self.inner.spill_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Note one artifact-cache hit taken by a conversion kernel.
+    pub fn note_cache_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative artifact-cache hits across the tracker's lifetime.
+    pub fn cache_hits(&self) -> u64 {
+        self.inner.cache_hits.load(Ordering::Relaxed)
+    }
+
     /// Cumulative spill bytes across the tracker's lifetime.
     pub fn spill_bytes(&self) -> u64 {
         self.inner.spill_bytes.load(Ordering::Relaxed)
@@ -244,6 +260,7 @@ impl MemTracker {
             rows_out: self.inner.rows_out.load(Ordering::Relaxed),
             batches: self.inner.batches.load(Ordering::Relaxed),
             spill_bytes: self.inner.spill_bytes.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -256,6 +273,7 @@ impl MemTracker {
             rows_materialized: self.inner.rows_out.load(Ordering::Relaxed) - scope.rows_out,
             batches: self.inner.batches.load(Ordering::Relaxed) - scope.batches,
             spill_bytes: self.inner.spill_bytes.load(Ordering::Relaxed) - scope.spill_bytes,
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed) - scope.cache_hits,
         }
     }
 }

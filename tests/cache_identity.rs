@@ -1,0 +1,183 @@
+//! Artifact-cache identity: attaching a `--cache-budget` cache to a
+//! harness must never change a cell's outcome bytes. A cache hit replays
+//! the cold path's accounting (inputs, outputs, budget charges, batch
+//! counts) and skips only the compute, so for every engine × query —
+//! materializing and streaming — the warm run's [`CellOutcome::to_json`]
+//! is byte-equal to the cold run's, while the cache's hit counter proves
+//! the replays actually happened. Eviction, pinning and single-flight
+//! mechanics are covered by the unit tests in `genbase_storage::cache`;
+//! this file covers the end-to-end identity contract those mechanics
+//! must preserve.
+
+use genbase::engine::StreamConfig;
+use genbase::harness::HarnessConfig;
+use genbase::sched::{CellKey, FigureId, Scheduler};
+use genbase::Query;
+use genbase_datagen::SizeClass;
+use genbase_storage::ArtifactCache;
+use std::sync::Arc;
+
+fn sim_config(stream: bool) -> HarnessConfig {
+    let mut config = HarnessConfig {
+        threads: 2,
+        ..HarnessConfig::quick()
+    }
+    .sim_only();
+    if stream {
+        config.stream = Some(StreamConfig {
+            batch_rows: 64,
+            spill_dir: None,
+        });
+    }
+    config
+}
+
+fn scheduler(config: HarnessConfig, cache: Option<&Arc<ArtifactCache>>) -> Scheduler {
+    let mut scheduler = Scheduler::new(config).expect("scheduler");
+    if let Some(cache) = cache {
+        scheduler
+            .harness_mut()
+            .set_artifact_cache(Arc::clone(cache));
+    }
+    scheduler
+}
+
+/// Every single-node engine × query cell at the quick scale.
+fn all_cells() -> Vec<CellKey> {
+    let mut cells = Vec::new();
+    for engine in genbase::engines::single_node_engines() {
+        for query in Query::ALL {
+            cells.push(CellKey {
+                figure: FigureId::Fig1,
+                query,
+                size: SizeClass::Small,
+                nodes: 1,
+                engine: engine.name().to_string(),
+            });
+        }
+    }
+    cells
+}
+
+/// Run every cell and render each outcome to its wire/grid JSON.
+fn outcome_bytes(scheduler: &Scheduler, cells: &[CellKey]) -> Vec<String> {
+    cells
+        .iter()
+        .map(|key| {
+            scheduler
+                .run_cell(key, 2)
+                .unwrap_or_else(|e| panic!("cell {} failed: {e}", key.id()))
+                .to_json()
+                .render()
+        })
+        .collect()
+}
+
+fn identity_across_cache_states(stream: bool) {
+    let cold = scheduler(sim_config(stream), None);
+    let cells = all_cells();
+    let cold_bytes = outcome_bytes(&cold, &cells);
+
+    let cache = ArtifactCache::new(256 << 20);
+    let warm = scheduler(sim_config(stream), Some(&cache));
+    // First pass fills the cache, second pass replays from it; both must
+    // be byte-identical to the cache-less run, cell by cell.
+    let fill_bytes = outcome_bytes(&warm, &cells);
+    let fills = cache.miss_count();
+    let replay_bytes = outcome_bytes(&warm, &cells);
+    for ((key, cold), (fill, replay)) in cells
+        .iter()
+        .zip(&cold_bytes)
+        .zip(fill_bytes.iter().zip(&replay_bytes))
+    {
+        assert_eq!(cold, fill, "fill pass diverged on {}", key.id());
+        assert_eq!(cold, replay, "replay pass diverged on {}", key.id());
+    }
+    assert!(
+        fills > 0,
+        "the fill pass should have run cold conversions through the cache"
+    );
+    assert!(
+        cache.hit_count() > 0,
+        "the replay pass should have hit cached artifacts"
+    );
+    assert_eq!(
+        cache.miss_count(),
+        fills,
+        "the replay pass must not re-fill entries the fill pass created"
+    );
+}
+
+#[test]
+fn warm_cells_are_byte_identical_to_cold_cells_materializing() {
+    identity_across_cache_states(false);
+}
+
+#[test]
+fn warm_cells_are_byte_identical_to_cold_cells_streaming() {
+    identity_across_cache_states(true);
+}
+
+#[test]
+fn a_config_fingerprint_mismatch_bypasses_cached_artifacts() {
+    // One shared cache, two configurations (materializing vs streaming
+    // changes the fingerprint): the second scheduler must not replay the
+    // first's artifacts — its keys live under a different prefix.
+    let cache = ArtifactCache::new(256 << 20);
+    let a = scheduler(sim_config(false), Some(&cache));
+    let cell = CellKey {
+        figure: FigureId::Fig1,
+        query: Query::Covariance,
+        size: SizeClass::Small,
+        nodes: 1,
+        engine: "SciDB".to_string(),
+    };
+    a.run_cell(&cell, 2).expect("cold fill run");
+    let hits_before = cache.hit_count();
+    let misses_before = cache.miss_count();
+    assert!(
+        misses_before > 0,
+        "run under config A should fill the cache"
+    );
+
+    let b = scheduler(sim_config(true), Some(&cache));
+    let b_cold = scheduler(sim_config(true), None);
+    let from_shared_cache = b.run_cell(&cell, 2).expect("mismatched-config run");
+    let cold = b_cold.run_cell(&cell, 2).expect("cache-less run");
+    assert_eq!(
+        from_shared_cache.to_json().render(),
+        cold.to_json().render(),
+        "a bypassed cache must leave the outcome untouched"
+    );
+    assert_eq!(
+        cache.hit_count(),
+        hits_before,
+        "config B must not hit config A's artifacts"
+    );
+    assert!(
+        cache.miss_count() > misses_before,
+        "config B's conversions are cold under its own fingerprint"
+    );
+}
+
+#[test]
+fn repeat_runs_share_artifacts_across_queries_on_the_same_dataset() {
+    // Regression and SVD both pivot the same gene-filtered join; the
+    // second query's restructure should hit the artifact the first filled.
+    let cache = ArtifactCache::new(256 << 20);
+    let s = scheduler(sim_config(false), Some(&cache));
+    let cell = |query| CellKey {
+        figure: FigureId::Fig1,
+        query,
+        size: SizeClass::Small,
+        nodes: 1,
+        engine: "Postgres + R".to_string(),
+    };
+    s.run_cell(&cell(Query::Regression), 2).expect("regression");
+    let hits_before = cache.hit_count();
+    s.run_cell(&cell(Query::Svd), 2).expect("svd");
+    assert!(
+        cache.hit_count() > hits_before,
+        "svd should reuse regression's join/pivot artifacts"
+    );
+}
