@@ -38,7 +38,13 @@
 //!                                in the trace change); over-budget
 //!                                streaming cells spill to disk and
 //!                                complete instead of going infinite
-//!               [--batch-rows N] rows per streaming morsel (default 4096)
+//!               [--batch-rows N] rows per streaming morsel (default 4096;
+//!                                must be at least 1)
+//!               [--fused]        fuse the streaming operators into one
+//!                                pass per morsel with selection vectors
+//!                                (implies --stream): output stays
+//!                                byte-identical while bytes moved and
+//!                                peak alloc shrink on every streaming cell
 //!               [--spill-dir P]  directory for streaming spill files
 //!                                (default: system temp)
 //!               [--auth-token T] coordinate/work: shared handshake token
@@ -192,6 +198,7 @@ struct Args {
     faults: Option<String>,
     mem_budget: Option<u64>,
     stream: bool,
+    fused: bool,
     batch_rows: usize,
     spill_dir: Option<String>,
     auth_token: Option<String>,
@@ -244,6 +251,7 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, UsageError> {
         faults: None,
         mem_budget: None,
         stream: false,
+        fused: false,
         batch_rows: 0,
         spill_dir: None,
         auth_token: std::env::var("GENBASE_COORD_TOKEN").ok(),
@@ -347,7 +355,15 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, UsageError> {
             }
             "--mem-budget" => args.mem_budget = Some(parsed!(&mut i, "--mem-budget", "bytes")),
             "--stream" => args.stream = true,
-            "--batch-rows" => args.batch_rows = parsed!(&mut i, "--batch-rows", "rows"),
+            "--fused" => args.fused = true,
+            "--batch-rows" => {
+                args.batch_rows = parsed!(&mut i, "--batch-rows", "rows");
+                // 0 used to silently degrade to 1-row batches; reject it
+                // loudly at parse time instead.
+                if args.batch_rows == 0 {
+                    return Err(UsageError("--batch-rows must be at least 1".into()));
+                }
+            }
             "--spill-dir" => args.spill_dir = Some(value(&mut i, "--spill-dir")?),
             "--auth-token" => args.auth_token = Some(value(&mut i, "--auth-token")?),
             "--json" => args.json = true,
@@ -406,12 +422,13 @@ fn harness_config(args: &Args) -> HarnessConfig {
         config.timing = TimingMode::SimOnly;
     }
     config.mem_budget = args.mem_budget;
-    if args.stream || args.batch_rows > 0 || args.spill_dir.is_some() {
+    if args.stream || args.fused || args.batch_rows > 0 || args.spill_dir.is_some() {
         let mut stream = genbase::engine::StreamConfig::default();
         if args.batch_rows > 0 {
             stream.batch_rows = args.batch_rows;
         }
         stream.spill_dir = args.spill_dir.as_ref().map(std::path::PathBuf::from);
+        stream.fused = args.fused;
         config.stream = Some(stream);
     }
     config
@@ -498,6 +515,7 @@ fn run(args: &Args) -> Result<()> {
         entries.extend(perf::artifact_cache(args.bench_size, args.bench_iters)?);
         entries.extend(perf::sweep_wall_clock()?);
         entries.extend(perf::streaming_memory()?);
+        entries.extend(perf::streaming_fused()?);
         perf::warn_scaling_rows(&entries);
         let json = perf::to_json(args.bench_size, &entries);
         std::fs::write(&args.bench_out, &json)
@@ -1167,6 +1185,7 @@ mod perf {
         let streaming = Harness::new(config(Some(StreamConfig {
             batch_rows: 64,
             spill_dir: None,
+            fused: false,
         })))?;
         let engines = genbase::engines::single_node_engines();
         let mut entries = Vec::new();
@@ -1208,6 +1227,151 @@ mod perf {
                 ns_per_iter: strm as f64,
                 iters: 1,
             });
+        }
+        Ok(entries)
+    }
+
+    /// Fused-vs-staged streaming smoke: run covariance on all four
+    /// SQL-bridge streaming engines both ways and record wall nanoseconds
+    /// plus total storage-layer bytes moved and peak resident bytes per
+    /// mode (byte rows reuse the `ns_per_iter` column as their value, like
+    /// [`streaming_memory`]). Fails the bench if a fused cell ever moves
+    /// at least as many bytes as its staged counterpart, or exceeds its
+    /// peak: the fused pipeline exists to shrink data movement, so that
+    /// ordering is part of the baseline contract.
+    pub fn streaming_fused() -> genbase_util::Result<Vec<Entry>> {
+        use genbase::engine::StreamConfig;
+        use genbase::harness::{Harness, HarnessConfig};
+        use genbase::{Query, RunOutcome};
+        use genbase_datagen::SizeClass;
+
+        let config = |fused: bool| {
+            let mut c = HarnessConfig {
+                scale: 0.012,
+                sizes: vec![SizeClass::Small],
+                r_mem_bytes: u64::MAX,
+                ..Default::default()
+            }
+            .sim_only();
+            c.stream = Some(StreamConfig {
+                batch_rows: 64,
+                spill_dir: None,
+                fused,
+            });
+            c
+        };
+        let run = |harness: &Harness, engine: &dyn genbase::Engine, query: Query| {
+            let start = std::time::Instant::now();
+            let record = harness.run_cell(engine, query, SizeClass::Small, 1)?;
+            let ns = start.elapsed().as_nanos() as f64;
+            match &record.outcome {
+                RunOutcome::Completed(report) => {
+                    let mem = report.memory();
+                    Ok((ns, mem.bytes_in + mem.bytes_out, mem.peak_alloc_bytes))
+                }
+                other => Err(genbase_util::Error::invalid(format!(
+                    "bench cell {} {query:?} did not complete: {other:?}",
+                    engine.name()
+                ))),
+            }
+        };
+        let staged = Harness::new(config(false))?;
+        let fused = Harness::new(config(true))?;
+        let engines = genbase::engines::single_node_engines();
+        // Per engine: [staged ns, fused ns, staged bytes, fused bytes,
+        // staged peak, fused peak].
+        let rows: [(&str, [&'static str; 6]); 4] = [
+            (
+                "Postgres + Madlib",
+                [
+                    "stream_staged_ns_madlib",
+                    "stream_fused_ns_madlib",
+                    "stream_staged_bytes_madlib",
+                    "stream_fused_bytes_madlib",
+                    "stream_staged_peak_madlib",
+                    "stream_fused_peak_madlib",
+                ],
+            ),
+            (
+                "Postgres + R",
+                [
+                    "stream_staged_ns_postgres_r",
+                    "stream_fused_ns_postgres_r",
+                    "stream_staged_bytes_postgres_r",
+                    "stream_fused_bytes_postgres_r",
+                    "stream_staged_peak_postgres_r",
+                    "stream_fused_peak_postgres_r",
+                ],
+            ),
+            (
+                "Column store + R",
+                [
+                    "stream_staged_ns_column_r",
+                    "stream_fused_ns_column_r",
+                    "stream_staged_bytes_column_r",
+                    "stream_fused_bytes_column_r",
+                    "stream_staged_peak_column_r",
+                    "stream_fused_peak_column_r",
+                ],
+            ),
+            (
+                "Column store + UDFs",
+                [
+                    "stream_staged_ns_column_udf",
+                    "stream_fused_ns_column_udf",
+                    "stream_staged_bytes_column_udf",
+                    "stream_fused_bytes_column_udf",
+                    "stream_staged_peak_column_udf",
+                    "stream_fused_peak_column_udf",
+                ],
+            ),
+        ];
+        let mut entries = Vec::new();
+        for (name, ops) in rows {
+            let engine = engines
+                .iter()
+                .find(|e| e.name() == name)
+                .expect("bench engine registered");
+            let query = Query::Covariance;
+            let (staged_ns, staged_bytes, staged_peak) = run(&staged, engine.as_ref(), query)?;
+            let (fused_ns, fused_bytes, fused_peak) = run(&fused, engine.as_ref(), query)?;
+            eprintln!(
+                "bench: {name} covariance bytes moved: staged {}, fused {} \
+                 (peak {} vs {})",
+                genbase_util::fmt_bytes(staged_bytes),
+                genbase_util::fmt_bytes(fused_bytes),
+                genbase_util::fmt_bytes(staged_peak),
+                genbase_util::fmt_bytes(fused_peak),
+            );
+            if fused_bytes >= staged_bytes {
+                return Err(genbase_util::Error::invalid(format!(
+                    "fused streaming moved {fused_bytes} bytes on {name} covariance, \
+                     not below the staged path's {staged_bytes}"
+                )));
+            }
+            if fused_peak > staged_peak {
+                return Err(genbase_util::Error::invalid(format!(
+                    "fused streaming peak_alloc regression on {name} covariance: \
+                     {fused_peak} bytes fused vs {staged_peak} bytes staged"
+                )));
+            }
+            let values = [
+                staged_ns,
+                fused_ns,
+                staged_bytes as f64,
+                fused_bytes as f64,
+                staged_peak as f64,
+                fused_peak as f64,
+            ];
+            for (op, value) in ops.into_iter().zip(values) {
+                entries.push(Entry {
+                    op,
+                    size: 60,
+                    threads: 1,
+                    ns_per_iter: value,
+                    iters: 1,
+                });
+            }
         }
         Ok(entries)
     }

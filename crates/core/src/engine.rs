@@ -17,6 +17,10 @@ pub struct StreamConfig {
     pub batch_rows: usize,
     /// Directory for spill files (`--spill-dir`); system temp when `None`.
     pub spill_dir: Option<std::path::PathBuf>,
+    /// Fuse the streaming operators into one pass per morsel with
+    /// selection vectors (`--fused`); `false` runs the staged path where
+    /// every operator replays the reel itself.
+    pub fused: bool,
 }
 
 impl Default for StreamConfig {
@@ -24,6 +28,7 @@ impl Default for StreamConfig {
         StreamConfig {
             batch_rows: genbase_storage::DEFAULT_BATCH_ROWS,
             spill_dir: None,
+            fused: false,
         }
     }
 }

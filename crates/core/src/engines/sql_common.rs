@@ -623,6 +623,9 @@ struct StreamState {
     reel: BatchReel,
     batch_rows: usize,
     threads: usize,
+    /// Fused pipeline mode: joins stage their filters without a reel pass
+    /// and the consuming operator runs one probe+sink pass per morsel.
+    fused: bool,
     gene_filter: Option<HashSet<i64>>,
     patient_filter: Option<HashSet<i64>>,
     /// Triples passing the staged filters — the row count the materialized
@@ -638,6 +641,41 @@ impl StreamState {
 
     fn scan(&self) -> ReelScan<'_> {
         ReelScan { state: self }
+    }
+
+    /// Semijoin probe of the fused pipeline: mark a batch's survivors of
+    /// the staged filters as a selection vector. Pure per-batch function —
+    /// safe to run in parallel at any thread count.
+    fn probe(&self, m: &Morsel) -> storage::SelVec {
+        let g = m.int_col(0).expect("reel gene column");
+        let p = m.int_col(1).expect("reel patient column");
+        storage::SelVec::from_predicate(m.n_rows(), |i| self.passes(g[i], p[i]))
+    }
+
+    /// Filter ids that actually occur in the reel's dense id domain `0..n`
+    /// (the reel holds every `(gene, patient)` pair exactly once, so this
+    /// is what a counting pass would tally per row of the other dimension).
+    fn domain_count(filter: &HashSet<i64>, n: usize) -> usize {
+        filter
+            .iter()
+            .filter(|&&id| id >= 0 && (id as usize) < n)
+            .count()
+    }
+
+    /// Rows of the reel passing *both* staged filters, computed without a
+    /// pass. The fused pipeline records this where the staged path ran a
+    /// counting pass, and verifies it against the actual survivor count of
+    /// its one fused pass.
+    fn expected_survivors(&self, n_genes: usize, n_patients: usize) -> usize {
+        let g = match &self.gene_filter {
+            Some(f) => Self::domain_count(f, n_genes),
+            None => n_genes,
+        };
+        let p = match &self.patient_filter {
+            Some(f) => Self::domain_count(f, n_patients),
+            None => n_patients,
+        };
+        g * p
     }
 }
 
@@ -673,9 +711,12 @@ fn reel_from_dataset(
     cfg: &StreamConfig,
     mem_budget: Option<u64>,
 ) -> Result<BatchReel> {
+    if cfg.batch_rows == 0 {
+        return Err(Error::invalid("batch_rows must be at least 1"));
+    }
     let cap = mem_budget.map(|b| b / 4).unwrap_or(u64::MAX);
     let mut reel = BatchReel::new(mem, triple_schema(), cap, cfg.spill_dir.as_deref());
-    let batch = cfg.batch_rows.max(1);
+    let batch = cfg.batch_rows;
     let mut gene_col: Vec<i64> = Vec::with_capacity(batch);
     let mut patient_col: Vec<i64> = Vec::with_capacity(batch);
     let mut value_col: Vec<f64> = Vec::with_capacity(batch);
@@ -994,8 +1035,9 @@ impl SqlEngineSpec {
                 let reel = reel_from_dataset(data, &mem, cfg, ctx.mem_budget)?;
                 let state = StreamState {
                     reel,
-                    batch_rows: cfg.batch_rows.max(1),
+                    batch_rows: cfg.batch_rows,
                     threads: ctx.threads.max(1),
+                    fused: cfg.fused,
                     gene_filter: None,
                     patient_filter: None,
                     joined_rows: 0,
@@ -1189,6 +1231,34 @@ impl PhysicalBackend for SqlBackend<'_> {
                 let patient_ids: Vec<i64> = (0..data.n_patients() as i64).collect();
                 let label = format!("hash join: triples x {} filtered genes", gene_ids.len());
                 if let Some(st) = self.stream.as_mut() {
+                    if st.fused {
+                        // Fused lowering: stage the filter only — no reel
+                        // pass at all. The matched-row count the staged
+                        // counting pass would tally is known analytically
+                        // (the reel is the dense patient x gene cross
+                        // product) and verified by the fused pass later.
+                        let filter: HashSet<i64> = gene_ids.iter().copied().collect();
+                        let matched =
+                            StreamState::domain_count(&filter, data.n_genes()) * data.n_patients();
+                        let y = tracer.exec(
+                            OpKind::Join,
+                            Phase::DataManagement,
+                            format!("stage semijoin: {} filtered genes (fused)", gene_ids.len()),
+                            || {
+                                mem.note_selected(matched as u64);
+                                if want_y {
+                                    store.drug_responses(&patient_ids)
+                                } else {
+                                    Ok(Vec::new())
+                                }
+                            },
+                        )?;
+                        st.gene_filter = Some(filter);
+                        st.joined_rows = matched;
+                        self.patient_ids = patient_ids;
+                        self.y = y;
+                        return Ok(());
+                    }
                     // Streaming lowering: stage the join as a semijoin
                     // filter on the reel. The matched-row count (one
                     // parallel counting pass over the morsels) is what the
@@ -1252,23 +1322,45 @@ impl PhysicalBackend for SqlBackend<'_> {
                     patient_ids.len()
                 );
                 if let Some(st) = self.stream.as_mut() {
-                    let filter: HashSet<i64> = patient_ids.iter().copied().collect();
-                    let reel = &st.reel;
-                    let threads = st.threads;
-                    let matched =
-                        tracer.exec(OpKind::Join, Phase::DataManagement, label, || {
-                            mem.note_input(reel.span_bytes());
-                            let counts = reel.map_batches(threads, |m| {
-                                let p = m.int_col(1).expect("reel patient column");
-                                p.iter().filter(|p| filter.contains(p)).count()
+                    if st.fused {
+                        // Fused lowering: stage the filter, defer the pass
+                        // (see `JoinOnGenes`).
+                        let filter: HashSet<i64> = patient_ids.iter().copied().collect();
+                        let matched =
+                            StreamState::domain_count(&filter, data.n_patients()) * data.n_genes();
+                        tracer.exec(
+                            OpKind::Join,
+                            Phase::DataManagement,
+                            format!(
+                                "stage semijoin: {} selected patients (fused)",
+                                patient_ids.len()
+                            ),
+                            || {
+                                mem.note_selected(matched as u64);
+                                Ok(())
+                            },
+                        )?;
+                        st.patient_filter = Some(filter);
+                        st.joined_rows = matched;
+                    } else {
+                        let filter: HashSet<i64> = patient_ids.iter().copied().collect();
+                        let reel = &st.reel;
+                        let threads = st.threads;
+                        let matched =
+                            tracer.exec(OpKind::Join, Phase::DataManagement, label, || {
+                                mem.note_input(reel.span_bytes());
+                                let counts = reel.map_batches(threads, |m| {
+                                    let p = m.int_col(1).expect("reel patient column");
+                                    p.iter().filter(|p| filter.contains(p)).count()
+                                })?;
+                                let matched: usize = counts.iter().sum();
+                                mem.note_output((matched * 24) as u64, matched as u64);
+                                mem.note_batches(reel.n_batches() as u64);
+                                Ok(matched)
                             })?;
-                            let matched: usize = counts.iter().sum();
-                            mem.note_output((matched * 24) as u64, matched as u64);
-                            mem.note_batches(reel.n_batches() as u64);
-                            Ok(matched)
-                        })?;
-                    st.patient_filter = Some(filter);
-                    st.joined_rows = matched;
+                        st.patient_filter = Some(filter);
+                        st.joined_rows = matched;
+                    }
                 } else {
                     let cache = self.cache.clone();
                     let dims = (data.n_patients(), data.n_genes());
@@ -1384,7 +1476,55 @@ impl PhysicalBackend for SqlBackend<'_> {
                 let mem = &self.mem;
                 let n_genes = data.n_genes();
                 let label = "GROUP BY gene_id: per-gene mean of the sample";
-                let scores = if let Some(st) = self.stream.as_ref() {
+                let scores = if let Some(st) = self.stream.as_ref().filter(|st| st.fused) {
+                    // Fused lowering: the only reel pass of the Statistics
+                    // pipeline — parallel semijoin probe, serial in-push-
+                    // order accumulate over the survivors, so the f64 sums
+                    // are bit-identical to the staged hash aggregate.
+                    let expected = st.expected_survivors(data.n_genes(), data.n_patients()) as u64;
+                    tracer.exec(
+                        OpKind::GroupAgg,
+                        Phase::DataManagement,
+                        format!("{label} (fused)"),
+                        || {
+                            mem.note_input(st.reel.span_bytes());
+                            mem.note_output((n_genes * 8) as u64, n_genes as u64);
+                            mem.note_batches(st.reel.n_batches() as u64);
+                            let mut acc: HashMap<i64, (f64, u64)> = HashMap::new();
+                            let survivors = storage::fused_scan(
+                                &st.reel,
+                                st.threads,
+                                |m| st.probe(m),
+                                |m, sel| {
+                                    let g = m.int_col(0)?;
+                                    let v = m.float_col(2)?;
+                                    for &i in sel.positions() {
+                                        let e = acc.entry(g[i as usize]).or_insert((0.0, 0));
+                                        e.0 += v[i as usize];
+                                        e.1 += 1;
+                                    }
+                                    Ok(())
+                                },
+                            )?;
+                            if survivors != expected {
+                                return Err(Error::invalid(format!(
+                                    "fused group-by saw {survivors} survivors, expected {expected}"
+                                )));
+                            }
+                            mem.note_selected(survivors);
+                            let mut groups: Vec<(i64, f64, u64)> =
+                                acc.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
+                            groups.sort_unstable_by_key(|&(k, _, _)| k);
+                            let mut scores = vec![0.0; n_genes];
+                            for (g, s, c) in groups {
+                                if (g as usize) < scores.len() && c > 0 {
+                                    scores[g as usize] = s / c as f64;
+                                }
+                            }
+                            Ok(scores)
+                        },
+                    )?
+                } else if let Some(st) = self.stream.as_ref() {
                     tracer.exec(OpKind::GroupAgg, Phase::DataManagement, label, || {
                         mem.note_input((st.joined_rows * 24) as u64);
                         mem.note_output((n_genes * 8) as u64, n_genes as u64);
@@ -1465,6 +1605,9 @@ impl SqlBackend<'_> {
     /// resolution — and therefore the matrix — is bit-identical to the
     /// materializing pivot.
     fn stream_restructure(&mut self, tracer: &mut Tracer) -> Result<()> {
+        if self.stream.as_ref().is_some_and(|st| st.fused) {
+            return self.fused_restructure(tracer);
+        }
         let st = self.stream.as_ref().expect("streaming state");
         let mem = &self.mem;
         let (patient_ids, gene_ids) = (&self.patient_ids, &self.gene_ids);
@@ -1605,6 +1748,208 @@ impl SqlBackend<'_> {
                         }
                         mem.note_output(mat.heap_bytes(), mat.rows() as u64);
                         mem.note_batches(st.reel.n_batches() as u64);
+                        DenseHandle::new(mem, mat)
+                    },
+                )?;
+                self.pins.extend(pin);
+                handle
+            }
+        };
+        if self.spec.udf_q3_penalty && self.query == Query::Biclustering {
+            let db_budget = &self.db_budget;
+            mat = tracer.exec(
+                OpKind::Marshal,
+                Phase::DataManagement,
+                "UDF interface: box every row as records",
+                || {
+                    let boxed = udf_row_marshal(&mat, db_budget, mem)?;
+                    DenseHandle::new(mem, boxed)
+                },
+            )?;
+        }
+        self.mat = Some(mat);
+        Ok(())
+    }
+
+    /// Fused lowering of [`LogicalOp::Restructure`]: the deferred semijoin
+    /// and the pivot/export run as *one* probe+sink pass over the reel
+    /// ([`genbase_storage::fused_scan`]) — the staged path's counting pass
+    /// and double export pass never happen. The probe marks each batch's
+    /// survivors in parallel; the serial in-push-order sink scatters (or
+    /// serializes, re-parses, and scatters, on the export bridge) only the
+    /// survivors, so duplicate resolution and f64 effects are bit-identical
+    /// to the staged and materializing paths.
+    fn fused_restructure(&mut self, tracer: &mut Tracer) -> Result<()> {
+        let st = self.stream.as_ref().expect("streaming state");
+        let mem = &self.mem;
+        let (patient_ids, gene_ids) = (&self.patient_ids, &self.gene_ids);
+        let rows = patient_ids.len();
+        let cols = gene_ids.len();
+        let row_index: HashMap<i64, usize> = patient_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let col_index: HashMap<i64, usize> = gene_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let expected = st.expected_survivors(self.data.n_genes(), self.data.n_patients()) as u64;
+        let n_batches = st.reel.n_batches() as u64;
+        let mut mat = match self.spec.bridge {
+            Bridge::ExportToR => {
+                // One pass drives both halves of the bridge: the sink
+                // serializes each batch's survivors straight off the
+                // selection vector, immediately re-parses the chunk (the
+                // values still make the CSV format -> parse round trip the
+                // bridge measures) and scatters it, then drops the text.
+                // The R half's tallies are recorded as its own trace op
+                // below, from the same pass.
+                let db_budget = &self.db_budget;
+                let r_budget = &self.r_budget;
+                let mut text_total = 0u64;
+                let mut mat_stats = (0u64, 0u64); // (heap bytes, rows)
+                let handle = tracer.exec(
+                    OpKind::Export,
+                    Phase::DataManagement,
+                    format!("fused COPY TO: {} triples as CSV text", st.joined_rows),
+                    || {
+                        mem.note_input(st.reel.span_bytes());
+                        db_budget.check("csv export")?;
+                        let mut mat = Matrix::zeros_budgeted(rows, cols, r_budget)?;
+                        let survivors = storage::fused_scan(
+                            &st.reel,
+                            st.threads,
+                            |m| st.probe(m),
+                            |m, sel| {
+                                if sel.is_empty() {
+                                    return Ok(());
+                                }
+                                let mut text = String::new();
+                                storage::csv_selected(m, sel, &mut text);
+                                text_total += text.len() as u64;
+                                let parsed =
+                                    genbase_relational::import_matrix_csv(&text, r_budget)?;
+                                if parsed.cols != 3 && parsed.rows != 0 {
+                                    return Err(Error::invalid(
+                                        "exported triples must have 3 columns",
+                                    ));
+                                }
+                                for r in 0..parsed.rows {
+                                    let g = parsed.data[r * 3] as i64;
+                                    let p = parsed.data[r * 3 + 1] as i64;
+                                    let v = parsed.data[r * 3 + 2];
+                                    if let (Some(&ri), Some(&ci)) =
+                                        (row_index.get(&p), col_index.get(&g))
+                                    {
+                                        mat.set(ri, ci, v);
+                                    }
+                                }
+                                Ok(())
+                            },
+                        )?;
+                        if survivors != expected {
+                            return Err(Error::invalid(format!(
+                                "fused export saw {survivors} survivors, expected {expected}"
+                            )));
+                        }
+                        mem.note_output(text_total, st.joined_rows as u64);
+                        mem.note_batches(n_batches);
+                        mem.note_selected(survivors);
+                        r_budget.free(mat.heap_bytes());
+                        mat_stats = (mat.heap_bytes(), mat.rows() as u64);
+                        DenseHandle::new(mem, mat)
+                    },
+                )?;
+                tracer.record(
+                    OpKind::Restructure,
+                    Phase::DataManagement,
+                    "R read.csv + pivot to matrix (fused pass)".to_string(),
+                    OpCost {
+                        bytes_in: text_total,
+                        bytes_out: mat_stats.0,
+                        peak_alloc_bytes: mem.peak(),
+                        rows_materialized: mat_stats.1,
+                        batches: n_batches,
+                        rows_selected: expected,
+                        ..OpCost::default()
+                    },
+                );
+                handle
+            }
+            Bridge::InProcess | Bridge::InDatabase => {
+                let db_budget = &self.db_budget;
+                let cache = self.cache.clone();
+                let dims = (self.data.n_patients(), self.data.n_genes());
+                let mut pin = None;
+                let handle = tracer.exec(
+                    OpKind::Restructure,
+                    Phase::DataManagement,
+                    format!("fused pivot to {rows}x{cols} matrix"),
+                    || {
+                        let mut build = None;
+                        if let Some(scope) = cache.as_ref() {
+                            // A fused artifact is bit-identical to the
+                            // staged one, but its key stays distinct
+                            // ("fused-pivot") so a warm fused cell replays
+                            // *fused* cold accounting, never staged.
+                            let extra = format!(
+                                "r{:016x}|k{:016x}",
+                                storage::digest_ids(patient_ids),
+                                storage::digest_ids(gene_ids)
+                            );
+                            let key = scope.key(dims.0, dims.1, "fused-pivot", &extra);
+                            match scope.cache().begin(&key) {
+                                storage::Lookup::Hit(value, p) => {
+                                    let cached = value.as_dense().ok_or_else(|| {
+                                        Error::invalid("cache type confusion on a fused-pivot key")
+                                    })?;
+                                    db_budget.check("pivot")?;
+                                    mem.note_input(st.reel.span_bytes());
+                                    db_budget
+                                        .alloc((rows * cols * 8) as u64, (rows * cols) as u64)?;
+                                    db_budget.free((rows * cols * 8) as u64);
+                                    let mat = cached.clone();
+                                    mem.note_output(mat.heap_bytes(), mat.rows() as u64);
+                                    mem.note_batches(n_batches);
+                                    mem.note_cache_hit();
+                                    mem.note_selected(expected);
+                                    pin = Some(p);
+                                    return DenseHandle::new(mem, mat);
+                                }
+                                storage::Lookup::Build(slot) => build = Some(slot),
+                            }
+                        }
+                        db_budget.check("pivot")?;
+                        mem.note_input(st.reel.span_bytes());
+                        db_budget.alloc((rows * cols * 8) as u64, (rows * cols) as u64)?;
+                        let mut data = vec![0.0; rows * cols];
+                        let survivors = storage::fused_scan(
+                            &st.reel,
+                            st.threads,
+                            |m| st.probe(m),
+                            |m, sel| {
+                                storage::scatter_selected(
+                                    m, sel, 1, 0, 2, &row_index, &col_index, cols, &mut data,
+                                )
+                            },
+                        )?;
+                        if survivors != expected {
+                            return Err(Error::invalid(format!(
+                                "fused pivot saw {survivors} survivors, expected {expected}"
+                            )));
+                        }
+                        db_budget.free((rows * cols * 8) as u64);
+                        let mat = Matrix::from_vec(rows, cols, data)?;
+                        if let Some(slot) = build {
+                            pin = slot
+                                .fill(CacheValue::Dense(mat.clone()))
+                                .map(|(_, pin)| pin);
+                        }
+                        mem.note_output(mat.heap_bytes(), mat.rows() as u64);
+                        mem.note_batches(n_batches);
+                        mem.note_selected(survivors);
                         DenseHandle::new(mem, mat)
                     },
                 )?;

@@ -251,6 +251,24 @@ impl Harness {
         threads: usize,
         progress: Option<genbase_util::ProgressHandle>,
     ) -> Result<RunRecord> {
+        self.run_cell_with_overrides(engine, query, size, nodes, threads, progress, None)
+    }
+
+    /// [`Harness::run_cell_with_progress`] with the morsel-streaming config
+    /// replaced for this run only (the served path's per-request
+    /// `"stream"` override). The artifact-cache scope is re-keyed under the
+    /// overridden config's fingerprint, so staged and fused runs never
+    /// share cached conversion artifacts.
+    pub fn run_cell_with_overrides(
+        &self,
+        engine: &dyn Engine,
+        query: Query,
+        size: SizeClass,
+        nodes: usize,
+        threads: usize,
+        progress: Option<genbase_util::ProgressHandle>,
+        stream: Option<crate::engine::StreamConfig>,
+    ) -> Result<RunRecord> {
         let outcome = if !engine.supports(query) || nodes > engine.max_nodes() {
             RunOutcome::Unsupported
         } else {
@@ -258,6 +276,17 @@ impl Harness {
             let params = self.params(size)?;
             let mut ctx = self.context_with_threads(nodes, threads);
             ctx.progress = progress;
+            if let Some(stream) = stream {
+                let mut cfg = self.config.clone();
+                cfg.stream = Some(stream.clone());
+                ctx.stream = Some(stream);
+                ctx.cache = self.cache.as_ref().map(|cache| {
+                    genbase_storage::CacheScope::new(
+                        cache.clone(),
+                        crate::sched::config_fingerprint(&cfg),
+                    )
+                });
+            }
             match engine.run(query, &data, &params, &ctx) {
                 Ok(mut report) => {
                     if self.config.timing == TimingMode::SimOnly {

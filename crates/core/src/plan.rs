@@ -243,6 +243,12 @@ pub struct OpCost {
     /// the serialized trace, because a warm cell must stay byte-identical
     /// to its cold run on the wire and in grid files.
     pub cache_hits: u64,
+    /// Rows the op passed downstream as selection-vector survivors instead
+    /// of materialized copies (fused streaming only). Display-only (the
+    /// `sel rows` explain column), same contract as `cache_hits`: never
+    /// serialized, so fused and staged cells stay byte-identical on the
+    /// wire and in grid files.
+    pub rows_selected: u64,
 }
 
 impl OpCost {
@@ -268,6 +274,7 @@ impl OpCost {
         self.batches = mem.batches;
         self.spill_bytes = mem.spill_bytes;
         self.cache_hits = mem.cache_hits;
+        self.rows_selected = mem.rows_selected;
         self
     }
 
@@ -358,7 +365,9 @@ impl OpTrace {
                 rows_materialized: mem("rows"),
                 batches: mem("batches"),
                 spill_bytes: mem("spill"),
+                // Display-only columns never round-trip (see `OpCost`).
                 cache_hits: 0,
+                rows_selected: 0,
             },
         })
     }
@@ -445,6 +454,7 @@ impl PlanTrace {
             ("batches", Align::Right),
             ("spill", Align::Right),
             ("cache", Align::Right),
+            ("sel rows", Align::Right),
         ]);
         for op in &self.ops {
             table.row(vec![
@@ -462,6 +472,7 @@ impl PlanTrace {
                 op.cost.batches.to_string(),
                 genbase_util::fmt_bytes(op.cost.spill_bytes),
                 op.cost.cache_hits.to_string(),
+                op.cost.rows_selected.to_string(),
             ]);
         }
         table

@@ -344,10 +344,15 @@ pub fn config_fingerprint(config: &HarnessConfig) -> String {
     };
     // Streaming mode changes the trace's memory dimension (batches, spill,
     // peak), so cells from streaming and materializing runs must not merge.
-    // Only `batch_rows` is semantic; the spill directory is not. Same
-    // append-only-when-set pattern as `membudget` for file compatibility.
+    // `batch_rows` and the staged/fused split are semantic; the spill
+    // directory is not. Same append-only-when-set pattern as `membudget`
+    // for file compatibility.
     let stream = match &config.stream {
-        Some(s) => format!(";stream=batch{}", s.batch_rows),
+        Some(s) => format!(
+            ";stream=batch{}{}",
+            s.batch_rows,
+            if s.fused { "+fused" } else { "" }
+        ),
         None => String::new(),
     };
     format!(
@@ -725,6 +730,29 @@ impl Scheduler {
         let rec = self
             .harness
             .run_cell_with_progress(engine, key.query, key.size, key.nodes, threads, progress)?;
+        Ok(CellOutcome::from_run(&rec.outcome))
+    }
+
+    /// Execute one cell with the morsel-streaming config replaced for this
+    /// run only (the server's per-request `"stream": "staged"|"fused"`
+    /// override). Everything else — dataset, plan, thread budget — comes
+    /// from the resident configuration.
+    pub fn run_cell_with_stream(
+        &self,
+        key: &CellKey,
+        threads: usize,
+        stream: crate::engine::StreamConfig,
+    ) -> Result<CellOutcome> {
+        let engine = self.engine(&key.engine)?;
+        let rec = self.harness.run_cell_with_overrides(
+            engine,
+            key.query,
+            key.size,
+            key.nodes,
+            threads,
+            None,
+            Some(stream),
+        )?;
         Ok(CellOutcome::from_run(&rec.outcome))
     }
 

@@ -29,6 +29,7 @@
 //! admissions are rejected as draining, idle connections get a `bye`, and
 //! [`BenchServer::serve`] returns a final [`ServeReport`].
 
+use crate::engine::StreamConfig;
 use crate::figures;
 use crate::harness::{HarnessConfig, TimingMode};
 use crate::plan::{logical_plan, LogicalPlan, Phase};
@@ -434,6 +435,33 @@ impl Shared {
         })
     }
 
+    /// Parse the optional per-request streaming override: `"stream":
+    /// "staged"` or `"stream": "fused"` replaces the fused bit of the
+    /// server's resident `--stream` config for this query only, so one
+    /// server can answer both paths back to back. Requires the server to
+    /// have been started with `--stream`; an absent field runs the cell
+    /// exactly as configured.
+    fn stream_from_request(&self, req: &Json) -> Result<Option<StreamConfig>> {
+        let Some(mode) = req.get("stream").and_then(Json::as_str) else {
+            return Ok(None);
+        };
+        let fused = match mode {
+            "staged" => false,
+            "fused" => true,
+            other => {
+                return Err(Error::invalid(format!(
+                    "unknown stream mode {other:?} (expected \"staged\" or \"fused\")"
+                )))
+            }
+        };
+        let Some(base) = self.config().stream.clone() else {
+            return Err(Error::invalid(
+                "stream override requires a server started with --stream",
+            ));
+        };
+        Ok(Some(StreamConfig { fused, ..base }))
+    }
+
     /// The working-set bytes the admission controller reserves for a query
     /// against `size`: the cold estimate minus whatever conversion
     /// artifacts for that dataset are already resident in the cache
@@ -455,9 +483,16 @@ impl Shared {
     /// exactly the duration of the run. A result-cache hit replays the
     /// stored reply without admission: no storage is touched, so there is
     /// nothing to reserve.
-    fn execute(&self, key: &CellKey) -> std::result::Result<Json, ServeError> {
+    /// A `stream` override bypasses the result cache entirely — the cell id
+    /// does not encode the streaming mode, and staged/fused traces differ
+    /// in their memory columns by design.
+    fn execute(
+        &self,
+        key: &CellKey,
+        stream: Option<StreamConfig>,
+    ) -> std::result::Result<Json, ServeError> {
         let id = key.id();
-        if let Some(results) = &self.results {
+        if let (Some(results), None) = (&self.results, &stream) {
             if let Some(reply) = results.lock().expect("result cache").get(&id) {
                 self.metrics.result_hits.fetch_add(1, Ordering::Relaxed);
                 self.metrics.served.fetch_add(1, Ordering::Relaxed);
@@ -484,7 +519,11 @@ impl Shared {
             })?;
         self.metrics.inflight.fetch_add(1, Ordering::Relaxed);
         let threads = self.config().threads.max(1);
-        let run = self.scheduler.run_cell(key, threads);
+        let stream_cached = stream.is_none();
+        let run = match stream {
+            Some(s) => self.scheduler.run_cell_with_stream(key, threads, s),
+            None => self.scheduler.run_cell(key, threads),
+        };
         self.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
         match run {
             Ok(outcome) => {
@@ -494,10 +533,12 @@ impl Shared {
                 reply.set("cell", Json::from(id.as_str()));
                 reply.set("outcome", outcome.to_json());
                 if let (Some(results), CellOutcome::Completed { .. }) = (&self.results, &outcome) {
-                    results
-                        .lock()
-                        .expect("result cache")
-                        .insert(id, reply.clone());
+                    if stream_cached {
+                        results
+                            .lock()
+                            .expect("result cache")
+                            .insert(id, reply.clone());
+                    }
                 }
                 Ok(reply)
             }
@@ -1035,7 +1076,8 @@ fn dispatch_frame(frame: &Json, shared: &Shared) -> Result<Json> {
     match msg_type(frame)? {
         "query" => {
             let key = shared.cell_from_request(frame)?;
-            match shared.execute(&key) {
+            let stream = shared.stream_from_request(frame)?;
+            match shared.execute(&key, stream) {
                 Ok(reply) => Ok(reply),
                 Err(ServeError::Rejected(r)) => {
                     let mut busy = msg("busy");
@@ -1157,7 +1199,11 @@ fn route_http(request: &http::HttpRequest, shared: &Shared) -> (u16, &'static st
                 Ok(key) => key,
                 Err(e) => return (400, "text/plain", format!("{e}\n")),
             };
-            match shared.execute(&key) {
+            let stream = match shared.stream_from_request(&req) {
+                Ok(stream) => stream,
+                Err(e) => return (400, "text/plain", format!("{e}\n")),
+            };
+            match shared.execute(&key, stream) {
                 Ok(reply) => (200, "application/json", reply.render()),
                 Err(ServeError::Rejected(r)) => {
                     let (_, status) = r.label_and_status();

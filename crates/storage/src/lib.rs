@@ -34,6 +34,7 @@
 
 pub mod cache;
 pub mod convert;
+pub mod pipeline;
 pub mod stream;
 pub mod table;
 pub mod tracker;
@@ -45,6 +46,7 @@ pub use convert::{
     pivot_csv_tracked, pivot_dense, pivot_dense_cached, select_cols_tracked, select_rows_tracked,
     triples_from_dense, triples_from_dense_cached,
 };
+pub use pipeline::{csv_selected, fused_scan, scatter_selected, SelVec};
 pub use stream::{batch_ranges, carve_view, reassemble, BatchReel, Morsel, DEFAULT_BATCH_ROWS};
 pub use table::{Column, ColumnarTable, TableView};
 pub use tracker::{DenseHandle, MemDelta, MemTracker, OpScope, Reservation};

@@ -28,7 +28,7 @@ use crate::tracker::MemTracker;
 use genbase_relational::{DataType, Schema};
 use genbase_util::{runtime, Error, Result};
 use std::fs::File;
-use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::io::{BufReader, BufWriter, Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -91,6 +91,11 @@ impl Morsel {
         self.n_rows
     }
 
+    /// Borrow all columns (schema order).
+    pub fn columns(&self) -> &[Column] {
+        &self.cols
+    }
+
     /// Heap bytes of the batch's column storage.
     pub fn heap_bytes(&self) -> u64 {
         self.cols.iter().map(Column::heap_bytes).sum()
@@ -111,6 +116,29 @@ impl Morsel {
             Column::Ints(_) => Err(Error::invalid(format!("morsel column {i} is Int"))),
         }
     }
+
+    /// Copy only the rows named by `sel` (ascending batch-local positions,
+    /// e.g. [`crate::pipeline::SelVec::positions`]) into a new morsel,
+    /// charging the tracker for survivor bytes only.
+    pub fn gather(&self, sel: &[u32]) -> Result<Morsel> {
+        if let Some(&last) = sel.last() {
+            if last as usize >= self.n_rows {
+                return Err(Error::invalid(format!(
+                    "selection position {last} out of range (rows = {})",
+                    self.n_rows
+                )));
+            }
+        }
+        let cols: Vec<Column> = self
+            .cols
+            .iter()
+            .map(|c| match c {
+                Column::Ints(v) => Column::Ints(sel.iter().map(|&i| v[i as usize]).collect()),
+                Column::Floats(v) => Column::Floats(sel.iter().map(|&i| v[i as usize]).collect()),
+            })
+            .collect();
+        Morsel::from_columns(&self.tracker, cols)
+    }
 }
 
 impl Drop for Morsel {
@@ -121,16 +149,19 @@ impl Drop for Morsel {
 
 /// The `(start, end)` row ranges that carve `n_rows` into `batch_rows`-row
 /// morsels (the final range is ragged when `batch_rows` does not divide).
-pub fn batch_ranges(n_rows: usize, batch_rows: usize) -> Vec<(usize, usize)> {
-    let step = batch_rows.max(1);
-    let mut out = Vec::with_capacity(n_rows.div_ceil(step).max(1));
+/// `batch_rows == 0` is a usage error, not a silent 1-row fallback.
+pub fn batch_ranges(n_rows: usize, batch_rows: usize) -> Result<Vec<(usize, usize)>> {
+    if batch_rows == 0 {
+        return Err(Error::invalid("batch_rows must be at least 1"));
+    }
+    let mut out = Vec::with_capacity(n_rows.div_ceil(batch_rows).max(1));
     let mut start = 0;
     while start < n_rows {
-        let end = (start + step).min(n_rows);
+        let end = (start + batch_rows).min(n_rows);
         out.push((start, end));
         start = end;
     }
-    out
+    Ok(out)
 }
 
 /// Carve a whole view into morsels of `batch_rows` rows each.
@@ -139,7 +170,7 @@ pub fn carve_view(
     view: &TableView<'_>,
     batch_rows: usize,
 ) -> Result<Vec<Morsel>> {
-    batch_ranges(view.n_rows(), batch_rows)
+    batch_ranges(view.n_rows(), batch_rows)?
         .into_iter()
         .map(|(s, e)| Morsel::carve(tracker, view, s, e))
         .collect()
@@ -194,9 +225,45 @@ pub struct BatchReel {
     resident_cap: u64,
     spill_dir: Option<PathBuf>,
     spill_path: Option<PathBuf>,
-    writer: Option<File>,
+    writer: Option<BufWriter<File>>,
     spill_offset: u64,
     total_rows: usize,
+}
+
+/// Seek-aware buffered reader over the spill file: tracks its own byte
+/// position and issues [`BufReader::seek_relative`] only when a requested
+/// offset is not the next sequential byte, so the in-push-order replay and
+/// window scans (monotonically increasing, contiguous offsets) never drop
+/// the read buffer.
+struct SpillReader {
+    inner: BufReader<File>,
+    pos: u64,
+}
+
+impl SpillReader {
+    fn open(path: &Path) -> Result<SpillReader> {
+        let file = File::open(path)
+            .map_err(|e| Error::invalid(format!("spill open {}: {e}", path.display())))?;
+        Ok(SpillReader {
+            inner: BufReader::new(file),
+            pos: 0,
+        })
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let delta = offset as i64 - self.pos as i64;
+        if delta != 0 {
+            self.inner
+                .seek_relative(delta)
+                .map_err(|e| Error::invalid(format!("spill seek: {e}")))?;
+            self.pos = offset;
+        }
+        self.inner
+            .read_exact(buf)
+            .map_err(|e| Error::invalid(format!("spill read: {e}")))?;
+        self.pos += buf.len() as u64;
+        Ok(())
+    }
 }
 
 impl BatchReel {
@@ -289,31 +356,39 @@ impl BatchReel {
             let file = File::create(&path)
                 .map_err(|e| Error::invalid(format!("spill create {}: {e}", path.display())))?;
             self.spill_path = Some(path);
-            self.writer = Some(file);
+            self.writer = Some(BufWriter::new(file));
         }
         let offset = self.spill_offset;
         let writer = self.writer.as_mut().expect("spill writer open");
+        let write_err = |e: std::io::Error| Error::invalid(format!("spill write: {e}"));
         for col in &morsel.cols {
-            let bytes: Vec<u8> = match col {
-                Column::Ints(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
-                Column::Floats(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
-            };
-            writer
-                .write_all(&bytes)
-                .map_err(|e| Error::invalid(format!("spill write: {e}")))?;
-            self.spill_offset += bytes.len() as u64;
+            match col {
+                Column::Ints(v) => {
+                    for x in v {
+                        writer.write_all(&x.to_le_bytes()).map_err(write_err)?;
+                    }
+                }
+                Column::Floats(v) => {
+                    for x in v {
+                        writer.write_all(&x.to_le_bytes()).map_err(write_err)?;
+                    }
+                }
+            }
+            self.spill_offset += (col.len() * 8) as u64;
         }
+        // Flush per spilled batch: the reel stays replayable (readers open
+        // the file by path) while later pushes are still spilling.
+        writer
+            .flush()
+            .map_err(|e| Error::invalid(format!("spill flush: {e}")))?;
         Ok(offset)
     }
 
-    fn read_spilled(&self, file: &mut File, offset: u64, n_rows: usize) -> Result<Morsel> {
-        file.seek(SeekFrom::Start(offset))
-            .map_err(|e| Error::invalid(format!("spill seek: {e}")))?;
+    fn read_spilled(&self, reader: &mut SpillReader, offset: u64, n_rows: usize) -> Result<Morsel> {
         let mut cols = Vec::with_capacity(self.schema.arity());
         let mut buf = vec![0u8; n_rows * 8];
         for i in 0..self.schema.arity() {
-            file.read_exact(&mut buf)
-                .map_err(|e| Error::invalid(format!("spill read: {e}")))?;
+            reader.read_at(offset + (i * n_rows * 8) as u64, &mut buf)?;
             let col = match self.schema.col_type(i) {
                 DataType::Int => Column::Ints(
                     buf.chunks_exact(8)
@@ -390,12 +465,55 @@ impl BatchReel {
         Ok(out)
     }
 
-    fn open_reader(&self) -> Result<Option<File>> {
+    /// One fused pass over the reel: `probe` runs over each window on the
+    /// shared runtime pool (like [`BatchReel::map_batches`], it must not
+    /// touch the tracker), then `merge` consumes each batch together with
+    /// its probe result serially, in exact push order. This is the primitive
+    /// the fused pipeline builds on — a parallel filter/semijoin probe whose
+    /// survivors are folded into a sink (scatter, CSV text, group
+    /// accumulator) at a serial point, so sink state mutates in the same
+    /// order the materialized table would have stored the rows.
+    pub fn window_scan<T: Send>(
+        &self,
+        threads: usize,
+        probe: impl Fn(&Morsel) -> T + Sync,
+        mut merge: impl FnMut(&Morsel, T) -> Result<()>,
+    ) -> Result<()> {
+        let mut reader = self.open_reader()?;
+        for window in self.slots.chunks(REPLAY_WINDOW) {
+            // Serial point: materialize the window's spilled batches.
+            let mut loaded: Vec<Option<Morsel>> = Vec::with_capacity(window.len());
+            for slot in window {
+                match slot {
+                    Slot::Resident(_) => loaded.push(None),
+                    Slot::Spilled { offset, n_rows } => {
+                        let reader = reader.as_mut().ok_or_else(|| {
+                            Error::invalid("reel has spilled batches but no spill file")
+                        })?;
+                        loaded.push(Some(self.read_spilled(reader, *offset, *n_rows)?));
+                    }
+                }
+            }
+            let batch_of = |i: usize| -> &Morsel {
+                match (&window[i], &loaded[i]) {
+                    (Slot::Resident(m), _) => m,
+                    (_, Some(m)) => m,
+                    _ => unreachable!("spilled slot loaded above"),
+                }
+            };
+            let probed = runtime::parallel_map(threads, window.len(), |i| probe(batch_of(i)));
+            // Serial point: in-push-order merge of batch + probe result.
+            for (i, t) in probed.into_iter().enumerate() {
+                merge(batch_of(i), t)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn open_reader(&self) -> Result<Option<SpillReader>> {
         match &self.spill_path {
             None => Ok(None),
-            Some(p) => File::open(p)
-                .map(Some)
-                .map_err(|e| Error::invalid(format!("spill open {}: {e}", p.display()))),
+            Some(p) => SpillReader::open(p).map(Some),
         }
     }
 }
@@ -449,11 +567,13 @@ mod tests {
 
     #[test]
     fn ranges_cover_exactly_with_ragged_tail() {
-        assert_eq!(batch_ranges(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
-        assert_eq!(batch_ranges(4, 4), vec![(0, 4)]);
-        assert_eq!(batch_ranges(3, 5), vec![(0, 3)]);
-        assert_eq!(batch_ranges(0, 5), Vec::<(usize, usize)>::new());
-        assert_eq!(batch_ranges(3, 0), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(batch_ranges(10, 4).unwrap(), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(batch_ranges(4, 4).unwrap(), vec![(0, 4)]);
+        assert_eq!(batch_ranges(3, 5).unwrap(), vec![(0, 3)]);
+        assert_eq!(batch_ranges(0, 5).unwrap(), Vec::<(usize, usize)>::new());
+        // batch_rows = 0 is a usage error, not a silent 1-row fallback.
+        assert!(batch_ranges(3, 0).is_err());
+        assert!(batch_ranges(0, 0).is_err());
     }
 
     #[test]
@@ -485,7 +605,7 @@ mod tests {
         let table = sample_table(&t, 40);
         // Cap fits two 5-row batches (5 rows x 3 cols x 8 B = 120 B each).
         let mut reel = BatchReel::new(&t, triple_schema(), 240, None);
-        for (s, e) in batch_ranges(40, 5) {
+        for (s, e) in batch_ranges(40, 5).unwrap() {
             reel.push(Morsel::carve(&t, &table.view(), s, e).unwrap())
                 .unwrap();
         }
@@ -520,12 +640,102 @@ mod tests {
         assert!(!path.exists(), "spill file removed on drop");
     }
 
+    /// The buffered writer/reader must not change the on-disk format: the
+    /// spill file is still raw little-endian column images, one contiguous
+    /// record per batch, in push order.
+    #[test]
+    fn spill_file_bytes_are_raw_le_column_images() {
+        let t = MemTracker::unlimited();
+        let table = sample_table(&t, 40);
+        let mut reel = BatchReel::new(&t, triple_schema(), 240, None);
+        for (s, e) in batch_ranges(40, 5).unwrap() {
+            reel.push(Morsel::carve(&t, &table.view(), s, e).unwrap())
+                .unwrap();
+        }
+        // Batches 2..8 (rows 10..40) spilled; expected image is each
+        // batch's columns back to back, values little-endian.
+        let mut want: Vec<u8> = Vec::new();
+        for (s, e) in batch_ranges(40, 5).unwrap().into_iter().skip(2) {
+            for v in &table.int_col(0).unwrap()[s..e] {
+                want.extend_from_slice(&v.to_le_bytes());
+            }
+            for v in &table.int_col(1).unwrap()[s..e] {
+                want.extend_from_slice(&v.to_le_bytes());
+            }
+            for v in &table.float_col(2).unwrap()[s..e] {
+                want.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let path = reel.spill_path.clone().unwrap();
+        let got = std::fs::read(&path).unwrap();
+        assert_eq!(got, want, "spill bytes on disk changed");
+    }
+
+    /// `window_scan` merges batch + probe result in exact push order at
+    /// every thread count, and the probe sees the same batches `replay`
+    /// would.
+    #[test]
+    fn window_scan_merges_in_push_order_at_every_thread_count() {
+        let t = MemTracker::unlimited();
+        let table = sample_table(&t, 40);
+        let mut reel = BatchReel::new(&t, triple_schema(), 240, None);
+        for (s, e) in batch_ranges(40, 3).unwrap() {
+            reel.push(Morsel::carve(&t, &table.view(), s, e).unwrap())
+                .unwrap();
+        }
+        let mut serial_ids = Vec::new();
+        reel.replay(|m| {
+            serial_ids.extend_from_slice(m.int_col(0)?);
+            Ok(())
+        })
+        .unwrap();
+        for threads in [1usize, 3, 8] {
+            let mut ids = Vec::new();
+            reel.window_scan(
+                threads,
+                |m| {
+                    // Even-id survivors, as batch-local positions.
+                    m.int_col(0)
+                        .unwrap()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, g)| *g % 2 == 0)
+                        .map(|(i, _)| i as u32)
+                        .collect::<Vec<u32>>()
+                },
+                |m, sel| {
+                    let col = m.int_col(0)?;
+                    ids.extend(sel.iter().map(|&i| col[i as usize]));
+                    Ok(())
+                },
+            )
+            .unwrap();
+            let want: Vec<i64> = serial_ids.iter().copied().filter(|g| g % 2 == 0).collect();
+            assert_eq!(ids, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn gather_charges_only_survivor_bytes() {
+        let t = MemTracker::unlimited();
+        let table = sample_table(&t, 10);
+        let m = Morsel::carve(&t, &table.view(), 0, 10).unwrap();
+        let before = t.current();
+        let picked = m.gather(&[1, 4, 7]).unwrap();
+        assert_eq!(picked.n_rows(), 3);
+        assert_eq!(picked.int_col(0).unwrap(), &[1, 4, 7]);
+        assert_eq!(t.current() - before, 3 * 3 * 8);
+        assert!(m.gather(&[3, 10]).is_err(), "out-of-range position");
+        drop(picked);
+        assert_eq!(t.current(), before);
+    }
+
     #[test]
     fn unlimited_cap_never_spills() {
         let t = MemTracker::unlimited();
         let table = sample_table(&t, 16);
         let mut reel = BatchReel::new(&t, triple_schema(), u64::MAX, None);
-        for (s, e) in batch_ranges(16, 6) {
+        for (s, e) in batch_ranges(16, 6).unwrap() {
             reel.push(Morsel::carve(&t, &table.view(), s, e).unwrap())
                 .unwrap();
         }

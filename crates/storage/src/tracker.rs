@@ -51,6 +51,9 @@ struct Inner {
     spill_bytes: AtomicU64,
     /// Cumulative artifact-cache hits taken by conversion kernels.
     cache_hits: AtomicU64,
+    /// Cumulative rows marked as selection-vector survivors by fused
+    /// streaming operators (rows *not* copied between pipeline stages).
+    rows_selected: AtomicU64,
 }
 
 impl Default for Inner {
@@ -66,6 +69,7 @@ impl Default for Inner {
             batches: AtomicU64::new(0),
             spill_bytes: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            rows_selected: AtomicU64::new(0),
         }
     }
 }
@@ -79,6 +83,7 @@ pub struct OpScope {
     batches: u64,
     spill_bytes: u64,
     cache_hits: u64,
+    rows_selected: u64,
 }
 
 /// Per-operator memory deltas, as they appear in a plan trace.
@@ -98,6 +103,9 @@ pub struct MemDelta {
     pub spill_bytes: u64,
     /// Artifact-cache hits the operator's conversion kernels took.
     pub cache_hits: u64,
+    /// Rows the operator passed downstream as selection-vector survivors
+    /// instead of materialized copies (fused streaming only).
+    pub rows_selected: u64,
 }
 
 impl MemTracker {
@@ -196,6 +204,19 @@ impl MemTracker {
         self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Note `rows` passed downstream as selection-vector survivors by a
+    /// fused streaming operator (counted at a serial point, like
+    /// [`MemTracker::note_batches`], so the tally is thread-independent).
+    pub fn note_selected(&self, rows: u64) {
+        self.inner.rows_selected.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Cumulative selection-vector survivor rows across the tracker's
+    /// lifetime.
+    pub fn rows_selected(&self) -> u64 {
+        self.inner.rows_selected.load(Ordering::Relaxed)
+    }
+
     /// Cumulative artifact-cache hits across the tracker's lifetime.
     pub fn cache_hits(&self) -> u64 {
         self.inner.cache_hits.load(Ordering::Relaxed)
@@ -261,6 +282,7 @@ impl MemTracker {
             batches: self.inner.batches.load(Ordering::Relaxed),
             spill_bytes: self.inner.spill_bytes.load(Ordering::Relaxed),
             cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+            rows_selected: self.inner.rows_selected.load(Ordering::Relaxed),
         }
     }
 
@@ -274,6 +296,7 @@ impl MemTracker {
             batches: self.inner.batches.load(Ordering::Relaxed) - scope.batches,
             spill_bytes: self.inner.spill_bytes.load(Ordering::Relaxed) - scope.spill_bytes,
             cache_hits: self.inner.cache_hits.load(Ordering::Relaxed) - scope.cache_hits,
+            rows_selected: self.inner.rows_selected.load(Ordering::Relaxed) - scope.rows_selected,
         }
     }
 }

@@ -27,6 +27,7 @@ fn sim_config(stream: bool) -> HarnessConfig {
         config.stream = Some(StreamConfig {
             batch_rows: 64,
             spill_dir: None,
+            fused: false,
         });
     }
     config

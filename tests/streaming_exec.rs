@@ -12,7 +12,9 @@ use genbase::figures;
 use genbase::prelude::*;
 use genbase_datagen::SizeClass;
 use genbase_relational::{DataType, Schema};
-use genbase_storage::{batch_ranges, carve_view, reassemble, Column, ColumnarTable, MemTracker};
+use genbase_storage::{
+    batch_ranges, carve_view, reassemble, Column, ColumnarTable, MemTracker, SelVec,
+};
 use genbase_util::CostReport;
 use proptest::prelude::*;
 use std::time::Duration;
@@ -51,7 +53,19 @@ fn streaming_config(batch_rows: usize) -> HarnessConfig {
     config.stream = Some(StreamConfig {
         batch_rows,
         spill_dir: None,
+        fused: false,
     });
+    config
+}
+
+/// The fused morsel pipeline: same streaming reel, but filters/semijoins
+/// mark survivors with selection vectors and the per-morsel operators run
+/// as one fused pass.
+fn fused_config(batch_rows: usize) -> HarnessConfig {
+    let mut config = streaming_config(batch_rows);
+    if let Some(stream) = &mut config.stream {
+        stream.fused = true;
+    }
     config
 }
 
@@ -142,6 +156,7 @@ fn streaming_is_byte_identical_across_batch_sizes_and_threads() {
     let batch_sizes = [1usize, 7, 64, 4096, table_rows, table_rows + 1];
     for batch_rows in batch_sizes {
         let harness = Harness::new(streaming_config(batch_rows)).unwrap();
+        let fused = Harness::new(fused_config(batch_rows)).unwrap();
         for (name, query, baseline) in &baselines {
             let engine = engines
                 .iter()
@@ -159,6 +174,33 @@ fn streaming_is_byte_identical_across_batch_sizes_and_threads() {
                 assert!(
                     report.memory().batches > 0,
                     "{what}: no batches recorded — did the lowering stream?"
+                );
+
+                // The fused pipeline must reproduce the same report while
+                // strictly shrinking data movement: selection vectors
+                // replace the copied intermediates, so the fused cell moves
+                // fewer storage-layer bytes than its staged counterpart at
+                // no cost in peak residency.
+                let fwhat = format!("{what} (fused)");
+                let frecord = fused
+                    .run_cell_with_threads(engine.as_ref(), *query, SizeClass::Small, 1, threads)
+                    .unwrap();
+                let freport = completed(&frecord, &fwhat);
+                assert_reports_identical(baseline, &freport, &fwhat);
+                let smem = report.memory();
+                let fmem = freport.memory();
+                assert!(fmem.batches > 0, "{fwhat}: no batches recorded");
+                assert!(
+                    fmem.bytes_in + fmem.bytes_out < smem.bytes_in + smem.bytes_out,
+                    "{fwhat}: moved {} bytes, not below the staged path's {}",
+                    fmem.bytes_in + fmem.bytes_out,
+                    smem.bytes_in + smem.bytes_out,
+                );
+                assert!(
+                    fmem.peak_alloc_bytes <= smem.peak_alloc_bytes,
+                    "{fwhat}: peak {} exceeds the staged path's {}",
+                    fmem.peak_alloc_bytes,
+                    smem.peak_alloc_bytes,
                 );
             }
         }
@@ -216,6 +258,25 @@ fn fig1_streaming_sweep_renders_byte_identically() {
     assert_eq!(
         stream_text, mat_text,
         "streaming Fig1 must render byte-identically to the materializing sweep"
+    );
+
+    // The fused pipeline renders the same figure text too.
+    let fused_sched = Scheduler::new(fused_config(64)).unwrap();
+    let fused_out = fused_sched
+        .run_sweep(&[FigureId::Fig1], SizeClass::Small, &SweepOptions::serial())
+        .unwrap();
+    assert_eq!(fused_out.planned, mat_out.planned);
+    let fused_text = figures::render(
+        FigureId::Fig1,
+        fused_sched.harness(),
+        SizeClass::Small,
+        &fused_out.grid,
+    )
+    .unwrap()
+    .render();
+    assert_eq!(
+        fused_text, mat_text,
+        "fused Fig1 must render byte-identically to the materializing sweep"
     );
 
     // Sharded streaming sweep: identical grid bytes (fingerprints match —
@@ -303,6 +364,28 @@ fn over_budget_streaming_cell_spills_and_completes() {
         "streaming peak {} exceeded the budget {budget}",
         mem.peak_alloc_bytes
     );
+
+    // Same budget, fused pipeline: identical output, same spill behavior.
+    let mut fused_cfg = fused_config(64);
+    fused_cfg.mem_budget = Some(budget);
+    let fused = Harness::new(fused_cfg).unwrap();
+    let fused_report = completed(
+        &fused
+            .run_cell(engine.as_ref(), query, SizeClass::Small, 1)
+            .unwrap(),
+        "budgeted fused streaming",
+    );
+    assert_eq!(
+        fused_report.output, reference.output,
+        "fused spilling run drifted from the unbudgeted output"
+    );
+    let fmem = fused_report.memory();
+    assert!(fmem.spill_bytes > 0, "over-budget fused run never spilled");
+    assert!(
+        fmem.peak_alloc_bytes <= budget,
+        "fused peak {} exceeded the budget {budget}",
+        fmem.peak_alloc_bytes
+    );
 }
 
 proptest! {
@@ -334,7 +417,7 @@ proptest! {
 
         // The carve plan covers every row exactly once, in order, with only
         // the final range ragged.
-        let ranges = batch_ranges(n_rows, batch_rows);
+        let ranges = batch_ranges(n_rows, batch_rows).unwrap();
         let mut covered = 0;
         for (i, (start, end)) in ranges.iter().enumerate() {
             prop_assert_eq!(*start, covered);
@@ -356,6 +439,69 @@ proptest! {
 
         // Memory accounting balances: everything charged during the round
         // trip is released once both tables drop.
+        drop(table);
+        drop(back);
+        prop_assert_eq!(tracker.current(), 0);
+    }
+
+    // Selection-vector filtering is the identity against the copying
+    // filter: carve into morsels, mark survivors with a SelVec, gather,
+    // reassemble — exactly the rows a plain row-copying filter keeps, in
+    // the same order, with all charged bytes released on drop.
+    #[test]
+    fn selvec_filter_matches_copying_filter(
+        n_rows in 0usize..400,
+        batch_rows in 1usize..97,
+        modulus in 1i64..7,
+    ) {
+        let tracker = MemTracker::unlimited();
+        let schema = Schema::new(&[
+            ("gene_id", DataType::Int),
+            ("patient_id", DataType::Int),
+            ("expr_value", DataType::Float),
+        ]).unwrap();
+        let genes: Vec<i64> = (0..n_rows as i64).map(|i| i * 7 % 13).collect();
+        let patients: Vec<i64> = (0..n_rows as i64).map(|i| i * 3 % 11).collect();
+        let values: Vec<f64> = (0..n_rows).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let table = ColumnarTable::from_columns(
+            &tracker,
+            schema.clone(),
+            vec![
+                Column::Ints(genes.clone()),
+                Column::Ints(patients.clone()),
+                Column::Floats(values.clone()),
+            ],
+        ).unwrap();
+        let keep = |g: i64, p: i64| (g + p) % modulus == 0;
+
+        // Reference: the copying filter over the whole table.
+        let mut expect_g = Vec::new();
+        let mut expect_p = Vec::new();
+        let mut expect_v = Vec::new();
+        for i in 0..n_rows {
+            if keep(genes[i], patients[i]) {
+                expect_g.push(genes[i]);
+                expect_p.push(patients[i]);
+                expect_v.push(values[i]);
+            }
+        }
+
+        let morsels = carve_view(&tracker, &table.view(), batch_rows).unwrap();
+        let mut survivors = Vec::new();
+        for m in &morsels {
+            let g = m.int_col(0).unwrap();
+            let p = m.int_col(1).unwrap();
+            let sel = SelVec::from_predicate(m.n_rows(), |i| keep(g[i], p[i]));
+            prop_assert!(sel.len() <= m.n_rows());
+            survivors.push(m.gather(sel.positions()).unwrap());
+        }
+        drop(morsels);
+        let back = reassemble(&tracker, schema, survivors).unwrap();
+        prop_assert_eq!(back.n_rows(), expect_g.len());
+        prop_assert_eq!(back.int_col(0).unwrap(), &expect_g[..]);
+        prop_assert_eq!(back.int_col(1).unwrap(), &expect_p[..]);
+        prop_assert_eq!(back.float_col(2).unwrap(), &expect_v[..]);
+
         drop(table);
         drop(back);
         prop_assert_eq!(tracker.current(), 0);
